@@ -1,0 +1,122 @@
+//! Substrate micro-benchmarks: the building blocks every experiment
+//! leans on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use lpr_core::prelude::*;
+use lpr_bench::bench_cycle;
+use std::net::Ipv4Addr;
+
+fn warts_codec(c: &mut Criterion) {
+    let (_, traces) = bench_cycle();
+    let sample: Vec<_> = traces.iter().take(500).cloned().collect();
+
+    let mut group = c.benchmark_group("warts");
+    group.throughput(Throughput::Elements(sample.len() as u64));
+
+    group.bench_function("write_500_traces", |b| {
+        b.iter(|| {
+            let mut w = warts::WartsWriter::new();
+            let list = w.list(1, "bench");
+            let cycle = w.cycle_start(list, 1, 0);
+            for t in &sample {
+                w.trace(&warts::trace_to_record(t, list, cycle)).unwrap();
+            }
+            w.cycle_stop(cycle, 1);
+            w.into_bytes()
+        })
+    });
+
+    let bytes = {
+        let mut w = warts::WartsWriter::new();
+        let list = w.list(1, "bench");
+        let cycle = w.cycle_start(list, 1, 0);
+        for t in &sample {
+            w.trace(&warts::trace_to_record(t, list, cycle)).unwrap();
+        }
+        w.cycle_stop(cycle, 1);
+        w.into_bytes()
+    };
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("parse_500_traces", |b| {
+        b.iter(|| warts::WartsReader::new(&bytes).traces().unwrap())
+    });
+    group.finish();
+}
+
+fn ip2as_lookup(c: &mut Criterion) {
+    let (world, traces) = bench_cycle();
+    let rib = world.rib();
+    let addrs: Vec<Ipv4Addr> = traces
+        .iter()
+        .flat_map(|t| t.responsive_hops().map(|h| h.addr.unwrap()))
+        .take(10_000)
+        .collect();
+    let mut group = c.benchmark_group("ip2as");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    group.bench_function("lpm_lookup_10k", |b| {
+        b.iter(|| addrs.iter().filter(|a| rib.lookup(**a).is_some()).count())
+    });
+    group.finish();
+}
+
+fn control_plane(c: &mut Criterion) {
+    let world = ark_dataset::standard_world();
+    let configs = ark_dataset::configs_for_cycle(40);
+    c.bench_function("control_plane/build_internet", |b| {
+        b.iter_batched(
+            || world.topo.clone(),
+            |topo| netsim::Internet::new(topo, &configs),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn probing(c: &mut Criterion) {
+    let world = ark_dataset::standard_world();
+    let configs = ark_dataset::configs_for_cycle(40);
+    let net = netsim::Internet::new(world.topo.clone(), &configs);
+    let prober = netsim::Prober::new(&net, netsim::ProbeOptions::default());
+    let vp = world.all_vps()[0];
+    let dsts = world.all_destinations(1);
+    let mut group = c.benchmark_group("probe");
+    group.throughput(Throughput::Elements(dsts.len() as u64));
+    group.bench_function("traceroute_all_destinations", |b| {
+        b.iter(|| dsts.iter().map(|d| prober.trace(vp, *d).len()).sum::<usize>())
+    });
+    group.finish();
+}
+
+fn lpr_pipeline(c: &mut Criterion) {
+    let (world, traces) = bench_cycle();
+    let rib = world.rib();
+    let keys = Pipeline::snapshot_keys(&traces);
+
+    let mut group = c.benchmark_group("lpr");
+    group.throughput(Throughput::Elements(traces.len() as u64));
+    group.bench_function("extract_tunnels", |b| {
+        b.iter(|| {
+            traces
+                .iter()
+                .flat_map(lpr_core::tunnel::extract_tunnels)
+                .count()
+        })
+    });
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| Pipeline::default().run(&traces, rib, std::slice::from_ref(&keys)))
+    });
+
+    let out = Pipeline::default().run(&traces, rib, std::slice::from_ref(&keys));
+    let iotps: Vec<_> = out.iotps.iter().map(|(i, _)| i.clone()).collect();
+    group.throughput(Throughput::Elements(iotps.len() as u64));
+    group.bench_function("classify_iotps", |b| {
+        b.iter(|| iotps.iter().map(|i| classify_iotp(i).class).filter(|c| *c == Class::MultiFec).count())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = warts_codec, ip2as_lookup, control_plane, probing, lpr_pipeline
+}
+criterion_main!(benches);

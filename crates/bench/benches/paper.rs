@@ -1,0 +1,82 @@
+//! One Criterion entry per table/figure of the paper's evaluation.
+//!
+//! Each bench runs the corresponding `experiments` harness at a
+//! reduced scale so `cargo bench` stays tractable; the full-scale
+//! regeneration (with CSV output) is
+//! `cargo run --release -p experiments -- all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{fig16, fig17, fig6, fig789, longitudinal};
+
+/// Cycles rendered by the longitudinal benches (the paper uses 60).
+const BENCH_CYCLES: usize = 6;
+
+fn fig5_table1_table2_peras(c: &mut Criterion) {
+    let world = ark_dataset::standard_world();
+    // One longitudinal pass feeds Fig. 5, Table 1, Figs. 10-15 and
+    // Table 2, exactly as in the `experiments` binary.
+    c.bench_function("paper/longitudinal_pass_6cycles", |b| {
+        b.iter(|| longitudinal::run(&world, BENCH_CYCLES))
+    });
+}
+
+fn fig6_bench(c: &mut Criterion) {
+    let world = ark_dataset::standard_world();
+    c.bench_function("paper/fig6_persistence_sweep", |b| {
+        b.iter(|| fig6::run(&world, 6))
+    });
+}
+
+fn fig789_bench(c: &mut Criterion) {
+    let world = ark_dataset::standard_world();
+    c.bench_function("paper/fig789_metric_distributions", |b| {
+        b.iter(|| fig789::run(&world, 40))
+    });
+}
+
+fn fig16_bench(c: &mut Criterion) {
+    let world = ark_dataset::standard_world();
+    c.bench_function("paper/fig16_one_april_day", |b| {
+        b.iter(|| {
+            ark_dataset::april2012::april_day(
+                &world,
+                20,
+                &ark_dataset::CampaignOptions::default(),
+            )
+        })
+    });
+    // The full month, once, to keep an end-to-end figure regeneration
+    // in the bench suite.
+    c.bench_function("paper/fig16_full_month", |b| b.iter(|| fig16::run(&world)));
+}
+
+fn fig17_bench(c: &mut Criterion) {
+    let world = ark_dataset::standard_world();
+    c.bench_function("paper/fig17_label_dynamics", |b| {
+        b.iter(|| {
+            ark_dataset::dynamics::run(
+                &world,
+                &ark_dataset::dynamics::DynamicsOptions {
+                    minutes: 120,
+                    sample_every: 10,
+                    reopt_every: 30,
+                    reopt_batch: 10,
+                },
+            )
+        })
+    });
+    // Touch the full-cadence harness once so the figure path is
+    // exercised end to end.
+    c.bench_function("paper/fig17_pick_te_flow", |b| {
+        let configs = ark_dataset::configs_for_cycle(60);
+        let net = netsim::Internet::new(world.topo.clone(), &configs);
+        b.iter(|| fig17::run_flow_probe(&world, &net))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig5_table1_table2_peras, fig6_bench, fig789_bench, fig16_bench, fig17_bench
+}
+criterion_main!(benches);

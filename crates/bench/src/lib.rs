@@ -1,0 +1,23 @@
+//! # lpr-bench — benchmark support
+//!
+//! The interesting code lives in `benches/`:
+//!
+//! * `micro` — substrate micro-benchmarks: warts encode/decode
+//!   throughput, longest-prefix-match lookups, SPF/LDP control-plane
+//!   computation, traceroute simulation, tunnel extraction and IOTP
+//!   classification.
+//! * `paper` — one Criterion entry per table/figure regenerator of the
+//!   paper's evaluation, at reduced scale (the full-scale regeneration
+//!   is `cargo run --release -p experiments -- all`).
+
+#![forbid(unsafe_code)]
+
+/// Builds the standard fixture shared by the benches: one cycle of the
+/// longitudinal world plus its RIB.
+pub fn bench_cycle() -> (ark_dataset::World, Vec<lpr_core::trace::Trace>) {
+    let world = ark_dataset::standard_world();
+    let opts = ark_dataset::CampaignOptions { snapshots: 1, ..Default::default() };
+    let data = ark_dataset::generate_cycle(&world, 40, &opts);
+    let traces = data.snapshots.into_iter().next().expect("one snapshot");
+    (world, traces)
+}

@@ -1,0 +1,363 @@
+//! The `lpr` subcommands.
+
+use crate::{CliError, Options};
+use std::io::Write;
+
+pub mod classify {
+    //! `lpr classify` — run the full LPR pipeline and print the
+    //! per-IOTP classification.
+
+    use super::*;
+    use lpr_core::metrics::IotpMetrics;
+
+    /// Executes the subcommand.
+    pub fn run(o: &Options, w: &mut dyn Write) -> Result<(), CliError> {
+        let (_traces, out) = crate::run_pipeline(o)?;
+
+        for (iotp, cls) in &out.iotps {
+            let m = IotpMetrics::of(iotp);
+            writeln!(
+                w,
+                "{}\t<{} ; {}>\t{}\twidth={} length={} symmetry={}",
+                iotp.key.asn,
+                iotp.key.ingress,
+                iotp.key.egress,
+                cls.class,
+                m.width,
+                m.length,
+                m.symmetry,
+            )?;
+        }
+
+        let c = out.class_counts();
+        writeln!(
+            w,
+            "\ntotal {} IOTPs: {} Mono-LSP | {} Multi-FEC | {} Mono-FEC ({} parallel links, {} routers disjoint) | {} unclassified",
+            c.total(),
+            c.mono_lsp,
+            c.multi_fec,
+            c.mono_fec(),
+            c.mono_fec_parallel,
+            c.mono_fec_disjoint,
+            c.unclassified,
+        )?;
+        if !out.dynamic_ases.is_empty() {
+            let names: Vec<String> =
+                out.dynamic_ases.iter().map(|a| a.to_string()).collect();
+            writeln!(w, "dynamic ASes (labels churn between snapshots): {}", names.join(" "))?;
+        }
+
+        if o.per_as {
+            writeln!(w, "\nper-AS classification:")?;
+            for asn in out.ases() {
+                let c = out.class_counts_for(asn);
+                let vendors = lpr_core::fingerprint::infer_vendors(
+                    out.iotps.iter().filter(|(i, _)| i.key.asn == asn).map(|(i, _)| i),
+                );
+                let vendor = vendors
+                    .get(&asn)
+                    .map(|(_, v)| format!("{v:?}"))
+                    .unwrap_or_else(|| "n/a".into());
+                writeln!(
+                    w,
+                    "  {asn}: {} IOTPs [mono_lsp={} multi_fec={} mono_fec={} unclassified={}] platform: {vendor}",
+                    c.total(),
+                    c.mono_lsp,
+                    c.multi_fec,
+                    c.mono_fec(),
+                    c.unclassified,
+                )?;
+            }
+        }
+
+        if o.router_level {
+            run_router_level(&out, w)?;
+        }
+
+        if o.trees {
+            run_trees(o, w)?;
+        }
+        Ok(())
+    }
+
+    fn run_router_level(
+        out: &lpr_core::pipeline::PipelineOutput,
+        w: &mut dyn Write,
+    ) -> Result<(), CliError> {
+        use lpr_core::aliasres::{infer_aliases, merge_router_level};
+        let iotps: Vec<_> = out.iotps.iter().map(|(i, _)| i.clone()).collect();
+        let aliases = infer_aliases(iotps.iter());
+        let sets = aliases.sets();
+        writeln!(w, "
+label-inferred alias sets ({}):", sets.len())?;
+        for set in &sets {
+            let addrs: Vec<String> = set.iter().map(|a| a.to_string()).collect();
+            writeln!(w, "  {{{}}}", addrs.join(", "))?;
+        }
+        let merged = merge_router_level(&iotps, &aliases);
+        writeln!(
+            w,
+            "router-level IOTPs: {} (from {} address-level IOTPs)",
+            merged.len(),
+            iotps.len(),
+        )?;
+        for (iotp, absorbed) in merged.iter().filter(|(_, n)| *n > 1) {
+            let c = lpr_core::classify::classify_iotp(iotp);
+            writeln!(
+                w,
+                "  {} <{} ; {}>  absorbed {}  {}",
+                iotp.key.asn, iotp.key.ingress, iotp.key.egress, absorbed, c.class,
+            )?;
+        }
+        Ok(())
+    }
+
+    fn run_trees(o: &Options, w: &mut dyn Write) -> Result<(), CliError> {
+        // Recompute the attributed LSPs (tree analysis skips the
+        // TransitDiversity filter on purpose, §5).
+        let rib = crate::load_rib(o.rib.as_ref().expect("checked by run_pipeline"))?;
+        let traces = crate::load_traces(&o.inputs)?;
+        let tunnels: Vec<_> =
+            traces.iter().flat_map(lpr_core::tunnel::extract_tunnels).collect();
+        let lsps = lpr_core::filter::attribute_and_filter(&tunnels, &rib).lsps;
+        let trees = lpr_core::tree::build_fec_trees(&lsps);
+        writeln!(w, "\negress-rooted LSP-trees ({}):", trees.len())?;
+        for tree in &trees {
+            writeln!(
+                w,
+                "  {} egress {}  ingresses={} branches={}  {:?}",
+                tree.asn,
+                tree.egress,
+                tree.ingresses.len(),
+                tree.branches.width(),
+                lpr_core::tree::classify_tree(tree),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+pub mod stats {
+    //! `lpr stats` — filter-survival accounting (the Table 1 view).
+
+    use super::*;
+    use lpr_core::prelude::*;
+
+    /// Executes the subcommand.
+    pub fn run(o: &Options, w: &mut dyn Write) -> Result<(), CliError> {
+        let (traces, out) = crate::run_pipeline(o)?;
+        let mpls = traces.iter().filter(|t| t.has_mpls()).count();
+        writeln!(w, "traces: {} ({} crossing explicit MPLS tunnels)", traces.len(), mpls)?;
+        writeln!(w, "extracted LSPs: {}", out.report.input)?;
+        for stage in FilterStage::ALL {
+            writeln!(
+                w,
+                "  after {:<18} {:>8}   ({:.3})",
+                stage.name(),
+                out.report.remaining.get(&stage).copied().unwrap_or(0),
+                out.report.proportion_after(stage),
+            )?;
+        }
+        writeln!(w, "classified IOTPs: {}", out.iotps.len())?;
+        Ok(())
+    }
+}
+
+pub mod tunnels {
+    //! `lpr tunnels` — dump every explicit tunnel found in the input.
+
+    use super::*;
+    use lpr_core::tunnel::extract_tunnels;
+
+    /// Executes the subcommand.
+    pub fn run(o: &Options, w: &mut dyn Write) -> Result<(), CliError> {
+        if o.inputs.is_empty() {
+            return Err(CliError("no input warts files".into()));
+        }
+        let traces = crate::load_traces(&o.inputs)?;
+        let mut total = 0usize;
+        for trace in &traces {
+            for t in extract_tunnels(trace) {
+                total += 1;
+                let status = match t.incomplete {
+                    None => "complete".to_string(),
+                    Some(e) => format!("incomplete ({e})"),
+                };
+                let lsrs: Vec<String> =
+                    t.lsrs.iter().map(|(a, s)| format!("{a}{s:?}")).collect();
+                writeln!(
+                    w,
+                    "{} -> {}  ingress={} egress={}  [{}]  {}",
+                    trace.src,
+                    trace.dst,
+                    t.ingress.map(|a| a.to_string()).unwrap_or_else(|| "?".into()),
+                    t.egress.map(|a| a.to_string()).unwrap_or_else(|| "?".into()),
+                    lsrs.join(" "),
+                    status,
+                )?;
+            }
+        }
+        writeln!(w, "\n{total} explicit tunnels in {} traces", traces.len())?;
+        Ok(())
+    }
+}
+
+pub mod dump {
+    //! `lpr dump` — scamper-style text rendering of warts records.
+
+    use super::*;
+    use warts::Record;
+
+    /// Executes the subcommand.
+    pub fn run(o: &Options, w: &mut dyn Write) -> Result<(), CliError> {
+        if o.inputs.is_empty() {
+            return Err(CliError("no input warts files".into()));
+        }
+        for path in &o.inputs {
+            for rec in warts::read_path(path)
+                .map_err(|e| CliError(format!("{path}: {e}")))?
+            {
+                match rec {
+                    Record::Trace(t) => write!(w, "{}", warts::trace_to_text(&t))?,
+                    Record::Ping(p) => write!(w, "{}", warts::ping_to_text(&p))?,
+                    Record::List(l) => writeln!(w, "list {} ({})", l.list_id, l.name)?,
+                    Record::CycleStart(c) => {
+                        writeln!(w, "cycle {} start {}", c.cycle_id, c.start)?
+                    }
+                    Record::CycleStop(c) => writeln!(w, "cycle stop {}", c.stop)?,
+                    Record::Unsupported { record_type, body } => {
+                        writeln!(w, "unsupported record type {record_type:#04x} ({} bytes)", body.len())?
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+pub mod info {
+    //! `lpr info` — record inventory of warts files.
+
+    use super::*;
+    use warts::Record;
+
+    /// Executes the subcommand.
+    pub fn run(o: &Options, w: &mut dyn Write) -> Result<(), CliError> {
+        if o.inputs.is_empty() {
+            return Err(CliError("no input warts files".into()));
+        }
+        for path in &o.inputs {
+            let bytes =
+                std::fs::read(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let mut lists = 0usize;
+            let mut cycles = 0usize;
+            let mut traces = 0usize;
+            let mut pings = 0usize;
+            let mut hops = 0usize;
+            let mut mpls_hops = 0usize;
+            let mut unsupported = 0usize;
+            let mut reader = warts::WartsReader::new(&bytes);
+            while let Some(rec) = reader.next_record().map_err(|e| CliError(format!("{path}: {e}")))? {
+                match rec {
+                    Record::List(_) => lists += 1,
+                    Record::CycleStart(_) | Record::CycleStop(_) => cycles += 1,
+                    Record::Trace(t) => {
+                        traces += 1;
+                        hops += t.hops.len();
+                        mpls_hops +=
+                            t.hops.iter().filter(|h| !h.icmp_exts.is_empty()).count();
+                    }
+                    Record::Ping(_) => pings += 1,
+                    Record::Unsupported { .. } => unsupported += 1,
+                }
+            }
+            writeln!(
+                w,
+                "{path}: {} bytes, {lists} list(s), {cycles} cycle record(s), {traces} trace(s), {pings} ping(s), {hops} hop(s) ({mpls_hops} with MPLS extensions), {unsupported} unsupported record(s)",
+                bytes.len(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+pub mod demo {
+    //! `lpr demo` — generate a sample warts file + RIB with the
+    //! simulator, so the tool is explorable without CAIDA data.
+
+    use super::*;
+    use lpr_core::lsp::Asn;
+    use netsim::{
+        AsSpec, Internet, MplsConfig, Peering, ProbeOptions, Prober, TePathMode, Topology,
+        TopologyParams, Vendor,
+    };
+    use std::collections::BTreeMap;
+    use std::net::Ipv4Addr;
+
+    /// Builds the demo campaign and writes `(warts bytes, rib text)`.
+    pub fn write_demo_files() -> (Vec<u8>, String) {
+        let specs = vec![
+            AsSpec::transit(
+                65000,
+                "demo-isp",
+                Vendor::Juniper,
+                TopologyParams {
+                    core_routers: 6,
+                    border_routers: 3,
+                    ecmp_diamonds: 1,
+                    parallel_bundles: 1,
+                    ..TopologyParams::default()
+                },
+            ),
+            AsSpec::stub(64600, "monitors", 0, 2),
+            AsSpec::stub(64700, "cust-a", 3, 0),
+            AsSpec::stub(64701, "cust-b", 3, 0),
+        ];
+        let peerings = vec![
+            Peering::new(Asn(64600), Asn(65000)).at_b(0),
+            Peering::new(Asn(65000), Asn(64700)).at_a(1),
+            Peering::new(Asn(65000), Asn(64701)).at_a(1),
+        ];
+        let topo = Topology::build_with_peerings(&specs, &peerings);
+        let rib_text = ip2as::to_rib_string(&topo.rib());
+        let mut configs = BTreeMap::new();
+        configs.insert(Asn(65000), MplsConfig::with_te(0.5, 2, TePathMode::SamePath));
+        let net = Internet::new(topo, &configs);
+        let prober = Prober::new(&net, ProbeOptions::default());
+        let vps: Vec<Ipv4Addr> =
+            net.topo.vantage_points().iter().map(|(a, _)| *a).collect();
+        let dsts = net.topo.destinations(1);
+        let traces = prober.campaign(&vps, &dsts);
+
+        let mut writer = warts::WartsWriter::new();
+        let list = writer.list(1, "demo");
+        let cycle = writer.cycle_start(list, 1, 0);
+        for t in &traces {
+            writer.trace(&warts::trace_to_record(t, list, cycle)).expect("encode");
+        }
+        writer.cycle_stop(cycle, 1);
+        (writer.into_bytes(), rib_text)
+    }
+
+    /// Executes the subcommand.
+    pub fn run(args: &[String], w: &mut dyn Write) -> Result<(), CliError> {
+        let mut out_path = None;
+        let mut rib_path = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--out" => out_path = it.next().cloned(),
+                "--rib-out" => rib_path = it.next().cloned(),
+                other => return Err(CliError(format!("unknown demo flag {other}"))),
+            }
+        }
+        let out_path = out_path.ok_or(CliError("--out <file> required".into()))?;
+        let rib_path = rib_path.ok_or(CliError("--rib-out <file> required".into()))?;
+        let (bytes, rib) = write_demo_files();
+        std::fs::write(&out_path, &bytes)?;
+        std::fs::write(&rib_path, rib)?;
+        writeln!(w, "wrote {out_path} ({} bytes) and {rib_path}", bytes.len())?;
+        writeln!(w, "try: lpr classify --rib {rib_path} {out_path} --per-as --trees")?;
+        Ok(())
+    }
+}

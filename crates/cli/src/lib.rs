@@ -1,0 +1,261 @@
+//! # lpr-cli — the `lpr` command-line tool
+//!
+//! Runs the LPR analysis on scamper **warts** dumps, the way the paper
+//! does on CAIDA Archipelago data:
+//!
+//! ```text
+//! lpr classify --rib rib.txt cycleX.warts [--next cycleX+1.warts]...
+//!              [--j N] [--alias-rescue] [--trees] [--per-as]
+//! lpr stats    --rib rib.txt cycleX.warts [--next ...]   filter survival
+//! lpr tunnels  cycleX.warts                              dump explicit tunnels
+//! lpr dump     file.warts                                scamper-style text dump
+//! lpr info     file.warts                                record inventory
+//! lpr demo     --out demo.warts --rib-out rib.txt        generate sample data
+//! lpr help
+//! ```
+//!
+//! The RIB file is the plain `prefix asn` snapshot format of the
+//! `ip2as` crate (one routed prefix per line, `#` comments).
+//!
+//! The library entry point ([`run`]) takes the argument vector and a
+//! writer, so the whole CLI is unit-testable without spawning
+//! processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lpr_core::prelude::*;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io::Write;
+
+mod commands;
+
+pub use commands::demo::write_demo_files;
+
+/// A CLI failure, printable to the user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<warts::WartsError> for CliError {
+    fn from(e: warts::WartsError) -> Self {
+        CliError(format!("warts: {e}"))
+    }
+}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed command-line options shared by the analysis subcommands.
+#[derive(Debug, Default)]
+pub struct Options {
+    /// Input warts files (the cycle to classify).
+    pub inputs: Vec<String>,
+    /// Follow-up snapshot files for the Persistence filter.
+    pub next: Vec<String>,
+    /// RIB snapshot path.
+    pub rib: Option<String>,
+    /// Persistence window (defaults to the number of `--next` files).
+    pub j: Option<usize>,
+    /// Enable the §5 alias rescue.
+    pub alias_rescue: bool,
+    /// Also run the egress-rooted LSP-tree analysis.
+    pub trees: bool,
+    /// Print per-AS tallies.
+    pub per_as: bool,
+    /// Aggregate IOTPs at the router level via label-based alias
+    /// resolution (§5).
+    pub router_level: bool,
+}
+
+impl Options {
+    /// Parses `args` after the subcommand name.
+    pub fn parse(args: &[String]) -> Result<Options, CliError> {
+        let mut o = Options::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--rib" => o.rib = Some(take(&mut it, "--rib")?),
+                "--next" => o.next.push(take(&mut it, "--next")?),
+                "--j" => {
+                    o.j = Some(
+                        take(&mut it, "--j")?
+                            .parse()
+                            .map_err(|_| err("--j wants an integer"))?,
+                    )
+                }
+                "--alias-rescue" => o.alias_rescue = true,
+                "--trees" => o.trees = true,
+                "--per-as" => o.per_as = true,
+                "--router-level" => o.router_level = true,
+                flag if flag.starts_with("--") => {
+                    return Err(err(format!("unknown flag {flag}")))
+                }
+                path => o.inputs.push(path.to_string()),
+            }
+        }
+        Ok(o)
+    }
+}
+
+fn take(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, CliError> {
+    it.next().cloned().ok_or_else(|| err(format!("{flag} wants a value")))
+}
+
+/// Loads every trace from a list of warts files.
+pub fn load_traces(paths: &[String]) -> Result<Vec<Trace>, CliError> {
+    let mut traces = Vec::new();
+    for path in paths {
+        let bytes = std::fs::read(path)
+            .map_err(|e| err(format!("{path}: {e}")))?;
+        let records = warts::WartsReader::new(&bytes)
+            .traces()
+            .map_err(|e| err(format!("{path}: {e}")))?;
+        for rec in &records {
+            if let Some(t) = warts::trace_to_core(rec).map_err(|e| err(format!("{path}: {e}")))? {
+                traces.push(t);
+            }
+        }
+    }
+    Ok(traces)
+}
+
+/// Loads the RIB snapshot into a longest-prefix-match trie.
+pub fn load_rib(path: &str) -> Result<ip2as::Ip2AsTrie, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| err(format!("{path}: {e}")))?;
+    ip2as::parse_rib(&text).map_err(|e| err(format!("{path}: {e}")))
+}
+
+/// Runs the analysis pipeline an analysis subcommand needs.
+pub fn run_pipeline(o: &Options) -> Result<(Vec<Trace>, PipelineOutput), CliError> {
+    if o.inputs.is_empty() {
+        return Err(err("no input warts files (see `lpr help`)"));
+    }
+    let rib_path = o.rib.as_ref().ok_or_else(|| err("--rib <file> is required"))?;
+    let rib = load_rib(rib_path)?;
+    let traces = load_traces(&o.inputs)?;
+    let future: Vec<BTreeSet<LspKey>> = o
+        .next
+        .iter()
+        .map(|p| load_traces(std::slice::from_ref(p)).map(|t| Pipeline::snapshot_keys(&t)))
+        .collect::<Result<_, _>>()?;
+    let j = o.j.unwrap_or(future.len());
+    let mut pipeline =
+        Pipeline::new(FilterConfig { persistence_window: j, ..Default::default() });
+    if o.alias_rescue {
+        pipeline = pipeline.with_alias_rescue();
+    }
+    let out = pipeline.run(&traces, &rib, &future);
+    Ok((traces, out))
+}
+
+/// Entry point: dispatches a full argument vector.
+pub fn run(args: &[String], w: &mut dyn Write) -> Result<(), CliError> {
+    let (cmd, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => ("help", &[] as &[String]),
+    };
+    match cmd {
+        "classify" => commands::classify::run(&Options::parse(rest)?, w),
+        "stats" => commands::stats::run(&Options::parse(rest)?, w),
+        "tunnels" => commands::tunnels::run(&Options::parse(rest)?, w),
+        "info" => commands::info::run(&Options::parse(rest)?, w),
+        "dump" => commands::dump::run(&Options::parse(rest)?, w),
+        "demo" => commands::demo::run(rest, w),
+        "help" | "--help" | "-h" => {
+            writeln!(w, "{}", HELP)?;
+            Ok(())
+        }
+        other => Err(err(format!("unknown command `{other}` (try `lpr help`)"))),
+    }
+}
+
+const HELP: &str = "\
+lpr — MPLS transit path diversity classification (IMC'15 LPR algorithm)
+
+USAGE:
+  lpr classify --rib <rib.txt> <cycle.warts>... [--next <snap.warts>]...
+               [--j N] [--alias-rescue] [--trees] [--per-as] [--router-level]
+  lpr stats    --rib <rib.txt> <cycle.warts>... [--next <snap.warts>]...
+  lpr tunnels  <cycle.warts>...
+  lpr dump     <file.warts>...
+  lpr info     <file.warts>...
+  lpr demo     --out <demo.warts> --rib-out <rib.txt>
+  lpr help
+
+The RIB file maps prefixes to origin ASes, one `prefix asn` per line
+(Routeviews-style). `--next` snapshots feed the Persistence filter
+(paper default: two, i.e. --j 2).";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_options() {
+        let o = Options::parse(&s(&[
+            "a.warts",
+            "--rib",
+            "rib.txt",
+            "--next",
+            "b.warts",
+            "--next",
+            "c.warts",
+            "--j",
+            "2",
+            "--alias-rescue",
+            "--per-as",
+        ]))
+        .unwrap();
+        assert_eq!(o.inputs, vec!["a.warts"]);
+        assert_eq!(o.next.len(), 2);
+        assert_eq!(o.rib.as_deref(), Some("rib.txt"));
+        assert_eq!(o.j, Some(2));
+        assert!(o.alias_rescue && o.per_as && !o.trees && !o.router_level);
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert!(Options::parse(&s(&["--bogus"])).is_err());
+        assert!(Options::parse(&s(&["--rib"])).is_err());
+        assert!(Options::parse(&s(&["--j", "x"])).is_err());
+    }
+
+    #[test]
+    fn help_prints() {
+        let mut out = Vec::new();
+        run(&s(&["help"]), &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let mut out = Vec::new();
+        assert!(run(&s(&["frobnicate"]), &mut out).is_err());
+    }
+
+    #[test]
+    fn classify_requires_inputs() {
+        let mut out = Vec::new();
+        assert!(run(&s(&["classify"]), &mut out).is_err());
+    }
+}

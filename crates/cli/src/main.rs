@@ -1,0 +1,14 @@
+//! `lpr` — classify MPLS transit path diversity from warts dumps.
+//!
+//! See `lpr help` for usage; the heavy lifting lives in [`lpr_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match lpr_cli::run(&args, &mut std::io::stdout()) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("lpr: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! A small integer histogram used by the evaluation harnesses
+//! (PDF plots such as Figs. 7–9, distribution summaries, etc.).
+
+use std::collections::BTreeMap;
+
+/// A histogram over non-negative integer values.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation of `value`.
+    pub fn add(&mut self, value: u64) {
+        *self.counts.entry(value).or_default() += 1;
+        self.total += 1;
+    }
+
+    /// Adds `n` observations of `value`.
+    pub fn add_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_default() += n;
+        self.total += n;
+    }
+
+    /// Number of observations of exactly `value`.
+    pub fn count(&self, value: u64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Probability mass at `value` (0.0 for an empty histogram).
+    pub fn pdf(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Cumulative probability mass at values `<= value`.
+    pub fn cdf(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let below: u64 = self.counts.range(..=value).map(|(_, c)| c).sum();
+        below as f64 / self.total as f64
+    }
+
+    /// Probability mass at values `>= value` (used for the `≥ 10`
+    /// catch-all bin of Fig. 8).
+    pub fn tail(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let above: u64 = self.counts.range(value..).map(|(_, c)| c).sum();
+        above as f64 / self.total as f64
+    }
+
+    /// Largest observed value, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Smallest observed value, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Mean of the observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let sum: u128 = self.counts.iter().map(|(&v, &c)| v as u128 * c as u128).sum();
+        Some(sum as f64 / self.total as f64)
+    }
+
+    /// The smallest value `v` with `cdf(v) >= q` (`q` clamped to
+    /// `[0, 1]`); `None` when empty. `quantile(0.5)` is the median.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (&v, &c) in &self.counts {
+            seen += c;
+            if seen >= target {
+                return Some(v);
+            }
+        }
+        self.max()
+    }
+
+    /// Complementary CDF: probability mass at values strictly greater
+    /// than `value`.
+    pub fn ccdf(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        1.0 - self.cdf(value)
+    }
+
+    /// Iterates over `(value, count)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.iter() {
+            self.add_n(v, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.pdf(0), 0.0);
+        assert_eq!(h.cdf(10), 0.0);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn pdf_cdf_tail() {
+        let mut h = Histogram::new();
+        h.add(1);
+        h.add(1);
+        h.add(2);
+        h.add(10);
+        assert_eq!(h.total(), 4);
+        assert!((h.pdf(1) - 0.5).abs() < 1e-12);
+        assert!((h.cdf(2) - 0.75).abs() < 1e-12);
+        assert!((h.tail(2) - 0.5).abs() < 1e-12);
+        assert_eq!(h.max(), Some(10));
+        assert_eq!(h.min(), Some(1));
+        assert!((h.mean().unwrap() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 2, 3, 10] {
+            h.add(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.quantile(0.8), Some(3));
+        assert_eq!(h.quantile(1.0), Some(10));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+        assert!((h.ccdf(2) - 0.4).abs() < 1e-12);
+        assert_eq!(h.ccdf(10), 0.0);
+    }
+
+    #[test]
+    fn merge_and_add_n() {
+        let mut a = Histogram::new();
+        a.add_n(5, 3);
+        a.add_n(7, 0); // no-op
+        let mut b = Histogram::new();
+        b.add(5);
+        b.add(6);
+        a.merge(&b);
+        assert_eq!(a.count(5), 4);
+        assert_eq!(a.count(6), 1);
+        assert_eq!(a.count(7), 0);
+        assert_eq!(a.total(), 5);
+    }
+}

@@ -1,0 +1,104 @@
+//! # lpr-core — Label Pattern Recognition
+//!
+//! A faithful implementation of the **LPR** algorithm from
+//! *"MPLS Under the Microscope: Revealing Actual Transit Path Diversity"*
+//! (Vanaubel, Mérindol, Pansiot, Donnet — ACM IMC 2015).
+//!
+//! LPR is a *passive* analysis: it consumes traceroute data that carries
+//! MPLS label-stack information (RFC 4950 ICMP extensions quoted by LSRs
+//! along explicit tunnels) and, without any additional probing, classifies
+//! the transit path diversity each ISP actually deploys.
+//!
+//! The pipeline mirrors Fig. 3 of the paper:
+//!
+//! ```text
+//! traceroute dataset
+//!       │ tunnel extraction (§2.3)          [`tunnel`]
+//!       ▼
+//! explicit MPLS LSPs
+//!       │ filtering (§3.1)                  [`filter`]
+//!       │   IncompleteLsp → IntraAs → TargetAs
+//!       │   → TransitDiversity → Persistence
+//!       ▼
+//! cleaned IOTPs  (<Ingress LER; Egress LER> pairs)
+//!       │ classification (§3.2, Algorithm 1) [`classify`]
+//!       ▼
+//! Mono-LSP │ Multi-FEC │ ECMP Mono-FEC (Parallel Links / Routers
+//! Disjoint) │ Unclassified
+//! ```
+//!
+//! Supporting modules: [`label`] (MPLS label-stack entries), [`trace`]
+//! (the traceroute data model), [`lsp`] (LSPs and IOTPs), [`metrics`]
+//! (length / width / symmetry, §4.3), [`report`] (per-AS per-cycle
+//! aggregation used throughout §4), [`alias`] (the §5 penultimate-hop
+//! alias heuristic that rescues `Unclassified` IOTPs), and [`hist`]
+//! (tiny histogram utilities used by the evaluation harnesses).
+//!
+//! The crate is deliberately synchronous and allocation-light: the
+//! workload is offline CPU-bound analysis. All inputs are IPv4, matching
+//! the CAIDA Archipelago team-probing data the paper uses.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lpr_core::prelude::*;
+//! use std::net::Ipv4Addr;
+//!
+//! // A two-hop explicit tunnel seen by traceroute: the LSRs quote their
+//! // label stack via RFC 4950.
+//! let mk = |a: [u8; 4]| Ipv4Addr::from(a);
+//! let mut trace = Trace::new(mk([1, 0, 0, 1]), mk([9, 9, 9, 9]));
+//! trace.push_hop(Hop::responsive(1, mk([10, 0, 0, 1])));
+//! trace.push_hop(Hop::labelled(2, mk([10, 0, 1, 1]), &[Lse::transit(100, 253)]));
+//! trace.push_hop(Hop::labelled(3, mk([10, 0, 2, 1]), &[Lse::transit(200, 252)]));
+//! trace.push_hop(Hop::responsive(4, mk([10, 0, 3, 1])));
+//! trace.push_hop(Hop::responsive(5, mk([9, 9, 9, 9])));
+//!
+//! let tunnels = extract_tunnels(&trace);
+//! assert_eq!(tunnels.len(), 1);
+//! assert_eq!(tunnels[0].lsr_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod aliasres;
+pub mod classify;
+pub mod filter;
+pub mod fingerprint;
+pub mod hist;
+pub mod label;
+pub mod lsp;
+pub mod metrics;
+pub mod pipeline;
+pub mod report;
+pub mod stream;
+pub mod trace;
+pub mod tree;
+pub mod tunnel;
+
+pub use aliasres::{infer_aliases, merge_router_level, AliasSets};
+pub use classify::{classify_iotp, Class, Classification, MonoFecKind};
+pub use filter::{FilterConfig, FilterReport, FilterStage};
+pub use fingerprint::{infer_vendors, InferredVendor, VendorEvidence};
+pub use label::{Label, LabelStack, Lse};
+pub use lsp::{Asn, Iotp, IotpKey, Lsp, LspHop, LspKey};
+pub use pipeline::{Pipeline, PipelineOutput};
+pub use stream::CycleAccumulator;
+pub use trace::{Hop, Trace};
+pub use tree::{build_fec_trees, classify_tree, FecTree, TreeClass};
+pub use tunnel::{extract_tunnels, RawTunnel, TunnelError};
+
+/// Convenience re-exports for downstream users.
+pub mod prelude {
+    pub use crate::classify::{classify_iotp, Class, Classification, MonoFecKind};
+    pub use crate::filter::{FilterConfig, FilterReport, FilterStage};
+    pub use crate::label::{Label, LabelStack, Lse};
+    pub use crate::lsp::{Asn, Iotp, IotpKey, Lsp, LspHop, LspKey};
+    pub use crate::metrics::IotpMetrics;
+    pub use crate::pipeline::{Pipeline, PipelineOutput};
+    pub use crate::report::{AsMapper, CycleReport};
+    pub use crate::trace::{Hop, Trace};
+    pub use crate::tunnel::{extract_tunnels, RawTunnel};
+}

@@ -1,0 +1,362 @@
+//! End-to-end LPR pipeline: traces in, classified IOTPs out (Fig. 3).
+//!
+//! [`Pipeline::run`] chains tunnel extraction, the five filters and the
+//! classification, and returns both the classified IOTPs and the
+//! bookkeeping needed by the paper's evaluation (Table 1 survival
+//! proportions, dynamic-AS tags, per-class tallies).
+
+use crate::classify::{classify_iotp, Class, Classification};
+use crate::filter::{
+    attribute_and_filter, build_iotps, lsp_keys_of_tunnels, persistence, transit_diversity,
+    AsMapper, FilterConfig, FilterReport, FilterStage,
+};
+use crate::lsp::{Asn, Iotp, LspKey};
+use crate::trace::Trace;
+use crate::tunnel::{extract_tunnels, RawTunnel};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The LPR pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct Pipeline {
+    /// Filter configuration.
+    pub config: FilterConfig,
+    /// Classify `Unclassified` IOTPs with the §5 penultimate-hop alias
+    /// heuristic ([`crate::alias`]). Off by default — the paper
+    /// reports its results without it.
+    pub alias_rescue: bool,
+    /// Skip the TransitDiversity filter (ablation support): IOTPs
+    /// reaching a single destination AS are then kept and classified.
+    pub skip_transit_diversity: bool,
+}
+
+/// Everything the pipeline produced for one measurement cycle.
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// Classified IOTPs, ordered by key.
+    pub iotps: Vec<(Iotp, Classification)>,
+    /// LSP survival accounting across the filters (Table 1).
+    pub report: FilterReport,
+    /// ASes tagged dynamic by the Persistence filter (§4.5).
+    pub dynamic_ases: BTreeSet<Asn>,
+}
+
+impl PipelineOutput {
+    /// Tally of IOTPs per class, in the paper's display order
+    /// (Mono-LSP, Multi-FEC, Mono-FEC, Unclassified).
+    pub fn class_counts(&self) -> ClassCounts {
+        let mut counts = ClassCounts::default();
+        for (_, c) in &self.iotps {
+            counts.add(c.class);
+        }
+        counts
+    }
+
+    /// Tally of IOTPs per class restricted to one AS.
+    pub fn class_counts_for(&self, asn: Asn) -> ClassCounts {
+        let mut counts = ClassCounts::default();
+        for (iotp, c) in &self.iotps {
+            if iotp.key.asn == asn {
+                counts.add(c.class);
+            }
+        }
+        counts
+    }
+
+    /// The ASes owning at least one classified IOTP.
+    pub fn ases(&self) -> BTreeSet<Asn> {
+        self.iotps.iter().map(|(i, _)| i.key.asn).collect()
+    }
+}
+
+/// Per-class IOTP tallies, as plotted in Figs. 6b and 10–15.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Mono-LSP IOTPs.
+    pub mono_lsp: usize,
+    /// Multi-FEC IOTPs.
+    pub multi_fec: usize,
+    /// ECMP Mono-FEC IOTPs, parallel-links subclass.
+    pub mono_fec_parallel: usize,
+    /// ECMP Mono-FEC IOTPs, routers-disjoint subclass.
+    pub mono_fec_disjoint: usize,
+    /// Unclassified IOTPs.
+    pub unclassified: usize,
+}
+
+impl ClassCounts {
+    /// Adds one IOTP of the given class.
+    pub fn add(&mut self, class: Class) {
+        use crate::classify::MonoFecKind::*;
+        match class {
+            Class::MonoLsp => self.mono_lsp += 1,
+            Class::MultiFec => self.multi_fec += 1,
+            Class::MonoFec(ParallelLinks) => self.mono_fec_parallel += 1,
+            Class::MonoFec(RoutersDisjoint) => self.mono_fec_disjoint += 1,
+            Class::Unclassified => self.unclassified += 1,
+        }
+    }
+
+    /// Total ECMP Mono-FEC IOTPs (both subclasses).
+    pub fn mono_fec(&self) -> usize {
+        self.mono_fec_parallel + self.mono_fec_disjoint
+    }
+
+    /// Total IOTPs.
+    pub fn total(&self) -> usize {
+        self.mono_lsp + self.multi_fec + self.mono_fec() + self.unclassified
+    }
+
+    /// `(mono_lsp, multi_fec, mono_fec, unclassified)` as fractions of
+    /// the total; all zeros when the tally is empty.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 4];
+        }
+        let t = t as f64;
+        [
+            self.mono_lsp as f64 / t,
+            self.multi_fec as f64 / t,
+            self.mono_fec() as f64 / t,
+            self.unclassified as f64 / t,
+        ]
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &ClassCounts) {
+        self.mono_lsp += other.mono_lsp;
+        self.multi_fec += other.multi_fec;
+        self.mono_fec_parallel += other.mono_fec_parallel;
+        self.mono_fec_disjoint += other.mono_fec_disjoint;
+        self.unclassified += other.unclassified;
+    }
+}
+
+impl Pipeline {
+    /// Builds a pipeline with the given filter configuration.
+    pub fn new(config: FilterConfig) -> Self {
+        Pipeline { config, alias_rescue: false, skip_transit_diversity: false }
+    }
+
+    /// Enables the §5 penultimate-hop alias rescue for `Unclassified`
+    /// IOTPs.
+    pub fn with_alias_rescue(mut self) -> Self {
+        self.alias_rescue = true;
+        self
+    }
+
+    /// Runs LPR over one cycle of traces.
+    ///
+    /// `future_keys` carries, for each of the following snapshots of the
+    /// same month (in order), the set of LSP keys observed there; it
+    /// feeds the Persistence filter. Pass `&[]` (with
+    /// `persistence_window = 0`) to skip persistence, as Fig. 16 does.
+    pub fn run(
+        &self,
+        traces: &[Trace],
+        mapper: &dyn AsMapper,
+        future_keys: &[BTreeSet<LspKey>],
+    ) -> PipelineOutput {
+        let tunnels: Vec<RawTunnel> =
+            traces.iter().flat_map(extract_tunnels).collect();
+        self.run_on_tunnels(&tunnels, mapper, future_keys)
+    }
+
+    /// Runs LPR over already-extracted tunnels (useful when the caller
+    /// streams warts records and extracts incrementally).
+    pub fn run_on_tunnels(
+        &self,
+        tunnels: &[RawTunnel],
+        mapper: &dyn AsMapper,
+        future_keys: &[BTreeSet<LspKey>],
+    ) -> PipelineOutput {
+        let mut report = FilterReport { input: tunnels.len(), ..Default::default() };
+
+        // IncompleteLsp + IntraAs + TargetAs.
+        let attributed = attribute_and_filter(tunnels, mapper);
+        report.remaining.insert(FilterStage::IncompleteLsp, attributed.after_incomplete);
+        report.remaining.insert(FilterStage::IntraAs, attributed.after_intra_as);
+        report.remaining.insert(FilterStage::TargetAs, attributed.after_target_as);
+
+        // TransitDiversity (per IOTP, counted in LSPs).
+        let (keep, surviving) = if self.skip_transit_diversity {
+            let keep: BTreeSet<_> = attributed.lsps.iter().map(|l| l.iotp_key()).collect();
+            let n = attributed.lsps.len();
+            (keep, n)
+        } else {
+            transit_diversity(&attributed.lsps)
+        };
+        report.remaining.insert(FilterStage::TransitDiversity, surviving);
+        let lsps: Vec<_> = attributed
+            .lsps
+            .into_iter()
+            .filter(|l| keep.contains(&l.iotp_key()))
+            .collect();
+
+        // Persistence.
+        let persisted = persistence(lsps, future_keys, &self.config);
+        report
+            .remaining
+            .insert(FilterStage::Persistence, persisted.strictly_persistent);
+
+        // Classification. IOTPs are rebuilt from the persistent LSPs and
+        // re-checked for transit diversity membership (an IOTP may have
+        // lost branches to Persistence but it keeps its destination
+        // diversity by construction of `keep`).
+        let grouped: BTreeMap<_, _> = build_iotps(&persisted.lsps, &keep)
+            .into_iter()
+            .map(|i| (i.key, i))
+            .collect();
+        let iotps = grouped
+            .into_values()
+            .map(|iotp| {
+                let c = if self.alias_rescue {
+                    crate::alias::classify_with_alias_heuristic(&iotp)
+                } else {
+                    classify_iotp(&iotp)
+                };
+                (iotp, c)
+            })
+            .collect();
+
+        PipelineOutput { iotps, report, dynamic_ases: persisted.dynamic_ases }
+    }
+
+    /// Convenience: the per-snapshot LSP key sets used by Persistence,
+    /// computed from raw traces.
+    pub fn snapshot_keys(traces: &[Trace]) -> BTreeSet<LspKey> {
+        let tunnels: Vec<RawTunnel> =
+            traces.iter().flat_map(extract_tunnels).collect();
+        lsp_keys_of_tunnels(&tunnels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Lse;
+    use crate::trace::Hop;
+    use std::net::Ipv4Addr;
+
+    fn ip(a: u8, o: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, a, 0, o)
+    }
+
+    fn mapper(addr: Ipv4Addr) -> Option<Asn> {
+        let o = addr.octets();
+        match o[0] {
+            10 => Some(Asn(o[1] as u32)),
+            192 => Some(Asn(100)),
+            198 => Some(Asn(101)),
+            _ => None,
+        }
+    }
+
+    /// A trace crossing AS1's two-LSR tunnel towards `dst`.
+    fn mpls_trace(dst: Ipv4Addr, labels: [u32; 2], lsr_octets: [u8; 2]) -> Trace {
+        let mut t = Trace::new(Ipv4Addr::new(203, 0, 113, 5), dst);
+        t.push_hop(Hop::responsive(1, ip(1, 1)));
+        t.push_hop(Hop::labelled(2, ip(1, lsr_octets[0]), &[Lse::transit(labels[0], 254)]));
+        t.push_hop(Hop::labelled(3, ip(1, lsr_octets[1]), &[Lse::transit(labels[1], 253)]));
+        t.push_hop(Hop::responsive(4, ip(1, 9)));
+        t.push_hop(Hop::responsive(5, dst));
+        t.reached = true;
+        t
+    }
+
+    #[test]
+    fn end_to_end_multi_fec() {
+        // Two destinations in different ASes, same IP path, different
+        // labels at the same LSRs => Multi-FEC.
+        let traces = vec![
+            mpls_trace(Ipv4Addr::new(192, 0, 2, 7), [100, 200], [2, 3]),
+            mpls_trace(Ipv4Addr::new(198, 51, 100, 7), [101, 201], [2, 3]),
+        ];
+        let keys = Pipeline::snapshot_keys(&traces);
+        let pipeline = Pipeline::default();
+        let out = pipeline.run(&traces, &mapper, &[keys.clone(), keys]);
+        assert_eq!(out.iotps.len(), 1);
+        assert_eq!(out.iotps[0].1.class, Class::MultiFec);
+        assert_eq!(out.class_counts().multi_fec, 1);
+        assert_eq!(out.report.proportion_after(FilterStage::Persistence), 1.0);
+    }
+
+    #[test]
+    fn end_to_end_mono_lsp() {
+        let traces = vec![
+            mpls_trace(Ipv4Addr::new(192, 0, 2, 7), [100, 200], [2, 3]),
+            mpls_trace(Ipv4Addr::new(198, 51, 100, 7), [100, 200], [2, 3]),
+        ];
+        let keys = Pipeline::snapshot_keys(&traces);
+        let out = Pipeline::default().run(&traces, &mapper, &[keys]);
+        assert_eq!(out.class_counts().mono_lsp, 1);
+    }
+
+    #[test]
+    fn single_destination_iotp_is_filtered_out() {
+        let traces = vec![mpls_trace(Ipv4Addr::new(192, 0, 2, 7), [100, 200], [2, 3])];
+        let keys = Pipeline::snapshot_keys(&traces);
+        let out = Pipeline::default().run(&traces, &mapper, &[keys]);
+        assert!(out.iotps.is_empty());
+        assert_eq!(out.report.remaining[&FilterStage::TargetAs], 1);
+        assert_eq!(out.report.remaining[&FilterStage::TransitDiversity], 0);
+    }
+
+    #[test]
+    fn nonpersistent_lsps_drop_and_reinject() {
+        let traces = vec![
+            mpls_trace(Ipv4Addr::new(192, 0, 2, 7), [100, 200], [2, 3]),
+            mpls_trace(Ipv4Addr::new(198, 51, 100, 7), [101, 201], [2, 3]),
+        ];
+        // Empty future snapshots: nothing persists; the whole AS1 set
+        // vanishes; reinjection kicks in and tags AS1 dynamic.
+        let out =
+            Pipeline::default().run(&traces, &mapper, &[BTreeSet::new(), BTreeSet::new()]);
+        assert_eq!(out.report.remaining[&FilterStage::Persistence], 0);
+        assert!(out.dynamic_ases.contains(&Asn(1)));
+        assert_eq!(out.iotps.len(), 1);
+    }
+
+    #[test]
+    fn alias_rescue_is_plumbed_through() {
+        // A PHP tunnel whose LSPs never share a labelled IP: base
+        // pipeline says Unclassified, alias rescue reclassifies.
+        let mk = |lsr_octet: u8, label: u32, dst: Ipv4Addr| {
+            let mut t = Trace::new(Ipv4Addr::new(203, 0, 113, 5), dst);
+            t.push_hop(Hop::responsive(1, ip(1, 1)));
+            t.push_hop(Hop::labelled(2, ip(1, lsr_octet), &[Lse::transit(label, 254)]));
+            t.push_hop(Hop::responsive(3, ip(1, 9)));
+            t.push_hop(Hop::responsive(4, dst));
+            t.reached = true;
+            t
+        };
+        let traces = vec![
+            mk(2, 100, Ipv4Addr::new(192, 0, 2, 7)),
+            mk(3, 101, Ipv4Addr::new(198, 51, 100, 7)),
+        ];
+        let keys = Pipeline::snapshot_keys(&traces);
+        let base = Pipeline::default().run(&traces, &mapper, &[keys.clone()]);
+        assert_eq!(base.class_counts().unclassified, 1);
+        let rescued =
+            Pipeline::default().with_alias_rescue().run(&traces, &mapper, &[keys]);
+        assert_eq!(rescued.class_counts().unclassified, 0);
+        assert_eq!(rescued.class_counts().multi_fec, 1);
+    }
+
+    #[test]
+    fn class_counts_helpers() {
+        let mut c = ClassCounts::default();
+        c.add(Class::MonoLsp);
+        c.add(Class::MultiFec);
+        c.add(Class::MonoFec(crate::classify::MonoFecKind::ParallelLinks));
+        c.add(Class::MonoFec(crate::classify::MonoFecKind::RoutersDisjoint));
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.mono_fec(), 2);
+        let f = c.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let mut d = ClassCounts::default();
+        d.merge(&c);
+        assert_eq!(d, c);
+        assert_eq!(ClassCounts::default().fractions(), [0.0; 4]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Per-cycle, per-AS aggregation (the raw material of §4's figures).
+//!
+//! [`CycleReport`] condenses one measurement cycle into the quantities
+//! the paper plots: the fraction of traces crossing an explicit tunnel
+//! (Fig. 5a), MPLS vs non-MPLS address tallies globally (Fig. 5b) and
+//! per AS (Table 2), and classified-IOTP tallies per AS (Figs. 10–15).
+
+pub use crate::filter::AsMapper;
+use crate::lsp::Asn;
+use crate::pipeline::{ClassCounts, PipelineOutput};
+use crate::trace::Trace;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// Address usage split: addresses seen quoting MPLS labels vs the rest.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IpUsage {
+    /// Addresses observed at label-bearing hops.
+    pub mpls: BTreeSet<Ipv4Addr>,
+    /// Addresses observed only at unlabelled hops.
+    pub non_mpls: BTreeSet<Ipv4Addr>,
+}
+
+impl IpUsage {
+    /// Collects address usage over raw traces (pre-filtering, as in
+    /// Fig. 5b).
+    pub fn of_traces<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> IpUsage {
+        let mut mpls = BTreeSet::new();
+        let mut all = BTreeSet::new();
+        for t in traces {
+            for h in t.responsive_hops() {
+                let addr = h.addr.expect("responsive");
+                all.insert(addr);
+                if h.is_labelled() {
+                    mpls.insert(addr);
+                }
+            }
+        }
+        let non_mpls = all.difference(&mpls).copied().collect();
+        IpUsage { mpls, non_mpls }
+    }
+}
+
+/// Per-AS summary for one cycle.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AsCycleStats {
+    /// Classified-IOTP tallies.
+    pub classes: ClassCounts,
+    /// Addresses of this AS involved in (filtered) MPLS tunnels.
+    pub mpls_ips: usize,
+    /// Addresses of this AS seen in the cycle but not in MPLS tunnels.
+    pub non_mpls_ips: usize,
+}
+
+/// Everything the evaluation needs from one cycle.
+#[derive(Clone, Debug, Default)]
+pub struct CycleReport {
+    /// Total traces in the cycle.
+    pub traces: usize,
+    /// Traces crossing at least one explicit tunnel (Fig. 5a numerator).
+    pub traces_with_mpls: usize,
+    /// Global address usage, pre-filtering (Fig. 5b).
+    pub ip_usage_mpls: usize,
+    /// Global non-MPLS address count, pre-filtering (Fig. 5b).
+    pub ip_usage_non_mpls: usize,
+    /// Per-AS statistics, post-filtering (Table 2, Figs. 10–15).
+    pub per_as: BTreeMap<Asn, AsCycleStats>,
+    /// ASes tagged dynamic this cycle.
+    pub dynamic_ases: BTreeSet<Asn>,
+}
+
+impl CycleReport {
+    /// Builds the report for one cycle from the raw traces and the
+    /// pipeline output computed over them.
+    ///
+    /// Per-AS MPLS addresses are counted *after filtering* (as Table 2
+    /// does): they are the LER/LSR addresses of the classified IOTPs.
+    /// Per-AS non-MPLS addresses are every other address of the AS seen
+    /// in the cycle's traces.
+    pub fn build(traces: &[Trace], output: &PipelineOutput, mapper: &dyn AsMapper) -> Self {
+        let traces_with_mpls = traces.iter().filter(|t| t.has_mpls()).count();
+        let usage = IpUsage::of_traces(traces.iter());
+
+        // Addresses of filtered MPLS tunnels, per AS.
+        let mut mpls_per_as: BTreeMap<Asn, BTreeSet<Ipv4Addr>> = BTreeMap::new();
+        for (iotp, _) in &output.iotps {
+            let set = mpls_per_as.entry(iotp.key.asn).or_default();
+            set.insert(iotp.key.ingress);
+            set.insert(iotp.key.egress);
+            set.extend(iotp.lsr_addrs());
+        }
+
+        // Every address of the cycle, per AS.
+        let mut seen_per_as: BTreeMap<Asn, BTreeSet<Ipv4Addr>> = BTreeMap::new();
+        for t in traces {
+            for h in t.responsive_hops() {
+                let addr = h.addr.expect("responsive");
+                if let Some(asn) = mapper.asn_of(addr) {
+                    seen_per_as.entry(asn).or_default().insert(addr);
+                }
+            }
+        }
+
+        let mut per_as: BTreeMap<Asn, AsCycleStats> = BTreeMap::new();
+        for asn in output.ases() {
+            let mpls = mpls_per_as.get(&asn).cloned().unwrap_or_default();
+            let seen = seen_per_as.get(&asn).cloned().unwrap_or_default();
+            let stats = per_as.entry(asn).or_default();
+            stats.classes = output.class_counts_for(asn);
+            stats.mpls_ips = mpls.len();
+            stats.non_mpls_ips = seen.difference(&mpls).count();
+        }
+        // ASes seen in traces but with no classified IOTP still get a
+        // row (all-zero classes) so longitudinal plots show the gaps.
+        for (asn, seen) in &seen_per_as {
+            per_as.entry(*asn).or_insert_with(|| AsCycleStats {
+                classes: ClassCounts::default(),
+                mpls_ips: 0,
+                non_mpls_ips: seen.len(),
+            });
+        }
+
+        CycleReport {
+            traces: traces.len(),
+            traces_with_mpls,
+            ip_usage_mpls: usage.mpls.len(),
+            ip_usage_non_mpls: usage.non_mpls.len(),
+            per_as,
+            dynamic_ases: output.dynamic_ases.clone(),
+        }
+    }
+
+    /// Fraction of traces crossing at least one explicit tunnel
+    /// (Fig. 5a; 0.0 for an empty cycle).
+    pub fn mpls_trace_fraction(&self) -> f64 {
+        if self.traces == 0 {
+            0.0
+        } else {
+            self.traces_with_mpls as f64 / self.traces as f64
+        }
+    }
+}
+
+/// Writes rows as CSV into a string: a tiny hand-rolled emitter — every
+/// value the harnesses output is numeric or a bare identifier, so no
+/// quoting is required.
+pub fn to_csv<S: AsRef<str>>(header: &[&str], rows: &[Vec<S>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<&str> = row.iter().map(|c| c.as_ref()).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Lse;
+    use crate::pipeline::Pipeline;
+    use crate::trace::Hop;
+
+    fn ip(a: u8, o: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, a, 0, o)
+    }
+
+    fn mapper(addr: Ipv4Addr) -> Option<Asn> {
+        let o = addr.octets();
+        match o[0] {
+            10 => Some(Asn(o[1] as u32)),
+            192 => Some(Asn(100)),
+            198 => Some(Asn(101)),
+            _ => None,
+        }
+    }
+
+    fn mpls_trace(dst: Ipv4Addr, labels: [u32; 2]) -> Trace {
+        let mut t = Trace::new(Ipv4Addr::new(203, 0, 113, 5), dst);
+        t.push_hop(Hop::responsive(1, ip(1, 1)));
+        t.push_hop(Hop::labelled(2, ip(1, 2), &[Lse::transit(labels[0], 254)]));
+        t.push_hop(Hop::labelled(3, ip(1, 3), &[Lse::transit(labels[1], 253)]));
+        t.push_hop(Hop::responsive(4, ip(1, 9)));
+        t.push_hop(Hop::responsive(5, dst));
+        t.reached = true;
+        t
+    }
+
+    fn plain_trace(dst: Ipv4Addr) -> Trace {
+        let mut t = Trace::new(Ipv4Addr::new(203, 0, 113, 5), dst);
+        t.push_hop(Hop::responsive(1, ip(2, 1)));
+        t.push_hop(Hop::responsive(2, dst));
+        t.reached = true;
+        t
+    }
+
+    #[test]
+    fn ip_usage_classifies_addresses() {
+        let traces =
+            vec![mpls_trace(Ipv4Addr::new(192, 0, 2, 7), [100, 200]), plain_trace(ip(3, 7))];
+        let usage = IpUsage::of_traces(traces.iter());
+        assert_eq!(usage.mpls.len(), 2);
+        // ingress, egress, dst of trace 1, two hops of trace 2
+        assert_eq!(usage.non_mpls.len(), 5);
+    }
+
+    #[test]
+    fn cycle_report_counts() {
+        let traces = vec![
+            mpls_trace(Ipv4Addr::new(192, 0, 2, 7), [100, 200]),
+            mpls_trace(Ipv4Addr::new(198, 51, 100, 7), [101, 201]),
+            plain_trace(ip(3, 7)),
+        ];
+        let keys = Pipeline::snapshot_keys(&traces);
+        let out = Pipeline::default().run(&traces, &mapper, &[keys]);
+        let report = CycleReport::build(&traces, &out, &mapper);
+        assert_eq!(report.traces, 3);
+        assert_eq!(report.traces_with_mpls, 2);
+        assert!((report.mpls_trace_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        let as1 = &report.per_as[&Asn(1)];
+        assert_eq!(as1.classes.multi_fec, 1);
+        // ingress + egress + 2 LSRs
+        assert_eq!(as1.mpls_ips, 4);
+        // AS2 appears with zero classes.
+        assert_eq!(report.per_as[&Asn(2)].classes.total(), 0);
+        assert_eq!(report.per_as[&Asn(2)].non_mpls_ips, 1);
+    }
+
+    #[test]
+    fn csv_emitter() {
+        let csv = to_csv(&["a", "b"], &[vec!["1", "2"], vec!["3", "4"]]);
+        assert_eq!(csv, "a,b\n1,2\n3,4\n");
+    }
+}

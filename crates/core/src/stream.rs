@@ -1,0 +1,226 @@
+//! Streaming ingestion for Internet-scale cycles.
+//!
+//! The paper's dataset holds ~14 million LSPs *per cycle*; holding every
+//! raw trace in memory before running [`crate::pipeline::Pipeline`] is
+//! wasteful when the per-LSP filters (IncompleteLsp, IntraAs, TargetAs)
+//! can run trace by trace as a warts file is read. [`CycleAccumulator`]
+//! does exactly that: push traces (or pre-extracted tunnels) one at a
+//! time — only the surviving [`Lsp`]s are retained — then finish with
+//! the aggregate stages (TransitDiversity, Persistence, classification).
+//!
+//! ```
+//! use lpr_core::prelude::*;
+//! use lpr_core::stream::CycleAccumulator;
+//! # use lpr_core::lsp::Asn;
+//! # use std::net::Ipv4Addr;
+//! # let mapper = |addr: Ipv4Addr| -> Option<Asn> {
+//! #     match addr.octets()[0] { 10 => Some(Asn(1)), 192 => Some(Asn(2)), _ => None }
+//! # };
+//! # let traces: Vec<Trace> = Vec::new();
+//!
+//! let mut acc = CycleAccumulator::new(&mapper);
+//! for trace in &traces {
+//!     acc.push_trace(trace); // e.g. while streaming a warts file
+//! }
+//! let out = acc.finish(&Pipeline::default(), &[]);
+//! # assert_eq!(out.iotps.len(), 0);
+//! ```
+
+use crate::classify::classify_iotp;
+use crate::filter::{
+    attribute_and_filter, build_iotps, persistence, transit_diversity, AsMapper, FilterReport,
+    FilterStage,
+};
+use crate::lsp::{Lsp, LspKey};
+use crate::pipeline::{Pipeline, PipelineOutput};
+use crate::trace::Trace;
+use crate::tunnel::{extract_tunnels, RawTunnel};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Incremental, bounded-memory front end of the LPR pipeline.
+pub struct CycleAccumulator<'m> {
+    mapper: &'m dyn AsMapper,
+    lsps: Vec<Lsp>,
+    input: usize,
+    after_incomplete: usize,
+    after_intra_as: usize,
+}
+
+impl<'m> CycleAccumulator<'m> {
+    /// Starts an empty cycle bound to an IP2AS mapper.
+    pub fn new(mapper: &'m dyn AsMapper) -> Self {
+        CycleAccumulator {
+            mapper,
+            lsps: Vec::new(),
+            input: 0,
+            after_incomplete: 0,
+            after_intra_as: 0,
+        }
+    }
+
+    /// Ingests one trace: extracts its explicit tunnels and runs the
+    /// per-LSP filters immediately.
+    pub fn push_trace(&mut self, trace: &Trace) {
+        let tunnels = extract_tunnels(trace);
+        self.push_tunnels(&tunnels);
+    }
+
+    /// Ingests pre-extracted tunnels (e.g. from a custom warts reader
+    /// loop).
+    pub fn push_tunnels(&mut self, tunnels: &[RawTunnel]) {
+        self.input += tunnels.len();
+        let out = attribute_and_filter(tunnels, self.mapper);
+        self.after_incomplete += out.after_incomplete;
+        self.after_intra_as += out.after_intra_as;
+        self.lsps.extend(out.lsps);
+    }
+
+    /// LSPs retained so far (post per-LSP filters).
+    pub fn retained(&self) -> usize {
+        self.lsps.len()
+    }
+
+    /// Runs the aggregate stages and produces the same
+    /// [`PipelineOutput`] a batch [`Pipeline::run`] would.
+    pub fn finish(self, pipeline: &Pipeline, future_keys: &[BTreeSet<LspKey>]) -> PipelineOutput {
+        let mut report = FilterReport { input: self.input, ..Default::default() };
+        report.remaining.insert(FilterStage::IncompleteLsp, self.after_incomplete);
+        report.remaining.insert(FilterStage::IntraAs, self.after_intra_as);
+        report.remaining.insert(FilterStage::TargetAs, self.lsps.len());
+
+        let (keep, surviving) = if pipeline.skip_transit_diversity {
+            let keep: BTreeSet<_> = self.lsps.iter().map(|l| l.iotp_key()).collect();
+            let n = self.lsps.len();
+            (keep, n)
+        } else {
+            transit_diversity(&self.lsps)
+        };
+        report.remaining.insert(FilterStage::TransitDiversity, surviving);
+        let lsps: Vec<_> =
+            self.lsps.into_iter().filter(|l| keep.contains(&l.iotp_key())).collect();
+
+        let persisted = persistence(lsps, future_keys, &pipeline.config);
+        report
+            .remaining
+            .insert(FilterStage::Persistence, persisted.strictly_persistent);
+
+        let grouped: BTreeMap<_, _> = build_iotps(&persisted.lsps, &keep)
+            .into_iter()
+            .map(|i| (i.key, i))
+            .collect();
+        let iotps = grouped
+            .into_values()
+            .map(|iotp| {
+                let c = if pipeline.alias_rescue {
+                    crate::alias::classify_with_alias_heuristic(&iotp)
+                } else {
+                    classify_iotp(&iotp)
+                };
+                (iotp, c)
+            })
+            .collect();
+
+        PipelineOutput { iotps, report, dynamic_ases: persisted.dynamic_ases }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Lse;
+    use crate::lsp::Asn;
+    use crate::trace::Hop;
+    use std::net::Ipv4Addr;
+
+    fn ip(a: u8, o: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, a, 0, o)
+    }
+
+    fn mapper(addr: Ipv4Addr) -> Option<Asn> {
+        let o = addr.octets();
+        match o[0] {
+            10 => Some(Asn(o[1] as u32)),
+            192 => Some(Asn(100)),
+            198 => Some(Asn(101)),
+            _ => None,
+        }
+    }
+
+    fn mpls_trace(dst: Ipv4Addr, labels: [u32; 2], lsrs: [u8; 2]) -> Trace {
+        let mut t = Trace::new(Ipv4Addr::new(203, 0, 113, 5), dst);
+        t.push_hop(Hop::responsive(1, ip(1, 1)));
+        t.push_hop(Hop::labelled(2, ip(1, lsrs[0]), &[Lse::transit(labels[0], 254)]));
+        t.push_hop(Hop::labelled(3, ip(1, lsrs[1]), &[Lse::transit(labels[1], 253)]));
+        t.push_hop(Hop::responsive(4, ip(1, 9)));
+        t.push_hop(Hop::responsive(5, dst));
+        t.reached = true;
+        t
+    }
+
+    fn sample_traces() -> Vec<Trace> {
+        vec![
+            mpls_trace(Ipv4Addr::new(192, 0, 2, 7), [100, 200], [2, 3]),
+            mpls_trace(Ipv4Addr::new(198, 51, 100, 7), [101, 201], [2, 3]),
+            mpls_trace(Ipv4Addr::new(192, 0, 2, 9), [100, 200], [2, 3]),
+        ]
+    }
+
+    #[test]
+    fn streaming_equals_batch() {
+        let traces = sample_traces();
+        let keys = Pipeline::snapshot_keys(&traces);
+        let pipeline = Pipeline::default();
+
+        let batch = pipeline.run(&traces, &mapper, std::slice::from_ref(&keys));
+
+        let mut acc = CycleAccumulator::new(&mapper);
+        for t in &traces {
+            acc.push_trace(t);
+        }
+        let streamed = acc.finish(&pipeline, std::slice::from_ref(&keys));
+
+        assert_eq!(streamed.report, batch.report);
+        assert_eq!(streamed.class_counts(), batch.class_counts());
+        assert_eq!(streamed.dynamic_ases, batch.dynamic_ases);
+        assert_eq!(streamed.iotps.len(), batch.iotps.len());
+        for ((ia, ca), (ib, cb)) in streamed.iotps.iter().zip(&batch.iotps) {
+            assert_eq!(ia.key, ib.key);
+            assert_eq!(ca, cb);
+        }
+    }
+
+    #[test]
+    fn memory_is_bounded_by_surviving_lsps() {
+        // Traces whose tunnels fail the per-LSP filters retain nothing.
+        let mut t = Trace::new(Ipv4Addr::new(203, 0, 113, 5), ip(1, 200));
+        t.push_hop(Hop::responsive(1, ip(1, 1)));
+        t.push_hop(Hop::labelled(2, ip(1, 2), &[Lse::transit(100, 254)]));
+        t.push_hop(Hop::responsive(3, ip(1, 9)));
+        t.push_hop(Hop::responsive(4, ip(1, 200))); // dst inside the AS
+        t.reached = true;
+
+        let mut acc = CycleAccumulator::new(&mapper);
+        for _ in 0..100 {
+            acc.push_trace(&t);
+        }
+        assert_eq!(acc.retained(), 0, "TargetAS-failing LSPs must not accumulate");
+        let out = acc.finish(&Pipeline::default(), &[]);
+        assert_eq!(out.report.input, 100);
+        assert!(out.iotps.is_empty());
+    }
+
+    #[test]
+    fn streaming_respects_pipeline_options() {
+        let traces = sample_traces();
+        let mut pipeline = Pipeline::default();
+        pipeline.skip_transit_diversity = true;
+        let mut acc = CycleAccumulator::new(&mapper);
+        for t in &traces {
+            acc.push_trace(t);
+        }
+        let keys = Pipeline::snapshot_keys(&traces);
+        let out = acc.finish(&pipeline, &[keys]);
+        let batch = pipeline.run(&traces, &mapper, &[Pipeline::snapshot_keys(&traces)]);
+        assert_eq!(out.class_counts(), batch.class_counts());
+    }
+}

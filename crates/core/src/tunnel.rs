@@ -1,0 +1,362 @@
+//! Explicit MPLS tunnel extraction from traceroute traces (paper §2.3).
+//!
+//! An *explicit* tunnel is one that is fully revealed by traceroute: the
+//! ingress LER copies the IP TTL into the LSE TTL (`ttl-propagate`), so
+//! intermediate LSRs appear as hops, and the LSRs implement RFC 4950, so
+//! each reply quotes the MPLS label stack the probe carried.
+//!
+//! On such a trace the tunnel shows up as a maximal run of label-bearing
+//! hops. The hop *before* the run is the Ingress LER (the probe expired
+//! there before being labelled); with penultimate-hop popping (PHP, the
+//! default on most platforms) the last labelled hop is the penultimate
+//! LSR and the hop *after* the run is the Egress LER. With
+//! ultimate-hop popping and `explicit-null`, the Egress LER itself quotes
+//! the reserved label 0 and terminates the run.
+//!
+//! Extraction never guesses across holes: a tunnel whose ingress or
+//! egress neighbourhood is anonymous, or that contains an anonymous LSR,
+//! is reported with [`RawTunnel::incomplete`] set, which the
+//! `IncompleteLsp` filter later discards (Table 1's first row).
+
+use crate::label::{Label, LabelStack};
+use crate::trace::Trace;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Why a raw tunnel is considered incomplete.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TunnelError {
+    /// The hop before the first labelled hop is anonymous or absent, so
+    /// the Ingress LER is unknown.
+    MissingIngress,
+    /// The hop after the last labelled hop is anonymous or absent, so the
+    /// Egress LER is unknown.
+    MissingEgress,
+    /// An LSR inside the run did not reply (anonymous router) or a probe
+    /// TTL is missing from the trace.
+    AnonymousLsr,
+}
+
+impl fmt::Display for TunnelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TunnelError::MissingIngress => "ingress LER unknown",
+            TunnelError::MissingEgress => "egress LER unknown",
+            TunnelError::AnonymousLsr => "anonymous LSR inside the LSP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A tunnel as extracted from one trace, before AS attribution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RawTunnel {
+    /// Ingress LER address, when identified.
+    pub ingress: Option<Ipv4Addr>,
+    /// Egress LER address, when identified.
+    pub egress: Option<Ipv4Addr>,
+    /// Labelled hops: `(reply address, quoted stack)`, in path order.
+    /// Under ultimate-hop popping with explicit-null, the final
+    /// explicit-null hop is *not* part of this list (it is the egress).
+    pub lsrs: Vec<(Ipv4Addr, LabelStack)>,
+    /// Destination of the enclosing trace.
+    pub dst: Ipv4Addr,
+    /// Vantage point of the enclosing trace.
+    pub src: Ipv4Addr,
+    /// Why the tunnel is unusable, if it is.
+    pub incomplete: Option<TunnelError>,
+}
+
+impl RawTunnel {
+    /// Number of intermediate LSRs revealed.
+    pub fn lsr_count(&self) -> usize {
+        self.lsrs.len()
+    }
+
+    /// Whether the tunnel is complete (usable by the filter pipeline).
+    pub fn is_complete(&self) -> bool {
+        self.incomplete.is_none() && self.ingress.is_some() && self.egress.is_some()
+    }
+}
+
+/// Extracts every explicit MPLS tunnel from a trace.
+///
+/// Returns the tunnels in path order. Tunnels that cannot be fully
+/// delimited are still returned, with [`RawTunnel::incomplete`] set, so
+/// that the filtering stage can account for them (Table 1).
+pub fn extract_tunnels(trace: &Trace) -> Vec<RawTunnel> {
+    let hops = &trace.hops;
+    let mut tunnels = Vec::new();
+    let mut i = 0;
+    while i < hops.len() {
+        if !hops[i].is_labelled() {
+            i += 1;
+            continue;
+        }
+        // Found the start of a labelled run at index `i`.
+        let run_start = i;
+        let mut run_end = i; // inclusive index of last labelled hop
+        let mut interior_anonymous = false;
+        let mut j = i + 1;
+        while j < hops.len() {
+            if hops[j].is_labelled() {
+                // TTL gap between consecutive labelled hops means probes
+                // in between went unanswered: anonymous LSRs.
+                if hops[j].probe_ttl != hops[j - 1].probe_ttl + 1 || !hops[j - 1].is_responsive()
+                {
+                    interior_anonymous = true;
+                }
+                run_end = j;
+                j += 1;
+            } else if !hops[j].is_responsive() {
+                // An anonymous hop: it may be an anonymous LSR (if more
+                // labelled hops follow) or the end of the run. Peek ahead.
+                let mut k = j + 1;
+                let mut continues = false;
+                while k < hops.len() {
+                    if hops[k].is_labelled() {
+                        continues = true;
+                        break;
+                    }
+                    if hops[k].is_responsive() {
+                        break;
+                    }
+                    k += 1;
+                }
+                if continues {
+                    interior_anonymous = true;
+                    run_end = k;
+                    j = k + 1;
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+
+        let mut lsrs: Vec<(Ipv4Addr, LabelStack)> = hops[run_start..=run_end]
+            .iter()
+            .filter(|h| h.is_labelled())
+            .map(|h| (h.addr.expect("labelled hop has an address"), h.stack.clone()))
+            .collect();
+
+        // TTL continuity inside the run (beyond anonymous-hop records).
+        for w in hops[run_start..=run_end].windows(2) {
+            if w[1].probe_ttl != w[0].probe_ttl + 1 {
+                interior_anonymous = true;
+            }
+        }
+
+        // Ingress LER: the responsive, unlabelled hop immediately before.
+        let ingress = if run_start > 0 {
+            let prev = &hops[run_start - 1];
+            if prev.is_responsive()
+                && !prev.is_labelled()
+                && prev.probe_ttl + 1 == hops[run_start].probe_ttl
+            {
+                prev.addr
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        // Ultimate-hop popping with explicit-null: the run's final hop
+        // quotes the reserved label 0 and *is* the Egress LER.
+        let uhp_egress = lsrs
+            .last()
+            .and_then(|(addr, stack)| stack.top().map(|l| (*addr, l.label)))
+            .filter(|&(_, l)| l == Label::IPV4_EXPLICIT_NULL)
+            .map(|(addr, _)| addr);
+
+        let egress = if let Some(e) = uhp_egress {
+            lsrs.pop();
+            Some(e)
+        } else if run_end + 1 < hops.len() {
+            let next = &hops[run_end + 1];
+            if next.is_responsive() && next.probe_ttl == hops[run_end].probe_ttl + 1 {
+                next.addr
+            } else {
+                None
+            }
+        } else if trace.reached && run_end == hops.len() - 1 {
+            // Tunnel ran straight into the destination: shouldn't happen
+            // for transit tunnels; leave the egress unknown.
+            None
+        } else {
+            None
+        };
+
+        let incomplete = if interior_anonymous {
+            Some(TunnelError::AnonymousLsr)
+        } else if ingress.is_none() {
+            Some(TunnelError::MissingIngress)
+        } else if egress.is_none() {
+            Some(TunnelError::MissingEgress)
+        } else {
+            None
+        };
+
+        tunnels.push(RawTunnel {
+            ingress,
+            egress,
+            lsrs,
+            dst: trace.dst,
+            src: trace.src,
+            incomplete,
+        });
+
+        i = run_end + 1;
+    }
+    tunnels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Lse;
+    use crate::trace::Hop;
+
+    fn ip(o: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, o)
+    }
+
+    fn lse(l: u32) -> Lse {
+        Lse::transit(l, 250)
+    }
+
+    fn base_trace() -> Trace {
+        Trace::new(Ipv4Addr::new(192, 0, 2, 1), Ipv4Addr::new(198, 51, 100, 7))
+    }
+
+    #[test]
+    fn simple_php_tunnel() {
+        let mut t = base_trace();
+        t.push_hop(Hop::responsive(1, ip(1))); // ingress LER
+        t.push_hop(Hop::labelled(2, ip(2), &[lse(100)]));
+        t.push_hop(Hop::labelled(3, ip(3), &[lse(200)])); // penultimate (PHP)
+        t.push_hop(Hop::responsive(4, ip(4))); // egress LER
+        t.push_hop(Hop::responsive(5, ip(5)));
+        let tun = extract_tunnels(&t);
+        assert_eq!(tun.len(), 1);
+        let tun = &tun[0];
+        assert!(tun.is_complete());
+        assert_eq!(tun.ingress, Some(ip(1)));
+        assert_eq!(tun.egress, Some(ip(4)));
+        assert_eq!(tun.lsr_count(), 2);
+    }
+
+    #[test]
+    fn uhp_explicit_null_egress() {
+        let mut t = base_trace();
+        t.push_hop(Hop::responsive(1, ip(1)));
+        t.push_hop(Hop::labelled(2, ip(2), &[lse(100)]));
+        t.push_hop(Hop::labelled(3, ip(3), &[lse(0)])); // explicit-null => egress LER
+        t.push_hop(Hop::responsive(4, ip(4)));
+        let tun = extract_tunnels(&t);
+        assert_eq!(tun.len(), 1);
+        assert!(tun[0].is_complete());
+        assert_eq!(tun[0].egress, Some(ip(3)));
+        assert_eq!(tun[0].lsr_count(), 1);
+    }
+
+    #[test]
+    fn missing_ingress_is_incomplete() {
+        let mut t = base_trace();
+        t.push_hop(Hop::anonymous(1));
+        t.push_hop(Hop::labelled(2, ip(2), &[lse(100)]));
+        t.push_hop(Hop::responsive(3, ip(3)));
+        let tun = extract_tunnels(&t);
+        assert_eq!(tun[0].incomplete, Some(TunnelError::MissingIngress));
+    }
+
+    #[test]
+    fn tunnel_at_trace_start_has_no_ingress() {
+        let mut t = base_trace();
+        t.push_hop(Hop::labelled(1, ip(2), &[lse(100)]));
+        t.push_hop(Hop::responsive(2, ip(3)));
+        let tun = extract_tunnels(&t);
+        assert_eq!(tun[0].incomplete, Some(TunnelError::MissingIngress));
+    }
+
+    #[test]
+    fn missing_egress_is_incomplete() {
+        let mut t = base_trace();
+        t.push_hop(Hop::responsive(1, ip(1)));
+        t.push_hop(Hop::labelled(2, ip(2), &[lse(100)]));
+        t.push_hop(Hop::anonymous(3));
+        t.push_hop(Hop::responsive(4, ip(4)));
+        let tun = extract_tunnels(&t);
+        assert_eq!(tun[0].incomplete, Some(TunnelError::MissingEgress));
+    }
+
+    #[test]
+    fn anonymous_lsr_inside_run() {
+        let mut t = base_trace();
+        t.push_hop(Hop::responsive(1, ip(1)));
+        t.push_hop(Hop::labelled(2, ip(2), &[lse(100)]));
+        t.push_hop(Hop::anonymous(3));
+        t.push_hop(Hop::labelled(4, ip(4), &[lse(300)]));
+        t.push_hop(Hop::responsive(5, ip(5)));
+        let tun = extract_tunnels(&t);
+        assert_eq!(tun.len(), 1);
+        assert_eq!(tun[0].incomplete, Some(TunnelError::AnonymousLsr));
+    }
+
+    #[test]
+    fn ttl_gap_inside_run_is_anonymous_lsr() {
+        let mut t = base_trace();
+        t.push_hop(Hop::responsive(1, ip(1)));
+        t.push_hop(Hop::labelled(2, ip(2), &[lse(100)]));
+        // probe TTL 3 entirely missing from the hop list
+        t.push_hop(Hop::labelled(4, ip(4), &[lse(300)]));
+        t.push_hop(Hop::responsive(5, ip(5)));
+        let tun = extract_tunnels(&t);
+        assert_eq!(tun[0].incomplete, Some(TunnelError::AnonymousLsr));
+    }
+
+    #[test]
+    fn two_tunnels_in_one_trace() {
+        let mut t = base_trace();
+        t.push_hop(Hop::responsive(1, ip(1)));
+        t.push_hop(Hop::labelled(2, ip(2), &[lse(100)]));
+        t.push_hop(Hop::responsive(3, ip(3)));
+        t.push_hop(Hop::responsive(4, ip(4)));
+        t.push_hop(Hop::labelled(5, ip(5), &[lse(700)]));
+        t.push_hop(Hop::responsive(6, ip(6)));
+        let tun = extract_tunnels(&t);
+        assert_eq!(tun.len(), 2);
+        assert!(tun.iter().all(RawTunnel::is_complete));
+        assert_eq!(tun[0].ingress, Some(ip(1)));
+        assert_eq!(tun[1].ingress, Some(ip(4)));
+    }
+
+    #[test]
+    fn no_mpls_no_tunnels() {
+        let mut t = base_trace();
+        t.push_hop(Hop::responsive(1, ip(1)));
+        t.push_hop(Hop::responsive(2, ip(2)));
+        assert!(extract_tunnels(&t).is_empty());
+    }
+
+    #[test]
+    fn tunnel_ending_the_trace_has_no_egress() {
+        let mut t = base_trace();
+        t.push_hop(Hop::responsive(1, ip(1)));
+        t.push_hop(Hop::labelled(2, ip(2), &[lse(100)]));
+        let tun = extract_tunnels(&t);
+        assert_eq!(tun[0].incomplete, Some(TunnelError::MissingEgress));
+    }
+
+    #[test]
+    fn label_stack_preserved() {
+        let mut t = base_trace();
+        t.push_hop(Hop::responsive(1, ip(1)));
+        t.push_hop(Hop::labelled(2, ip(2), &[lse(100), lse(9)]));
+        t.push_hop(Hop::responsive(3, ip(3)));
+        let tun = extract_tunnels(&t);
+        assert_eq!(tun[0].lsrs[0].1.depth(), 2);
+    }
+}

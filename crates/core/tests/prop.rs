@@ -1,0 +1,144 @@
+//! Property tests for the LPR classification: random IOTPs are checked
+//! against a naive reference implementation of Algorithm 1, plus
+//! structural invariances (branch order, duplicate observations).
+
+use lpr_core::classify::{classify_iotp, Class, MonoFecKind};
+use lpr_core::label::{Label, LabelStack, Lse};
+use lpr_core::lsp::{Asn, Iotp, IotpKey, Lsp, LspHop};
+use lpr_core::metrics::IotpMetrics;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+fn ip(o: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, o)
+}
+
+/// A random LSP: a short sequence of (address, label) hops drawn from
+/// small pools so collisions (common IPs, equal labels) actually occur.
+fn arb_lsp(dst_asn: u32) -> impl Strategy<Value = Lsp> {
+    proptest::collection::vec((2u8..10, 16u32..24), 1..5).prop_map(move |hops| Lsp {
+        asn: Asn(65000),
+        ingress: ip(1),
+        egress: ip(99),
+        hops: hops
+            .into_iter()
+            .map(|(o, l)| LspHop::new(ip(o), LabelStack::from_entries(&[Lse::transit(l, 255)])))
+            .collect(),
+        dst: Ipv4Addr::new(192, 0, 2, 1),
+        dst_asn: Some(Asn(dst_asn)),
+    })
+}
+
+fn arb_iotp() -> impl Strategy<Value = Iotp> {
+    proptest::collection::vec(arb_lsp(0), 1..6).prop_map(|mut lsps| {
+        let key = IotpKey { asn: Asn(65000), ingress: ip(1), egress: ip(99) };
+        let mut iotp = Iotp::new(key);
+        for (i, l) in lsps.iter_mut().enumerate() {
+            l.dst_asn = Some(Asn(100 + i as u32));
+            iotp.absorb(l);
+        }
+        iotp
+    })
+}
+
+/// Naive re-statement of Algorithm 1, written independently of the
+/// library implementation.
+fn reference_class(iotp: &Iotp) -> Class {
+    if iotp.branches.len() <= 1 {
+        return Class::MonoLsp;
+    }
+    // addr -> (branches crossing it, label sequences seen there)
+    let mut by_addr: BTreeMap<Ipv4Addr, (BTreeSet<usize>, BTreeSet<Vec<Label>>)> =
+        BTreeMap::new();
+    for (bi, b) in iotp.branches.iter().enumerate() {
+        for h in &b.hops {
+            let e = by_addr.entry(h.addr).or_default();
+            e.0.insert(bi);
+            e.1.insert(h.labels());
+        }
+    }
+    let common: Vec<_> = by_addr.values().filter(|(bs, _)| bs.len() >= 2).collect();
+    if common.is_empty() {
+        return Class::Unclassified;
+    }
+    if common.iter().any(|(_, labels)| labels.len() > 1) {
+        return Class::MultiFec;
+    }
+    let sigs: BTreeSet<Vec<Vec<Label>>> = iotp
+        .branches
+        .iter()
+        .map(|b| b.hops.iter().map(|h| h.labels()).collect())
+        .collect();
+    if sigs.len() <= 1 {
+        Class::MonoFec(MonoFecKind::ParallelLinks)
+    } else {
+        Class::MonoFec(MonoFecKind::RoutersDisjoint)
+    }
+}
+
+proptest! {
+    #[test]
+    fn classification_matches_reference(iotp in arb_iotp()) {
+        prop_assert_eq!(classify_iotp(&iotp).class, reference_class(&iotp));
+    }
+
+    #[test]
+    fn classification_is_branch_order_invariant(iotp in arb_iotp(), seed in any::<u64>()) {
+        let base = classify_iotp(&iotp).class;
+        let mut shuffled = iotp.clone();
+        let mut s = seed;
+        for i in (1..shuffled.branches.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.branches.swap(i, j);
+        }
+        prop_assert_eq!(classify_iotp(&shuffled).class, base);
+    }
+
+    #[test]
+    fn duplicate_observations_do_not_change_the_class(iotp in arb_iotp()) {
+        let base = classify_iotp(&iotp).class;
+        let mut doubled = iotp.clone();
+        // Re-absorb each existing branch as a fresh observation.
+        let branches = iotp.branches.clone();
+        for b in &branches {
+            let lsp = Lsp {
+                asn: iotp.key.asn,
+                ingress: iotp.key.ingress,
+                egress: iotp.key.egress,
+                hops: b.hops.clone(),
+                dst: Ipv4Addr::new(192, 0, 2, 1),
+                dst_asn: Some(Asn(9999)),
+            };
+            doubled.absorb(&lsp);
+        }
+        prop_assert_eq!(doubled.width(), iotp.width(), "absorb must dedupe");
+        prop_assert_eq!(classify_iotp(&doubled).class, base);
+    }
+
+    #[test]
+    fn metrics_invariants(iotp in arb_iotp()) {
+        let m = IotpMetrics::of(&iotp);
+        prop_assert_eq!(m.width, iotp.branches.len());
+        prop_assert!(m.symmetry <= m.length);
+        let max = iotp.branches.iter().map(|b| b.hops.len()).max().unwrap_or(0);
+        let min = iotp.branches.iter().map(|b| b.hops.len()).min().unwrap_or(0);
+        prop_assert_eq!(m.length, max);
+        prop_assert_eq!(m.symmetry, max - min);
+        // Mono-LSP <=> width 1.
+        let cls = classify_iotp(&iotp).class;
+        prop_assert_eq!(cls == Class::MonoLsp, m.width == 1);
+    }
+
+    #[test]
+    fn alias_rescue_only_touches_unclassified(iotp in arb_iotp()) {
+        let base = classify_iotp(&iotp).class;
+        let rescued = lpr_core::alias::classify_with_alias_heuristic(&iotp).class;
+        if base != Class::Unclassified {
+            prop_assert_eq!(rescued, base);
+        } else {
+            prop_assert!(rescued != Class::MonoLsp, "rescue cannot invent Mono-LSP");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The high-frequency label-dynamics campaign (Fig. 17, §4.5).
+//!
+//! The paper traces a Vodafone LSP from a Strasbourg vantage point
+//! every two minutes for ten hours and watches the two LSRs' labels
+//! climb (almost) periodically through Juniper's dynamic range,
+//! wrapping at the top: the ingress re-optimises the LSP on a timer,
+//! and each re-optimisation consumes fresh labels on every router —
+//! faster on the router that carries more LSPs.
+//!
+//! This module replays that campaign against the simulated Vodafone:
+//! between samples the AS's RSVP-TE LSPs are re-signalled
+//! [`DynamicsOptions::reopt_batch`] times (the batch size models how many other tunnels
+//! in the real network share the routers' label allocators).
+
+use crate::evolution::configs_for_cycle;
+use crate::world::{World, VOD};
+use lpr_core::trace::Trace;
+use netsim::{Internet, ProbeOptions, Prober};
+use std::net::Ipv4Addr;
+
+/// One sample of the campaign: elapsed minutes and, for every labelled
+/// hop of the traced LSP, `(LSR address, label value)` in path order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LabelSample {
+    /// Minutes since the campaign started.
+    pub minute: u32,
+    /// Labelled hops observed at this sample.
+    pub hops: Vec<(Ipv4Addr, u32)>,
+}
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct DynamicsOptions {
+    /// Total duration in minutes (the paper's run spans ~600).
+    pub minutes: u32,
+    /// Sampling period in minutes (the paper probes every 2).
+    pub sample_every: u32,
+    /// Ingress re-optimisation period in minutes.
+    pub reopt_every: u32,
+    /// How many re-signalling rounds each re-optimisation performs —
+    /// the stand-in for the label consumption of all the *other*
+    /// tunnels sharing the routers (the real AS1273 hosts far more
+    /// LSPs than our scaled-down world).
+    pub reopt_batch: u32,
+}
+
+impl Default for DynamicsOptions {
+    fn default() -> Self {
+        DynamicsOptions { minutes: 600, sample_every: 2, reopt_every: 30, reopt_batch: 320 }
+    }
+}
+
+/// Picks a `(vp, dst)` pair whose trace crosses a Vodafone TE tunnel
+/// with at least two LSRs, preferring the longest.
+pub fn pick_te_flow(world: &World, net: &Internet) -> Option<(Ipv4Addr, Ipv4Addr)> {
+    let prober = Prober::new(net, ProbeOptions::default());
+    let mut best: Option<((Ipv4Addr, Ipv4Addr), usize)> = None;
+    for vp in world.all_vps() {
+        for dst in world.all_destinations(1) {
+            let trace = prober.trace(vp, dst);
+            for tunnel in lpr_core::tunnel::extract_tunnels(&trace) {
+                if !tunnel.is_complete() || tunnel.lsr_count() < 2 {
+                    continue;
+                }
+                let asn = tunnel
+                    .lsrs
+                    .first()
+                    .and_then(|(a, _)| world.rib().lookup(*a));
+                if asn != Some(VOD) {
+                    continue;
+                }
+                if best.is_none_or(|(_, n)| tunnel.lsr_count() > n) {
+                    best = Some(((vp, dst), tunnel.lsr_count()));
+                }
+            }
+        }
+    }
+    best.map(|(flow, _)| flow)
+}
+
+/// Extracts the Vodafone labelled hops of a trace.
+fn vod_hops(world: &World, trace: &Trace) -> Vec<(Ipv4Addr, u32)> {
+    let mut out = Vec::new();
+    for tunnel in lpr_core::tunnel::extract_tunnels(trace) {
+        for (addr, stack) in &tunnel.lsrs {
+            if world.rib().lookup(*addr) == Some(VOD) {
+                if let Some(top) = stack.top() {
+                    out.push((*addr, top.label.value()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the campaign: every `sample_every` minutes a Paris traceroute
+/// is sent along the fixed flow; every `reopt_every` minutes Vodafone's
+/// ingress re-optimises (`reopt_batch` rounds). Returns one sample per
+/// probe.
+pub fn run(world: &World, opts: &DynamicsOptions) -> Vec<LabelSample> {
+    // Late-period Vodafone: heavy TE (Fig. 17 was measured in 2015).
+    let configs = configs_for_cycle(60);
+    let mut net = Internet::new(world.topo.clone(), &configs);
+    let Some((vp, dst)) = pick_te_flow(world, &net) else {
+        return Vec::new();
+    };
+    let prober_opts = ProbeOptions::default();
+
+    let mut samples = Vec::new();
+    let mut minute = 0u32;
+    while minute <= opts.minutes {
+        if minute > 0 && minute.is_multiple_of(opts.reopt_every) {
+            for _ in 0..opts.reopt_batch {
+                net.reoptimize_te(VOD);
+            }
+        }
+        let prober = Prober::new(&net, prober_opts.clone());
+        let trace = prober.trace(vp, dst);
+        samples.push(LabelSample { minute, hops: vod_hops(world, &trace) });
+        minute += opts.sample_every;
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::standard_world;
+
+    #[test]
+    fn labels_climb_between_reoptimisations() {
+        let world = standard_world();
+        let opts = DynamicsOptions { minutes: 120, sample_every: 10, reopt_every: 30, reopt_batch: 5 };
+        let samples = run(&world, &opts);
+        assert!(!samples.is_empty(), "no TE flow found");
+        let labelled: Vec<_> = samples.iter().filter(|s| !s.hops.is_empty()).collect();
+        assert!(labelled.len() >= 2, "{samples:?}");
+        // Pick the first LSR address and check its label is
+        // non-decreasing apart from range wraps.
+        let lsr = labelled[0].hops[0].0;
+        let series: Vec<u32> = labelled
+            .iter()
+            .filter_map(|s| s.hops.iter().find(|(a, _)| *a == lsr).map(|(_, l)| *l))
+            .collect();
+        assert!(series.len() >= 2);
+        let mut increased = false;
+        for w in series.windows(2) {
+            if w[1] > w[0] {
+                increased = true;
+            }
+        }
+        assert!(increased, "labels never advanced: {series:?}");
+    }
+
+    #[test]
+    fn samples_between_reopts_are_stable() {
+        let world = standard_world();
+        let opts = DynamicsOptions { minutes: 20, sample_every: 2, reopt_every: 100, reopt_batch: 1 };
+        let samples = run(&world, &opts);
+        assert!(!samples.is_empty());
+        for w in samples.windows(2) {
+            assert_eq!(w[0].hops, w[1].hops, "no reopt happened: labels must hold");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Per-cycle MPLS configuration schedules: the §4.4 stories.
+//!
+//! One cycle ≙ one month; cycle 1 is January 2010, cycle 60 December
+//! 2014 (so cycle 29 is May 2012, right after the April 2012 Level3
+//! roll-out the paper dissects in Fig. 16). Schedules are piecewise
+//! linear in the cycle number and tuned so that the *shapes* of
+//! Figs. 10–15 emerge from the classification; absolute counts are
+//! scaled down with the world.
+
+use crate::world::{ATT, GIN, L3, NTT, TATA, VOD};
+use lpr_core::lsp::Asn;
+use netsim::{MplsConfig, TePathMode};
+use std::collections::BTreeMap;
+
+/// Number of monthly cycles in the longitudinal dataset.
+pub const CYCLES: usize = 60;
+
+/// Linear interpolation of a schedule between two cycle anchor points,
+/// clamped outside.
+fn ramp(cycle: usize, c0: usize, v0: f64, c1: usize, v1: f64) -> f64 {
+    if cycle <= c0 {
+        return v0;
+    }
+    if cycle >= c1 {
+        return v1;
+    }
+    v0 + (v1 - v0) * (cycle - c0) as f64 / (c1 - c0) as f64
+}
+
+/// Per-hop anonymous-router probability used by every transit AS.
+pub const TRANSIT_ANON: f64 = 0.02;
+
+fn base(anon: f64) -> MplsConfig {
+    MplsConfig { anonymous_rate: anon, ..MplsConfig::ldp_default() }
+}
+
+/// Vodafone (AS1273, Fig. 10): every deployed pair runs RSVP-TE (which
+/// is why the Persistence filter wipes — and reinjects — the whole AS
+/// when its ingress routers re-optimise, §4.5). Early on most TE pairs
+/// carry a single LSP (classified Mono-LSP: TE without diversity); the
+/// multi-LSP share grows to dominance. The chain topology keeps
+/// Mono-FEC invisible, as in Fig. 10.
+fn vodafone(cycle: usize) -> MplsConfig {
+    MplsConfig {
+        deployed_pair_fraction: ramp(cycle, 1, 0.22, 60, 0.95),
+        te_pair_fraction: 1.0,
+        te_lsps_per_pair: 3,
+        te_single_lsp_fraction: ramp(cycle, 1, 0.75, 60, 0.15),
+        te_path_mode: TePathMode::SamePath,
+        ..base(TRANSIT_ANON)
+    }
+}
+
+/// AT&T (AS7018, Fig. 11): overall MPLS usage relatively declines
+/// (deployment drop around cycle 22) while Multi-FEC displaces
+/// Mono-FEC.
+fn att(cycle: usize) -> MplsConfig {
+    let deployed =
+        if cycle < 22 { 0.95 } else { ramp(cycle, 22, 0.60, 60, 0.50) };
+    MplsConfig {
+        deployed_pair_fraction: deployed,
+        te_pair_fraction: ramp(cycle, 18, 0.05, 60, 0.60),
+        te_lsps_per_pair: 2,
+        te_path_mode: TePathMode::SamePath,
+        ecmp_fec_fraction: ramp(cycle, 18, 0.95, 60, 0.40),
+        ..base(TRANSIT_ANON)
+    }
+}
+
+/// Tata (AS6453, Figs. 12–13): pure LDP; strong but declining ECMP
+/// Mono-FEC usage, mostly over parallel links.
+fn tata(cycle: usize) -> MplsConfig {
+    MplsConfig {
+        deployed_pair_fraction: ramp(cycle, 1, 0.95, 60, 0.80),
+        ecmp_fec_fraction: ramp(cycle, 1, 0.92, 60, 0.62),
+        ..base(TRANSIT_ANON)
+    }
+}
+
+/// NTT (AS2914, Fig. 14): Mono-LSP dominant; deployment triples the
+/// IOTP count over the period; a slight Mono-FEC share appears late.
+fn ntt(cycle: usize) -> MplsConfig {
+    MplsConfig {
+        deployed_pair_fraction: ramp(cycle, 1, 0.18, 60, 0.95),
+        ecmp_fec_fraction: ramp(cycle, 1, 0.05, 60, 0.40),
+        ..base(TRANSIT_ANON)
+    }
+}
+
+/// Level3 (AS3356, Figs. 15–16): no MPLS before cycle 29 (the April
+/// 2012 roll-out), stable LDP/ECMP usage afterwards, sharp deployment
+/// decline from cycle 55.
+fn level3(cycle: usize) -> MplsConfig {
+    if cycle < 29 {
+        return MplsConfig { enabled: false, anonymous_rate: TRANSIT_ANON, ..MplsConfig::disabled() };
+    }
+    let deployed = if cycle < 55 { 1.0 } else { ramp(cycle, 55, 0.45, 60, 0.06) };
+    MplsConfig {
+        deployed_pair_fraction: deployed,
+        ecmp_fec_fraction: 0.85,
+        ..base(TRANSIT_ANON)
+    }
+}
+
+/// Background tier-1: a constant mixed deployment, including a little
+/// BGP/MPLS-VPN traffic (whose two-entry stacks the IntraAS filter
+/// removes — the reason the paper "did not observe many tunnels
+/// through VPNs").
+fn gin(_cycle: usize) -> MplsConfig {
+    MplsConfig {
+        deployed_pair_fraction: 0.7,
+        te_pair_fraction: 0.25,
+        te_lsps_per_pair: 3,
+        // Diverse TE paths: the one AS whose LSPs spread over distinct
+        // IP routes, feeding the width distribution's tail (Fig. 8).
+        te_path_mode: TePathMode::Diverse,
+        ecmp_fec_fraction: 0.5,
+        vpn_pair_fraction: 0.02,
+        ..base(TRANSIT_ANON)
+    }
+}
+
+/// The per-AS configurations in force during a cycle (1-based).
+pub fn configs_for_cycle(cycle: usize) -> BTreeMap<Asn, MplsConfig> {
+    let mut m = BTreeMap::new();
+    m.insert(VOD, vodafone(cycle));
+    m.insert(ATT, att(cycle));
+    m.insert(TATA, tata(cycle));
+    m.insert(NTT, ntt(cycle));
+    m.insert(L3, level3(cycle));
+    m.insert(GIN, gin(cycle));
+    m
+}
+
+/// ASes whose RSVP-TE LSPs are re-optimised between same-month
+/// snapshots (tagged *dynamic* by the Persistence stage, §4.5).
+pub fn dynamic_ases() -> Vec<Asn> {
+    vec![VOD]
+}
+
+/// Fraction of the destination list probed during a cycle: the routed
+/// address space grows over the five years (Fig. 5b's +21 % non-MPLS
+/// addresses).
+pub fn dest_growth(cycle: usize) -> f64 {
+    ramp(cycle, 1, 0.78, 60, 1.0)
+}
+
+/// Fraction of monitors available during a cycle: the Archipelago
+/// outages at cycles 23 and 58 (the two dips of Fig. 5b).
+pub fn vp_availability(cycle: usize) -> f64 {
+    match cycle {
+        23 | 58 => 0.5,
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_clamps_and_interpolates() {
+        assert_eq!(ramp(0, 10, 1.0, 20, 2.0), 1.0);
+        assert_eq!(ramp(30, 10, 1.0, 20, 2.0), 2.0);
+        assert!((ramp(15, 10, 1.0, 20, 2.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level3_timeline() {
+        assert!(!level3(28).enabled);
+        assert!(level3(29).enabled);
+        assert!(level3(40).deployed_pair_fraction > 0.9);
+        assert!(level3(60).deployed_pair_fraction < 0.1);
+    }
+
+    #[test]
+    fn att_drop_at_22() {
+        assert!(att(21).deployed_pair_fraction > att(22).deployed_pair_fraction + 0.2);
+    }
+
+    #[test]
+    fn vodafone_multi_lsp_te_grows() {
+        // All pairs are TE; the single-LSP (Mono-LSP) share shrinks.
+        assert_eq!(vodafone(1).te_pair_fraction, 1.0);
+        assert!(vodafone(1).te_single_lsp_fraction > vodafone(60).te_single_lsp_fraction + 0.4);
+    }
+
+    #[test]
+    fn schedules_stay_in_unit_interval() {
+        for cycle in 1..=CYCLES {
+            for (asn, cfg) in configs_for_cycle(cycle) {
+                for v in [
+                    cfg.deployed_pair_fraction,
+                    cfg.te_pair_fraction,
+                    cfg.ecmp_fec_fraction,
+                    cfg.anonymous_rate,
+                ] {
+                    assert!((0.0..=1.0).contains(&v), "{asn} cycle {cycle}: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outages_only_at_23_and_58() {
+        for cycle in 1..=CYCLES {
+            let avail = vp_availability(cycle);
+            if cycle == 23 || cycle == 58 {
+                assert!(avail < 1.0);
+            } else {
+                assert_eq!(avail, 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # ark-dataset — the longitudinal campaign generator
+//!
+//! The paper evaluates LPR on 60 monthly CAIDA Archipelago cycles
+//! (January 2010 – December 2014). This crate generates the simulated
+//! equivalent: a stable multi-AS world ([`world`]) whose five featured
+//! transit ISPs follow the per-cycle MPLS evolutions the paper reports
+//! ([`evolution`]), probed by a fixed monitor fleet with the
+//! measurement artefacts the filtering stage expects (anonymous
+//! routers, routing churn between same-month snapshots, monitor
+//! outages at cycles 23 and 58, growing destination lists).
+//!
+//! [`campaign`] renders one cycle (primary snapshot plus the `j`
+//! follow-ups the Persistence filter needs) and runs LPR over it;
+//! [`april2012`] renders the daily view of Level3's incremental
+//! deployment (Fig. 16); [`dynamics`] renders the high-frequency
+//! label-re-optimisation campaign (Fig. 17).
+//!
+//! Everything is seed-stable: addresses, labels and paths are identical
+//! across rebuilds of the same `(cycle, snapshot)`, exactly like a real
+//! network whose configuration did not change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod april2012;
+pub mod campaign;
+pub mod dynamics;
+pub mod evolution;
+pub mod export;
+pub mod world;
+
+pub use campaign::{analyze_cycle, generate_cycle, CampaignOptions, CycleAnalysis, CycleData};
+pub use export::{export_cycle, ExportedCycle};
+pub use evolution::{configs_for_cycle, dest_growth, vp_availability, CYCLES};
+pub use world::{standard_world, World, ATT, GIN, L3, NTT, TATA, VOD};

@@ -1,0 +1,247 @@
+//! The standard simulated world: six transit ISPs (the paper's five
+//! featured ASes plus one background tier-1) and a fringe of stub ASes
+//! hosting monitors and destinations.
+//!
+//! The *shape* of each featured AS encodes the diversity its real
+//! counterpart exhibits in §4.4:
+//!
+//! | AS | name | shape | expected classes |
+//! |----|------|-------|------------------|
+//! | 1273 | Vodafone | plain chain, Juniper | Mono-LSP → Multi-FEC as TE ramps (Fig. 10), *dynamic* labels |
+//! | 7018 | AT&T | diamonds, Cisco | Mono-FEC displaced by Multi-FEC (Fig. 11) |
+//! | 6453 | Tata | parallel bundles ≫ diamonds, Cisco | Mono-FEC, 60–70 % parallel links (Figs. 12–13) |
+//! | 2914 | NTT | near-chain, Cisco | Mono-LSP dominant (Fig. 14) |
+//! | 3356 | Level3 | diamonds + bundles, Juniper | appears at cycle 29, Mono-FEC (Figs. 15–16) |
+//! | 3549 | background tier-1 | mixed | stable mixed traffic |
+//!
+//! Each transit anchors: two monitor stubs (distinct ingress borders),
+//! two *groups* of two destination stubs sharing one egress border
+//! (giving IOTPs their ≥2-destination-AS diversity), and one lonely
+//! destination stub on its own border (whose IOTPs the
+//! TransitDiversity filter must remove). Transits also originate a few
+//! prefixes of their own (fodder for the TargetAS filter).
+
+use ip2as::{Ip2AsTrie, Prefix};
+use lpr_core::lsp::Asn;
+use netsim::internet::splitmix64;
+use netsim::{AsSpec, Peering, Topology, TopologyParams, Vendor};
+use std::net::Ipv4Addr;
+
+/// Vodafone (Fig. 10).
+pub const VOD: Asn = Asn(1273);
+/// AT&T (Fig. 11).
+pub const ATT: Asn = Asn(7018);
+/// Tata Communications (Figs. 12–13).
+pub const TATA: Asn = Asn(6453);
+/// NTT (Fig. 14).
+pub const NTT: Asn = Asn(2914);
+/// Level3 (Figs. 15–16).
+pub const L3: Asn = Asn(3356);
+/// Background tier-1 (not featured in the paper's figures).
+pub const GIN: Asn = Asn(3549);
+
+/// Fraction of transit interface addresses whose RIB entry is noisy
+/// (mapped to a bogus origin), making the tunnels crossing them look
+/// inter-domain — the ~1 % the IntraAS filter removes (Table 1).
+const RIB_NOISE: f64 = 0.008;
+
+/// The built world.
+pub struct World {
+    /// The stable topology (identical for all 60 cycles).
+    pub topo: Topology,
+    /// The five featured ASes, in figure order.
+    pub featured: [Asn; 5],
+    rib: Ip2AsTrie,
+}
+
+/// Border-index convention per transit (border_routers = 12):
+/// 0–2 monitor stubs, 3–6 destination groups, 7 lonely stub,
+/// 8–11 inter-transit mesh.
+const B_VPS: [usize; 3] = [0, 1, 2];
+const B_GROUPS: [usize; 4] = [3, 4, 5, 6];
+const B_LONELY: usize = 7;
+const B_MESH0: usize = 8;
+const MESH_SLOTS: usize = 4;
+
+fn transit_spec(
+    asn: Asn,
+    name: &str,
+    vendor: Vendor,
+    core: usize,
+    diamonds: usize,
+    bundles: usize,
+) -> AsSpec {
+    let mut spec = AsSpec::transit(
+        asn.0,
+        name,
+        vendor,
+        TopologyParams {
+            core_routers: core,
+            border_routers: 12,
+            ecmp_diamonds: diamonds,
+            unbalanced_diamonds: diamonds / 4,
+            parallel_bundles: bundles,
+            // Bundle-heavy ASes (Tata) keep their rare diamonds at the
+            // chain edges so parallel links dominate the Mono-FEC split
+            // (Fig. 13).
+            diamonds_at_edges: bundles > diamonds,
+            parallel_width: 3,
+            uniform_cost: 10,
+        },
+    );
+    // Internal destinations: traffic towards them tunnels but fails the
+    // TargetAS filter.
+    spec.dest_prefixes = 10;
+    spec
+}
+
+/// Builds the standard world.
+pub fn standard_world() -> World {
+    let mut specs = vec![
+        transit_spec(VOD, "vodafone", Vendor::Juniper, 4, 0, 0),
+        transit_spec(ATT, "att", Vendor::Cisco, 7, 3, 1),
+        transit_spec(TATA, "tata", Vendor::Cisco, 6, 1, 4),
+        transit_spec(NTT, "ntt", Vendor::Cisco, 5, 1, 0),
+        transit_spec(L3, "level3", Vendor::Juniper, 8, 2, 3),
+        transit_spec(GIN, "gin", Vendor::Cisco, 5, 1, 2),
+    ];
+
+    let transits = [VOD, ATT, TATA, NTT, L3, GIN];
+    let mut peerings: Vec<Peering> = Vec::new();
+
+    // Tier-1 mesh (all pairs of the five big ones; VOD hangs off three
+    // of them as a large transit customer).
+    let tier1 = [ATT, TATA, NTT, L3, GIN];
+    let mut mesh_cursor = vec![0usize; 6];
+    let slot = |asn: Asn| transits.iter().position(|&a| a == asn).unwrap();
+    let mesh = |a: Asn, b: Asn, peerings: &mut Vec<Peering>, cursor: &mut Vec<usize>| {
+        let (sa, sb) = (slot(a), slot(b));
+        let pa = B_MESH0 + (cursor[sa] % MESH_SLOTS);
+        let pb = B_MESH0 + (cursor[sb] % MESH_SLOTS);
+        cursor[sa] += 1;
+        cursor[sb] += 1;
+        peerings.push(Peering::new(a, b).at_a(pa).at_b(pb));
+    };
+    for i in 0..tier1.len() {
+        for j in i + 1..tier1.len() {
+            mesh(tier1[i], tier1[j], &mut peerings, &mut mesh_cursor);
+        }
+    }
+    for upstream in [ATT, TATA, L3] {
+        mesh(VOD, upstream, &mut peerings, &mut mesh_cursor);
+    }
+
+    // Per-transit fringe: monitors, destination groups, lonely stubs.
+    let mut next_src = 64600u32;
+    let mut next_dst = 64700u32;
+    for &t in &transits {
+        for (k, &border) in B_VPS.iter().enumerate() {
+            let asn = next_src;
+            next_src += 1;
+            specs.push(AsSpec::stub(asn, &format!("mon-{}-{k}", t.0), 0, 1));
+            peerings.push(Peering::new(Asn(asn), t).at_b(border));
+        }
+        for &border in &B_GROUPS {
+            for k in 0..2 {
+                let asn = next_dst;
+                next_dst += 1;
+                specs.push(AsSpec::stub(asn, &format!("cust-{}-{border}-{k}", t.0), 3, 0));
+                peerings.push(Peering::new(Asn(asn), t).at_b(border));
+            }
+        }
+        let asn = next_dst;
+        next_dst += 1;
+        specs.push(AsSpec::stub(asn, &format!("lone-{}", t.0), 2, 0));
+        peerings.push(Peering::new(Asn(asn), t).at_b(B_LONELY));
+    }
+
+    let topo = Topology::build_with_peerings(&specs, &peerings);
+    let rib = build_rib(&topo);
+    World { topo, featured: [VOD, ATT, TATA, NTT, L3], rib }
+}
+
+/// The Routeviews-style RIB for the world, with realistic noise: a
+/// small fraction of transit interface addresses is (mis)mapped to a
+/// bogus origin AS via more-specific /32 routes.
+fn build_rib(topo: &Topology) -> Ip2AsTrie {
+    let mut rib = topo.rib();
+    for iface in &topo.ifaces {
+        let as_topo = topo.as_of_router(iface.router);
+        if matches!(as_topo.role, netsim::Role::Transit) {
+            let h = splitmix64(u32::from(iface.addr) as u64 ^ 0x0BAD_CAFE);
+            if (h as f64 / u64::MAX as f64) < RIB_NOISE {
+                rib.insert(Prefix::new(iface.addr, 32), Asn(64512));
+            }
+        }
+    }
+    rib
+}
+
+impl World {
+    /// The IP2AS mapper (with RIB noise applied).
+    pub fn rib(&self) -> &Ip2AsTrie {
+        &self.rib
+    }
+
+    /// All monitor addresses, sorted for determinism.
+    pub fn all_vps(&self) -> Vec<Ipv4Addr> {
+        let mut v: Vec<Ipv4Addr> =
+            self.topo.vantage_points().iter().map(|(a, _)| *a).collect();
+        v.sort();
+        v
+    }
+
+    /// All destination host addresses (`per_prefix` hosts per prefix).
+    pub fn all_destinations(&self, per_prefix: usize) -> Vec<Ipv4Addr> {
+        self.topo.destinations(per_prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builds_and_is_stable() {
+        let a = standard_world();
+        let b = standard_world();
+        assert_eq!(a.topo.routers.len(), b.topo.routers.len());
+        assert_eq!(a.all_vps(), b.all_vps());
+        assert_eq!(a.all_destinations(1), b.all_destinations(1));
+    }
+
+    #[test]
+    fn featured_ases_exist_with_borders() {
+        let w = standard_world();
+        for asn in w.featured {
+            let a = w.topo.as_by_asn(asn).expect("featured AS exists");
+            assert!(a.borders.len() >= 5, "{asn} has {} borders", a.borders.len());
+        }
+    }
+
+    #[test]
+    fn fleet_sizes() {
+        let w = standard_world();
+        assert_eq!(w.all_vps().len(), 18);
+        // 6 transits × (8 group stubs × 3 + 1 lonely × 2 + own 10) = 216.
+        assert_eq!(w.all_destinations(1).len(), 216);
+    }
+
+    #[test]
+    fn rib_noise_is_present_but_small() {
+        let w = standard_world();
+        let clean = w.topo.rib();
+        let mut noisy = 0usize;
+        let mut total = 0usize;
+        for iface in &w.topo.ifaces {
+            total += 1;
+            let asn = w.rib().lookup(iface.addr);
+            if asn != clean.lookup(iface.addr) {
+                assert_eq!(asn, Some(Asn(64512)));
+                noisy += 1;
+            }
+        }
+        assert!(noisy > 0, "expected some RIB noise");
+        assert!((noisy as f64) < total as f64 * 0.05, "{noisy}/{total} too noisy");
+    }
+}

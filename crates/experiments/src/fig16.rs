@@ -1,0 +1,40 @@
+//! Fig. 16 — the April 2012 daily view of Level3's MPLS roll-out.
+
+use crate::output::{announce, print_table, write_csv};
+use ark_dataset::april2012::{april_day, DayCounts, DAYS};
+use ark_dataset::{CampaignOptions, World};
+
+/// Renders every April day.
+pub fn run(world: &World) -> Vec<(usize, DayCounts)> {
+    let opts = CampaignOptions::default();
+    (1..=DAYS).map(|day| (day, april_day(world, day, &opts))).collect()
+}
+
+/// Prints and writes the daily series.
+pub fn emit(days: &[(usize, DayCounts)]) {
+    let rows: Vec<Vec<String>> = days
+        .iter()
+        .map(|(day, c)| {
+            vec![
+                day.to_string(),
+                c.iotps_before.to_string(),
+                c.iotps_after.to_string(),
+                c.lsps_before.to_string(),
+                c.lsps_after.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 16 — Level3 April 2012 daily deployment",
+        &["day", "iotps_before", "iotps_after", "lsps_before", "lsps_after"],
+        &rows,
+    );
+    let path = write_csv(
+        "fig16_level3_april2012.csv",
+        &["day", "iotps_before", "iotps_after", "lsps_before", "lsps_after"],
+        &rows,
+    );
+    announce("Fig. 16", &path);
+    let first_mpls = days.iter().find(|(_, c)| c.lsps_before > 0).map(|(d, _)| *d);
+    println!("first day with MPLS: {first_mpls:?} (paper: around April 15)");
+}

@@ -1,0 +1,124 @@
+//! Figs. 7–9 — IOTP length, width and symmetry distributions on the
+//! last cycle (December 2014), per §4.3.
+
+use crate::output::{announce, f3, print_table, write_csv};
+use ark_dataset::campaign::{analyze_cycle, generate_cycle, CampaignOptions};
+use ark_dataset::World;
+use lpr_core::classify::Class;
+use lpr_core::hist::Histogram;
+use lpr_core::metrics::IotpMetrics;
+
+/// The §4.3 distributions over cycle-60 IOTPs.
+#[derive(Clone, Debug, Default)]
+pub struct Distributions {
+    /// IOTP length PDF (Fig. 7).
+    pub length: Histogram,
+    /// IOTP width PDF, all classes (Fig. 8a).
+    pub width: Histogram,
+    /// Width PDF, Multi-FEC only (Fig. 8b).
+    pub width_multi_fec: Histogram,
+    /// Width PDF, Mono-FEC only (Fig. 8b).
+    pub width_mono_fec: Histogram,
+    /// Symmetry PDF, Multi-FEC only (Fig. 9).
+    pub symmetry_multi_fec: Histogram,
+    /// Symmetry PDF, Mono-FEC only (Fig. 9).
+    pub symmetry_mono_fec: Histogram,
+}
+
+/// Computes the distributions on the given cycle.
+pub fn run(world: &World, cycle: usize) -> Distributions {
+    let opts = CampaignOptions::default();
+    let data = generate_cycle(world, cycle, &opts);
+    let analysis = analyze_cycle(world, &data, 2);
+    let mut d = Distributions::default();
+    for (iotp, cls) in &analysis.output.iotps {
+        let m = IotpMetrics::of(iotp);
+        d.length.add(m.length as u64);
+        d.width.add(m.width as u64);
+        match cls.class {
+            Class::MultiFec => {
+                d.width_multi_fec.add(m.width as u64);
+                d.symmetry_multi_fec.add(m.symmetry as u64);
+            }
+            Class::MonoFec(_) => {
+                d.width_mono_fec.add(m.width as u64);
+                d.symmetry_mono_fec.add(m.symmetry as u64);
+            }
+            _ => {}
+        }
+    }
+    d
+}
+
+fn pdf_rows(h: &Histogram, max: u64) -> Vec<Vec<String>> {
+    (0..=max).map(|v| vec![v.to_string(), f3(h.pdf(v))]).collect()
+}
+
+/// Prints and writes all three figures.
+pub fn emit(d: &Distributions) {
+    // Fig. 7.
+    let max_len = d.length.max().unwrap_or(0);
+    let rows = pdf_rows(&d.length, max_len);
+    print_table("Fig. 7 — IOTP length PDF", &["length", "pdf"], &rows);
+    let path = write_csv("fig7_iotp_length.csv", &["length", "pdf"], &rows);
+    announce("Fig. 7", &path);
+    println!(
+        "short tunnels (<= 3 LSRs): {}  (median length {})",
+        f3(d.length.cdf(3)),
+        d.length.quantile(0.5).unwrap_or(0),
+    );
+
+    // Fig. 8a / 8b — bins 0..=9 plus a ">=10" tail, as in the paper.
+    let mut rows8 = Vec::new();
+    for w in 0..10u64 {
+        rows8.push(vec![
+            w.to_string(),
+            f3(d.width.pdf(w)),
+            f3(d.width_multi_fec.pdf(w)),
+            f3(d.width_mono_fec.pdf(w)),
+        ]);
+    }
+    rows8.push(vec![
+        ">=10".to_string(),
+        f3(d.width.tail(10)),
+        f3(d.width_multi_fec.tail(10)),
+        f3(d.width_mono_fec.tail(10)),
+    ]);
+    print_table(
+        "Fig. 8 — IOTP width PDF (all / Multi-FEC / Mono-FEC)",
+        &["width", "all", "multi_fec", "mono_fec"],
+        &rows8,
+    );
+    let path = write_csv("fig8_iotp_width.csv", &["width", "all", "multi_fec", "mono_fec"], &rows8);
+    announce("Fig. 8a/8b", &path);
+    println!("width-1 share (Mono-LSP): {}", f3(d.width.pdf(1)));
+
+    // Fig. 9.
+    let max_sym = d
+        .symmetry_multi_fec
+        .max()
+        .unwrap_or(0)
+        .max(d.symmetry_mono_fec.max().unwrap_or(0))
+        .max(4);
+    let rows9: Vec<Vec<String>> = (0..=max_sym)
+        .map(|s| {
+            vec![
+                s.to_string(),
+                f3(d.symmetry_multi_fec.pdf(s)),
+                f3(d.symmetry_mono_fec.pdf(s)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 9 — IOTP symmetry PDF (Multi-FEC / Mono-FEC)",
+        &["symmetry", "multi_fec", "mono_fec"],
+        &rows9,
+    );
+    let path = write_csv("fig9_iotp_symmetry.csv", &["symmetry", "multi_fec", "mono_fec"], &rows9);
+    announce("Fig. 9", &path);
+    println!(
+        "balanced IOTPs: multi_fec={} mono_fec={}",
+        f3(d.symmetry_multi_fec.pdf(0)),
+        f3(d.symmetry_mono_fec.pdf(0)),
+    );
+}

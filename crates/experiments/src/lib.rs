@@ -1,0 +1,29 @@
+//! # experiments — regenerating the paper's evaluation
+//!
+//! One harness per table/figure of §4 of *MPLS Under the Microscope*.
+//! Each harness renders the simulated campaign it needs, runs LPR, and
+//! returns the series the paper plots; the `experiments` binary prints
+//! them and writes CSVs under `results/`.
+//!
+//! | harness | paper artefact |
+//! |---------|----------------|
+//! | [`longitudinal::run`] | Figs. 5a/5b, Table 1, Figs. 10–15 & 13, Table 2 |
+//! | [`fig6::run`] | Fig. 6a/6b (Persistence-window sweep) |
+//! | [`fig789::run`] | Figs. 7, 8a, 8b, 9 (length/width/symmetry) |
+//! | [`fig16::run`] | Fig. 16 (April 2012 daily Level3 roll-out) |
+//! | [`fig17::run`] | Fig. 17 (label re-optimisation sawtooth) |
+//! | [`ablations::run`] | design-choice ablations (filters, §5 rescue) |
+//! | [`validation::run`] | §5 Paris-MDA ground-truth validation |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig16;
+pub mod fig17;
+pub mod fig6;
+pub mod fig789;
+pub mod longitudinal;
+pub mod output;
+pub mod summary;
+pub mod validation;

@@ -1,0 +1,218 @@
+//! The 60-cycle longitudinal pass: one rendering that feeds Figs. 5a,
+//! 5b, 10–15, 13, Table 1 and Table 2.
+
+use crate::output::{announce, f3, print_table, write_csv};
+use ark_dataset::campaign::run_cycles;
+use ark_dataset::{CampaignOptions, World, ATT, L3, NTT, TATA, VOD};
+use lpr_core::filter::{FilterStage, FilterReport};
+use lpr_core::lsp::Asn;
+use lpr_core::pipeline::ClassCounts;
+use std::collections::BTreeMap;
+
+/// Everything one cycle contributes to the longitudinal figures.
+#[derive(Clone, Debug)]
+pub struct CycleRow {
+    /// 1-based cycle number.
+    pub cycle: usize,
+    /// Fraction of traces crossing ≥1 explicit tunnel (Fig. 5a).
+    pub trace_fraction: f64,
+    /// Unique MPLS addresses, pre-filtering (Fig. 5b top).
+    pub mpls_ips: usize,
+    /// Unique non-MPLS addresses, pre-filtering (Fig. 5b bottom).
+    pub non_mpls_ips: usize,
+    /// LSP survival through the filters (Table 1).
+    pub filter: FilterReport,
+    /// Per featured-AS: classification and address stats.
+    pub per_as: BTreeMap<Asn, AsRow>,
+}
+
+/// Per-AS, per-cycle numbers (Figs. 10–15, Table 2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AsRow {
+    /// Classified-IOTP tallies (the PDF of Figs. 10–15's upper parts).
+    pub counts: ClassCounts,
+    /// MPLS addresses of the AS after filtering.
+    pub mpls_ips: usize,
+    /// Non-MPLS addresses of the AS.
+    pub non_mpls_ips: usize,
+    /// Whether the AS was tagged dynamic this cycle.
+    pub dynamic: bool,
+}
+
+/// Runs the longitudinal campaign over `cycles` cycles (1..=n).
+pub fn run(world: &World, cycles: usize) -> Vec<CycleRow> {
+    let opts = CampaignOptions::default();
+    let analyses = run_cycles(world, 1..=cycles, &opts, 2);
+    analyses
+        .into_iter()
+        .map(|(cycle, analysis)| {
+            let mut per_as = BTreeMap::new();
+            for asn in world.featured {
+                let stats = analysis.report.per_as.get(&asn);
+                per_as.insert(
+                    asn,
+                    AsRow {
+                        counts: stats.map(|s| s.classes).unwrap_or_default(),
+                        mpls_ips: stats.map(|s| s.mpls_ips).unwrap_or(0),
+                        non_mpls_ips: stats.map(|s| s.non_mpls_ips).unwrap_or(0),
+                        dynamic: analysis.report.dynamic_ases.contains(&asn),
+                    },
+                );
+            }
+            CycleRow {
+                cycle,
+                trace_fraction: analysis.report.mpls_trace_fraction(),
+                mpls_ips: analysis.report.ip_usage_mpls,
+                non_mpls_ips: analysis.report.ip_usage_non_mpls,
+                filter: analysis.output.report,
+                per_as,
+            }
+        })
+        .collect()
+}
+
+/// Emits Fig. 5 (global deployment).
+pub fn emit_fig5(rows: &[CycleRow]) {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.cycle.to_string(),
+                f3(r.trace_fraction),
+                r.mpls_ips.to_string(),
+                r.non_mpls_ips.to_string(),
+            ]
+        })
+        .collect();
+    let path = write_csv("fig5_global_deployment.csv", &["cycle", "trace_fraction", "mpls_ips", "non_mpls_ips"], &data);
+    announce("Fig. 5a/5b", &path);
+    let first = rows.first().expect("cycles");
+    let last = rows.last().expect("cycles");
+    println!(
+        "Fig5a: traces with MPLS {} -> {} | Fig5b: MPLS IPs {} -> {} (+{:.0}%), non-MPLS {} -> {} (+{:.0}%)",
+        f3(first.trace_fraction),
+        f3(last.trace_fraction),
+        first.mpls_ips,
+        last.mpls_ips,
+        (last.mpls_ips as f64 / first.mpls_ips.max(1) as f64 - 1.0) * 100.0,
+        first.non_mpls_ips,
+        last.non_mpls_ips,
+        (last.non_mpls_ips as f64 / first.non_mpls_ips.max(1) as f64 - 1.0) * 100.0,
+    );
+}
+
+/// Emits Table 1 (cumulative mean survival per filter with 95 %
+/// confidence intervals).
+pub fn emit_table1(rows: &[CycleRow]) {
+    let mut out = Vec::new();
+    for stage in FilterStage::ALL {
+        let props: Vec<f64> = rows.iter().map(|r| r.filter.proportion_after(stage)).collect();
+        let n = props.len() as f64;
+        let mean = props.iter().sum::<f64>() / n;
+        let var = props.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / n;
+        let ci = 1.96 * (var / n).sqrt();
+        out.push(vec![stage.name().to_string(), f3(mean), format!("±{}", f3(ci))]);
+    }
+    print_table("Table 1 — proportion of LSPs remaining after each filter", &["filter", "mean", "95% CI"], &out);
+    let path = write_csv(
+        "table1_filtering.csv",
+        &["filter", "mean_proportion", "ci95"],
+        &out.iter().map(|r| vec![r[0].clone(), r[1].clone(), r[2].trim_start_matches('±').to_string()]).collect::<Vec<_>>(),
+    );
+    announce("Table 1", &path);
+}
+
+/// Emits the per-AS classification series (Figs. 10, 11, 12, 14, 15)
+/// and the Tata Mono-FEC subclass split (Fig. 13).
+pub fn emit_per_as(rows: &[CycleRow]) {
+    let figures = [
+        (VOD, "fig10_as1273_vodafone.csv", "Fig. 10 (AS1273 Vodafone)"),
+        (ATT, "fig11_as7018_att.csv", "Fig. 11 (AS7018 AT&T)"),
+        (TATA, "fig12_as6453_tata.csv", "Fig. 12 (AS6453 Tata)"),
+        (NTT, "fig14_as2914_ntt.csv", "Fig. 14 (AS2914 NTT)"),
+        (L3, "fig15_as3356_level3.csv", "Fig. 15 (AS3356 Level3)"),
+    ];
+    for (asn, file, title) in figures {
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let a = r.per_as.get(&asn).copied().unwrap_or_default();
+                let f = a.counts.fractions();
+                vec![
+                    r.cycle.to_string(),
+                    a.counts.total().to_string(),
+                    f3(f[0]),
+                    f3(f[1]),
+                    f3(f[2]),
+                    f3(f[3]),
+                    (a.dynamic as u8).to_string(),
+                ]
+            })
+            .collect();
+        let path = write_csv(
+            file,
+            &["cycle", "iotps", "mono_lsp", "multi_fec", "mono_fec", "unclassified", "dynamic"],
+            &data,
+        );
+        announce(title, &path);
+    }
+
+    // Fig. 13: Tata's Mono-FEC split.
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let a = r.per_as.get(&TATA).copied().unwrap_or_default();
+            let total = a.counts.mono_fec().max(1) as f64;
+            vec![
+                r.cycle.to_string(),
+                f3(a.counts.mono_fec_disjoint as f64 / total),
+                f3(a.counts.mono_fec_parallel as f64 / total),
+            ]
+        })
+        .collect();
+    let path = write_csv("fig13_tata_monofec_split.csv", &["cycle", "routers_disjoint", "parallel_links"], &data);
+    announce("Fig. 13 (Tata Mono-FEC split)", &path);
+}
+
+/// Emits Table 2 (per-AS, per-year min/max/avg of MPLS and non-MPLS
+/// addresses after filtering).
+pub fn emit_table2(rows: &[CycleRow], world: &World) {
+    let mut table = Vec::new();
+    for asn in world.featured {
+        for kind in ["non_mpls", "mpls"] {
+            let mut row = vec![format!("AS{}", asn.0), kind.to_string()];
+            for year in 0..(rows.len() / 12).max(1) {
+                let slice: Vec<usize> = rows
+                    .iter()
+                    .filter(|r| (r.cycle - 1) / 12 == year)
+                    .map(|r| {
+                        let a = r.per_as.get(&asn).copied().unwrap_or_default();
+                        if kind == "mpls" {
+                            a.mpls_ips
+                        } else {
+                            a.non_mpls_ips
+                        }
+                    })
+                    .collect();
+                let min = slice.iter().min().copied().unwrap_or(0);
+                let max = slice.iter().max().copied().unwrap_or(0);
+                let avg = slice.iter().sum::<usize>() as f64 / slice.len().max(1) as f64;
+                row.push(min.to_string());
+                row.push(max.to_string());
+                row.push(format!("{avg:.0}"));
+            }
+            table.push(row);
+        }
+    }
+    let years = (rows.len() / 12).max(1);
+    let mut header: Vec<String> = vec!["as".into(), "kind".into()];
+    for y in 0..years {
+        for m in ["min", "max", "avg"] {
+            header.push(format!("{}_{}", 2010 + y, m));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table("Table 2 — per-AS address statistics (after filtering)", &header_refs, &table);
+    let path = write_csv("table2_as_ip_stats.csv", &header_refs, &table);
+    announce("Table 2", &path);
+}

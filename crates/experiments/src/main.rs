@@ -1,0 +1,95 @@
+//! The `experiments` binary: regenerate any table or figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! experiments <command> [--cycles N]
+//!
+//! commands:
+//!   fig5      global MPLS deployment over 60 cycles (Fig. 5a/5b)
+//!   table1    filter survival proportions (Table 1)
+//!   fig6      persistence-window sweep (Fig. 6a/6b)
+//!   fig789    IOTP length/width/symmetry (Figs. 7, 8a, 8b, 9)
+//!   peras     per-AS classification series (Figs. 10-15, Fig. 13)
+//!   table2    per-AS address statistics (Table 2)
+//!   fig16     Level3 April 2012 daily roll-out (Fig. 16)
+//!   fig17     label re-optimisation sawtooth (Fig. 17)
+//!   ablations design-choice ablations (filters, §5 rescue)
+//!   validation §5 Paris-MDA ground-truth check of the classes
+//!   summary   the abstract's three headline outcomes, recomputed
+//!   all       everything above
+//! ```
+//!
+//! CSV outputs land under `results/` (override with
+//! `LPR_RESULTS_DIR`).
+
+use experiments::{ablations, fig16, fig17, fig6, fig789, longitudinal, summary, validation};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let cycles = args
+        .iter()
+        .position(|a| a == "--cycles")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(ark_dataset::CYCLES);
+
+    let world = ark_dataset::standard_world();
+    eprintln!(
+        "[world] {} ASes, {} routers, {} interfaces; {} monitors, {} destinations",
+        world.topo.ases.len(),
+        world.topo.routers.len(),
+        world.topo.ifaces.len(),
+        world.all_vps().len(),
+        world.all_destinations(1).len(),
+    );
+    for asn in world.featured {
+        let as_id = world.topo.as_by_asn(asn).expect("featured").id;
+        let s = netsim::stats::as_stats(&world.topo, as_id);
+        eprintln!(
+            "[world]   {asn}: {} routers ({} borders), {} intra links, diameter {}, {} ECMP pairs",
+            s.routers, s.borders, s.intra_links, s.diameter, s.ecmp_pairs,
+        );
+    }
+
+    let needs_longitudinal =
+        matches!(cmd, "fig5" | "table1" | "peras" | "table2" | "summary" | "all");
+    let rows = if needs_longitudinal {
+        eprintln!("[longitudinal] rendering {cycles} cycles × 3 snapshots …");
+        Some(longitudinal::run(&world, cycles))
+    } else {
+        None
+    };
+
+    match cmd {
+        "fig5" => longitudinal::emit_fig5(rows.as_ref().unwrap()),
+        "table1" => longitudinal::emit_table1(rows.as_ref().unwrap()),
+        "peras" => longitudinal::emit_per_as(rows.as_ref().unwrap()),
+        "table2" => longitudinal::emit_table2(rows.as_ref().unwrap(), &world),
+        "fig6" => fig6::emit(&fig6::run(&world, 29)),
+        "fig789" => fig789::emit(&fig789::run(&world, 60)),
+        "fig16" => fig16::emit(&fig16::run(&world)),
+        "fig17" => fig17::emit(&fig17::run(&world)),
+        "ablations" => ablations::emit(&ablations::run(&world, 45)),
+        "validation" => validation::emit(&validation::run(&world, 45, 24)),
+        "summary" => summary::emit(&summary::run(rows.as_ref().unwrap())),
+        "all" => {
+            let rows = rows.as_ref().unwrap();
+            longitudinal::emit_fig5(rows);
+            longitudinal::emit_table1(rows);
+            longitudinal::emit_per_as(rows);
+            longitudinal::emit_table2(rows, &world);
+            fig6::emit(&fig6::run(&world, 29));
+            fig789::emit(&fig789::run(&world, 60));
+            fig16::emit(&fig16::run(&world));
+            fig17::emit(&fig17::run(&world));
+            ablations::emit(&ablations::run(&world, 45));
+            validation::emit(&validation::run(&world, 45, 24));
+            summary::emit(&summary::run(rows));
+        }
+        other => {
+            eprintln!("unknown command `{other}`; see --help in the crate docs");
+            std::process::exit(2);
+        }
+    }
+}

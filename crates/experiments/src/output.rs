@@ -1,0 +1,60 @@
+//! Output helpers: CSV files under `results/` plus aligned console
+//! tables.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The directory experiment outputs land in (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("LPR_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(dir)
+}
+
+/// Writes a CSV file under the results directory and returns its path.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    path
+}
+
+/// Prints an aligned table to stdout.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Announces where a CSV landed.
+pub fn announce(what: &str, path: &Path) {
+    println!("[written] {what}: {}", path.display());
+}

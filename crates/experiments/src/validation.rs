@@ -1,0 +1,144 @@
+//! The §5 validation campaign the paper proposes as ground truth:
+//!
+//! > "One way to do that would be to launch an extensive Paris
+//! > traceroute campaign to understand if the LSPs we tag as Mono-FEC
+//! > ECMP (and so using LDP) are actually also visible with such a
+//! > tool. Beside, we also plan to check whether Multi-FEC LSPs are,
+//! > indeed, not visible through Paris traceroute."
+//!
+//! For every classified IOTP we re-probe its destinations under many
+//! flow identifiers (MDA) and check:
+//!
+//! * **Mono-FEC** IOTPs should expose **several IP paths** (the ECMP
+//!   diversity is in the forwarding, so flow variation reveals it);
+//! * **Multi-FEC (same-path TE)** IOTPs should expose **one IP path**
+//!   (the diversity lives in the labels, invisible at the IP level);
+//! * **Mono-LSP** IOTPs should expose one IP path.
+
+use crate::output::{announce, f3, print_table, write_csv};
+use ark_dataset::campaign::{analyze_cycle, generate_cycle, CampaignOptions};
+use ark_dataset::World;
+use lpr_core::classify::Class;
+use netsim::{Internet, ProbeOptions, Prober};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Agreement tallies between the label-level class and the IP-level
+/// (MDA) view.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Agreement {
+    /// IOTPs checked.
+    pub checked: usize,
+    /// IOTPs whose MDA view matches the expectation.
+    pub agree: usize,
+}
+
+impl Agreement {
+    fn rate(&self) -> f64 {
+        if self.checked == 0 {
+            1.0
+        } else {
+            self.agree as f64 / self.checked as f64
+        }
+    }
+}
+
+/// Runs the validation on one cycle: LPR first, then an MDA campaign
+/// over each classified IOTP's `(vp, dst)` pairs.
+pub fn run(world: &World, cycle: usize, flows: usize) -> BTreeMap<&'static str, Agreement> {
+    let opts = CampaignOptions::default();
+    let data = generate_cycle(world, cycle, &opts);
+    let analysis = analyze_cycle(world, &data, 2);
+
+    let configs = ark_dataset::configs_for_cycle(cycle);
+    let net = Internet::new(world.topo.clone(), &configs);
+    let prober = Prober::new(&net, ProbeOptions::default());
+    let vps = world.all_vps();
+
+    // Map each IOTP to one (vp, dst) pair that revealed it: re-probe
+    // the traces of the primary snapshot and match tunnels.
+    let mut result: BTreeMap<&'static str, Agreement> = BTreeMap::new();
+    for (iotp, cls) in &analysis.output.iotps {
+        // One destination AS the IOTP serves; pick any destination
+        // whose trace crosses the pair.
+        let Some((vp, dst)) = find_flow_through(world, &prober, &vps, iotp) else {
+            continue;
+        };
+        // IP-level multipath view between the IOTP's LERs.
+        let paths = prober.mda_paths(vp, dst, flows);
+        let distinct_between = distinct_subpaths(&paths, iotp.key.ingress, iotp.key.egress);
+
+        let (bucket, expect_multi) = match cls.class {
+            Class::MonoLsp => ("Mono-LSP -> single IP path", false),
+            Class::MultiFec => ("Multi-FEC -> single IP path", false),
+            Class::MonoFec(_) => ("Mono-FEC -> several IP paths", true),
+            Class::Unclassified => continue,
+        };
+        let entry = result.entry(bucket).or_default();
+        entry.checked += 1;
+        if (distinct_between > 1) == expect_multi {
+            entry.agree += 1;
+        }
+    }
+    result
+}
+
+/// Finds a `(vp, dst)` whose trace traverses the IOTP's LER pair.
+fn find_flow_through(
+    world: &World,
+    prober: &Prober<'_>,
+    vps: &[Ipv4Addr],
+    iotp: &lpr_core::lsp::Iotp,
+) -> Option<(Ipv4Addr, Ipv4Addr)> {
+    for &vp in vps {
+        for dst in world.all_destinations(1) {
+            let trace = prober.trace(vp, dst);
+            let addrs: Vec<_> =
+                trace.responsive_hops().map(|h| h.addr.expect("responsive")).collect();
+            let has_in = addrs.contains(&iotp.key.ingress);
+            let has_out = addrs.contains(&iotp.key.egress);
+            if has_in && has_out {
+                return Some((vp, dst));
+            }
+        }
+    }
+    None
+}
+
+/// Counts the distinct sub-paths strictly between two addresses across
+/// the MDA path set (paths not containing both endpoints are ignored).
+fn distinct_subpaths(paths: &[Vec<Ipv4Addr>], from: Ipv4Addr, to: Ipv4Addr) -> usize {
+    let mut subs = std::collections::BTreeSet::new();
+    for p in paths {
+        let (Some(i), Some(j)) =
+            (p.iter().position(|a| *a == from), p.iter().position(|a| *a == to))
+        else {
+            continue;
+        };
+        if i < j {
+            subs.insert(p[i..=j].to_vec());
+        }
+    }
+    subs.len()
+}
+
+/// Prints and writes the agreement table.
+pub fn emit(result: &BTreeMap<&'static str, Agreement>) {
+    let rows: Vec<Vec<String>> = result
+        .iter()
+        .map(|(name, a)| {
+            vec![name.to_string(), a.checked.to_string(), a.agree.to_string(), f3(a.rate())]
+        })
+        .collect();
+    print_table(
+        "§5 validation — label classes vs Paris-MDA IP-level view",
+        &["expectation", "checked", "agree", "rate"],
+        &rows,
+    );
+    let path = write_csv(
+        "validation_mda.csv",
+        &["expectation", "checked", "agree", "rate"],
+        &rows,
+    );
+    announce("§5 validation", &path);
+}

@@ -1,0 +1,37 @@
+//! # ip2as — IP-to-AS mapping by longest-prefix match
+//!
+//! The LPR evaluation maps every traceroute address to its origin AS
+//! using Routeviews BGP snapshots collected the same day as the cycle
+//! (paper §4.1). This crate provides the equivalent machinery:
+//!
+//! * [`Prefix`] — an IPv4 CIDR prefix;
+//! * [`Ip2AsTrie`] — a binary trie supporting longest-prefix-match
+//!   lookups, loadable from / dumpable to a plain `prefix asn` RIB
+//!   snapshot format;
+//! * an implementation of [`lpr_core::filter::AsMapper`], so a trie can
+//!   be handed directly to the LPR pipeline.
+//!
+//! ```
+//! use ip2as::{Ip2AsTrie, Prefix};
+//! use lpr_core::prelude::*;
+//!
+//! let mut trie = Ip2AsTrie::new();
+//! trie.insert("10.0.0.0/8".parse().unwrap(), Asn(65001));
+//! trie.insert("10.1.0.0/16".parse().unwrap(), Asn(65002));
+//!
+//! let lookup = |s: &str| trie.lookup(s.parse().unwrap());
+//! assert_eq!(lookup("10.2.3.4"), Some(Asn(65001)));
+//! assert_eq!(lookup("10.1.3.4"), Some(Asn(65002))); // longest match wins
+//! assert_eq!(lookup("192.0.2.1"), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prefix;
+pub mod rib;
+pub mod trie;
+
+pub use prefix::{Prefix, PrefixParseError};
+pub use rib::{parse_rib, to_rib_string, RibError};
+pub use trie::Ip2AsTrie;

@@ -1,0 +1,184 @@
+//! IPv4 CIDR prefixes.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An IPv4 prefix in CIDR form, e.g. `10.0.0.0/8`.
+///
+/// Construction normalises the address by zeroing the host bits, so two
+/// prefixes covering the same range compare equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    addr: Ipv4Addr,
+    len: u8,
+}
+
+/// Errors produced when parsing a [`Prefix`] from text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PrefixParseError {
+    /// Missing `/` separator.
+    MissingSlash,
+    /// The address part is not a valid IPv4 address.
+    BadAddress,
+    /// The length part is not an integer in `0..=32`.
+    BadLength,
+}
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrefixParseError::MissingSlash => "missing '/' in prefix",
+            PrefixParseError::BadAddress => "invalid IPv4 address in prefix",
+            PrefixParseError::BadLength => "invalid prefix length (want 0..=32)",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+impl Prefix {
+    /// Builds a prefix, zeroing host bits. `len` is clamped to 32.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        let len = len.min(32);
+        let bits = u32::from(addr) & Self::netmask(len);
+        Prefix { addr: Ipv4Addr::from(bits), len }
+    }
+
+    /// The all-addresses prefix `0.0.0.0/0`.
+    pub const fn default_route() -> Self {
+        Prefix { addr: Ipv4Addr::UNSPECIFIED, len: 0 }
+    }
+
+    /// The (normalised) network address.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// The prefix length in bits.
+    // Clippy's len/is_empty convention targets containers; a CIDR
+    // prefix length is not a size, so the lint does not apply.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the zero-length default route.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The netmask corresponding to a prefix length.
+    fn netmask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        (u32::from(ip) & Self::netmask(self.len)) == u32::from(self.addr)
+    }
+
+    /// Whether `other` is fully covered by this prefix.
+    pub fn covers(&self, other: &Prefix) -> bool {
+        other.len >= self.len && self.contains(other.addr)
+    }
+
+    /// The `i`-th bit of the network address, counting from the most
+    /// significant (bit 0). Used by the trie walk.
+    pub(crate) fn bit(&self, i: u8) -> bool {
+        debug_assert!(i < 32);
+        (u32::from(self.addr) >> (31 - i as u32)) & 1 == 1
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or(PrefixParseError::MissingSlash)?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| PrefixParseError::BadAddress)?;
+        let len: u8 = len.parse().map_err(|_| PrefixParseError::BadLength)?;
+        if len > 32 {
+            return Err(PrefixParseError::BadLength);
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+        assert_eq!(p.len(), 8);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!("10.0.0.0".parse::<Prefix>(), Err(PrefixParseError::MissingSlash));
+        assert_eq!("10.0.0/8".parse::<Prefix>(), Err(PrefixParseError::BadAddress));
+        assert_eq!("10.0.0.0/33".parse::<Prefix>(), Err(PrefixParseError::BadLength));
+        assert_eq!("10.0.0.0/x".parse::<Prefix>(), Err(PrefixParseError::BadLength));
+    }
+
+    #[test]
+    fn host_bits_are_normalised() {
+        let a: Prefix = "10.1.2.3/8".parse().unwrap();
+        let b: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn contains() {
+        let p: Prefix = "192.168.4.0/22".parse().unwrap();
+        assert!(p.contains("192.168.4.1".parse().unwrap()));
+        assert!(p.contains("192.168.7.255".parse().unwrap()));
+        assert!(!p.contains("192.168.8.0".parse().unwrap()));
+    }
+
+    #[test]
+    fn default_route_contains_everything() {
+        let p = Prefix::default_route();
+        assert!(p.is_default());
+        assert!(p.contains("255.255.255.255".parse().unwrap()));
+        assert!(p.contains("0.0.0.0".parse().unwrap()));
+    }
+
+    #[test]
+    fn covers() {
+        let p8: Prefix = "10.0.0.0/8".parse().unwrap();
+        let p16: Prefix = "10.1.0.0/16".parse().unwrap();
+        assert!(p8.covers(&p16));
+        assert!(!p16.covers(&p8));
+        assert!(p8.covers(&p8));
+    }
+
+    #[test]
+    fn bit_extraction() {
+        let p: Prefix = "128.0.0.0/1".parse().unwrap();
+        assert!(p.bit(0));
+        let p: Prefix = "64.0.0.0/2".parse().unwrap();
+        assert!(!p.bit(0));
+        assert!(p.bit(1));
+    }
+}

@@ -1,0 +1,123 @@
+//! A plain-text RIB snapshot format.
+//!
+//! One routed prefix per line, `<prefix> <origin-asn>`, `#` comments and
+//! blank lines ignored — the shape of a Routeviews table after the usual
+//! `prefix → origin` reduction:
+//!
+//! ```text
+//! # cycle 60, 2014-12-01
+//! 10.0.0.0/8 65001
+//! 10.1.0.0/16 65002
+//! ```
+
+use crate::prefix::{Prefix, PrefixParseError};
+use crate::trie::Ip2AsTrie;
+use lpr_core::lsp::Asn;
+use std::fmt;
+
+/// Errors produced while parsing a RIB snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RibError {
+    /// A line did not split into `prefix asn`.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The prefix field failed to parse.
+    BadPrefix {
+        /// 1-based line number.
+        line: usize,
+        /// Underlying prefix error.
+        source: PrefixParseError,
+    },
+    /// The ASN field failed to parse.
+    BadAsn {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for RibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RibError::BadLine { line } => write!(f, "line {line}: expected `prefix asn`"),
+            RibError::BadPrefix { line, source } => write!(f, "line {line}: {source}"),
+            RibError::BadAsn { line } => write!(f, "line {line}: invalid ASN"),
+        }
+    }
+}
+
+impl std::error::Error for RibError {}
+
+/// Parses a RIB snapshot into a lookup trie.
+pub fn parse_rib(text: &str) -> Result<Ip2AsTrie, RibError> {
+    let mut trie = Ip2AsTrie::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut fields = content.split_whitespace();
+        let (prefix, asn) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(p), Some(a), None) => (p, a),
+            _ => return Err(RibError::BadLine { line }),
+        };
+        let prefix: Prefix =
+            prefix.parse().map_err(|source| RibError::BadPrefix { line, source })?;
+        let asn: u32 = asn.parse().map_err(|_| RibError::BadAsn { line })?;
+        trie.insert(prefix, Asn(asn));
+    }
+    Ok(trie)
+}
+
+/// Serialises a trie back into the RIB snapshot format, prefixes in
+/// lexicographic order (stable for diffing).
+pub fn to_rib_string(trie: &Ip2AsTrie) -> String {
+    let mut out = String::new();
+    for (prefix, asn) in trie.iter() {
+        out.push_str(&format!("{} {}\n", prefix, asn.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn parse_basic_rib() {
+        let trie = parse_rib("10.0.0.0/8 65001\n192.0.2.0/24 64500\n").unwrap();
+        assert_eq!(trie.prefix_count(), 2);
+        assert_eq!(trie.lookup(Ipv4Addr::new(10, 1, 2, 3)), Some(Asn(65001)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let rib = "# header\n\n10.0.0.0/8 1 # trailing comment\n   \n";
+        let trie = parse_rib(rib).unwrap();
+        assert_eq!(trie.prefix_count(), 1);
+    }
+
+    #[test]
+    fn error_positions() {
+        assert_eq!(parse_rib("nonsense\n").unwrap_err(), RibError::BadLine { line: 1 });
+        assert_eq!(
+            parse_rib("10.0.0.0/8 1\nbad/8 2\n").unwrap_err(),
+            RibError::BadPrefix { line: 2, source: PrefixParseError::BadAddress }
+        );
+        assert_eq!(parse_rib("10.0.0.0/8 x\n").unwrap_err(), RibError::BadAsn { line: 1 });
+        assert_eq!(
+            parse_rib("10.0.0.0/8 1 junk\n").unwrap_err(),
+            RibError::BadLine { line: 1 }
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        let rib = "10.0.0.0/8 1\n10.128.0.0/9 2\n192.0.2.0/24 3\n";
+        let trie = parse_rib(rib).unwrap();
+        assert_eq!(to_rib_string(&trie), rib);
+    }
+}

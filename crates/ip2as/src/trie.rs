@@ -1,0 +1,230 @@
+//! A binary trie for longest-prefix-match IP-to-AS lookups.
+//!
+//! Nodes live in a flat arena (`Vec`), children are indices: no
+//! recursion, no unsafe, cache-friendly. Insertion walks at most 32
+//! levels; lookup walks until the trie runs out of matching branches and
+//! returns the deepest AS seen on the way.
+
+use crate::prefix::Prefix;
+use lpr_core::filter::AsMapper;
+use lpr_core::lsp::Asn;
+use std::net::Ipv4Addr;
+
+const NO_NODE: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    children: [u32; 2],
+    /// Origin AS when a prefix terminates here.
+    asn: Option<Asn>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node { children: [NO_NODE; 2], asn: None }
+    }
+}
+
+/// A longest-prefix-match table mapping IPv4 prefixes to origin ASes.
+#[derive(Clone, Debug)]
+pub struct Ip2AsTrie {
+    nodes: Vec<Node>,
+    prefixes: usize,
+}
+
+impl Default for Ip2AsTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ip2AsTrie {
+    /// An empty table.
+    pub fn new() -> Self {
+        Ip2AsTrie { nodes: vec![Node::new()], prefixes: 0 }
+    }
+
+    /// Number of routed prefixes inserted.
+    pub fn prefix_count(&self) -> usize {
+        self.prefixes
+    }
+
+    /// Inserts (or replaces) the origin AS of a prefix. Returns the
+    /// previous origin when the exact prefix was already present.
+    pub fn insert(&mut self, prefix: Prefix, asn: Asn) -> Option<Asn> {
+        let mut node = 0usize;
+        for i in 0..prefix.len() {
+            let bit = prefix.bit(i) as usize;
+            let next = self.nodes[node].children[bit];
+            let next = if next == NO_NODE {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node::new());
+                self.nodes[node].children[bit] = idx;
+                idx
+            } else {
+                next
+            };
+            node = next as usize;
+        }
+        let prev = self.nodes[node].asn.replace(asn);
+        if prev.is_none() {
+            self.prefixes += 1;
+        }
+        prev
+    }
+
+    /// Longest-prefix-match lookup: the origin AS of the most specific
+    /// prefix covering `ip`, if any.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<Asn> {
+        let bits = u32::from(ip);
+        let mut node = 0usize;
+        let mut best = self.nodes[0].asn;
+        for i in 0..32u32 {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            let next = self.nodes[node].children[bit];
+            if next == NO_NODE {
+                break;
+            }
+            node = next as usize;
+            if let Some(asn) = self.nodes[node].asn {
+                best = Some(asn);
+            }
+        }
+        best
+    }
+
+    /// The exact origin recorded for `prefix`, ignoring covering
+    /// prefixes (useful when diffing RIB snapshots).
+    pub fn get_exact(&self, prefix: &Prefix) -> Option<Asn> {
+        let mut node = 0usize;
+        for i in 0..prefix.len() {
+            let bit = prefix.bit(i) as usize;
+            let next = self.nodes[node].children[bit];
+            if next == NO_NODE {
+                return None;
+            }
+            node = next as usize;
+        }
+        self.nodes[node].asn
+    }
+
+    /// Iterates over every `(prefix, asn)` pair in the table, in
+    /// lexicographic prefix order.
+    pub fn iter(&self) -> Vec<(Prefix, Asn)> {
+        let mut out = Vec::with_capacity(self.prefixes);
+        // Iterative DFS carrying (node, accumulated bits, depth).
+        let mut stack: Vec<(usize, u32, u8)> = vec![(0, 0, 0)];
+        while let Some((node, bits, depth)) = stack.pop() {
+            if let Some(asn) = self.nodes[node].asn {
+                out.push((Prefix::new(Ipv4Addr::from(bits), depth), asn));
+            }
+            for bit in [1usize, 0usize] {
+                let child = self.nodes[node].children[bit];
+                if child != NO_NODE {
+                    debug_assert!(depth < 32);
+                    let child_bits = bits | ((bit as u32) << (31 - depth as u32));
+                    stack.push((child as usize, child_bits, depth + 1));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+impl AsMapper for Ip2AsTrie {
+    fn asn_of(&self, addr: Ipv4Addr) -> Option<Asn> {
+        self.lookup(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_trie_maps_nothing() {
+        let t = Ip2AsTrie::new();
+        assert_eq!(t.lookup(ip("8.8.8.8")), None);
+        assert_eq!(t.prefix_count(), 0);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut t = Ip2AsTrie::new();
+        t.insert(p("10.0.0.0/8"), Asn(1));
+        t.insert(p("10.1.0.0/16"), Asn(2));
+        t.insert(p("10.1.2.0/24"), Asn(3));
+        assert_eq!(t.lookup(ip("10.9.9.9")), Some(Asn(1)));
+        assert_eq!(t.lookup(ip("10.1.9.9")), Some(Asn(2)));
+        assert_eq!(t.lookup(ip("10.1.2.9")), Some(Asn(3)));
+        assert_eq!(t.lookup(ip("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn replacing_a_prefix_returns_previous() {
+        let mut t = Ip2AsTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), Asn(1)), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), Asn(2)), Some(Asn(1)));
+        assert_eq!(t.prefix_count(), 1);
+        assert_eq!(t.lookup(ip("10.0.0.1")), Some(Asn(2)));
+    }
+
+    #[test]
+    fn default_route() {
+        let mut t = Ip2AsTrie::new();
+        t.insert(Prefix::default_route(), Asn(7));
+        t.insert(p("10.0.0.0/8"), Asn(1));
+        assert_eq!(t.lookup(ip("8.8.8.8")), Some(Asn(7)));
+        assert_eq!(t.lookup(ip("10.0.0.1")), Some(Asn(1)));
+    }
+
+    #[test]
+    fn host_route() {
+        let mut t = Ip2AsTrie::new();
+        t.insert(p("192.0.2.1/32"), Asn(9));
+        assert_eq!(t.lookup(ip("192.0.2.1")), Some(Asn(9)));
+        assert_eq!(t.lookup(ip("192.0.2.2")), None);
+    }
+
+    #[test]
+    fn get_exact_ignores_covering_prefixes() {
+        let mut t = Ip2AsTrie::new();
+        t.insert(p("10.0.0.0/8"), Asn(1));
+        assert_eq!(t.get_exact(&p("10.0.0.0/8")), Some(Asn(1)));
+        assert_eq!(t.get_exact(&p("10.1.0.0/16")), None);
+    }
+
+    #[test]
+    fn iter_returns_all_prefixes() {
+        let mut t = Ip2AsTrie::new();
+        t.insert(p("10.0.0.0/8"), Asn(1));
+        t.insert(p("10.128.0.0/9"), Asn(2));
+        t.insert(p("192.0.2.0/24"), Asn(3));
+        let all = t.iter();
+        assert_eq!(
+            all,
+            vec![
+                (p("10.0.0.0/8"), Asn(1)),
+                (p("10.128.0.0/9"), Asn(2)),
+                (p("192.0.2.0/24"), Asn(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn as_mapper_impl() {
+        let mut t = Ip2AsTrie::new();
+        t.insert(p("10.0.0.0/8"), Asn(1));
+        let mapper: &dyn AsMapper = &t;
+        assert_eq!(mapper.asn_of(ip("10.0.0.1")), Some(Asn(1)));
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests: the trie must agree with a naive
+//! linear-scan longest-prefix-match oracle on arbitrary inputs.
+
+use ip2as::{parse_rib, to_rib_string, Ip2AsTrie, Prefix};
+use lpr_core::lsp::Asn;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::new(Ipv4Addr::from(bits), len))
+}
+
+/// Naive longest-prefix match over a prefix list (later entries replace
+/// earlier ones for the same prefix, like trie insertion does).
+fn oracle(entries: &[(Prefix, Asn)], ip: Ipv4Addr) -> Option<Asn> {
+    let mut dedup: HashMap<Prefix, Asn> = HashMap::new();
+    for (p, a) in entries {
+        dedup.insert(*p, *a);
+    }
+    dedup
+        .into_iter()
+        .filter(|(p, _)| p.contains(ip))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(_, a)| a)
+}
+
+proptest! {
+    #[test]
+    fn trie_matches_linear_scan(
+        entries in proptest::collection::vec((arb_prefix(), 1u32..100_000), 0..64),
+        probes in proptest::collection::vec(any::<u32>(), 1..32),
+    ) {
+        let mut trie = Ip2AsTrie::new();
+        let entries: Vec<(Prefix, Asn)> =
+            entries.into_iter().map(|(p, a)| (p, Asn(a))).collect();
+        for (p, a) in &entries {
+            trie.insert(*p, *a);
+        }
+        for probe in probes {
+            let ip = Ipv4Addr::from(probe);
+            prop_assert_eq!(trie.lookup(ip), oracle(&entries, ip));
+        }
+    }
+
+    #[test]
+    fn rib_roundtrip(
+        entries in proptest::collection::vec((arb_prefix(), 1u32..100_000), 0..64),
+    ) {
+        let mut trie = Ip2AsTrie::new();
+        for (p, a) in &entries {
+            trie.insert(*p, Asn(*a));
+        }
+        let text = to_rib_string(&trie);
+        let reparsed = parse_rib(&text).unwrap();
+        prop_assert_eq!(reparsed.iter(), trie.iter());
+    }
+
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+        let text = p.to_string();
+        let back: Prefix = text.parse().unwrap();
+        prop_assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,192 @@
+//! BGP-lite: AS-level routing and per-prefix egress selection.
+//!
+//! LPR does not need BGP's policy machinery — only its *observable
+//! consequence*: a transit AS forwards an external prefix towards one
+//! egress border router (the BGP next-hop), and the LDP FEC for transit
+//! traffic is that egress's loopback (§2.2.1). This module computes,
+//! for every `(current AS, origin AS)` pair, the candidate egress links
+//! along a shortest AS path; the data plane picks among parallel
+//! peering links by prefix hash, the deterministic stand-in for
+//! hot-potato tie-breaking.
+
+use crate::topology::{AsId, IfaceId, RouterId, Topology};
+use std::collections::{HashMap, VecDeque};
+
+/// One way out of an AS towards an origin.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EgressOption {
+    /// The egress border router (BGP next-hop, the LDP FEC owner).
+    pub egress: RouterId,
+    /// The inter-AS interface on `egress` the packet leaves through.
+    pub out_iface: IfaceId,
+}
+
+/// AS-level forwarding state.
+#[derive(Clone, Debug)]
+pub struct BgpState {
+    /// `(current, origin)` → candidate egress links, deterministic
+    /// order.
+    options: HashMap<(AsId, AsId), Vec<EgressOption>>,
+}
+
+impl BgpState {
+    /// Computes shortest-AS-path egress options between every AS pair.
+    /// Ties between neighbouring ASes break towards the lowest
+    /// [`AsId`], making route computation reproducible.
+    pub fn compute(topo: &Topology) -> BgpState {
+        // AS adjacency with the concrete border links realising it.
+        let mut adj: HashMap<AsId, Vec<AsId>> = HashMap::new();
+        let mut links: HashMap<(AsId, AsId), Vec<EgressOption>> = HashMap::new();
+        for iface in &topo.ifaces {
+            if !iface.inter_as {
+                continue;
+            }
+            let here = topo.router(iface.router).as_id;
+            let there = topo.router(topo.iface(iface.peer).router).as_id;
+            adj.entry(here).or_default().push(there);
+            links
+                .entry((here, there))
+                .or_default()
+                .push(EgressOption { egress: iface.router, out_iface: iface.id });
+        }
+        for v in adj.values_mut() {
+            v.sort();
+            v.dedup();
+        }
+        for v in links.values_mut() {
+            v.sort_by_key(|o| (o.egress, o.out_iface));
+        }
+
+        let mut options = HashMap::new();
+        for origin in topo.ases.iter().map(|a| a.id) {
+            // BFS from the origin over the undirected AS graph.
+            let mut dist: HashMap<AsId, u32> = HashMap::new();
+            dist.insert(origin, 0);
+            let mut q = VecDeque::new();
+            q.push_back(origin);
+            while let Some(a) = q.pop_front() {
+                let d = dist[&a];
+                for &n in adj.get(&a).map(Vec::as_slice).unwrap_or(&[]) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(n) {
+                        e.insert(d + 1);
+                        q.push_back(n);
+                    }
+                }
+            }
+            // For each AS, the next hop towards the origin is the
+            // lowest-id neighbour strictly closer to it.
+            for a in topo.ases.iter().map(|a| a.id) {
+                if a == origin {
+                    continue;
+                }
+                let Some(&da) = dist.get(&a) else { continue };
+                let next = adj
+                    .get(&a)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[])
+                    .iter()
+                    .copied()
+                    .filter(|n| dist.get(n).is_some_and(|&dn| dn + 1 == da))
+                    .min();
+                if let Some(next) = next {
+                    let opts = links.get(&(a, next)).cloned().unwrap_or_default();
+                    options.insert((a, origin), opts);
+                }
+            }
+        }
+        BgpState { options }
+    }
+
+    /// Candidate egress links from `current` towards `origin`.
+    pub fn options(&self, current: AsId, origin: AsId) -> &[EgressOption] {
+        self.options.get(&(current, origin)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The egress link chosen for a given selection key (a prefix
+    /// hash): stable per prefix, spread across parallel links.
+    pub fn egress_for(&self, current: AsId, origin: AsId, key: u64) -> Option<EgressOption> {
+        let opts = self.options(current, origin);
+        if opts.is_empty() {
+            None
+        } else {
+            Some(opts[(key % opts.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{AsSpec, Topology, TopologyParams};
+    use crate::vendor::Vendor;
+    use lpr_core::lsp::Asn;
+
+    /// src(100) -- transit(1) -- transit(2) -- dst(200), plus a direct
+    /// shortcut transit(1)--dst(200).
+    fn line_topo() -> Topology {
+        let specs = vec![
+            AsSpec::transit(1, "t1", Vendor::Cisco, TopologyParams::default()),
+            AsSpec::transit(2, "t2", Vendor::Cisco, TopologyParams::default()),
+            AsSpec::stub(100, "src", 0, 1),
+            AsSpec::stub(200, "dst", 2, 0),
+        ];
+        let peerings = vec![
+            (Asn(100), Asn(1), 1),
+            (Asn(1), Asn(2), 2),
+            (Asn(2), Asn(200), 1),
+        ];
+        Topology::build(&specs, &peerings)
+    }
+
+    #[test]
+    fn shortest_as_path_next_hop() {
+        let topo = line_topo();
+        let bgp = BgpState::compute(&topo);
+        let t1 = topo.as_by_asn(Asn(1)).unwrap().id;
+        let dst = topo.as_by_asn(Asn(200)).unwrap().id;
+        // From t1, the origin 200 is reached via t2.
+        let opts = bgp.options(t1, dst);
+        assert!(!opts.is_empty());
+        for o in opts {
+            assert_eq!(topo.router(o.egress).as_id, t1);
+            let peer_as = topo.router(topo.iface(topo.iface(o.out_iface).peer).router).as_id;
+            assert_eq!(peer_as, topo.as_by_asn(Asn(2)).unwrap().id);
+        }
+    }
+
+    #[test]
+    fn parallel_peerings_yield_multiple_options() {
+        let topo = line_topo();
+        let bgp = BgpState::compute(&topo);
+        let t1 = topo.as_by_asn(Asn(1)).unwrap().id;
+        let dst = topo.as_by_asn(Asn(200)).unwrap().id;
+        assert_eq!(bgp.options(t1, dst).len(), 2);
+        // Hash selection is stable and covers the options.
+        let a = bgp.egress_for(t1, dst, 0).unwrap();
+        let b = bgp.egress_for(t1, dst, 1).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(bgp.egress_for(t1, dst, 2).unwrap(), a);
+    }
+
+    #[test]
+    fn origin_as_has_no_egress_to_itself() {
+        let topo = line_topo();
+        let bgp = BgpState::compute(&topo);
+        let dst = topo.as_by_asn(Asn(200)).unwrap().id;
+        assert!(bgp.options(dst, dst).is_empty());
+    }
+
+    #[test]
+    fn disconnected_as_is_unreachable() {
+        let specs = vec![
+            AsSpec::transit(1, "t1", Vendor::Cisco, TopologyParams::default()),
+            AsSpec::stub(100, "island", 1, 0),
+        ];
+        let topo = Topology::build(&specs, &[]);
+        let bgp = BgpState::compute(&topo);
+        let t1 = topo.as_by_asn(Asn(1)).unwrap().id;
+        let island = topo.as_by_asn(Asn(100)).unwrap().id;
+        assert!(bgp.options(t1, island).is_empty());
+        assert_eq!(bgp.egress_for(t1, island, 7), None);
+    }
+}

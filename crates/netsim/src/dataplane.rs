@@ -1,0 +1,705 @@
+//! The MPLS/IP data plane: one probe, one walk.
+//!
+//! [`probe`] injects a single traceroute probe (a TTL-limited packet)
+//! at a vantage point and walks it router by router, reproducing the
+//! behaviours LPR later decodes:
+//!
+//! * IP TTL decrement, and — inside tunnels — LSE-TTL decrement with
+//!   `ttl-propagate` copying the IP TTL into the pushed entry (§2.3);
+//! * label push at the ingress LER (LDP towards the BGP next-hop's
+//!   loopback, or one of the pair's RSVP-TE LSPs selected per
+//!   destination prefix — the *multi-FEC on destination basis* the
+//!   paper singles out);
+//! * label swap with per-router LDP scope, per-LSP RSVP-TE labels;
+//! * penultimate-hop popping (implicit-null) or UHP (explicit-null);
+//! * ECMP across equal-cost next hops **and** parallel links, hashed on
+//!   the flow identifier (Paris traceroute keeps it constant per
+//!   trace);
+//! * RFC 4950 label-stack quoting in `time-exceeded` replies, with the
+//!   reply sourced from the incoming interface.
+//!
+//! Invisible tunnels (`ttl-propagate` off) are modelled as a teleport:
+//! interior LSRs neither decrement the IP TTL nor appear in traces.
+
+use crate::internet::{splitmix64, Internet};
+use crate::rsvp::TeLsp;
+use crate::topology::{RouterId, Topology};
+use lpr_core::label::{Label, Lse};
+use std::net::Ipv4Addr;
+
+/// Safety bound on forwarding steps (far above any simulated diameter).
+const MAX_STEPS: usize = 256;
+
+/// The outcome of one probe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProbeReply {
+    /// TTL expired at a router.
+    TimeExceeded {
+        /// The expiring router.
+        router: RouterId,
+        /// Reply source: the incoming interface of the probe.
+        addr: Ipv4Addr,
+        /// RFC 4950 quoted label stack (empty when the packet carried
+        /// no labels or the router does not implement the extension).
+        stack: Vec<Lse>,
+    },
+    /// The destination replied.
+    Echo {
+        /// The destination address.
+        addr: Ipv4Addr,
+    },
+    /// No route to the destination (or unknown endpoint).
+    Unreachable,
+}
+
+#[derive(Clone, Debug)]
+enum TunnelKind {
+    Ldp { ingress: RouterId, egress: RouterId },
+    Te { lsp: TeLsp, pos: usize },
+    /// Only the VPN service label remains (the transport label was
+    /// popped by the penultimate router): the packet is on its final
+    /// hop towards the egress PE, which pops the service label.
+    Service,
+}
+
+#[derive(Clone, Debug)]
+struct Tunnel {
+    kind: TunnelKind,
+    lse_ttl: u8,
+    /// The (transport) label the packet carried when arriving at the
+    /// current router (what RFC 4950 would quote at the top).
+    arriving: Option<Label>,
+    /// The bottom-of-stack VPN service label, when the pair carries
+    /// RFC 4364 traffic.
+    service: Option<Label>,
+}
+
+impl Tunnel {
+    /// The RFC 4950 stack this packet would be quoted with here.
+    fn quoted_stack(&self, received_ttl: u8) -> Vec<Lse> {
+        let mut stack = Vec::new();
+        match self.kind {
+            TunnelKind::Service => {
+                if let Some(svc) = self.service {
+                    stack.push(Lse::new(svc, 0, true, received_ttl));
+                }
+            }
+            _ => {
+                if let Some(top) = self.arriving {
+                    stack.push(Lse::new(top, 0, self.service.is_none(), received_ttl));
+                    if let Some(svc) = self.service {
+                        stack.push(Lse::new(svc, 0, true, received_ttl));
+                    }
+                }
+            }
+        }
+        stack
+    }
+}
+
+/// Flow-hash selection of one index among `n`.
+fn pick(flow: u64, router: RouterId, n: usize, salt: u64) -> usize {
+    debug_assert!(n > 0);
+    (splitmix64(flow ^ ((router.0 as u64) << 32) ^ (salt << 56)) % n as u64) as usize
+}
+
+/// The per-/24 selection key used for BGP tie-breaking and TE LSP
+/// binding (the FEC is destination-prefix based).
+pub fn prefix_key(dst: Ipv4Addr) -> u64 {
+    splitmix64((u32::from(dst) >> 8) as u64)
+}
+
+/// Chooses one of the (possibly parallel) links from `cur` towards the
+/// *known* adjacent router `next`; returns the chosen interface id's
+/// peer-side arrival address.
+fn pick_link(topo: &Topology, cur: RouterId, next: RouterId, flow: u64) -> Option<Ipv4Addr> {
+    let mut ifaces: Vec<_> = topo
+        .intra_neighbors(cur)
+        .filter(|(_, peer)| *peer == next)
+        .map(|(iface, _)| iface.id)
+        .collect();
+    ifaces.sort();
+    if ifaces.is_empty() {
+        return None;
+    }
+    let chosen = ifaces[pick(flow, cur, ifaces.len(), 0x11)];
+    Some(topo.iface(topo.iface(chosen).peer).addr)
+}
+
+/// Sends one probe with the given TTL from a vantage point towards a
+/// destination; `flow` is the Paris flow identifier (constant per
+/// trace).
+pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u64) -> ProbeReply {
+    let topo = &net.topo;
+    let Some(vp_at) = net.vp_attachment(vp) else {
+        return ProbeReply::Unreachable;
+    };
+    let dest_at = net.dest_attachment(dst);
+
+    let mut cur = vp_at.router;
+    let mut arrival = topo.router(cur).loopback;
+    let mut ip_ttl: u32 = probe_ttl as u32;
+    let mut tunnel: Option<Tunnel> = None;
+    let mut entered_as = true;
+
+    for _ in 0..MAX_STEPS {
+        let as_id = topo.router(cur).as_id;
+        let cfg = net.config(as_id);
+
+        // --- TTL processing on arrival -------------------------------
+        match tunnel.as_mut() {
+            Some(t) => {
+                let received = t.lse_ttl;
+                if received <= 1 {
+                    let stack =
+                        if cfg.rfc4950 { t.quoted_stack(received) } else { Vec::new() };
+                    return ProbeReply::TimeExceeded { router: cur, addr: arrival, stack };
+                }
+                t.lse_ttl = received - 1;
+            }
+            None => {
+                if ip_ttl <= 1 {
+                    return ProbeReply::TimeExceeded {
+                        router: cur,
+                        addr: arrival,
+                        stack: Vec::new(),
+                    };
+                }
+                ip_ttl -= 1;
+            }
+        }
+
+        // --- UHP: explicit-null arrives at the egress LER, which pops
+        // and routes the inner packet. A lone service label (PHP'd
+        // transport) is likewise popped by the egress PE.
+        if let Some(t) = &tunnel {
+            let at_service_end = matches!(t.kind, TunnelKind::Service);
+            if t.arriving == Some(Label::IPV4_EXPLICIT_NULL) || at_service_end {
+                ip_ttl = t.lse_ttl as u32;
+                tunnel = None;
+            }
+        }
+
+        // --- Local delivery ------------------------------------------
+        if tunnel.is_none() {
+            if let Some(at) = dest_at {
+                if at.router == cur {
+                    return ProbeReply::Echo { addr: dst };
+                }
+            }
+        }
+
+        // --- Forwarding ----------------------------------------------
+        match tunnel.take() {
+            Some(Tunnel { kind: TunnelKind::Te { lsp, pos }, lse_ttl, service, .. }) => {
+                let next = lsp.path[pos + 1];
+                let Some(next_arrival) = pick_link(topo, cur, next, flow) else {
+                    return ProbeReply::Unreachable;
+                };
+                let arr = lsp.arriving_label(pos + 1);
+                let at_egress = pos + 1 == lsp.path.len() - 1;
+                if arr.is_none() && at_egress {
+                    // PHP: the transport label pops here. Without a
+                    // service label the egress receives plain IP;
+                    // with one, the service entry rides the last hop.
+                    if service.is_some() {
+                        tunnel = Some(Tunnel {
+                            kind: TunnelKind::Service,
+                            lse_ttl,
+                            arriving: None,
+                            service,
+                        });
+                    } else {
+                        ip_ttl = lse_ttl as u32;
+                        tunnel = None;
+                    }
+                } else {
+                    tunnel = Some(Tunnel {
+                        kind: TunnelKind::Te { lsp, pos: pos + 1 },
+                        lse_ttl,
+                        arriving: arr,
+                        service,
+                    });
+                }
+                cur = next;
+                arrival = next_arrival;
+                entered_as = false;
+            }
+            // A lone service label is popped on arrival at the egress
+            // PE (handled above); it never reaches the forwarding
+            // stage.
+            Some(Tunnel { kind: TunnelKind::Service, .. }) => {
+                return ProbeReply::Unreachable;
+            }
+            Some(Tunnel { kind: TunnelKind::Ldp { ingress, egress }, lse_ttl, service, .. }) => {
+                let nhs = net.ecmp_nexthops(as_id, cur, egress, ingress);
+                if nhs.is_empty() {
+                    return ProbeReply::Unreachable;
+                }
+                let iface_id = nhs[pick(flow, cur, nhs.len(), 0x22)];
+                let peer_iface = topo.iface(topo.iface(iface_id).peer);
+                let next = peer_iface.router;
+                let ldp = net.ldp(as_id).expect("LDP tunnel implies LDP state");
+                tunnel = match ldp.advertised(next, egress) {
+                    crate::ldp::LdpLabel::Label(l) => Some(Tunnel {
+                        kind: TunnelKind::Ldp { ingress, egress },
+                        lse_ttl,
+                        arriving: Some(l),
+                        service,
+                    }),
+                    crate::ldp::LdpLabel::ImplicitNull => {
+                        if service.is_some() {
+                            Some(Tunnel {
+                                kind: TunnelKind::Service,
+                                lse_ttl,
+                                arriving: None,
+                                service,
+                            })
+                        } else {
+                            ip_ttl = lse_ttl as u32;
+                            None
+                        }
+                    }
+                    crate::ldp::LdpLabel::ExplicitNull => Some(Tunnel {
+                        kind: TunnelKind::Ldp { ingress, egress },
+                        lse_ttl,
+                        arriving: Some(Label::IPV4_EXPLICIT_NULL),
+                        service,
+                    }),
+                };
+                cur = next;
+                arrival = peer_iface.addr;
+                entered_as = false;
+            }
+            None => {
+                // Plain IP: figure out the intra-AS target.
+                let internal = dest_at.filter(|at| at.as_id == as_id);
+                let target = if let Some(at) = internal {
+                    at.router
+                } else {
+                    let Some(at) = dest_at else { return ProbeReply::Unreachable };
+                    let Some(opt) = net.bgp().egress_for(as_id, at.as_id, prefix_key(dst))
+                    else {
+                        return ProbeReply::Unreachable;
+                    };
+                    if opt.egress == cur {
+                        // Leave the AS over the chosen peering link.
+                        let peer_iface = topo.iface(topo.iface(opt.out_iface).peer);
+                        cur = peer_iface.router;
+                        arrival = peer_iface.addr;
+                        entered_as = true;
+                        continue;
+                    }
+                    opt.egress
+                };
+
+                // Ingress LER behaviour: push a label when this AS
+                // tunnels this pair and the packet just entered.
+                let may_tunnel = entered_as
+                    && cfg.enabled
+                    && cur != target
+                    && (internal.is_none() || cfg.tunnel_internal_dests)
+                    && net.pair_deployed(as_id, cur, target);
+
+                if may_tunnel && !cfg.ttl_propagate {
+                    // Invisible tunnel: interior hops neither decrement
+                    // the IP TTL nor reply; the packet reappears at the
+                    // tunnel tail.
+                    cur = target;
+                    arrival = topo.router(target).loopback;
+                    entered_as = false;
+                    continue;
+                }
+
+                // VPN pairs stack a per-VRF service label under the
+                // transport label (external destinations only: the
+                // customer is identified by the destination AS).
+                let service = if may_tunnel
+                    && internal.is_none()
+                    && net.pair_vpn(as_id, cur, target)
+                {
+                    dest_at.map(|at| {
+                        net.service_label(target, topo.as_of(at.as_id).asn)
+                    })
+                } else {
+                    None
+                };
+
+                if may_tunnel && net.pair_te(as_id, cur, target) {
+                    let lsps = net.te_lsps(as_id, cur, target);
+                    let lsp = lsps[(prefix_key(dst) % lsps.len() as u64) as usize].clone();
+                    let next = lsp.path[1];
+                    let Some(next_arrival) = pick_link(topo, cur, next, flow) else {
+                        return ProbeReply::Unreachable;
+                    };
+                    let arr = lsp.arriving_label(1);
+                    if arr.is_none() && lsp.path.len() == 2 && service.is_none() {
+                        // One-hop TE tunnel with PHP: never visible.
+                    } else if arr.is_none() && lsp.path.len() == 2 {
+                        // One-hop tunnel, but the service label still
+                        // rides to the egress PE.
+                        tunnel = Some(Tunnel {
+                            kind: TunnelKind::Service,
+                            lse_ttl: ip_ttl.min(255) as u8,
+                            arriving: None,
+                            service,
+                        });
+                    } else {
+                        tunnel = Some(Tunnel {
+                            kind: TunnelKind::Te { lsp, pos: 1 },
+                            lse_ttl: ip_ttl.min(255) as u8,
+                            arriving: arr,
+                            service,
+                        });
+                    }
+                    cur = next;
+                    arrival = next_arrival;
+                    entered_as = false;
+                    continue;
+                }
+
+                let nhs = net.ecmp_nexthops(as_id, cur, target, cur);
+                if nhs.is_empty() {
+                    return ProbeReply::Unreachable;
+                }
+                let iface_id = nhs[pick(flow, cur, nhs.len(), 0x22)];
+                let peer_iface = topo.iface(topo.iface(iface_id).peer);
+                let next = peer_iface.router;
+
+                if may_tunnel {
+                    // LDP push: the label is whatever the downstream
+                    // router advertised for the egress FEC.
+                    let ldp = net.ldp(as_id).expect("MPLS enabled implies LDP state");
+                    tunnel = match ldp.advertised(next, target) {
+                        crate::ldp::LdpLabel::Label(l) => Some(Tunnel {
+                            kind: TunnelKind::Ldp { ingress: cur, egress: target },
+                            lse_ttl: ip_ttl.min(255) as u8,
+                            arriving: Some(l),
+                            service,
+                        }),
+                        // Adjacent egress with PHP: the transport
+                        // entry is never visible, but a service label
+                        // still rides the hop.
+                        crate::ldp::LdpLabel::ImplicitNull => service.map(|_| Tunnel {
+                            kind: TunnelKind::Service,
+                            lse_ttl: ip_ttl.min(255) as u8,
+                            arriving: None,
+                            service,
+                        }),
+                        crate::ldp::LdpLabel::ExplicitNull => Some(Tunnel {
+                            kind: TunnelKind::Ldp { ingress: cur, egress: target },
+                            lse_ttl: ip_ttl.min(255) as u8,
+                            arriving: Some(Label::IPV4_EXPLICIT_NULL),
+                            service,
+                        }),
+                    };
+                }
+                cur = next;
+                arrival = peer_iface.addr;
+                entered_as = false;
+            }
+        }
+    }
+    ProbeReply::Unreachable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::internet::{MplsConfig, TePathMode};
+    use crate::topology::{AsSpec, Topology, TopologyParams};
+    use crate::vendor::Vendor;
+    use lpr_core::lsp::Asn;
+    use std::collections::BTreeMap;
+
+    fn build(cfg: MplsConfig) -> Internet {
+        let specs = vec![
+            AsSpec::transit(
+                1,
+                "t",
+                Vendor::Juniper,
+                TopologyParams { core_routers: 4, border_routers: 2, ..Default::default() },
+            ),
+            AsSpec::stub(100, "src", 0, 1),
+            AsSpec::stub(200, "dst", 2, 0),
+        ];
+        let peerings = vec![(Asn(100), Asn(1), 1), (Asn(1), Asn(200), 1)];
+        let topo = Topology::build(&specs, &peerings);
+        let mut configs = BTreeMap::new();
+        configs.insert(Asn(1), cfg);
+        Internet::new(topo, &configs)
+    }
+
+    fn endpoints(net: &Internet) -> (Ipv4Addr, Ipv4Addr) {
+        let vp = net.topo.vantage_points()[0].0;
+        let dst = net.topo.destinations(1)[0];
+        (vp, dst)
+    }
+
+    /// Runs the full TTL ladder and returns the replies.
+    fn ladder(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr) -> Vec<ProbeReply> {
+        let flow = 42u64;
+        let mut out = Vec::new();
+        for ttl in 1..=32 {
+            let r = probe(net, vp, dst, ttl, flow);
+            let done = matches!(r, ProbeReply::Echo { .. });
+            out.push(r);
+            if done {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn trace_reaches_destination() {
+        let net = build(MplsConfig::disabled());
+        let (vp, dst) = endpoints(&net);
+        let replies = ladder(&net, vp, dst);
+        assert!(matches!(replies.last(), Some(ProbeReply::Echo { .. })));
+        // Without MPLS no reply carries labels.
+        for r in &replies {
+            if let ProbeReply::TimeExceeded { stack, .. } = r {
+                assert!(stack.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn paris_flow_is_path_stable() {
+        let net = build(MplsConfig::ldp_default());
+        let (vp, dst) = endpoints(&net);
+        let a = ladder(&net, vp, dst);
+        let b = ladder(&net, vp, dst);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ldp_tunnel_is_visible_with_propagation() {
+        let net = build(MplsConfig::ldp_default());
+        let (vp, dst) = endpoints(&net);
+        let replies = ladder(&net, vp, dst);
+        let labelled = replies
+            .iter()
+            .filter(|r| matches!(r, ProbeReply::TimeExceeded { stack, .. } if !stack.is_empty()))
+            .count();
+        assert!(labelled >= 1, "expected labelled hops, got {replies:?}");
+        assert!(matches!(replies.last(), Some(ProbeReply::Echo { .. })));
+    }
+
+    #[test]
+    fn no_ttl_propagate_hides_the_tunnel() {
+        let mut cfg = MplsConfig::ldp_default();
+        cfg.ttl_propagate = false;
+        let net = build(cfg);
+        let (vp, dst) = endpoints(&net);
+        let visible = ladder(&net, vp, dst);
+        for r in &visible {
+            if let ProbeReply::TimeExceeded { stack, .. } = r {
+                assert!(stack.is_empty());
+            }
+        }
+        // The invisible tunnel also shortens the apparent path.
+        let net2 = build(MplsConfig::ldp_default());
+        let full = ladder(&net2, vp, dst);
+        assert!(visible.len() < full.len());
+    }
+
+    #[test]
+    fn no_rfc4950_yields_implicit_tunnel() {
+        let mut cfg = MplsConfig::ldp_default();
+        cfg.rfc4950 = false;
+        let net = build(cfg);
+        let (vp, dst) = endpoints(&net);
+        let replies = ladder(&net, vp, dst);
+        // Hops exist (TTL propagated) but no labels are quoted.
+        for r in &replies {
+            if let ProbeReply::TimeExceeded { stack, .. } = r {
+                assert!(stack.is_empty());
+            }
+        }
+        let net2 = build(MplsConfig::ldp_default());
+        assert_eq!(replies.len(), ladder(&net2, vp, dst).len());
+    }
+
+    #[test]
+    fn php_hides_label_at_egress() {
+        let net = build(MplsConfig::ldp_default());
+        let (vp, dst) = endpoints(&net);
+        let replies = ladder(&net, vp, dst);
+        // Find the labelled run; the hop right after it must be
+        // unlabelled (the egress LER after PHP).
+        let mut last_labelled = None;
+        for (i, r) in replies.iter().enumerate() {
+            if let ProbeReply::TimeExceeded { stack, .. } = r {
+                if !stack.is_empty() {
+                    last_labelled = Some(i);
+                }
+            }
+        }
+        let i = last_labelled.expect("labelled hops");
+        match &replies[i + 1] {
+            ProbeReply::TimeExceeded { stack, .. } => assert!(stack.is_empty()),
+            ProbeReply::Echo { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uhp_shows_explicit_null_at_egress() {
+        let mut cfg = MplsConfig::ldp_default();
+        cfg.php = false;
+        let net = build(cfg);
+        let (vp, dst) = endpoints(&net);
+        let replies = ladder(&net, vp, dst);
+        let nulls = replies
+            .iter()
+            .filter(|r| {
+                matches!(r, ProbeReply::TimeExceeded { stack, .. }
+                    if stack.first().map(|l| l.label) == Some(Label::IPV4_EXPLICIT_NULL))
+            })
+            .count();
+        assert_eq!(nulls, 1, "{replies:?}");
+        assert!(matches!(replies.last(), Some(ProbeReply::Echo { .. })));
+    }
+
+    #[test]
+    fn te_lsps_differ_in_labels_by_destination_prefix() {
+        let net = build(MplsConfig::with_te(1.0, 4, TePathMode::SamePath));
+        let vp = net.topo.vantage_points()[0].0;
+        // Two destinations in different /24s of the same stub.
+        let dests = net.topo.destinations(1);
+        assert!(dests.len() >= 2);
+        let mut label_seqs = std::collections::BTreeSet::new();
+        for &dst in &dests[..2] {
+            let labels: Vec<u32> = ladder(&net, vp, dst)
+                .iter()
+                .filter_map(|r| match r {
+                    ProbeReply::TimeExceeded { stack, .. } if !stack.is_empty() => {
+                        Some(stack[0].label.value())
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert!(!labels.is_empty());
+            label_seqs.insert(labels);
+        }
+        assert_eq!(label_seqs.len(), 2, "distinct FECs must expose distinct labels");
+    }
+
+    #[test]
+    fn unknown_endpoints_are_unreachable() {
+        let net = build(MplsConfig::disabled());
+        let (vp, dst) = endpoints(&net);
+        assert_eq!(
+            probe(&net, Ipv4Addr::new(1, 2, 3, 4), dst, 5, 1),
+            ProbeReply::Unreachable
+        );
+        assert_eq!(
+            probe(&net, vp, Ipv4Addr::new(1, 2, 3, 4), 5, 1),
+            ProbeReply::Unreachable
+        );
+    }
+
+    #[test]
+    fn reply_addresses_are_interface_addresses() {
+        let net = build(MplsConfig::ldp_default());
+        let (vp, dst) = endpoints(&net);
+        let rib = net.topo.rib();
+        for r in ladder(&net, vp, dst) {
+            if let ProbeReply::TimeExceeded { addr, .. } = r {
+                assert!(rib.lookup(addr).is_some(), "{addr} unmapped");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod corner_tests {
+    use super::*;
+    use crate::internet::MplsConfig;
+    use crate::topology::{AsSpec, Topology, TopologyParams};
+    use crate::vendor::Vendor;
+    use lpr_core::lsp::Asn;
+    use std::collections::BTreeMap;
+
+    fn tiny() -> Internet {
+        let specs = vec![
+            AsSpec::transit(1, "t", Vendor::Cisco, TopologyParams::default()),
+            AsSpec::stub(100, "src", 0, 1),
+            AsSpec::stub(200, "dst", 1, 0),
+        ];
+        let peerings = vec![(Asn(100), Asn(1), 1), (Asn(1), Asn(200), 1)];
+        let topo = Topology::build(&specs, &peerings);
+        let mut configs = BTreeMap::new();
+        configs.insert(Asn(1), MplsConfig::ldp_default());
+        Internet::new(topo, &configs)
+    }
+
+    #[test]
+    fn ttl_one_expires_at_the_gateway() {
+        let net = tiny();
+        let vp = net.topo.vantage_points()[0].0;
+        let dst = net.topo.destinations(1)[0];
+        match probe(&net, vp, dst, 1, 7) {
+            ProbeReply::TimeExceeded { router, stack, .. } => {
+                assert_eq!(router, net.vp_attachment(vp).unwrap().router);
+                assert!(stack.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_ttl_reaches_the_destination() {
+        let net = tiny();
+        let vp = net.topo.vantage_points()[0].0;
+        let dst = net.topo.destinations(1)[0];
+        assert_eq!(probe(&net, vp, dst, 255, 7), ProbeReply::Echo { addr: dst });
+    }
+
+    #[test]
+    fn every_ttl_gets_exactly_one_terminal_answer() {
+        // For each TTL the probe either expires at one router or
+        // reaches the destination; once reached, every larger TTL
+        // reaches too (no flapping).
+        let net = tiny();
+        let vp = net.topo.vantage_points()[0].0;
+        let dst = net.topo.destinations(1)[0];
+        let mut reached_at = None;
+        for ttl in 1..=32u8 {
+            match probe(&net, vp, dst, ttl, 99) {
+                ProbeReply::Echo { .. } => {
+                    reached_at.get_or_insert(ttl);
+                }
+                ProbeReply::TimeExceeded { .. } => {
+                    assert!(reached_at.is_none(), "expired after reaching at {reached_at:?}");
+                }
+                ProbeReply::Unreachable => panic!("unreachable at ttl {ttl}"),
+            }
+        }
+        assert!(reached_at.is_some());
+    }
+
+    #[test]
+    fn distinct_flows_agree_on_hop_count_without_ecmp() {
+        // The default chain has a single path: every flow must see the
+        // identical hop sequence.
+        let net = tiny();
+        let vp = net.topo.vantage_points()[0].0;
+        let dst = net.topo.destinations(1)[0];
+        let path = |flow: u64| {
+            let mut hops = Vec::new();
+            for ttl in 1..=32u8 {
+                match probe(&net, vp, dst, ttl, flow) {
+                    ProbeReply::TimeExceeded { addr, .. } => hops.push(addr),
+                    ProbeReply::Echo { .. } => break,
+                    ProbeReply::Unreachable => panic!("unreachable"),
+                }
+            }
+            hops
+        };
+        assert_eq!(path(1), path(2));
+        assert_eq!(path(2), path(0xFFFF_FFFF_FFFF_FFFF));
+    }
+}

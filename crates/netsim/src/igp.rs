@@ -1,0 +1,257 @@
+//! Per-AS link-state IGP: Dijkstra shortest paths with full ECMP
+//! next-hop sets.
+//!
+//! The IGP is what LDP LSPs follow (§2.2.1 of the paper): when several
+//! equal-cost routes exist, the data plane load-balances across them
+//! (ECMP), and — crucially for the Mono-FEC subclasses — parallel links
+//! between the same router pair each contribute their own next-hop
+//! interface.
+
+use crate::topology::{AsId, IfaceId, RouterId, Topology};
+use std::collections::{BinaryHeap, HashMap};
+
+/// All-pairs ECMP routing state for one AS.
+#[derive(Clone, Debug)]
+pub struct IgpState {
+    /// `nexthops[&(from, to)]` = the ECMP set of outgoing interfaces on
+    /// `from` lying on a shortest path towards `to` (empty for
+    /// unreachable or identical routers). Interfaces are sorted by id,
+    /// so the flow hash picks deterministically.
+    nexthops: HashMap<(RouterId, RouterId), Vec<IfaceId>>,
+    /// Shortest-path cost between router pairs.
+    dist: HashMap<(RouterId, RouterId), u32>,
+}
+
+impl IgpState {
+    /// Runs Dijkstra from every router of the AS.
+    pub fn compute(topo: &Topology, as_id: AsId) -> IgpState {
+        let routers = &topo.as_of(as_id).routers;
+        let mut nexthops = HashMap::new();
+        let mut dist_map = HashMap::new();
+        for &src in routers {
+            let (dist, first_hops) = dijkstra_ecmp(topo, src);
+            for &dst in routers {
+                if let Some(&d) = dist.get(&dst) {
+                    dist_map.insert((src, dst), d);
+                }
+                let mut hops = first_hops.get(&dst).cloned().unwrap_or_default();
+                hops.sort();
+                hops.dedup();
+                nexthops.insert((src, dst), hops);
+            }
+        }
+        IgpState { nexthops, dist: dist_map }
+    }
+
+    /// The ECMP next-hop interfaces from `from` towards `to`.
+    pub fn nexthops(&self, from: RouterId, to: RouterId) -> &[IfaceId] {
+        self.nexthops.get(&(from, to)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Shortest-path cost, if reachable.
+    pub fn distance(&self, from: RouterId, to: RouterId) -> Option<u32> {
+        self.dist.get(&(from, to)).copied()
+    }
+
+    /// Enumerates every distinct shortest path (as router sequences)
+    /// from `from` to `to`, up to `limit` paths. Used by RSVP-TE CSPF
+    /// to pin explicit routes.
+    pub fn all_shortest_paths(
+        &self,
+        topo: &Topology,
+        from: RouterId,
+        to: RouterId,
+        limit: usize,
+    ) -> Vec<Vec<RouterId>> {
+        let mut out = Vec::new();
+        let mut stack = vec![(from, vec![from])];
+        while let Some((r, path)) = stack.pop() {
+            if out.len() >= limit {
+                break;
+            }
+            if r == to {
+                out.push(path);
+                continue;
+            }
+            // Follow ECMP next hops; dedupe parallel links by peer.
+            let mut seen_peer = Vec::new();
+            for &ifid in self.nexthops(r, to) {
+                let peer = topo.iface(topo.iface(ifid).peer).router;
+                if seen_peer.contains(&peer) {
+                    continue;
+                }
+                seen_peer.push(peer);
+                let mut p = path.clone();
+                p.push(peer);
+                stack.push((peer, p));
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// Dijkstra with ECMP first-hop tracking: for every destination, the
+/// set of outgoing interfaces of `src` that begin a shortest path.
+fn dijkstra_ecmp(
+    topo: &Topology,
+    src: RouterId,
+) -> (HashMap<RouterId, u32>, HashMap<RouterId, Vec<IfaceId>>) {
+    use std::cmp::Reverse;
+    let mut dist: HashMap<RouterId, u32> = HashMap::new();
+    let mut first: HashMap<RouterId, Vec<IfaceId>> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(u32, RouterId)>> = BinaryHeap::new();
+    dist.insert(src, 0);
+    heap.push(Reverse((0, src)));
+
+    while let Some(Reverse((d, r))) = heap.pop() {
+        if dist.get(&r).copied() != Some(d) {
+            continue; // stale entry
+        }
+        for (iface, peer) in topo.intra_neighbors(r) {
+            let nd = d + iface.cost;
+            let entry = dist.get(&peer).copied();
+            // First hops towards `peer` through this edge: if r is the
+            // source, the edge's own interface; otherwise inherit r's.
+            let via: Vec<IfaceId> =
+                if r == src { vec![iface.id] } else { first.get(&r).cloned().unwrap_or_default() };
+            match entry {
+                None => {
+                    dist.insert(peer, nd);
+                    first.insert(peer, via);
+                    heap.push(Reverse((nd, peer)));
+                }
+                Some(cur) if nd < cur => {
+                    dist.insert(peer, nd);
+                    first.insert(peer, via);
+                    heap.push(Reverse((nd, peer)));
+                }
+                Some(cur) if nd == cur => {
+                    let e = first.entry(peer).or_default();
+                    for v in via {
+                        if !e.contains(&v) {
+                            e.push(v);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    (dist, first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{AsSpec, Role, Topology, TopologyParams};
+    use crate::vendor::Vendor;
+    use lpr_core::lsp::Asn;
+
+    fn transit(params: TopologyParams) -> (Topology, AsId) {
+        let spec = AsSpec {
+            asn: Asn(1),
+            name: "t".into(),
+            role: Role::Transit,
+            vendor: Vendor::Cisco,
+            params,
+            dest_prefixes: 0,
+            vantage_points: 0,
+            seed: 7,
+        };
+        let topo = Topology::build(&[spec], &[]);
+        (topo, AsId(0))
+    }
+
+    #[test]
+    fn chain_has_single_paths() {
+        let (topo, as_id) = transit(TopologyParams {
+            core_routers: 4,
+            border_routers: 2,
+            ..Default::default()
+        });
+        let igp = IgpState::compute(&topo, as_id);
+        let routers = &topo.as_of(as_id).routers;
+        let a = routers[0];
+        let b = routers[3];
+        assert_eq!(igp.nexthops(a, b).len(), 1);
+        assert_eq!(igp.distance(a, b), Some(30));
+        assert_eq!(igp.all_shortest_paths(&topo, a, b, 8).len(), 1);
+    }
+
+    #[test]
+    fn balanced_diamond_creates_equal_length_ecmp() {
+        let (topo, as_id) = transit(TopologyParams {
+            core_routers: 2,
+            border_routers: 2,
+            ecmp_diamonds: 1,
+            ..Default::default()
+        });
+        let igp = IgpState::compute(&topo, as_id);
+        let routers = &topo.as_of(as_id).routers;
+        // The r0-r1 segment is replaced by two one-router bypasses:
+        // two equal-cost, equal-length paths through disjoint routers.
+        let (a, b) = (routers[0], routers[1]);
+        assert_eq!(igp.distance(a, b), Some(10));
+        assert_eq!(igp.nexthops(a, b).len(), 2);
+        let paths = igp.all_shortest_paths(&topo, a, b, 8);
+        assert_eq!(paths.len(), 2);
+        assert!(paths.iter().all(|p| p.len() == 3));
+        assert_ne!(paths[0][1], paths[1][1], "bypass routers are disjoint");
+    }
+
+    #[test]
+    fn unbalanced_diamond_mixes_path_lengths() {
+        let (topo, as_id) = transit(TopologyParams {
+            core_routers: 2,
+            border_routers: 2,
+            unbalanced_diamonds: 1,
+            ..Default::default()
+        });
+        let igp = IgpState::compute(&topo, as_id);
+        let routers = &topo.as_of(as_id).routers;
+        let (a, b) = (routers[0], routers[1]);
+        let paths = igp.all_shortest_paths(&topo, a, b, 8);
+        assert_eq!(paths.len(), 2);
+        assert!(paths.iter().any(|p| p.len() == 2)); // direct
+        assert!(paths.iter().any(|p| p.len() == 3)); // via bypass
+    }
+
+    #[test]
+    fn parallel_bundle_counts_each_link() {
+        let (topo, as_id) = transit(TopologyParams {
+            core_routers: 2,
+            border_routers: 2,
+            parallel_bundles: 1,
+            parallel_width: 3,
+            ..Default::default()
+        });
+        let igp = IgpState::compute(&topo, as_id);
+        let routers = &topo.as_of(as_id).routers;
+        let (a, b) = (routers[0], routers[1]);
+        // 3 parallel links => 3 ECMP next-hop interfaces, but a single
+        // router-level path.
+        assert_eq!(igp.nexthops(a, b).len(), 3);
+        assert_eq!(igp.all_shortest_paths(&topo, a, b, 8).len(), 1);
+    }
+
+    #[test]
+    fn self_distance_is_zero() {
+        let (topo, as_id) = transit(TopologyParams::default());
+        let igp = IgpState::compute(&topo, as_id);
+        let r = topo.as_of(as_id).routers[0];
+        assert_eq!(igp.distance(r, r), Some(0));
+        assert!(igp.nexthops(r, r).is_empty());
+    }
+
+    #[test]
+    fn inter_as_links_are_ignored_by_igp() {
+        let t1 = AsSpec::transit(1, "a", Vendor::Cisco, TopologyParams::default());
+        let t2 = AsSpec::transit(2, "b", Vendor::Cisco, TopologyParams::default());
+        let topo = Topology::build(&[t1, t2], &[(Asn(1), Asn(2), 1)]);
+        let igp = IgpState::compute(&topo, AsId(0));
+        let other = topo.as_by_asn(Asn(2)).unwrap().routers[0];
+        let here = topo.as_by_asn(Asn(1)).unwrap().routers[0];
+        assert_eq!(igp.distance(here, other), None);
+    }
+}

@@ -1,0 +1,498 @@
+//! The assembled simulated Internet: topology + control planes +
+//! per-AS runtime configuration.
+//!
+//! [`Internet::new`] takes a (stable) [`Topology`] and a per-AS
+//! [`MplsConfig`], computes every control plane (IGP, LDP, RSVP-TE,
+//! BGP-lite) deterministically, and exposes the state the data plane
+//! ([`crate::dataplane`]) walks. Rebuilding with the same inputs yields
+//! byte-identical label bindings — the property that makes same-month
+//! snapshots comparable, exactly like a real network whose
+//! configuration did not change between two Ark cycles.
+
+use crate::bgp::BgpState;
+use crate::igp::IgpState;
+use crate::ldp::LdpState;
+use crate::rsvp::{TeState, TeLsp};
+use crate::topology::{AsId, RouterId, Topology};
+use crate::vendor::LabelAllocator;
+use lpr_core::lsp::Asn;
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+pub use crate::rsvp::TePathMode as TePathModeReexport;
+pub use crate::rsvp::TePathMode;
+
+/// Per-AS MPLS behaviour for one build of the control plane.
+///
+/// The longitudinal dataset varies these knobs cycle by cycle to replay
+/// each featured ISP's story (§4.4 of the paper): enabling MPLS,
+/// ramping deployment across LER pairs, moving between LDP/ECMP and
+/// RSVP-TE, turning on re-optimisation.
+#[derive(Clone, Debug)]
+pub struct MplsConfig {
+    /// Master switch: when false the AS forwards plain IP.
+    pub enabled: bool,
+    /// Penultimate-hop popping (true on most real deployments).
+    pub php: bool,
+    /// `ttl-propagate`: copy the IP TTL into the pushed LSE. When
+    /// false, tunnels are *invisible* to traceroute (§2.3).
+    pub ttl_propagate: bool,
+    /// RFC 4950: quote the label stack in `time-exceeded` replies.
+    /// When false (with propagation on), tunnels are *implicit*.
+    pub rfc4950: bool,
+    /// Fraction of ordered LER pairs that carry any MPLS at all
+    /// (models incremental deployment, Fig. 16).
+    pub deployed_pair_fraction: f64,
+    /// Fraction of deployed LER pairs that get RSVP-TE LSPs (the rest
+    /// use plain LDP).
+    pub te_pair_fraction: f64,
+    /// Number of TE LSPs signalled per TE pair.
+    pub te_lsps_per_pair: usize,
+    /// Fraction of TE pairs signalled with exactly **one** LSP instead
+    /// of `te_lsps_per_pair`: traffic engineering without path
+    /// diversity, which LPR classifies Mono-LSP — the paper's finding
+    /// that "TE using MPLS is as common as MPLS without path
+    /// diversity" hinges on these.
+    pub te_single_lsp_fraction: f64,
+    /// How TE paths are routed.
+    pub te_path_mode: TePathMode,
+    /// Tunnel traffic towards destinations *inside* this AS too
+    /// (tunnels the TargetAS filter later removes).
+    pub tunnel_internal_dests: bool,
+    /// Fraction of `(router, FEC)` pairs with IGP load balancing
+    /// enabled (`maximum-paths > 1`); the rest pin the first next hop.
+    /// Operators tune this knob in real deployments, and it is what
+    /// moves an AS between the Mono-LSP and ECMP Mono-FEC classes over
+    /// time (Figs. 11–12 of the paper).
+    pub ecmp_fec_fraction: f64,
+    /// Per-hop probability that a router of this AS stays silent to a
+    /// probe (anonymous router; feeds the IncompleteLsp filter).
+    pub anonymous_rate: f64,
+    /// Fraction of deployed LER pairs carrying BGP/MPLS-VPN traffic: a
+    /// per-VRF **service label** rides at the bottom of the stack
+    /// (RFC 4364), under the transport label. Probes through such
+    /// pairs expose two-entry stacks, and — because the service label
+    /// differs per customer — LPR reads them as Multi-FEC, which is
+    /// exactly why the paper excludes VPN tunnels from its transit
+    /// study (§1).
+    pub vpn_pair_fraction: f64,
+}
+
+impl MplsConfig {
+    /// MPLS switched off entirely (still used for stub ASes: carries
+    /// the anonymous-router rate).
+    pub fn disabled() -> Self {
+        MplsConfig {
+            enabled: false,
+            php: true,
+            ttl_propagate: true,
+            rfc4950: true,
+            deployed_pair_fraction: 0.0,
+            te_pair_fraction: 0.0,
+            te_lsps_per_pair: 0,
+            te_single_lsp_fraction: 0.0,
+            te_path_mode: TePathMode::SamePath,
+            tunnel_internal_dests: false,
+            ecmp_fec_fraction: 1.0,
+            anonymous_rate: 0.0,
+            vpn_pair_fraction: 0.0,
+        }
+    }
+
+    /// The common default: LDP everywhere, PHP, TTL propagation and
+    /// RFC 4950 on, no TE.
+    pub fn ldp_default() -> Self {
+        MplsConfig {
+            enabled: true,
+            deployed_pair_fraction: 1.0,
+            tunnel_internal_dests: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// LDP plus RSVP-TE on a fraction of pairs.
+    pub fn with_te(te_pair_fraction: f64, lsps: usize, mode: TePathMode) -> Self {
+        MplsConfig {
+            te_pair_fraction,
+            te_lsps_per_pair: lsps,
+            te_path_mode: mode,
+            ..Self::ldp_default()
+        }
+    }
+}
+
+/// Where a destination prefix (or vantage point) attaches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Attachment {
+    /// The AS homing the address.
+    pub as_id: AsId,
+    /// The router the host hangs off.
+    pub router: RouterId,
+}
+
+/// The simulated Internet.
+pub struct Internet {
+    /// The underlying topology.
+    pub topo: Topology,
+    configs: Vec<MplsConfig>,
+    igp: Vec<IgpState>,
+    ldp: Vec<Option<LdpState>>,
+    te: Vec<TeState>,
+    allocators: Vec<LabelAllocator>,
+    bgp: BgpState,
+    /// `/24 network → attachment` for destination prefixes.
+    dest_attach: HashMap<u32, Attachment>,
+    /// vantage point address → attachment.
+    vp_attach: HashMap<Ipv4Addr, Attachment>,
+}
+
+impl Internet {
+    /// Builds every control plane. `configs` maps AS numbers to their
+    /// MPLS behaviour; unmentioned ASes get [`MplsConfig::disabled`].
+    pub fn new(topo: Topology, configs: &BTreeMap<Asn, MplsConfig>) -> Internet {
+        let per_as: Vec<MplsConfig> = topo
+            .ases
+            .iter()
+            .map(|a| configs.get(&a.asn).cloned().unwrap_or_else(MplsConfig::disabled))
+            .collect();
+
+        // Stagger each router's label cursor: distinct LSRs must not
+        // hand out identical labels for the same FEC (see
+        // `LabelAllocator::with_offset`).
+        let mut allocators: Vec<LabelAllocator> = topo
+            .routers
+            .iter()
+            .map(|r| {
+                let as_topo = topo.as_of_router(r.id);
+                let offset = (splitmix64(
+                    (r.id.0 as u64) << 32 ^ as_topo.asn.0 as u64 ^ 0x1ABE1,
+                ) % 50_021) as u32;
+                LabelAllocator::with_offset(as_topo.vendor, offset)
+            })
+            .collect();
+
+        let igp: Vec<IgpState> =
+            topo.ases.iter().map(|a| IgpState::compute(&topo, a.id)).collect();
+
+        let mut ldp: Vec<Option<LdpState>> = Vec::with_capacity(topo.ases.len());
+        let mut te: Vec<TeState> = Vec::with_capacity(topo.ases.len());
+        for a in &topo.ases {
+            let cfg = &per_as[a.id.0 as usize];
+            if cfg.enabled {
+                ldp.push(Some(LdpState::compute(&topo, a.id, &mut allocators, cfg.php)));
+            } else {
+                ldp.push(None);
+            }
+            let mut te_state = TeState::new();
+            if cfg.enabled && cfg.te_pair_fraction > 0.0 && cfg.te_lsps_per_pair > 0 {
+                for &i in &a.borders {
+                    for &e in &a.borders {
+                        if i == e {
+                            continue;
+                        }
+                        if !pair_selected(a.asn, i, e, cfg.deployed_pair_fraction, 0x7e01) {
+                            continue;
+                        }
+                        if !pair_selected(a.asn, i, e, cfg.te_pair_fraction, 0x7e02) {
+                            continue;
+                        }
+                        let count = if pair_selected(
+                            a.asn,
+                            i,
+                            e,
+                            cfg.te_single_lsp_fraction,
+                            0x7e04,
+                        ) {
+                            1
+                        } else {
+                            cfg.te_lsps_per_pair
+                        };
+                        te_state.signal_pair(
+                            &topo,
+                            &igp[a.id.0 as usize],
+                            &mut allocators,
+                            i,
+                            e,
+                            count,
+                            cfg.te_path_mode,
+                            cfg.php,
+                        );
+                    }
+                }
+            }
+            te.push(te_state);
+        }
+
+        let bgp = BgpState::compute(&topo);
+
+        // Attach destination prefixes and vantage points to routers,
+        // deterministically spread.
+        let mut dest_attach = HashMap::new();
+        let mut vp_attach = HashMap::new();
+        for a in &topo.ases {
+            for (k, p) in a.dest_prefixes.iter().enumerate() {
+                let router = a.routers[k % a.routers.len()];
+                dest_attach
+                    .insert(u32::from(p.addr()) >> 8, Attachment { as_id: a.id, router });
+            }
+            for (k, &vp) in a.vantage_points.iter().enumerate() {
+                let router = a.routers[(k + 1) % a.routers.len()];
+                vp_attach.insert(vp, Attachment { as_id: a.id, router });
+            }
+        }
+
+        Internet { topo, configs: per_as, igp, ldp, te, allocators, bgp, dest_attach, vp_attach }
+    }
+
+    /// The MPLS configuration of an AS.
+    pub fn config(&self, as_id: AsId) -> &MplsConfig {
+        &self.configs[as_id.0 as usize]
+    }
+
+    /// The IGP state of an AS.
+    pub fn igp(&self, as_id: AsId) -> &IgpState {
+        &self.igp[as_id.0 as usize]
+    }
+
+    /// The LDP state of an AS, when MPLS is enabled there.
+    pub fn ldp(&self, as_id: AsId) -> Option<&LdpState> {
+        self.ldp[as_id.0 as usize].as_ref()
+    }
+
+    /// The RSVP-TE state of an AS.
+    pub fn te(&self, as_id: AsId) -> &TeState {
+        &self.te[as_id.0 as usize]
+    }
+
+    /// The TE LSPs between a LER pair.
+    pub fn te_lsps(&self, as_id: AsId, ingress: RouterId, egress: RouterId) -> &[TeLsp] {
+        self.te[as_id.0 as usize].lsps(ingress, egress)
+    }
+
+    /// The BGP-lite state.
+    pub fn bgp(&self) -> &BgpState {
+        &self.bgp
+    }
+
+    /// Where the destination `dst` attaches, if it is a simulated host.
+    pub fn dest_attachment(&self, dst: Ipv4Addr) -> Option<Attachment> {
+        self.dest_attach.get(&(u32::from(dst) >> 8)).copied()
+    }
+
+    /// Where a vantage point attaches.
+    pub fn vp_attachment(&self, vp: Ipv4Addr) -> Option<Attachment> {
+        self.vp_attach.get(&vp).copied()
+    }
+
+    /// Whether MPLS is deployed for the ordered LER pair
+    /// `(ingress, egress)` of an AS this cycle (Fig. 16 ramps this).
+    pub fn pair_deployed(&self, as_id: AsId, ingress: RouterId, egress: RouterId) -> bool {
+        let cfg = self.config(as_id);
+        cfg.enabled
+            && pair_selected(
+                self.topo.as_of(as_id).asn,
+                ingress,
+                egress,
+                cfg.deployed_pair_fraction,
+                0x7e01,
+            )
+    }
+
+    /// Whether the ordered LER pair uses RSVP-TE (it also needs to be
+    /// deployed).
+    pub fn pair_te(&self, as_id: AsId, ingress: RouterId, egress: RouterId) -> bool {
+        let cfg = self.config(as_id);
+        cfg.enabled
+            && pair_selected(self.topo.as_of(as_id).asn, ingress, egress, cfg.te_pair_fraction, 0x7e02)
+            && !self.te_lsps(as_id, ingress, egress).is_empty()
+    }
+
+    /// The ECMP next-hop set from `router` towards `target`, restricted
+    /// to the first next hop when load balancing is disabled for this
+    /// LSP's `(gate_key, target)` pair (see
+    /// [`MplsConfig::ecmp_fec_fraction`]). The data plane passes the
+    /// tunnel's ingress LER as `gate_key`, so the policy is consistent
+    /// along the whole LSP and an IOTP either exposes its IGP diversity
+    /// or none of it — the lever behind the class-mix evolutions of
+    /// Figs. 11–14.
+    pub fn ecmp_nexthops(
+        &self,
+        as_id: crate::topology::AsId,
+        router: RouterId,
+        target: RouterId,
+        gate_key: RouterId,
+    ) -> &[crate::topology::IfaceId] {
+        let nhs = self.igp(as_id).nexthops(router, target);
+        if nhs.len() <= 1 {
+            return nhs;
+        }
+        let cfg = self.config(as_id);
+        if pair_selected(self.topo.as_of(as_id).asn, gate_key, target, cfg.ecmp_fec_fraction, 0x7e03)
+        {
+            nhs
+        } else {
+            &nhs[..1]
+        }
+    }
+
+    /// Whether the ordered LER pair carries VPN traffic (a service
+    /// label under the transport label).
+    pub fn pair_vpn(&self, as_id: crate::topology::AsId, ingress: RouterId, egress: RouterId) -> bool {
+        let cfg = self.config(as_id);
+        cfg.enabled
+            && pair_selected(self.topo.as_of(as_id).asn, ingress, egress, cfg.vpn_pair_fraction, 0x7e05)
+    }
+
+    /// The VRF service label the egress PE advertised for a customer
+    /// (identified by destination AS). Deterministic per
+    /// `(egress, customer)`, drawn from the egress platform's dynamic
+    /// range — real PEs allocate one label per VRF and keep it until
+    /// the VRF is reconfigured.
+    pub fn service_label(&self, egress: RouterId, customer: Asn) -> lpr_core::label::Label {
+        let vendor = self.topo.as_of_router(egress).vendor;
+        let range = vendor.label_range();
+        let span = (range.end - range.start) as u64;
+        let h = splitmix64(
+            ((egress.0 as u64) << 32) ^ (customer.0 as u64) ^ 0x5E41_1CE5,
+        );
+        lpr_core::label::Label::new(range.start + (h % span) as u32)
+    }
+
+    /// Re-optimises every TE LSP of an AS: labels are re-signalled from
+    /// the vendors' dynamic ranges (Fig. 17, §4.5). Call between
+    /// snapshots to model a *dynamic* AS.
+    pub fn reoptimize_te(&mut self, asn: Asn) {
+        if let Some(a) = self.topo.as_by_asn(asn) {
+            let id = a.id;
+            let php = self.configs[id.0 as usize].php;
+            self.te[id.0 as usize].reoptimize(&mut self.allocators, php);
+        }
+    }
+}
+
+/// Deterministic pair-selection: hashes `(asn, ingress, egress, salt)`
+/// into `[0, 1)` and compares with the fraction. Stable across cycles,
+/// so raising the fraction strictly grows the deployed set — matching
+/// how real deployments ramp up.
+pub fn pair_selected(
+    asn: Asn,
+    ingress: RouterId,
+    egress: RouterId,
+    fraction: f64,
+    salt: u64,
+) -> bool {
+    if fraction >= 1.0 {
+        return true;
+    }
+    if fraction <= 0.0 {
+        return false;
+    }
+    let h = splitmix64(
+        (asn.0 as u64) << 40 ^ (ingress.0 as u64) << 20 ^ (egress.0 as u64) ^ (salt << 48),
+    );
+    (h as f64 / u64::MAX as f64) < fraction
+}
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer used for every
+/// deterministic selection in the simulator.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{AsSpec, TopologyParams};
+    use crate::vendor::Vendor;
+
+    fn build() -> Internet {
+        let specs = vec![
+            AsSpec::transit(
+                1,
+                "t",
+                Vendor::Juniper,
+                TopologyParams { core_routers: 4, border_routers: 2, ..Default::default() },
+            ),
+            AsSpec::stub(100, "src", 0, 1),
+            AsSpec::stub(200, "dst", 2, 0),
+        ];
+        let peerings = vec![(Asn(100), Asn(1), 1), (Asn(1), Asn(200), 1)];
+        let topo = Topology::build(&specs, &peerings);
+        let mut configs = BTreeMap::new();
+        configs.insert(Asn(1), MplsConfig::with_te(1.0, 2, TePathMode::SamePath));
+        Internet::new(topo, &configs)
+    }
+
+    #[test]
+    fn control_planes_follow_config() {
+        let net = build();
+        let t = net.topo.as_by_asn(Asn(1)).unwrap().id;
+        let s = net.topo.as_by_asn(Asn(100)).unwrap().id;
+        assert!(net.ldp(t).is_some());
+        assert!(net.ldp(s).is_none());
+        assert!(net.te(t).lsp_count() > 0);
+        assert_eq!(net.te(s).lsp_count(), 0);
+    }
+
+    #[test]
+    fn attachments_resolve() {
+        let net = build();
+        let dests = net.topo.destinations(1);
+        assert!(!dests.is_empty());
+        for d in dests {
+            let at = net.dest_attachment(d).expect("attached");
+            assert_eq!(net.topo.as_of(at.as_id).asn, Asn(200));
+        }
+        let vps = net.topo.vantage_points();
+        let (vp, as_id) = vps[0];
+        assert_eq!(net.vp_attachment(vp).unwrap().as_id, as_id);
+        assert_eq!(net.dest_attachment(Ipv4Addr::new(8, 8, 8, 8)), None);
+    }
+
+    #[test]
+    fn pair_selection_is_monotone_in_fraction() {
+        let (a, b) = (RouterId(3), RouterId(9));
+        for salt in [1u64, 2, 3] {
+            let lo = pair_selected(Asn(1), a, b, 0.2, salt);
+            let hi = pair_selected(Asn(1), a, b, 0.9, salt);
+            if lo {
+                assert!(hi, "selected at 0.2 must stay selected at 0.9");
+            }
+        }
+        assert!(pair_selected(Asn(1), a, b, 1.0, 9));
+        assert!(!pair_selected(Asn(1), a, b, 0.0, 9));
+    }
+
+    #[test]
+    fn reoptimize_changes_te_labels() {
+        let mut net = build();
+        let t = net.topo.as_by_asn(Asn(1)).unwrap().id;
+        let pair = net.te(t).pairs().next().unwrap();
+        let before: Vec<_> = net.te_lsps(t, pair.0, pair.1).to_vec();
+        net.reoptimize_te(Asn(1));
+        let after = net.te_lsps(t, pair.0, pair.1);
+        assert_eq!(before.len(), after.len());
+        let mut changed = false;
+        for (b, a) in before.iter().zip(after) {
+            assert_eq!(b.path, a.path);
+            if b.labels != a.labels {
+                changed = true;
+            }
+        }
+        assert!(changed);
+    }
+
+    #[test]
+    fn rebuild_is_deterministic() {
+        let a = build();
+        let b = build();
+        let t = a.topo.as_by_asn(Asn(1)).unwrap().id;
+        let pair = a.te(t).pairs().next().unwrap();
+        let la: Vec<_> = a.te_lsps(t, pair.0, pair.1).iter().map(|l| l.labels.clone()).collect();
+        let lb: Vec<_> = b.te_lsps(t, pair.0, pair.1).iter().map(|l| l.labels.clone()).collect();
+        assert_eq!(la, lb);
+    }
+}

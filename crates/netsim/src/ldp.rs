@@ -1,0 +1,164 @@
+//! LDP label distribution (paper §2.2.1).
+//!
+//! LDP allocates labels *downstream*: every router chooses one label per
+//! FEC and advertises **the same label to all its neighbours** — label
+//! scope is the router, not the interface or the LSP. For transit
+//! traffic the FEC is the egress border router's loopback (the BGP
+//! next-hop), so the label a given LSR exposes depends only on
+//! `(LSR, egress)`. This per-router scope is the cornerstone of LPR's
+//! Multi-FEC inference: two different labels on one router for the same
+//! egress cannot be LDP.
+//!
+//! The egress itself advertises *implicit-null* when PHP is enabled
+//! (the penultimate router pops, the egress never shows a label) or
+//! *explicit-null* under UHP (the egress shows label 0).
+
+use crate::topology::{AsId, RouterId, Topology};
+use crate::vendor::LabelAllocator;
+use lpr_core::label::Label;
+use std::collections::HashMap;
+
+/// What a router advertised for a FEC.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LdpLabel {
+    /// A real label: upstream swaps to this before forwarding here.
+    Label(Label),
+    /// Implicit-null: upstream pops instead of swapping (PHP).
+    ImplicitNull,
+    /// Explicit-null: upstream swaps to label 0; this router pops.
+    ExplicitNull,
+}
+
+/// The LDP bindings of one AS.
+#[derive(Clone, Debug)]
+pub struct LdpState {
+    /// `(lsr, egress-loopback-owner)` → advertised label.
+    bindings: HashMap<(RouterId, RouterId), Label>,
+    php: bool,
+}
+
+impl LdpState {
+    /// Computes bindings for every `(router, egress)` pair of the AS.
+    ///
+    /// Allocation order is deterministic (routers and FECs in id
+    /// order), so a rebuilt control plane reproduces identical labels —
+    /// which is what lets the Persistence filter match LSPs across
+    /// same-month snapshots.
+    pub fn compute(
+        topo: &Topology,
+        as_id: AsId,
+        allocators: &mut [LabelAllocator],
+        php: bool,
+    ) -> LdpState {
+        let routers = &topo.as_of(as_id).routers;
+        let mut bindings = HashMap::new();
+        for &lsr in routers {
+            for &fec in routers {
+                if lsr == fec {
+                    continue;
+                }
+                let label = allocators[lsr.0 as usize].alloc();
+                bindings.insert((lsr, fec), label);
+            }
+        }
+        LdpState { bindings, php }
+    }
+
+    /// The label `lsr` advertised for the FEC of `egress`'s loopback.
+    pub fn advertised(&self, lsr: RouterId, egress: RouterId) -> LdpLabel {
+        if lsr == egress {
+            return if self.php { LdpLabel::ImplicitNull } else { LdpLabel::ExplicitNull };
+        }
+        match self.bindings.get(&(lsr, egress)) {
+            Some(&l) => LdpLabel::Label(l),
+            None => LdpLabel::ImplicitNull, // unknown FEC: treat as end
+        }
+    }
+
+    /// Whether PHP is enabled in this AS.
+    pub fn php(&self) -> bool {
+        self.php
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{AsSpec, Topology, TopologyParams};
+    use crate::vendor::Vendor;
+
+    fn setup(php: bool) -> (Topology, LdpState) {
+        let spec = AsSpec::transit(
+            1,
+            "t",
+            Vendor::Juniper,
+            TopologyParams { core_routers: 3, border_routers: 2, ..Default::default() },
+        );
+        let topo = Topology::build(&[spec], &[]);
+        let mut allocators: Vec<LabelAllocator> =
+            topo.routers.iter().map(|r| LabelAllocator::new(topo.as_of_router(r.id).vendor)).collect();
+        let ldp = LdpState::compute(&topo, AsId(0), &mut allocators, php);
+        (topo, ldp)
+    }
+
+    #[test]
+    fn same_label_for_fec_regardless_of_upstream() {
+        // Per-router scope: the advertised label depends only on
+        // (lsr, fec) — by construction there is one binding.
+        let (topo, ldp) = setup(true);
+        let routers = &topo.as_of(AsId(0)).routers;
+        let (lsr, fec) = (routers[1], routers[2]);
+        let a = ldp.advertised(lsr, fec);
+        let b = ldp.advertised(lsr, fec);
+        assert_eq!(a, b);
+        assert!(matches!(a, LdpLabel::Label(_)));
+    }
+
+    #[test]
+    fn different_fecs_get_different_labels() {
+        let (topo, ldp) = setup(true);
+        let routers = &topo.as_of(AsId(0)).routers;
+        let lsr = routers[0];
+        let la = ldp.advertised(lsr, routers[1]);
+        let lb = ldp.advertised(lsr, routers[2]);
+        assert_ne!(la, lb);
+    }
+
+    #[test]
+    fn php_egress_advertises_implicit_null() {
+        let (topo, ldp) = setup(true);
+        let r = topo.as_of(AsId(0)).routers[0];
+        assert_eq!(ldp.advertised(r, r), LdpLabel::ImplicitNull);
+        assert!(ldp.php());
+    }
+
+    #[test]
+    fn uhp_egress_advertises_explicit_null() {
+        let (topo, ldp) = setup(false);
+        let r = topo.as_of(AsId(0)).routers[0];
+        assert_eq!(ldp.advertised(r, r), LdpLabel::ExplicitNull);
+    }
+
+    #[test]
+    fn labels_come_from_vendor_range() {
+        let (topo, ldp) = setup(true);
+        let routers = &topo.as_of(AsId(0)).routers;
+        if let LdpLabel::Label(l) = ldp.advertised(routers[0], routers[1]) {
+            assert!(Vendor::Juniper.label_range().contains(&l.value()));
+        } else {
+            panic!("expected a real label");
+        }
+    }
+
+    #[test]
+    fn recomputation_is_deterministic() {
+        let (_, a) = setup(true);
+        let (topo, b) = setup(true);
+        let routers = &topo.as_of(AsId(0)).routers;
+        for &x in routers {
+            for &y in routers {
+                assert_eq!(a.advertised(x, y), b.advertised(x, y));
+            }
+        }
+    }
+}

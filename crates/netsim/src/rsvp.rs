@@ -1,0 +1,244 @@
+//! RSVP-TE tunnels (paper §2.2.2).
+//!
+//! RSVP-TE signals *per-LSP* labels along an explicitly routed path:
+//! several LSPs between the same LER pair carry completely different
+//! label sequences even when their IP paths coincide — which is exactly
+//! the Multi-FEC pattern LPR recognises (Fig. 4b). Ingress routers may
+//! also be configured to *re-optimise* LSPs periodically, re-signalling
+//! them and consuming fresh labels each time; observed over hours this
+//! produces the label sawtooth of Fig. 17.
+
+use crate::igp::IgpState;
+use crate::topology::{RouterId, Topology};
+use crate::vendor::LabelAllocator;
+use lpr_core::label::Label;
+use std::collections::HashMap;
+
+/// How RSVP-TE computes the explicit routes of a pair's LSPs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TePathMode {
+    /// Every LSP of a pair pins the same (first) IGP shortest path —
+    /// the dominant case the paper observes: constraints are satisfied
+    /// by one IP route, LSPs differ only in labels.
+    SamePath,
+    /// LSPs spread over the distinct equal-cost router paths, wrapping
+    /// when there are more LSPs than paths.
+    Diverse,
+}
+
+/// One traffic-engineered LSP.
+#[derive(Clone, Debug)]
+pub struct TeLsp {
+    /// Router sequence, ingress first, egress last.
+    pub path: Vec<RouterId>,
+    /// The label each *downstream* router assigned: `labels[i]` is the
+    /// label carried by packets arriving at `path[i + 1]`. Under PHP
+    /// the egress's entry is `None` (implicit-null).
+    pub labels: Vec<Option<Label>>,
+}
+
+impl TeLsp {
+    /// The label a packet carries when it arrives at path position
+    /// `pos` (0 = ingress, which never sees a label).
+    pub fn arriving_label(&self, pos: usize) -> Option<Label> {
+        if pos == 0 {
+            None
+        } else {
+            self.labels.get(pos - 1).copied().flatten()
+        }
+    }
+}
+
+/// The RSVP-TE state of one AS: LSPs per `<ingress, egress>` LER pair.
+#[derive(Clone, Debug, Default)]
+pub struct TeState {
+    lsps: HashMap<(RouterId, RouterId), Vec<TeLsp>>,
+}
+
+impl TeState {
+    /// An empty state (no TE tunnels).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Signals `count` LSPs between a LER pair.
+    ///
+    /// Paths follow `mode`; labels are allocated per hop from each
+    /// downstream router's allocator, and the egress hop is
+    /// implicit-null under `php`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn signal_pair(
+        &mut self,
+        topo: &Topology,
+        igp: &IgpState,
+        allocators: &mut [LabelAllocator],
+        ingress: RouterId,
+        egress: RouterId,
+        count: usize,
+        mode: TePathMode,
+        php: bool,
+    ) {
+        let paths = igp.all_shortest_paths(topo, ingress, egress, 16);
+        if paths.is_empty() {
+            return;
+        }
+        let mut lsps = Vec::with_capacity(count);
+        for i in 0..count {
+            let path = match mode {
+                TePathMode::SamePath => paths[0].clone(),
+                TePathMode::Diverse => paths[i % paths.len()].clone(),
+            };
+            lsps.push(signal_one(&path, allocators, php));
+        }
+        self.lsps.insert((ingress, egress), lsps);
+    }
+
+    /// The LSPs of a LER pair (empty when the pair has no TE tunnels).
+    pub fn lsps(&self, ingress: RouterId, egress: RouterId) -> &[TeLsp] {
+        self.lsps.get(&(ingress, egress)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every signalled pair.
+    pub fn pairs(&self) -> impl Iterator<Item = (RouterId, RouterId)> + '_ {
+        self.lsps.keys().copied()
+    }
+
+    /// Total number of LSPs.
+    pub fn lsp_count(&self) -> usize {
+        self.lsps.values().map(Vec::len).sum()
+    }
+
+    /// Re-optimises every LSP: each is re-signalled along its existing
+    /// path, consuming fresh labels from every downstream router — the
+    /// periodic behaviour of Fig. 17. Pairs are processed in
+    /// deterministic key order.
+    pub fn reoptimize(&mut self, allocators: &mut [LabelAllocator], php: bool) {
+        let mut keys: Vec<_> = self.lsps.keys().copied().collect();
+        keys.sort();
+        for key in keys {
+            let lsps = self.lsps.get_mut(&key).expect("key exists");
+            for lsp in lsps.iter_mut() {
+                *lsp = signal_one(&lsp.path, allocators, php);
+            }
+        }
+    }
+}
+
+fn signal_one(path: &[RouterId], allocators: &mut [LabelAllocator], php: bool) -> TeLsp {
+    let mut labels = Vec::with_capacity(path.len().saturating_sub(1));
+    for (i, &hop) in path.iter().enumerate().skip(1) {
+        let is_egress = i == path.len() - 1;
+        if is_egress && php {
+            labels.push(None);
+        } else if is_egress {
+            // UHP: explicit-null arriving at the egress.
+            labels.push(Some(Label::IPV4_EXPLICIT_NULL));
+        } else {
+            labels.push(Some(allocators[hop.0 as usize].alloc()));
+        }
+    }
+    TeLsp { path: path.to_vec(), labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::igp::IgpState;
+    use crate::topology::{AsId, AsSpec, Topology, TopologyParams};
+    use crate::vendor::Vendor;
+
+    fn setup(diamonds: usize) -> (Topology, IgpState, Vec<LabelAllocator>) {
+        let spec = AsSpec::transit(
+            1,
+            "t",
+            Vendor::Juniper,
+            TopologyParams {
+                core_routers: 4,
+                border_routers: 2,
+                ecmp_diamonds: diamonds,
+                ..Default::default()
+            },
+        );
+        let topo = Topology::build(&[spec], &[]);
+        let igp = IgpState::compute(&topo, AsId(0));
+        let allocators = topo
+            .routers
+            .iter()
+            .map(|r| LabelAllocator::new(topo.as_of_router(r.id).vendor))
+            .collect();
+        (topo, igp, allocators)
+    }
+
+    fn border_pair(topo: &Topology) -> (RouterId, RouterId) {
+        let cands = topo.as_of(AsId(0)).border_candidates();
+        (cands[0], cands[1])
+    }
+
+    #[test]
+    fn same_path_lsps_share_route_but_not_labels() {
+        let (topo, igp, mut alloc) = setup(0);
+        let (i, e) = border_pair(&topo);
+        let mut te = TeState::new();
+        te.signal_pair(&topo, &igp, &mut alloc, i, e, 3, TePathMode::SamePath, true);
+        let lsps = te.lsps(i, e);
+        assert_eq!(lsps.len(), 3);
+        assert_eq!(lsps[0].path, lsps[1].path);
+        // Intermediate labels must all differ between the LSPs.
+        for pos in 1..lsps[0].path.len() - 1 {
+            assert_ne!(lsps[0].arriving_label(pos), lsps[1].arriving_label(pos));
+        }
+        // PHP: egress arrival is unlabelled.
+        let last = lsps[0].path.len() - 1;
+        assert_eq!(lsps[0].arriving_label(last), None);
+    }
+
+    #[test]
+    fn diverse_mode_uses_distinct_paths_when_available() {
+        let (topo, igp, mut alloc) = setup(2);
+        let (i, e) = border_pair(&topo);
+        let mut te = TeState::new();
+        te.signal_pair(&topo, &igp, &mut alloc, i, e, 2, TePathMode::Diverse, true);
+        let lsps = te.lsps(i, e);
+        assert_eq!(lsps.len(), 2);
+        assert_ne!(lsps[0].path, lsps[1].path);
+    }
+
+    #[test]
+    fn uhp_ends_with_explicit_null() {
+        let (topo, igp, mut alloc) = setup(0);
+        let (i, e) = border_pair(&topo);
+        let mut te = TeState::new();
+        te.signal_pair(&topo, &igp, &mut alloc, i, e, 1, TePathMode::SamePath, false);
+        let lsp = &te.lsps(i, e)[0];
+        let last = lsp.path.len() - 1;
+        assert_eq!(lsp.arriving_label(last), Some(Label::IPV4_EXPLICIT_NULL));
+    }
+
+    #[test]
+    fn reoptimize_changes_labels_not_paths() {
+        let (topo, igp, mut alloc) = setup(0);
+        let (i, e) = border_pair(&topo);
+        let mut te = TeState::new();
+        te.signal_pair(&topo, &igp, &mut alloc, i, e, 2, TePathMode::SamePath, true);
+        let before: Vec<_> = te.lsps(i, e).to_vec();
+        te.reoptimize(&mut alloc, true);
+        let after = te.lsps(i, e);
+        for (b, a) in before.iter().zip(after) {
+            assert_eq!(b.path, a.path);
+            for pos in 1..b.path.len() - 1 {
+                assert_ne!(b.arriving_label(pos), a.arriving_label(pos));
+                // New labels are strictly larger until the range wraps.
+                assert!(a.arriving_label(pos).unwrap() > b.arriving_label(pos).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn ingress_never_sees_a_label() {
+        let (topo, igp, mut alloc) = setup(0);
+        let (i, e) = border_pair(&topo);
+        let mut te = TeState::new();
+        te.signal_pair(&topo, &igp, &mut alloc, i, e, 1, TePathMode::SamePath, true);
+        assert_eq!(te.lsps(i, e)[0].arriving_label(0), None);
+    }
+}

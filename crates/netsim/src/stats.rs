@@ -1,0 +1,142 @@
+//! Topology statistics: the summary numbers papers put in their
+//! "dataset" sections, computed per AS.
+//!
+//! Used by the experiment harnesses to describe the simulated world,
+//! and by tests as structural sanity checks (the paper's Fig. 7
+//! discussion leans on AS diameters being short; [`AsStats::diameter`]
+//! is exactly that quantity for our synthetic ISPs).
+
+use crate::igp::IgpState;
+use crate::topology::{AsId, Topology};
+use std::collections::BTreeMap;
+
+/// Structural statistics of one AS.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsStats {
+    /// Routers in the AS.
+    pub routers: usize,
+    /// Border routers.
+    pub borders: usize,
+    /// Intra-AS links (parallel links counted individually).
+    pub intra_links: usize,
+    /// Inter-AS links attached to this AS.
+    pub inter_links: usize,
+    /// Maximum router degree (interface count).
+    pub max_degree: usize,
+    /// IGP diameter in hops (longest shortest path between routers).
+    pub diameter: usize,
+    /// Router pairs with ECMP (more than one equal-cost next hop).
+    pub ecmp_pairs: usize,
+}
+
+/// Computes statistics for one AS.
+pub fn as_stats(topo: &Topology, as_id: AsId) -> AsStats {
+    let a = topo.as_of(as_id);
+    let igp = IgpState::compute(topo, as_id);
+
+    let mut intra_links = 0usize;
+    let mut inter_links = 0usize;
+    for l in &topo.links {
+        let owner = topo.router(topo.iface(l.a).router).as_id;
+        let peer = topo.router(topo.iface(l.b).router).as_id;
+        if owner == as_id && peer == as_id {
+            intra_links += 1;
+        } else if owner == as_id || peer == as_id {
+            inter_links += 1;
+        }
+    }
+
+    let max_degree = a
+        .routers
+        .iter()
+        .map(|&r| topo.router(r).ifaces.len())
+        .max()
+        .unwrap_or(0);
+
+    let mut diameter = 0usize;
+    let mut ecmp_pairs = 0usize;
+    for &x in &a.routers {
+        for &y in &a.routers {
+            if x == y {
+                continue;
+            }
+            // Hop-count via path enumeration is overkill; use the
+            // number of next-hop expansions along one shortest path.
+            if let Some(paths) =
+                igp.all_shortest_paths(topo, x, y, 1).first()
+            {
+                diameter = diameter.max(paths.len().saturating_sub(1));
+            }
+            if igp.nexthops(x, y).len() > 1 {
+                ecmp_pairs += 1;
+            }
+        }
+    }
+
+    AsStats {
+        routers: a.routers.len(),
+        borders: a.borders.len(),
+        intra_links,
+        inter_links,
+        max_degree,
+        diameter,
+        ecmp_pairs,
+    }
+}
+
+/// Statistics for every AS of a topology.
+pub fn all_stats(topo: &Topology) -> BTreeMap<lpr_core::lsp::Asn, AsStats> {
+    topo.ases.iter().map(|a| (a.asn, as_stats(topo, a.id))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{AsSpec, TopologyParams};
+    use crate::vendor::Vendor;
+    use lpr_core::lsp::Asn;
+
+    fn topo(params: TopologyParams) -> Topology {
+        let specs = vec![
+            AsSpec::transit(1, "t", Vendor::Cisco, params),
+            AsSpec::stub(100, "s", 1, 0),
+        ];
+        Topology::build(&specs, &[(Asn(1), Asn(100), 1)])
+    }
+
+    #[test]
+    fn chain_stats() {
+        let t = topo(TopologyParams { core_routers: 5, border_routers: 2, ..Default::default() });
+        let s = as_stats(&t, AsId(0));
+        assert_eq!(s.routers, 7); // 5 chain + 2 borders
+        assert_eq!(s.borders, 1); // only one border got a peering
+        assert_eq!(s.intra_links, 4 + 2); // chain + border attachments
+        assert_eq!(s.inter_links, 1);
+        assert_eq!(s.ecmp_pairs, 0, "a chain has no ECMP");
+        // Diameter: border -> attach(0) -> ... -> attach(4..) -> border.
+        assert!(s.diameter >= 5, "{s:?}");
+    }
+
+    #[test]
+    fn bundles_create_ecmp_pairs_but_short_diameter() {
+        let t = topo(TopologyParams {
+            core_routers: 3,
+            border_routers: 2,
+            parallel_bundles: 2,
+            parallel_width: 3,
+            ..Default::default()
+        });
+        let s = as_stats(&t, AsId(0));
+        assert!(s.ecmp_pairs > 0, "{s:?}");
+        assert!(s.intra_links > 4, "parallel links add up: {s:?}");
+        assert!(s.max_degree >= 3, "{s:?}");
+    }
+
+    #[test]
+    fn all_stats_covers_every_as() {
+        let t = topo(TopologyParams::default());
+        let all = all_stats(&t);
+        assert_eq!(all.len(), 2);
+        assert!(all[&Asn(100)].routers >= 2);
+    }
+}

@@ -1,0 +1,818 @@
+//! Multi-AS topology model and deterministic generator.
+//!
+//! ## Address plan
+//!
+//! The `a`-th AS (in build order) owns the block `10.(a+1).0.0/16`:
+//!
+//! * loopbacks in `10.(a+1).0.0/24`,
+//! * point-to-point interface addresses from `10.(a+1).1.0` upwards,
+//! * destination prefixes (for stub ASes) `10.(a+1).200.0/24` upwards,
+//! * vantage-point hosts from `10.(a+1).240.0` upwards.
+//!
+//! Interfaces are numbered from the block of the AS owning the router
+//! they sit on — including the ends of inter-AS links — so the IntraAS
+//! filter of LPR behaves as it does on real data.
+//!
+//! ## Intra-AS shape
+//!
+//! A transit AS is generated as a *core chain* with controllable
+//! diversity:
+//!
+//! * `core_routers` form a chain with uniform link cost;
+//! * `ecmp_diamonds` chain segments get an equal-cost two-hop bypass
+//!   through a dedicated router (ECMP across **disjoint routers**);
+//! * `parallel_bundles` chain segments get extra parallel links
+//!   (ECMP across **parallel links**, the Fig. 4d pattern);
+//! * `border_routers` attach to evenly spread chain positions.
+//!
+//! This gives precise, seed-stable control over the kind of path
+//! diversity each simulated ISP exhibits — which is exactly the factor
+//! the LPR classification must recover.
+
+use crate::vendor::Vendor;
+use ip2as::Prefix;
+use lpr_core::lsp::Asn;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Index of an AS within a [`Topology`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AsId(pub u16);
+
+/// Global router identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RouterId(pub u32);
+
+/// Global interface identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct IfaceId(pub u32);
+
+/// The role an AS plays in the simulated Internet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// Carries transit traffic between neighbours (may run MPLS).
+    Transit,
+    /// Originates destination prefixes and hosts vantage points.
+    Stub,
+}
+
+/// One router.
+#[derive(Clone, Debug)]
+pub struct Router {
+    /// Identifier.
+    pub id: RouterId,
+    /// Owning AS.
+    pub as_id: AsId,
+    /// Loopback address (the LDP FEC prefix for transit LSPs).
+    pub loopback: Ipv4Addr,
+    /// Whether this is a border router (has inter-AS links).
+    pub border: bool,
+    /// Interfaces attached to this router.
+    pub ifaces: Vec<IfaceId>,
+}
+
+/// One interface: an end of a point-to-point link.
+#[derive(Clone, Debug)]
+pub struct Iface {
+    /// Identifier.
+    pub id: IfaceId,
+    /// Router the interface sits on.
+    pub router: RouterId,
+    /// Interface address (numbered from the owning router's AS).
+    pub addr: Ipv4Addr,
+    /// The interface at the other end of the link.
+    pub peer: IfaceId,
+    /// IGP cost of the link (meaningful intra-AS only).
+    pub cost: u32,
+    /// Whether the link crosses an AS boundary.
+    pub inter_as: bool,
+}
+
+/// A point-to-point link (kept for enumeration; forwarding uses
+/// [`Iface::peer`]).
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// One end.
+    pub a: IfaceId,
+    /// Other end.
+    pub b: IfaceId,
+    /// IGP cost.
+    pub cost: u32,
+    /// Whether the link crosses an AS boundary.
+    pub inter_as: bool,
+}
+
+/// Per-AS view of the topology.
+#[derive(Clone, Debug)]
+pub struct AsTopology {
+    /// Index within the topology.
+    pub id: AsId,
+    /// AS number.
+    pub asn: Asn,
+    /// Human-readable name.
+    pub name: String,
+    /// Role.
+    pub role: Role,
+    /// Router vendor modelled for this AS (label ranges, defaults).
+    pub vendor: Vendor,
+    /// All routers of the AS.
+    pub routers: Vec<RouterId>,
+    /// Border routers (subset of `routers`).
+    pub borders: Vec<RouterId>,
+    /// The AS's covering block (`10.x.0.0/16`).
+    pub block: Prefix,
+    /// Destination prefixes originated (stub ASes).
+    pub dest_prefixes: Vec<Prefix>,
+    /// Vantage-point host addresses homed in this AS.
+    pub vantage_points: Vec<Ipv4Addr>,
+    /// Number of routers the builder appended as inter-AS attachment
+    /// candidates (they are the trailing `border_hint` entries of
+    /// `routers`).
+    border_hint: usize,
+}
+
+/// Shape parameters for one AS's internal topology.
+#[derive(Clone, Debug)]
+pub struct TopologyParams {
+    /// Chain length (transit) or router count (stub).
+    pub core_routers: usize,
+    /// Number of border routers.
+    pub border_routers: usize,
+    /// Chain segments upgraded to *balanced* equal-cost diamonds: the
+    /// direct link is replaced by two disjoint one-router bypasses of
+    /// the same cost and hop count (the common real-world case — §4.3
+    /// finds 80 % of ECMP IOTPs balanced).
+    pub ecmp_diamonds: usize,
+    /// Chain segments upgraded to *unbalanced* diamonds: the direct
+    /// link is kept and one equal-cost two-hop bypass is added, so the
+    /// ECMP paths differ in hop count (symmetry 1).
+    pub unbalanced_diamonds: usize,
+    /// Chain segments upgraded to parallel-link bundles.
+    pub parallel_bundles: usize,
+    /// Place diamonds on the outermost chain segments instead of
+    /// random ones: most border pairs then avoid them, keeping the
+    /// Routers-Disjoint share low (the Tata pattern of Fig. 13).
+    pub diamonds_at_edges: bool,
+    /// Links per parallel bundle (including the original one).
+    pub parallel_width: usize,
+    /// Uniform IGP cost of chain links (must be even so a diamond
+    /// bypass can split it equally).
+    pub uniform_cost: u32,
+}
+
+impl Default for TopologyParams {
+    fn default() -> Self {
+        TopologyParams {
+            core_routers: 6,
+            border_routers: 3,
+            ecmp_diamonds: 0,
+            unbalanced_diamonds: 0,
+            parallel_bundles: 0,
+            diamonds_at_edges: false,
+            parallel_width: 2,
+            uniform_cost: 10,
+        }
+    }
+}
+
+/// Specification of one AS to build.
+#[derive(Clone, Debug)]
+pub struct AsSpec {
+    /// AS number.
+    pub asn: Asn,
+    /// Display name.
+    pub name: String,
+    /// Role.
+    pub role: Role,
+    /// Vendor model.
+    pub vendor: Vendor,
+    /// Internal shape.
+    pub params: TopologyParams,
+    /// Destination /24 prefixes to originate (stub ASes).
+    pub dest_prefixes: usize,
+    /// Vantage points homed here (stub ASes).
+    pub vantage_points: usize,
+    /// Seed for this AS's internal shape (stable addressing across
+    /// rebuilt cycles requires a stable seed).
+    pub seed: u64,
+}
+
+impl AsSpec {
+    /// A small stub AS with the given number of destination prefixes
+    /// and vantage points.
+    pub fn stub(asn: u32, name: &str, dest_prefixes: usize, vantage_points: usize) -> Self {
+        AsSpec {
+            asn: Asn(asn),
+            name: name.to_string(),
+            role: Role::Stub,
+            vendor: Vendor::Cisco,
+            params: TopologyParams {
+                core_routers: 2,
+                border_routers: 1,
+                ..TopologyParams::default()
+            },
+            dest_prefixes,
+            vantage_points,
+            seed: asn as u64,
+        }
+    }
+
+    /// A transit AS skeleton; tune `params` for the desired diversity.
+    pub fn transit(asn: u32, name: &str, vendor: Vendor, params: TopologyParams) -> Self {
+        AsSpec {
+            asn: Asn(asn),
+            name: name.to_string(),
+            role: Role::Transit,
+            vendor,
+            params,
+            dest_prefixes: 0,
+            vantage_points: 0,
+            seed: asn as u64,
+        }
+    }
+}
+
+/// The assembled multi-AS topology.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Per-AS data, indexed by [`AsId`].
+    pub ases: Vec<AsTopology>,
+    /// All routers, indexed by [`RouterId`].
+    pub routers: Vec<Router>,
+    /// All interfaces, indexed by [`IfaceId`].
+    pub ifaces: Vec<Iface>,
+    /// All links.
+    pub links: Vec<Link>,
+    asn_index: BTreeMap<Asn, AsId>,
+}
+
+struct Builder {
+    topo: Topology,
+    /// Next free interface-address offset per AS.
+    iface_cursor: Vec<u32>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            topo: Topology {
+                ases: Vec::new(),
+                routers: Vec::new(),
+                ifaces: Vec::new(),
+                links: Vec::new(),
+                asn_index: BTreeMap::new(),
+            },
+            iface_cursor: Vec::new(),
+        }
+    }
+
+    fn block_base(as_id: AsId) -> u32 {
+        (10u32 << 24) | ((as_id.0 as u32 + 1) << 16)
+    }
+
+    fn add_as(&mut self, spec: &AsSpec) -> AsId {
+        let id = AsId(self.topo.ases.len() as u16);
+        assert!(id.0 < 255, "address plan supports at most 255 ASes");
+        let base = Self::block_base(id);
+        let block = Prefix::new(Ipv4Addr::from(base), 16);
+        let dest_prefixes = (0..spec.dest_prefixes)
+            .map(|k| {
+                assert!(k < 40, "at most 40 destination prefixes per AS");
+                Prefix::new(Ipv4Addr::from(base + ((200 + k as u32) << 8)), 24)
+            })
+            .collect();
+        let vantage_points = (0..spec.vantage_points)
+            .map(|k| Ipv4Addr::from(base + (240u32 << 8) + 1 + k as u32))
+            .collect();
+        self.topo.ases.push(AsTopology {
+            id,
+            asn: spec.asn,
+            name: spec.name.clone(),
+            role: spec.role,
+            vendor: spec.vendor,
+            routers: Vec::new(),
+            borders: Vec::new(),
+            block,
+            dest_prefixes,
+            vantage_points,
+            border_hint: spec.params.border_routers,
+        });
+        self.topo.asn_index.insert(spec.asn, id);
+        self.iface_cursor.push(1 << 8); // start interface addrs at .1.0
+        id
+    }
+
+    fn add_router(&mut self, as_id: AsId) -> RouterId {
+        let id = RouterId(self.topo.routers.len() as u32);
+        let index_in_as = self.topo.ases[as_id.0 as usize].routers.len() as u32;
+        assert!(index_in_as < 254, "at most 254 routers per AS");
+        let loopback = Ipv4Addr::from(Self::block_base(as_id) + index_in_as + 1);
+        self.topo.routers.push(Router {
+            id,
+            as_id,
+            loopback,
+            border: false,
+            ifaces: Vec::new(),
+        });
+        self.topo.ases[as_id.0 as usize].routers.push(id);
+        id
+    }
+
+    fn alloc_iface_addr(&mut self, as_id: AsId) -> Ipv4Addr {
+        let cursor = &mut self.iface_cursor[as_id.0 as usize];
+        let addr = Ipv4Addr::from(Self::block_base(as_id) + *cursor);
+        *cursor += 1;
+        // Skip into the next /24 when approaching reserved space.
+        assert!(*cursor < (200 << 8), "interface address space exhausted");
+        addr
+    }
+
+    fn link(&mut self, a: RouterId, b: RouterId, cost: u32) {
+        let as_a = self.topo.routers[a.0 as usize].as_id;
+        let as_b = self.topo.routers[b.0 as usize].as_id;
+        let inter_as = as_a != as_b;
+        let ia = IfaceId(self.topo.ifaces.len() as u32);
+        let ib = IfaceId(self.topo.ifaces.len() as u32 + 1);
+        let addr_a = self.alloc_iface_addr(as_a);
+        let addr_b = self.alloc_iface_addr(as_b);
+        self.topo.ifaces.push(Iface { id: ia, router: a, addr: addr_a, peer: ib, cost, inter_as });
+        self.topo.ifaces.push(Iface { id: ib, router: b, addr: addr_b, peer: ia, cost, inter_as });
+        self.topo.routers[a.0 as usize].ifaces.push(ia);
+        self.topo.routers[b.0 as usize].ifaces.push(ib);
+        self.topo.links.push(Link { a: ia, b: ib, cost, inter_as });
+        if inter_as {
+            for (r, as_id) in [(a, as_a), (b, as_b)] {
+                if !self.topo.routers[r.0 as usize].border {
+                    self.topo.routers[r.0 as usize].border = true;
+                    self.topo.ases[as_id.0 as usize].borders.push(r);
+                }
+            }
+        }
+    }
+
+    fn build_as_internal(&mut self, as_id: AsId, spec: &AsSpec) {
+        let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x746f_706f);
+        let p = &spec.params;
+        assert!(p.core_routers >= 1);
+        assert!(p.uniform_cost.is_multiple_of(2), "uniform cost must be even for diamond bypasses");
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum Seg {
+            Plain,
+            /// Two disjoint one-router bypasses, no direct link:
+            /// balanced disjoint-router ECMP.
+            Balanced,
+            /// Direct link plus one equal-cost two-hop bypass:
+            /// unbalanced disjoint-router ECMP.
+            Unbalanced,
+            /// Parallel links between the same router pair.
+            Bundle,
+        }
+
+        let chain: Vec<RouterId> = (0..p.core_routers).map(|_| self.add_router(as_id)).collect();
+        let nseg = p.core_routers.saturating_sub(1);
+        let mut kinds = vec![Seg::Plain; nseg];
+        let mut seg_indices: Vec<usize> = (0..nseg).collect();
+        // Fisher-Yates shuffle with the seeded RNG.
+        for i in (1..seg_indices.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            seg_indices.swap(i, j);
+        }
+        // Diamonds first: either from the chain's edges inward or from
+        // the shuffled order.
+        let diamond_order: Vec<usize> = if p.diamonds_at_edges {
+            // Far end first: the tail segments are crossed by the
+            // fewest border pairs, so edge diamonds perturb the least
+            // traffic.
+            let mut v = Vec::with_capacity(nseg);
+            let (mut lo, mut hi) = (0usize, nseg);
+            while lo < hi {
+                hi -= 1;
+                v.push(hi);
+                if lo != hi {
+                    v.push(lo);
+                }
+                lo += 1;
+            }
+            v
+        } else {
+            seg_indices.clone()
+        };
+        for &i in diamond_order.iter().take(p.ecmp_diamonds.min(nseg)) {
+            kinds[i] = Seg::Balanced;
+        }
+        let remaining: Vec<usize> =
+            seg_indices.into_iter().filter(|i| kinds[*i] == Seg::Plain).collect();
+        let mut it = remaining.into_iter();
+        for _ in 0..p.unbalanced_diamonds {
+            if let Some(i) = it.next() {
+                kinds[i] = Seg::Unbalanced;
+            }
+        }
+        for _ in 0..p.parallel_bundles {
+            if let Some(i) = it.next() {
+                kinds[i] = Seg::Bundle;
+            }
+        }
+
+        for (i, w) in chain.windows(2).enumerate() {
+            let (u, v) = (w[0], w[1]);
+            match kinds[i] {
+                Seg::Plain => self.link(u, v, p.uniform_cost),
+                Seg::Balanced => {
+                    for _ in 0..2 {
+                        let bypass = self.add_router(as_id);
+                        self.link(u, bypass, p.uniform_cost / 2);
+                        self.link(bypass, v, p.uniform_cost / 2);
+                    }
+                }
+                Seg::Unbalanced => {
+                    self.link(u, v, p.uniform_cost);
+                    let bypass = self.add_router(as_id);
+                    self.link(u, bypass, p.uniform_cost / 2);
+                    self.link(bypass, v, p.uniform_cost / 2);
+                }
+                Seg::Bundle => {
+                    for _ in 0..p.parallel_width.max(2) {
+                        self.link(u, v, p.uniform_cost);
+                    }
+                }
+            }
+        }
+
+        // Borders attach to evenly spread chain positions.
+        for bi in 0..p.border_routers {
+            let attach = chain[(bi * p.core_routers.max(1)) / p.border_routers.max(1)];
+            let border = self.add_router(as_id);
+            self.link(border, attach, p.uniform_cost);
+        }
+    }
+}
+
+impl Topology {
+    /// Builds a topology from AS specifications plus inter-AS peering
+    /// links `(asn_a, asn_b, link_count)`. Border endpoints are chosen
+    /// round-robin among each AS's designated border routers;
+    /// construction is fully deterministic.
+    pub fn build(specs: &[AsSpec], peerings: &[(Asn, Asn, usize)]) -> Topology {
+        let peerings: Vec<Peering> = peerings
+            .iter()
+            .map(|&(a, b, links)| Peering { a, b, links, a_border: None, b_border: None })
+            .collect();
+        Self::build_with_peerings(specs, &peerings)
+    }
+
+    /// Like [`Topology::build`], with explicit control over which
+    /// border (by index among the AS's border candidates) anchors each
+    /// peering — needed when a scenario requires several customer ASes
+    /// behind the *same* egress border (the situation that gives transit
+    /// IOTPs their destination diversity).
+    pub fn build_with_peerings(specs: &[AsSpec], peerings: &[Peering]) -> Topology {
+        let mut b = Builder::new();
+        for spec in specs {
+            let id = b.add_as(spec);
+            b.build_as_internal(id, spec);
+        }
+        let mut border_cursor: BTreeMap<Asn, usize> = BTreeMap::new();
+        for p in peerings {
+            for _ in 0..p.links {
+                let ra = pick_border(&b.topo, &p.a, p.a_border, &mut border_cursor);
+                let rb = pick_border(&b.topo, &p.b, p.b_border, &mut border_cursor);
+                b.link(ra, rb, 10);
+            }
+        }
+        b.topo
+    }
+
+    /// The AS carrying a given AS number.
+    pub fn as_by_asn(&self, asn: Asn) -> Option<&AsTopology> {
+        self.asn_index.get(&asn).map(|id| &self.ases[id.0 as usize])
+    }
+
+    /// Router accessor.
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.0 as usize]
+    }
+
+    /// Interface accessor.
+    pub fn iface(&self, id: IfaceId) -> &Iface {
+        &self.ifaces[id.0 as usize]
+    }
+
+    /// AS accessor.
+    pub fn as_of(&self, id: AsId) -> &AsTopology {
+        &self.ases[id.0 as usize]
+    }
+
+    /// The AS owning a router.
+    pub fn as_of_router(&self, id: RouterId) -> &AsTopology {
+        self.as_of(self.router(id).as_id)
+    }
+
+    /// Intra-AS neighbours of a router: `(own interface, peer router)`.
+    pub fn intra_neighbors(&self, id: RouterId) -> impl Iterator<Item = (&Iface, RouterId)> {
+        self.router(id).ifaces.iter().filter_map(move |&i| {
+            let iface = self.iface(i);
+            if iface.inter_as {
+                return None;
+            }
+            Some((iface, self.iface(iface.peer).router))
+        })
+    }
+
+    /// Inter-AS interfaces of a router.
+    pub fn inter_as_ifaces(&self, id: RouterId) -> impl Iterator<Item = &Iface> {
+        self.router(id)
+            .ifaces
+            .iter()
+            .map(move |&i| self.iface(i))
+            .filter(|i| i.inter_as)
+    }
+
+    /// Exports the Routeviews-style RIB: each AS's covering block plus
+    /// every originated destination prefix.
+    pub fn rib(&self) -> ip2as::Ip2AsTrie {
+        let mut trie = ip2as::Ip2AsTrie::new();
+        for a in &self.ases {
+            trie.insert(a.block, a.asn);
+            for p in &a.dest_prefixes {
+                trie.insert(*p, a.asn);
+            }
+        }
+        trie
+    }
+
+    /// Destination host addresses: `per_prefix` hosts in every
+    /// destination prefix of every stub AS.
+    pub fn destinations(&self, per_prefix: usize) -> Vec<Ipv4Addr> {
+        let mut out = Vec::new();
+        for a in &self.ases {
+            for p in &a.dest_prefixes {
+                let base = u32::from(p.addr());
+                for h in 0..per_prefix {
+                    out.push(Ipv4Addr::from(base + 1 + h as u32));
+                }
+            }
+        }
+        out
+    }
+
+    /// All vantage-point addresses with their home AS.
+    pub fn vantage_points(&self) -> Vec<(Ipv4Addr, AsId)> {
+        let mut out = Vec::new();
+        for a in &self.ases {
+            for &vp in &a.vantage_points {
+                out.push((vp, a.id));
+            }
+        }
+        out
+    }
+}
+
+impl Topology {
+    /// A copy of the topology with a fraction of intra-AS link costs
+    /// perturbed (±50 %), deterministically from `seed`.
+    ///
+    /// Addresses, routers and links are untouched — only IGP costs
+    /// move, the way maintenance and re-weighting events move them
+    /// between two measurement snapshots. Recomputing the control
+    /// plane on the perturbed copy changes *some* shortest paths, so
+    /// some LSPs observed in one snapshot genuinely disappear in the
+    /// next: the routing noise the Persistence filter exists to remove
+    /// (§3.1).
+    pub fn with_perturbed_costs(&self, seed: u64, fraction: f64) -> Topology {
+        use crate::internet::splitmix64;
+        let mut topo = self.clone();
+        for link_idx in 0..topo.links.len() {
+            let link = &topo.links[link_idx];
+            if link.inter_as {
+                continue;
+            }
+            let h = splitmix64(seed ^ (link_idx as u64) << 13 ^ 0x1677);
+            if (h as f64 / u64::MAX as f64) >= fraction {
+                continue;
+            }
+            // ±50 % in even steps so diamond bypasses stay splittable.
+            let delta = if h & 1 == 0 { link.cost / 2 } else { link.cost.saturating_mul(2) };
+            let (a, b) = (link.a, link.b);
+            topo.links[link_idx].cost = delta.max(2);
+            topo.ifaces[a.0 as usize].cost = delta.max(2);
+            topo.ifaces[b.0 as usize].cost = delta.max(2);
+        }
+        topo
+    }
+}
+
+/// One inter-AS peering in a topology specification.
+#[derive(Clone, Copy, Debug)]
+pub struct Peering {
+    /// First AS.
+    pub a: Asn,
+    /// Second AS.
+    pub b: Asn,
+    /// Number of parallel peering links.
+    pub links: usize,
+    /// Border index (among `a`'s border candidates) to anchor on, or
+    /// `None` for round-robin.
+    pub a_border: Option<usize>,
+    /// Border index for `b`, or `None` for round-robin.
+    pub b_border: Option<usize>,
+}
+
+impl Peering {
+    /// A single round-robin-anchored link between two ASes.
+    pub fn new(a: Asn, b: Asn) -> Self {
+        Peering { a, b, links: 1, a_border: None, b_border: None }
+    }
+
+    /// Pins the border index on the `a` side.
+    pub fn at_a(mut self, border: usize) -> Self {
+        self.a_border = Some(border);
+        self
+    }
+
+    /// Pins the border index on the `b` side.
+    pub fn at_b(mut self, border: usize) -> Self {
+        self.b_border = Some(border);
+        self
+    }
+
+    /// Sets the number of parallel links.
+    pub fn links(mut self, n: usize) -> Self {
+        self.links = n;
+        self
+    }
+}
+
+fn pick_border(
+    topo: &Topology,
+    asn: &Asn,
+    pinned: Option<usize>,
+    cursor: &mut BTreeMap<Asn, usize>,
+) -> RouterId {
+    let as_topo = topo.as_by_asn(*asn).unwrap_or_else(|| panic!("unknown {asn} in peering"));
+    let candidates = as_topo.border_candidates();
+    if let Some(i) = pinned {
+        return candidates[i % candidates.len()];
+    }
+    let c = cursor.entry(*asn).or_insert(0);
+    let r = candidates[*c % candidates.len()];
+    *c += 1;
+    r
+}
+
+impl AsTopology {
+    /// Routers eligible as inter-AS attachment points: the trailing
+    /// `border_routers` routers the builder appended for that purpose.
+    pub fn border_candidates(&self) -> &[RouterId] {
+        let n = self.routers.len();
+        &self.routers[n - self.border_hint..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_specs() -> (Vec<AsSpec>, Vec<(Asn, Asn, usize)>) {
+        let t = AsSpec::transit(
+            6453,
+            "tata",
+            Vendor::Cisco,
+            TopologyParams {
+                core_routers: 5,
+                border_routers: 2,
+                ecmp_diamonds: 1,
+                parallel_bundles: 1,
+                parallel_width: 3,
+                ..TopologyParams::default()
+            },
+        );
+        let s1 = AsSpec::stub(100, "src", 0, 2);
+        let s2 = AsSpec::stub(200, "dst", 3, 0);
+        let peerings = vec![(Asn(100), Asn(6453), 1), (Asn(6453), Asn(200), 1)];
+        (vec![t, s1, s2], peerings)
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (specs, peerings) = sample_specs();
+        let a = Topology::build(&specs, &peerings);
+        let b = Topology::build(&specs, &peerings);
+        assert_eq!(a.routers.len(), b.routers.len());
+        assert_eq!(a.ifaces.len(), b.ifaces.len());
+        for (x, y) in a.ifaces.iter().zip(&b.ifaces) {
+            assert_eq!(x.addr, y.addr);
+        }
+    }
+
+    #[test]
+    fn address_plan_respects_as_blocks() {
+        let (specs, peerings) = sample_specs();
+        let topo = Topology::build(&specs, &peerings);
+        for iface in &topo.ifaces {
+            let as_topo = topo.as_of_router(iface.router);
+            assert!(
+                as_topo.block.contains(iface.addr),
+                "{} outside {}",
+                iface.addr,
+                as_topo.block
+            );
+        }
+        for r in &topo.routers {
+            assert!(topo.as_of_router(r.id).block.contains(r.loopback));
+        }
+    }
+
+    #[test]
+    fn interface_addresses_are_unique() {
+        let (specs, peerings) = sample_specs();
+        let topo = Topology::build(&specs, &peerings);
+        let mut seen = std::collections::HashSet::new();
+        for iface in &topo.ifaces {
+            assert!(seen.insert(iface.addr), "duplicate {}", iface.addr);
+        }
+        for r in &topo.routers {
+            assert!(seen.insert(r.loopback), "duplicate {}", r.loopback);
+        }
+    }
+
+    #[test]
+    fn borders_are_marked_by_peering() {
+        let (specs, peerings) = sample_specs();
+        let topo = Topology::build(&specs, &peerings);
+        let tata = topo.as_by_asn(Asn(6453)).unwrap();
+        assert!(!tata.borders.is_empty());
+        for &b in &tata.borders {
+            assert!(topo.router(b).border);
+            assert!(topo.inter_as_ifaces(b).count() > 0);
+        }
+    }
+
+    #[test]
+    fn rib_maps_every_interface() {
+        let (specs, peerings) = sample_specs();
+        let topo = Topology::build(&specs, &peerings);
+        let rib = topo.rib();
+        for iface in &topo.ifaces {
+            let as_topo = topo.as_of_router(iface.router);
+            assert_eq!(rib.lookup(iface.addr), Some(as_topo.asn));
+        }
+    }
+
+    #[test]
+    fn destinations_and_vps() {
+        let (specs, peerings) = sample_specs();
+        let topo = Topology::build(&specs, &peerings);
+        let dests = topo.destinations(2);
+        assert_eq!(dests.len(), 3 * 2);
+        let rib = topo.rib();
+        for d in &dests {
+            assert_eq!(rib.lookup(*d), Some(Asn(200)));
+        }
+        assert_eq!(topo.vantage_points().len(), 2);
+    }
+
+    #[test]
+    fn cost_perturbation_changes_only_costs() {
+        let (specs, peerings) = sample_specs();
+        let base = Topology::build(&specs, &peerings);
+        let perturbed = base.with_perturbed_costs(7, 0.5);
+        assert_eq!(base.routers.len(), perturbed.routers.len());
+        assert_eq!(base.links.len(), perturbed.links.len());
+        let mut changed = 0usize;
+        for (a, b) in base.ifaces.iter().zip(&perturbed.ifaces) {
+            assert_eq!(a.addr, b.addr, "addresses must be stable");
+            if a.cost != b.cost {
+                assert!(!a.inter_as);
+                changed += 1;
+            }
+        }
+        assert!(changed > 0, "expected some perturbed costs");
+        // Zero fraction is the identity.
+        let same = base.with_perturbed_costs(7, 0.0);
+        for (a, b) in base.ifaces.iter().zip(&same.ifaces) {
+            assert_eq!(a.cost, b.cost);
+        }
+    }
+
+    #[test]
+    fn parallel_bundles_create_multi_links() {
+        let (specs, peerings) = sample_specs();
+        let topo = Topology::build(&specs, &peerings);
+        // Some pair of routers in AS 6453 shares >= 3 links.
+        let mut pair_counts: BTreeMap<(RouterId, RouterId), usize> = BTreeMap::new();
+        for l in &topo.links {
+            if l.inter_as {
+                continue;
+            }
+            let a = topo.iface(l.a).router;
+            let b = topo.iface(l.b).router;
+            let key = if a < b { (a, b) } else { (b, a) };
+            *pair_counts.entry(key).or_default() += 1;
+        }
+        assert!(pair_counts.values().any(|&c| c >= 3));
+    }
+}

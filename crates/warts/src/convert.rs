@@ -1,0 +1,173 @@
+//! Conversions between warts records and the `lpr-core` trace model.
+//!
+//! warts stores only *replies*; unresponsive probes appear as gaps in
+//! the probe-TTL sequence. The conversion to [`lpr_core::trace::Trace`]
+//! materialises those gaps as anonymous hops so the downstream tunnel
+//! extraction sees the same picture a scamper text dump shows. IPv6
+//! hops are skipped (the LPR analysis, like the paper's dataset, is
+//! IPv4; a trace with an IPv6 endpoint converts to `None`).
+
+use crate::addr::Addr;
+use crate::error::WartsError;
+use crate::icmpext::{mpls_stack_of, IcmpExt};
+use crate::trace::{HopRecord, StopReason, TraceRecord};
+use lpr_core::label::LabelStack;
+use lpr_core::trace::{Hop, Trace};
+
+/// Converts one warts hop into the core model, decoding its RFC 4950
+/// extension if present.
+pub fn hop_to_core(hop: &HopRecord) -> Result<Option<Hop>, WartsError> {
+    let addr = match hop.addr.as_v4() {
+        Some(a) => a,
+        None => return Ok(None),
+    };
+    let stack = mpls_stack_of(&hop.icmp_exts)?.unwrap_or_else(LabelStack::empty);
+    Ok(Some(Hop { probe_ttl: hop.probe_ttl, addr: Some(addr), rtt_us: hop.rtt_us, stack }))
+}
+
+/// Converts a warts trace record into the core trace model.
+///
+/// Returns `Ok(None)` for IPv6 traces. Multiple replies for the same
+/// probe TTL (per-attempt duplicates) keep the first one, matching how
+/// the paper's single-path Paris traceroute data behaves. TTL gaps
+/// become anonymous hops.
+pub fn trace_to_core(rec: &TraceRecord) -> Result<Option<Trace>, WartsError> {
+    let (src, dst) = match (rec.src.as_v4(), rec.dst.as_v4()) {
+        (Some(s), Some(d)) => (s, d),
+        _ => return Ok(None),
+    };
+    let mut trace = Trace::new(src, dst);
+    trace.reached = rec.stop_reason == StopReason::Completed;
+
+    let mut expected_ttl = rec.first_hop.unwrap_or(1);
+    let mut last_ttl = 0u8;
+    for hop in &rec.hops {
+        if hop.probe_ttl <= last_ttl {
+            continue; // duplicate reply for an already-recorded TTL
+        }
+        let core = match hop_to_core(hop)? {
+            Some(h) => h,
+            None => continue,
+        };
+        while expected_ttl < hop.probe_ttl {
+            trace.push_hop(Hop::anonymous(expected_ttl));
+            expected_ttl += 1;
+        }
+        last_ttl = hop.probe_ttl;
+        expected_ttl = hop.probe_ttl.saturating_add(1);
+        trace.push_hop(core);
+    }
+    Ok(Some(trace))
+}
+
+/// Converts a core trace into a warts record (the writer-side inverse
+/// of [`trace_to_core`]). Anonymous hops are dropped — warts records
+/// replies only. `list_id`/`cycle_id` are the file-local ids the trace
+/// should reference.
+pub fn trace_to_record(trace: &Trace, list_id: u32, cycle_id: u32) -> TraceRecord {
+    let mut rec = TraceRecord::new(Addr::V4(trace.src), Addr::V4(trace.dst));
+    rec.list_id = Some(list_id);
+    rec.cycle_id = Some(cycle_id);
+    rec.stop_reason = if trace.reached { StopReason::Completed } else { StopReason::GapLimit };
+    for hop in &trace.hops {
+        let addr = match hop.addr {
+            Some(a) => a,
+            None => continue,
+        };
+        let mut h = HopRecord::reply(hop.probe_ttl, Addr::V4(addr), hop.rtt_us);
+        // Destination replies are echo replies, intermediate hops are
+        // time-exceeded; both carry extensions only when labelled.
+        let is_dst = addr == trace.dst;
+        h.icmp_type_code = Some(if is_dst { 0x0000 } else { 0x0B00 });
+        if !hop.stack.is_empty() {
+            h.icmp_exts = vec![IcmpExt::mpls(&hop.stack)];
+        }
+        rec.hops.push(h);
+    }
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpr_core::label::Lse;
+    use std::net::Ipv4Addr;
+
+    fn ip(o: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, o)
+    }
+
+    fn sample_core_trace() -> Trace {
+        let mut t = Trace::new(ip(100), ip(200));
+        t.push_hop(Hop::responsive(1, ip(1)));
+        t.push_hop(Hop::labelled(2, ip(2), &[Lse::transit(300_000, 254)]));
+        t.push_hop(Hop::anonymous(3));
+        t.push_hop(Hop::responsive(4, ip(4)));
+        t.push_hop(Hop::responsive(5, ip(200)));
+        t.reached = true;
+        t
+    }
+
+    #[test]
+    fn core_to_record_to_core() {
+        let t = sample_core_trace();
+        let rec = trace_to_record(&t, 1, 1);
+        assert_eq!(rec.hops.len(), 4); // anonymous hop dropped
+        let back = trace_to_core(&rec).unwrap().unwrap();
+        // The anonymous hop reappears as a TTL gap materialisation.
+        assert_eq!(back.hops.len(), t.hops.len());
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn leading_gap_materialises_anonymous_hops() {
+        let mut rec = TraceRecord::new(Addr::V4(ip(100)), Addr::V4(ip(200)));
+        rec.hops = vec![HopRecord::reply(3, Addr::V4(ip(3)), 500)];
+        let t = trace_to_core(&rec).unwrap().unwrap();
+        assert_eq!(t.hops.len(), 3);
+        assert!(!t.hops[0].is_responsive());
+        assert!(!t.hops[1].is_responsive());
+        assert_eq!(t.hops[2].addr, Some(ip(3)));
+    }
+
+    #[test]
+    fn duplicate_ttl_replies_keep_first() {
+        let mut rec = TraceRecord::new(Addr::V4(ip(100)), Addr::V4(ip(200)));
+        rec.hops = vec![
+            HopRecord::reply(1, Addr::V4(ip(1)), 500),
+            HopRecord::reply(1, Addr::V4(ip(7)), 700),
+            HopRecord::reply(2, Addr::V4(ip(2)), 900),
+        ];
+        let t = trace_to_core(&rec).unwrap().unwrap();
+        assert_eq!(t.hops.len(), 2);
+        assert_eq!(t.hops[0].addr, Some(ip(1)));
+    }
+
+    #[test]
+    fn ipv6_trace_is_skipped() {
+        let rec = TraceRecord::new(
+            Addr::V6("2001:db8::1".parse().unwrap()),
+            Addr::V4(ip(200)),
+        );
+        assert_eq!(trace_to_core(&rec).unwrap(), None);
+    }
+
+    #[test]
+    fn mpls_stack_survives_conversion() {
+        let t = sample_core_trace();
+        let rec = trace_to_record(&t, 1, 1);
+        let labelled = rec.hops.iter().find(|h| !h.icmp_exts.is_empty()).unwrap();
+        let stack = mpls_stack_of(&labelled.icmp_exts).unwrap().unwrap();
+        assert_eq!(stack.top().unwrap().label.value(), 300_000);
+    }
+
+    #[test]
+    fn stop_reason_maps_to_reached() {
+        let mut t = sample_core_trace();
+        t.reached = false;
+        let rec = trace_to_record(&t, 1, 1);
+        assert_eq!(rec.stop_reason, StopReason::GapLimit);
+        let back = trace_to_core(&rec).unwrap().unwrap();
+        assert!(!back.reached);
+    }
+}

@@ -1,0 +1,136 @@
+//! The warts *cycle* records (types 0x02 start and 0x04 stop).
+//!
+//! A cycle brackets one pass of a measurement list. Ark's "cycle" is
+//! exactly the unit the paper iterates over (60 monthly cycles, §4.1).
+//!
+//! Cycle start layout: `u32 file-local id ‖ u32 list file-local id ‖
+//! u32 cycle id ‖ u32 start time ‖ params` with optional parameters
+//! 1 = stop time, 2 = hostname. Cycle stop layout: `u32 file-local id ‖
+//! u32 stop time ‖ params` (no defined parameters).
+
+use crate::buf::{put_cstring, put_u32, Cursor};
+use crate::error::WartsError;
+use crate::flags::{read_params, ParamWriter};
+use bytes::{BufMut, BytesMut};
+
+const FLAG_STOP_TIME: u16 = 1;
+const FLAG_HOSTNAME: u16 = 2;
+
+/// A cycle-start record.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CycleRecord {
+    /// File-local identifier referenced by trace records.
+    pub id: u32,
+    /// File-local id of the list this cycle runs.
+    pub list_id: u32,
+    /// The cycle's own identifier.
+    pub cycle_id: u32,
+    /// Start time (Unix seconds).
+    pub start: u32,
+    /// Optional stop time (Unix seconds).
+    pub stop: Option<u32>,
+    /// Optional monitor hostname.
+    pub hostname: Option<String>,
+}
+
+impl CycleRecord {
+    /// Encodes the record body.
+    pub fn write(&self, out: &mut BytesMut) {
+        put_u32(out, self.id);
+        put_u32(out, self.list_id);
+        put_u32(out, self.cycle_id);
+        put_u32(out, self.start);
+        let mut p = ParamWriter::new();
+        if let Some(s) = self.stop {
+            p.param(FLAG_STOP_TIME).put_u32(s);
+        }
+        if let Some(h) = &self.hostname {
+            put_cstring(p.param(FLAG_HOSTNAME), h);
+        }
+        p.finish(out);
+    }
+
+    /// Decodes the record body.
+    pub fn read(cur: &mut Cursor<'_>) -> Result<Self, WartsError> {
+        let id = cur.u32("cycle id")?;
+        let list_id = cur.u32("cycle list id")?;
+        let cycle_id = cur.u32("cycle cycle_id")?;
+        let start = cur.u32("cycle start")?;
+        let (flags, mut params) = read_params(cur, "cycle params")?;
+        let mut rec =
+            CycleRecord { id, list_id, cycle_id, start, stop: None, hostname: None };
+        for flag in flags.iter() {
+            match flag {
+                FLAG_STOP_TIME => rec.stop = Some(params.u32("cycle stop time")?),
+                FLAG_HOSTNAME => rec.hostname = Some(params.cstring()?),
+                _ => return Err(WartsError::Unsupported { feature: "unknown cycle flag" }),
+            }
+        }
+        Ok(rec)
+    }
+}
+
+/// A cycle-stop record.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CycleStopRecord {
+    /// File-local id of the cycle being closed.
+    pub id: u32,
+    /// Stop time (Unix seconds).
+    pub stop: u32,
+}
+
+impl CycleStopRecord {
+    /// Encodes the record body.
+    pub fn write(&self, out: &mut BytesMut) {
+        put_u32(out, self.id);
+        put_u32(out, self.stop);
+        ParamWriter::new().finish(out);
+    }
+
+    /// Decodes the record body.
+    pub fn read(cur: &mut Cursor<'_>) -> Result<Self, WartsError> {
+        let id = cur.u32("cycle-stop id")?;
+        let stop = cur.u32("cycle-stop time")?;
+        let (flags, _params) = read_params(cur, "cycle-stop params")?;
+        if !flags.is_empty() {
+            return Err(WartsError::Unsupported { feature: "cycle-stop flags" });
+        }
+        Ok(CycleStopRecord { id, stop })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_roundtrip_minimal() {
+        let rec = CycleRecord { id: 3, list_id: 1, cycle_id: 60, start: 1_417_392_000, ..Default::default() };
+        let mut buf = BytesMut::new();
+        rec.write(&mut buf);
+        assert_eq!(CycleRecord::read(&mut Cursor::new(&buf)).unwrap(), rec);
+    }
+
+    #[test]
+    fn cycle_roundtrip_full() {
+        let rec = CycleRecord {
+            id: 3,
+            list_id: 1,
+            cycle_id: 60,
+            start: 1_417_392_000,
+            stop: Some(1_417_478_400),
+            hostname: Some("mon1.example.org".into()),
+        };
+        let mut buf = BytesMut::new();
+        rec.write(&mut buf);
+        assert_eq!(CycleRecord::read(&mut Cursor::new(&buf)).unwrap(), rec);
+    }
+
+    #[test]
+    fn cycle_stop_roundtrip() {
+        let rec = CycleStopRecord { id: 3, stop: 1_417_478_400 };
+        let mut buf = BytesMut::new();
+        rec.write(&mut buf);
+        assert_eq!(CycleStopRecord::read(&mut Cursor::new(&buf)).unwrap(), rec);
+    }
+}

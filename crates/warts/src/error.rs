@@ -1,0 +1,91 @@
+//! Typed errors for warts decoding and encoding.
+
+use std::fmt;
+
+/// Everything that can go wrong while reading or writing warts data.
+///
+/// The reader never panics on malformed input: every structural problem
+/// maps to one of these variants, with enough context to locate the
+/// offending byte.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WartsError {
+    /// The 16-bit magic at a record boundary was not `0x1205`.
+    BadMagic {
+        /// Byte offset of the record header in the input.
+        offset: usize,
+        /// The value found instead.
+        found: u16,
+    },
+    /// Input ended in the middle of a structure.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A record body was shorter or longer than its header declared.
+    LengthMismatch {
+        /// Record type being decoded.
+        record_type: u16,
+        /// Declared body length.
+        declared: usize,
+        /// Bytes actually consumed.
+        consumed: usize,
+    },
+    /// An address reference pointed outside the address table.
+    UnknownAddrId {
+        /// The dangling id.
+        id: u32,
+    },
+    /// An embedded address had an unsupported type code.
+    BadAddrType {
+        /// The type code found.
+        type_code: u8,
+        /// Declared address byte length.
+        len: u8,
+    },
+    /// A flag-encoded parameter block overran its declared length.
+    ParamOverrun {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A string parameter was not NUL-terminated within the record.
+    UnterminatedString,
+    /// An ICMP extension structure was inconsistent.
+    BadIcmpExt {
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// The record is structurally valid but uses a feature this
+    /// implementation does not support (e.g. a deprecated global
+    /// address id).
+    Unsupported {
+        /// What feature.
+        feature: &'static str,
+    },
+}
+
+impl fmt::Display for WartsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WartsError::BadMagic { offset, found } => {
+                write!(f, "bad warts magic {found:#06x} at byte {offset}")
+            }
+            WartsError::Truncated { context } => write!(f, "truncated input while reading {context}"),
+            WartsError::LengthMismatch { record_type, declared, consumed } => write!(
+                f,
+                "record type {record_type:#04x}: header declares {declared} bytes, body used {consumed}"
+            ),
+            WartsError::UnknownAddrId { id } => write!(f, "reference to unknown address id {id}"),
+            WartsError::BadAddrType { type_code, len } => {
+                write!(f, "unsupported address type {type_code} (length {len})")
+            }
+            WartsError::ParamOverrun { context } => {
+                write!(f, "parameter block overrun while reading {context}")
+            }
+            WartsError::UnterminatedString => write!(f, "unterminated string parameter"),
+            WartsError::BadIcmpExt { reason } => write!(f, "bad ICMP extension: {reason}"),
+            WartsError::Unsupported { feature } => write!(f, "unsupported warts feature: {feature}"),
+        }
+    }
+}
+
+impl std::error::Error for WartsError {}

@@ -1,0 +1,245 @@
+//! The warts *flags* parameter mechanism.
+//!
+//! Record bodies start with a variable-length flag bitfield: a sequence
+//! of bytes in which the seven low bits carry flags (flag numbers are
+//! 1-based and increase from the least significant bit of the first
+//! byte) and the high bit says another flag byte follows. When at least
+//! one flag is set, a 16-bit *parameter length* follows the bitfield,
+//! then the parameter values appear back-to-back in flag order.
+//!
+//! ```text
+//! +---------+---------+ ... +-----------+------------------+
+//! | flags₀  | flags₁  |     | param len | params in order  |
+//! +---------+---------+ ... +-----------+------------------+
+//!   bit7 = "more flag bytes follow"
+//! ```
+
+use crate::buf::Cursor;
+use crate::error::WartsError;
+use bytes::{BufMut, BytesMut};
+
+/// A decoded flag set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlagSet {
+    bits: Vec<u8>, // 7 usable bits per element, continuation bit stripped
+}
+
+impl FlagSet {
+    /// An empty flag set.
+    pub fn new() -> Self {
+        FlagSet::default()
+    }
+
+    /// Sets 1-based flag `n`.
+    pub fn set(&mut self, n: u16) {
+        assert!(n >= 1, "flags are 1-based");
+        let byte = ((n - 1) / 7) as usize;
+        let bit = ((n - 1) % 7) as u8;
+        if self.bits.len() <= byte {
+            self.bits.resize(byte + 1, 0);
+        }
+        self.bits[byte] |= 1 << bit;
+    }
+
+    /// Tests 1-based flag `n`.
+    pub fn is_set(&self, n: u16) -> bool {
+        if n == 0 {
+            return false;
+        }
+        let byte = ((n - 1) / 7) as usize;
+        let bit = ((n - 1) % 7) as u8;
+        self.bits.get(byte).is_some_and(|b| b & (1 << bit) != 0)
+    }
+
+    /// True when no flag is set.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&b| b == 0)
+    }
+
+    /// Decodes a flag bitfield (not the parameter length) from a cursor.
+    pub fn read(cur: &mut Cursor<'_>) -> Result<Self, WartsError> {
+        let mut bits = Vec::new();
+        loop {
+            let b = cur.u8("flag byte")?;
+            bits.push(b & 0x7f);
+            if b & 0x80 == 0 {
+                break;
+            }
+        }
+        Ok(FlagSet { bits })
+    }
+
+    /// Encodes the flag bitfield into `buf`.
+    pub fn write(&self, buf: &mut BytesMut) {
+        if self.bits.is_empty() {
+            buf.put_u8(0);
+            return;
+        }
+        // Trim trailing zero bytes but always emit at least one byte.
+        let mut last = self.bits.len();
+        while last > 1 && self.bits[last - 1] == 0 {
+            last -= 1;
+        }
+        for (i, &b) in self.bits[..last].iter().enumerate() {
+            let cont = if i + 1 < last { 0x80 } else { 0 };
+            buf.put_u8(b | cont);
+        }
+    }
+
+    /// Iterates over the set flag numbers in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
+        self.bits.iter().enumerate().flat_map(|(byte, &b)| {
+            (0..7u16).filter_map(move |bit| {
+                if b & (1 << bit) != 0 {
+                    Some(byte as u16 * 7 + bit + 1)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+/// A parameter block under construction: flag set plus parameter bytes,
+/// finalised into `flags ‖ u16 len ‖ params`.
+#[derive(Debug, Default)]
+pub struct ParamWriter {
+    flags: FlagSet,
+    params: BytesMut,
+}
+
+impl ParamWriter {
+    /// An empty block.
+    pub fn new() -> Self {
+        ParamWriter::default()
+    }
+
+    /// Marks flag `n` and returns the buffer to append its value to.
+    /// Parameters **must** be added in increasing flag order; this is
+    /// asserted in debug builds via the flag set shape.
+    pub fn param(&mut self, n: u16) -> &mut BytesMut {
+        debug_assert!(!self.flags.is_set(n), "parameter {n} added twice");
+        self.flags.set(n);
+        &mut self.params
+    }
+
+    /// Finalises into the on-disk layout.
+    pub fn finish(self, out: &mut BytesMut) {
+        self.flags.write(out);
+        if !self.flags.is_empty() {
+            out.put_u16(self.params.len() as u16);
+            out.put_slice(&self.params);
+        }
+    }
+}
+
+/// Reads a flag set and, when non-empty, its parameter block; hands back
+/// the flags and a sub-cursor bounded to exactly the parameter bytes.
+pub fn read_params<'a>(
+    cur: &mut Cursor<'a>,
+    context: &'static str,
+) -> Result<(FlagSet, Cursor<'a>), WartsError> {
+    let flags = FlagSet::read(cur)?;
+    if flags.is_empty() {
+        return Ok((flags, Cursor::new(&[])));
+    }
+    let len = cur.u16(context)? as usize;
+    let bytes = cur.bytes(len, context)?;
+    Ok((flags, Cursor::new(bytes)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_test() {
+        let mut f = FlagSet::new();
+        f.set(1);
+        f.set(7);
+        f.set(8);
+        f.set(29);
+        for n in [1, 7, 8, 29] {
+            assert!(f.is_set(n), "flag {n}");
+        }
+        for n in [2, 6, 9, 28, 30] {
+            assert!(!f.is_set(n), "flag {n}");
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_multibyte() {
+        let mut f = FlagSet::new();
+        f.set(3);
+        f.set(14);
+        f.set(15);
+        let mut b = BytesMut::new();
+        f.write(&mut b);
+        // 15 flags need 3 bytes: first two carry the continuation bit.
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0] & 0x80, 0x80);
+        assert_eq!(b[1] & 0x80, 0x80);
+        assert_eq!(b[2] & 0x80, 0);
+        let mut c = Cursor::new(&b);
+        let g = FlagSet::read(&mut c).unwrap();
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn empty_flagset_is_single_zero_byte() {
+        let f = FlagSet::new();
+        let mut b = BytesMut::new();
+        f.write(&mut b);
+        assert_eq!(&b[..], &[0]);
+        let mut c = Cursor::new(&b);
+        assert!(FlagSet::read(&mut c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut f = FlagSet::new();
+        for n in [9, 2, 17, 1] {
+            f.set(n);
+        }
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![1, 2, 9, 17]);
+    }
+
+    #[test]
+    fn param_writer_layout() {
+        let mut w = ParamWriter::new();
+        w.param(2).put_u8(0xAA);
+        w.param(5).put_u16(0x0102);
+        let mut out = BytesMut::new();
+        w.finish(&mut out);
+        // flags byte: bits for 2 and 5 => 0b0001_0010 = 0x12
+        assert_eq!(out[0], 0x12);
+        // param length = 3
+        assert_eq!(u16::from_be_bytes([out[1], out[2]]), 3);
+        assert_eq!(&out[3..], &[0xAA, 0x01, 0x02]);
+    }
+
+    #[test]
+    fn empty_param_writer_writes_zero_flag_byte_only() {
+        let w = ParamWriter::new();
+        let mut out = BytesMut::new();
+        w.finish(&mut out);
+        assert_eq!(&out[..], &[0]);
+    }
+
+    #[test]
+    fn read_params_bounds_subcursor() {
+        let mut w = ParamWriter::new();
+        w.param(1).put_u32(42);
+        let mut out = BytesMut::new();
+        w.finish(&mut out);
+        out.put_u8(0xFF); // next structure
+
+        let mut c = Cursor::new(&out);
+        let (flags, mut params) = read_params(&mut c, "test").unwrap();
+        assert!(flags.is_set(1));
+        assert_eq!(params.u32("v").unwrap(), 42);
+        assert!(params.is_empty());
+        // Outer cursor sits right after the param block.
+        assert_eq!(c.u8("tail").unwrap(), 0xFF);
+    }
+}

@@ -1,0 +1,90 @@
+//! The warts *list* record (type 0x01).
+//!
+//! A list names a measurement task (e.g. one Ark team's probing list).
+//! Layout: `u32 file-local id ‖ u32 list id ‖ cstring name ‖ params`
+//! with optional parameters 1 = description, 2 = monitor name.
+
+use crate::buf::{put_cstring, put_u32, Cursor};
+use crate::error::WartsError;
+use crate::flags::{read_params, ParamWriter};
+use bytes::BytesMut;
+
+const FLAG_DESCR: u16 = 1;
+const FLAG_MONITOR: u16 = 2;
+
+/// A list definition record.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ListRecord {
+    /// File-local identifier referenced by later records.
+    pub id: u32,
+    /// The list's own identifier.
+    pub list_id: u32,
+    /// List name.
+    pub name: String,
+    /// Optional description.
+    pub descr: Option<String>,
+    /// Optional monitor (vantage point) name.
+    pub monitor: Option<String>,
+}
+
+impl ListRecord {
+    /// Encodes the record body.
+    pub fn write(&self, out: &mut BytesMut) {
+        put_u32(out, self.id);
+        put_u32(out, self.list_id);
+        put_cstring(out, &self.name);
+        let mut p = ParamWriter::new();
+        if let Some(d) = &self.descr {
+            put_cstring(p.param(FLAG_DESCR), d);
+        }
+        if let Some(m) = &self.monitor {
+            put_cstring(p.param(FLAG_MONITOR), m);
+        }
+        p.finish(out);
+    }
+
+    /// Decodes the record body.
+    pub fn read(cur: &mut Cursor<'_>) -> Result<Self, WartsError> {
+        let id = cur.u32("list id")?;
+        let list_id = cur.u32("list list_id")?;
+        let name = cur.cstring()?;
+        let (flags, mut params) = read_params(cur, "list params")?;
+        let mut rec = ListRecord { id, list_id, name, descr: None, monitor: None };
+        for flag in flags.iter() {
+            match flag {
+                FLAG_DESCR => rec.descr = Some(params.cstring()?),
+                FLAG_MONITOR => rec.monitor = Some(params.cstring()?),
+                _ => return Err(WartsError::Unsupported { feature: "unknown list flag" }),
+            }
+        }
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_minimal() {
+        let rec = ListRecord { id: 1, list_id: 7, name: "default".into(), ..Default::default() };
+        let mut buf = BytesMut::new();
+        rec.write(&mut buf);
+        let back = ListRecord::read(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn roundtrip_with_options() {
+        let rec = ListRecord {
+            id: 2,
+            list_id: 9,
+            name: "team-1".into(),
+            descr: Some("Ark team 1".into()),
+            monitor: Some("ams-nl".into()),
+        };
+        let mut buf = BytesMut::new();
+        rec.write(&mut buf);
+        assert_eq!(ListRecord::read(&mut Cursor::new(&buf)).unwrap(), rec);
+    }
+}

@@ -1,0 +1,357 @@
+//! The warts *ping* record (type 0x07).
+//!
+//! Archipelago monitors interleave ping campaigns with their trace
+//! cycles, so real warts files contain ping records; decoding them
+//! (rather than skipping `Unsupported` blobs) lets tools report
+//! complete file inventories. Field order follows scamper's
+//! `scamper_file_warts.c`: a flag-encoded parameter block, then a
+//! 16-bit count of stored replies, then the reply records, each with
+//! its own flag-encoded block.
+//!
+//! The LPR analysis itself never consumes pings; this module exists
+//! for container completeness and is exercised by round-trip tests.
+
+use crate::addr::{Addr, AddrTableReader, AddrTableWriter};
+use crate::buf::{put_timeval, Cursor};
+use crate::error::WartsError;
+use crate::flags::{read_params, ParamWriter};
+use bytes::{BufMut, BytesMut};
+
+// Ping parameter flags (1-based, scamper order).
+const P_LIST_ID: u16 = 1;
+const P_CYCLE_ID: u16 = 2;
+const P_ADDR_SRC_GID: u16 = 3; // deprecated
+const P_ADDR_DST_GID: u16 = 4; // deprecated
+const P_START: u16 = 5;
+const P_STOP_REASON: u16 = 6;
+const P_STOP_DATA: u16 = 7;
+const P_PATTERN: u16 = 8;
+const P_PROBE_COUNT: u16 = 9;
+const P_PROBE_SIZE: u16 = 10;
+const P_PROBE_WAIT: u16 = 11;
+const P_PROBE_TTL: u16 = 12;
+const P_REPLY_COUNT: u16 = 13;
+const P_PING_SENT: u16 = 14;
+const P_PROBE_METHOD: u16 = 15;
+const P_PROBE_SPORT: u16 = 16;
+const P_PROBE_DPORT: u16 = 17;
+const P_USERID: u16 = 18;
+const P_ADDR_SRC: u16 = 19;
+const P_ADDR_DST: u16 = 20;
+
+// Reply flags.
+const R_ADDR_GID: u16 = 1; // deprecated
+const R_FLAGS: u16 = 2;
+const R_REPLY_TTL: u16 = 3;
+const R_REPLY_SIZE: u16 = 4;
+const R_ICMP_TC: u16 = 5;
+const R_RTT: u16 = 6;
+const R_PROBE_ID: u16 = 7;
+const R_REPLY_IPID: u16 = 8;
+const R_PROBE_IPID: u16 = 9;
+const R_REPLY_PROTO: u16 = 10;
+const R_TCP_FLAGS: u16 = 11;
+const R_ADDR: u16 = 12;
+
+/// One ping reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PingReply {
+    /// Replying address.
+    pub addr: Addr,
+    /// Reply TTL on arrival.
+    pub reply_ttl: Option<u8>,
+    /// Reply size in bytes.
+    pub reply_size: Option<u16>,
+    /// ICMP type (high byte) / code (low byte).
+    pub icmp_type_code: Option<u16>,
+    /// Round-trip time in microseconds.
+    pub rtt_us: u32,
+    /// Which probe attempt elicited the reply.
+    pub probe_id: Option<u16>,
+    /// IP-ID of the reply packet.
+    pub reply_ipid: Option<u16>,
+    /// IP protocol of the reply.
+    pub reply_proto: Option<u8>,
+}
+
+impl PingReply {
+    /// A plain echo reply.
+    pub fn echo(addr: Addr, rtt_us: u32) -> Self {
+        PingReply {
+            addr,
+            reply_ttl: None,
+            reply_size: None,
+            icmp_type_code: Some(0x0000),
+            rtt_us,
+            probe_id: None,
+            reply_ipid: None,
+            reply_proto: Some(1), // ICMP
+        }
+    }
+
+    fn write(&self, out: &mut BytesMut, addrs: &mut AddrTableWriter) {
+        let mut p = ParamWriter::new();
+        if let Some(v) = self.reply_ttl {
+            p.param(R_REPLY_TTL).put_u8(v);
+        }
+        if let Some(v) = self.reply_size {
+            p.param(R_REPLY_SIZE).put_u16(v);
+        }
+        if let Some(v) = self.icmp_type_code {
+            p.param(R_ICMP_TC).put_u16(v);
+        }
+        p.param(R_RTT).put_u32(self.rtt_us);
+        if let Some(v) = self.probe_id {
+            p.param(R_PROBE_ID).put_u16(v);
+        }
+        if let Some(v) = self.reply_ipid {
+            p.param(R_REPLY_IPID).put_u16(v);
+        }
+        if let Some(v) = self.reply_proto {
+            p.param(R_REPLY_PROTO).put_u8(v);
+        }
+        addrs.write(p.param(R_ADDR), self.addr);
+        p.finish(out);
+    }
+
+    fn read(cur: &mut Cursor<'_>, addrs: &mut AddrTableReader) -> Result<Self, WartsError> {
+        let (flags, mut params) = read_params(cur, "ping reply params")?;
+        let mut addr = None;
+        let mut reply = PingReply {
+            addr: Addr::V4(std::net::Ipv4Addr::UNSPECIFIED),
+            reply_ttl: None,
+            reply_size: None,
+            icmp_type_code: None,
+            rtt_us: 0,
+            probe_id: None,
+            reply_ipid: None,
+            reply_proto: None,
+        };
+        for flag in flags.iter() {
+            match flag {
+                R_ADDR_GID => {
+                    return Err(WartsError::Unsupported { feature: "ping reply global addr id" })
+                }
+                R_FLAGS => {
+                    params.u8("ping reply flags")?;
+                }
+                R_REPLY_TTL => reply.reply_ttl = Some(params.u8("ping reply ttl")?),
+                R_REPLY_SIZE => reply.reply_size = Some(params.u16("ping reply size")?),
+                R_ICMP_TC => reply.icmp_type_code = Some(params.u16("ping reply icmp")?),
+                R_RTT => reply.rtt_us = params.u32("ping reply rtt")?,
+                R_PROBE_ID => reply.probe_id = Some(params.u16("ping reply probe id")?),
+                R_REPLY_IPID => reply.reply_ipid = Some(params.u16("ping reply ipid")?),
+                R_PROBE_IPID => {
+                    params.u16("ping reply probe ipid")?;
+                }
+                R_REPLY_PROTO => reply.reply_proto = Some(params.u8("ping reply proto")?),
+                R_TCP_FLAGS => {
+                    params.u8("ping reply tcp flags")?;
+                }
+                R_ADDR => addr = Some(addrs.read(&mut params)?),
+                _ => return Err(WartsError::Unsupported { feature: "unknown ping reply flag" }),
+            }
+        }
+        reply.addr =
+            addr.ok_or(WartsError::Unsupported { feature: "ping reply without address" })?;
+        Ok(reply)
+    }
+}
+
+/// A ping measurement record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PingRecord {
+    /// File-local list id.
+    pub list_id: Option<u32>,
+    /// File-local cycle id.
+    pub cycle_id: Option<u32>,
+    /// Source address.
+    pub src: Addr,
+    /// Destination address.
+    pub dst: Addr,
+    /// Start time `(seconds, microseconds)`.
+    pub start: Option<(u32, u32)>,
+    /// Stop reason code.
+    pub stop_reason: Option<u8>,
+    /// Configured probe count.
+    pub probe_count: Option<u16>,
+    /// Probe TTL.
+    pub probe_ttl: Option<u8>,
+    /// Probes actually sent.
+    pub ping_sent: Option<u16>,
+    /// Stored replies.
+    pub replies: Vec<PingReply>,
+}
+
+impl PingRecord {
+    /// A new ping between two endpoints.
+    pub fn new(src: Addr, dst: Addr) -> Self {
+        PingRecord {
+            list_id: Some(1),
+            cycle_id: Some(1),
+            src,
+            dst,
+            start: None,
+            stop_reason: None,
+            probe_count: Some(4),
+            probe_ttl: Some(64),
+            ping_sent: None,
+            replies: Vec::new(),
+        }
+    }
+
+    /// Encodes the record body.
+    pub fn write(&self, out: &mut BytesMut, addrs: &mut AddrTableWriter) {
+        let mut p = ParamWriter::new();
+        if let Some(v) = self.list_id {
+            p.param(P_LIST_ID).put_u32(v);
+        }
+        if let Some(v) = self.cycle_id {
+            p.param(P_CYCLE_ID).put_u32(v);
+        }
+        if let Some((s, us)) = self.start {
+            put_timeval(p.param(P_START), s, us);
+        }
+        if let Some(v) = self.stop_reason {
+            p.param(P_STOP_REASON).put_u8(v);
+        }
+        if let Some(v) = self.probe_count {
+            p.param(P_PROBE_COUNT).put_u16(v);
+        }
+        if let Some(v) = self.probe_ttl {
+            p.param(P_PROBE_TTL).put_u8(v);
+        }
+        if let Some(v) = self.ping_sent {
+            p.param(P_PING_SENT).put_u16(v);
+        }
+        addrs.write(p.param(P_ADDR_SRC), self.src);
+        addrs.write(p.param(P_ADDR_DST), self.dst);
+        p.finish(out);
+        out.put_u16(self.replies.len() as u16);
+        for r in &self.replies {
+            r.write(out, addrs);
+        }
+    }
+
+    /// Decodes a record body.
+    pub fn read(cur: &mut Cursor<'_>, addrs: &mut AddrTableReader) -> Result<Self, WartsError> {
+        let (flags, mut params) = read_params(cur, "ping params")?;
+        let mut src = None;
+        let mut dst = None;
+        let mut rec = PingRecord {
+            list_id: None,
+            cycle_id: None,
+            src: Addr::V4(std::net::Ipv4Addr::UNSPECIFIED),
+            dst: Addr::V4(std::net::Ipv4Addr::UNSPECIFIED),
+            start: None,
+            stop_reason: None,
+            probe_count: None,
+            probe_ttl: None,
+            ping_sent: None,
+            replies: Vec::new(),
+        };
+        for flag in flags.iter() {
+            match flag {
+                P_LIST_ID => rec.list_id = Some(params.u32("ping list id")?),
+                P_CYCLE_ID => rec.cycle_id = Some(params.u32("ping cycle id")?),
+                P_ADDR_SRC_GID | P_ADDR_DST_GID => {
+                    return Err(WartsError::Unsupported { feature: "ping global addr id" })
+                }
+                P_START => rec.start = Some(params.timeval("ping start")?),
+                P_STOP_REASON => rec.stop_reason = Some(params.u8("ping stop reason")?),
+                P_STOP_DATA => {
+                    params.u8("ping stop data")?;
+                }
+                P_PATTERN => {
+                    let len = params.u16("ping pattern len")? as usize;
+                    params.bytes(len, "ping pattern")?;
+                }
+                P_PROBE_COUNT => rec.probe_count = Some(params.u16("ping probe count")?),
+                P_PROBE_SIZE => {
+                    params.u16("ping probe size")?;
+                }
+                P_PROBE_WAIT => {
+                    params.u8("ping probe wait")?;
+                }
+                P_PROBE_TTL => rec.probe_ttl = Some(params.u8("ping probe ttl")?),
+                P_REPLY_COUNT => {
+                    params.u16("ping reply count")?;
+                }
+                P_PING_SENT => rec.ping_sent = Some(params.u16("ping sent")?),
+                P_PROBE_METHOD => {
+                    params.u8("ping method")?;
+                }
+                P_PROBE_SPORT | P_PROBE_DPORT => {
+                    params.u16("ping port")?;
+                }
+                P_USERID => {
+                    params.u32("ping userid")?;
+                }
+                P_ADDR_SRC => src = Some(addrs.read(&mut params)?),
+                P_ADDR_DST => dst = Some(addrs.read(&mut params)?),
+                _ => return Err(WartsError::Unsupported { feature: "unknown ping flag" }),
+            }
+        }
+        rec.src = src.ok_or(WartsError::Unsupported { feature: "ping without source" })?;
+        rec.dst = dst.ok_or(WartsError::Unsupported { feature: "ping without destination" })?;
+        let n = cur.u16("ping stored reply count")?;
+        rec.replies.reserve(n as usize);
+        for _ in 0..n {
+            rec.replies.push(PingReply::read(cur, addrs)?);
+        }
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn a(o: u8) -> Addr {
+        Addr::V4(Ipv4Addr::new(10, 0, 0, o))
+    }
+
+    fn roundtrip(rec: &PingRecord) -> PingRecord {
+        let mut out = BytesMut::new();
+        let mut wt = AddrTableWriter::new();
+        rec.write(&mut out, &mut wt);
+        let mut rt = AddrTableReader::new();
+        let mut cur = Cursor::new(&out);
+        let back = PingRecord::read(&mut cur, &mut rt).unwrap();
+        assert!(cur.is_empty());
+        back
+    }
+
+    #[test]
+    fn minimal_ping_roundtrip() {
+        let rec = PingRecord::new(a(1), a(2));
+        assert_eq!(roundtrip(&rec), rec);
+    }
+
+    #[test]
+    fn ping_with_replies_roundtrip() {
+        let mut rec = PingRecord::new(a(1), a(9));
+        rec.start = Some((1_400_000_000, 42));
+        rec.stop_reason = Some(1);
+        rec.ping_sent = Some(4);
+        let mut r1 = PingReply::echo(a(9), 12_345);
+        r1.reply_ttl = Some(60);
+        r1.probe_id = Some(0);
+        let r2 = PingReply::echo(a(9), 13_999);
+        rec.replies = vec![r1, r2];
+        assert_eq!(roundtrip(&rec), rec);
+    }
+
+    #[test]
+    fn truncated_reply_is_an_error() {
+        let mut rec = PingRecord::new(a(1), a(9));
+        rec.replies = vec![PingReply::echo(a(9), 1)];
+        let mut out = BytesMut::new();
+        let mut wt = AddrTableWriter::new();
+        rec.write(&mut out, &mut wt);
+        let cut = &out[..out.len() - 2];
+        let mut rt = AddrTableReader::new();
+        assert!(PingRecord::read(&mut Cursor::new(cut), &mut rt).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Incremental reading from any [`std::io::Read`].
+//!
+//! Ark cycle dumps run to gigabytes; [`WartsStreamReader`] reads one
+//! record at a time from a buffered source instead of slurping the file
+//! — pairing naturally with `lpr_core::stream::CycleAccumulator` for a
+//! bounded-memory end-to-end pipeline:
+//!
+//! ```no_run
+//! use warts::{Record, WartsStreamReader};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let file = std::fs::File::open("cycle.warts")?;
+//! let mut reader = WartsStreamReader::new(std::io::BufReader::new(file));
+//! while let Some(record) = reader.next_record()? {
+//!     if let Record::Trace(t) = record {
+//!         // feed a CycleAccumulator…
+//!         let _ = t;
+//!     }
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::addr::AddrTableReader;
+use crate::buf::Cursor;
+use crate::cycle::{CycleRecord, CycleStopRecord};
+use crate::error::WartsError;
+use crate::file::{Record, RecordType, WARTS_MAGIC};
+use crate::list::ListRecord;
+use crate::ping::PingRecord;
+use crate::trace::TraceRecord;
+use std::io::Read;
+
+/// Largest record body this reader will buffer (64 MiB — far above any
+/// real scamper record; a larger length indicates corruption).
+pub const MAX_RECORD_LEN: usize = 64 << 20;
+
+/// A record-at-a-time reader over any byte source.
+pub struct WartsStreamReader<R: Read> {
+    source: R,
+    addrs: AddrTableReader,
+    offset: usize,
+    failed: bool,
+}
+
+/// Errors from streaming reads: IO or decode.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The underlying source failed.
+    Io(std::io::Error),
+    /// The bytes did not decode as warts.
+    Decode(WartsError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "io: {e}"),
+            StreamError::Decode(e) => write!(f, "warts: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl From<WartsError> for StreamError {
+    fn from(e: WartsError) -> Self {
+        StreamError::Decode(e)
+    }
+}
+
+impl<R: Read> WartsStreamReader<R> {
+    /// Wraps a byte source (wrap files in a `BufReader`).
+    pub fn new(source: R) -> Self {
+        WartsStreamReader { source, addrs: AddrTableReader::new(), offset: 0, failed: false }
+    }
+
+    /// Reads the next record; `Ok(None)` at a clean end of stream.
+    pub fn next_record(&mut self) -> Result<Option<Record>, StreamError> {
+        if self.failed {
+            return Ok(None);
+        }
+        // Header: 8 bytes, but EOF exactly at a record boundary is a
+        // clean end.
+        let mut header = [0u8; 8];
+        let mut got = 0usize;
+        while got < 8 {
+            let n = self.source.read(&mut header[got..])?;
+            if n == 0 {
+                if got == 0 {
+                    return Ok(None);
+                }
+                self.failed = true;
+                return Err(WartsError::Truncated { context: "record header" }.into());
+            }
+            got += n;
+        }
+        let magic = u16::from_be_bytes([header[0], header[1]]);
+        if magic != WARTS_MAGIC {
+            self.failed = true;
+            return Err(WartsError::BadMagic { offset: self.offset, found: magic }.into());
+        }
+        let record_type = u16::from_be_bytes([header[2], header[3]]);
+        let len = u32::from_be_bytes([header[4], header[5], header[6], header[7]]) as usize;
+        if len > MAX_RECORD_LEN {
+            self.failed = true;
+            return Err(WartsError::Truncated { context: "record length sanity" }.into());
+        }
+        let mut body = vec![0u8; len];
+        self.source.read_exact(&mut body).inspect_err(|_| {
+            self.failed = true;
+        })?;
+        self.offset += 8 + len;
+
+        let mut cur = Cursor::new(&body);
+        let record = match record_type {
+            x if x == RecordType::List as u16 => Record::List(ListRecord::read(&mut cur)?),
+            x if x == RecordType::CycleStart as u16 || x == RecordType::CycleDef as u16 => {
+                Record::CycleStart(CycleRecord::read(&mut cur)?)
+            }
+            x if x == RecordType::CycleStop as u16 => {
+                Record::CycleStop(CycleStopRecord::read(&mut cur)?)
+            }
+            x if x == RecordType::Trace as u16 => {
+                Record::Trace(TraceRecord::read(&mut cur, &mut self.addrs)?)
+            }
+            x if x == RecordType::Ping as u16 => {
+                Record::Ping(PingRecord::read(&mut cur, &mut self.addrs)?)
+            }
+            other => return Ok(Some(Record::Unsupported { record_type: other, body })),
+        };
+        if !cur.is_empty() {
+            self.failed = true;
+            return Err(WartsError::LengthMismatch {
+                record_type,
+                declared: len,
+                consumed: cur.position(),
+            }
+            .into());
+        }
+        Ok(Some(record))
+    }
+}
+
+impl<R: Read> Iterator for WartsStreamReader<R> {
+    type Item = Result<Record, StreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::file::WartsWriter;
+    use crate::trace::HopRecord;
+    use std::net::Ipv4Addr;
+
+    fn a(o: u8) -> Addr {
+        Addr::V4(Ipv4Addr::new(10, 0, 0, o))
+    }
+
+    fn sample_bytes() -> Vec<u8> {
+        let mut w = WartsWriter::new();
+        let list = w.list(1, "stream");
+        let cycle = w.cycle_start(list, 1, 0);
+        let mut t = TraceRecord::new(a(1), a(9));
+        t.hops = vec![HopRecord::reply(1, a(2), 100)];
+        w.trace(&t).unwrap();
+        w.trace(&t).unwrap(); // dictionary reference crosses records
+        w.cycle_stop(cycle, 1);
+        w.into_bytes()
+    }
+
+    /// A reader that returns one byte at a time (worst-case chunking).
+    struct Trickle<'a>(&'a [u8]);
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.0[0];
+            self.0 = &self.0[1..];
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn streaming_matches_in_memory() {
+        let bytes = sample_bytes();
+        let batch: Vec<Record> =
+            crate::file::WartsReader::new(&bytes).collect::<Result<_, _>>().unwrap();
+        let streamed: Vec<Record> = WartsStreamReader::new(bytes.as_slice())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn one_byte_chunks_are_fine() {
+        let bytes = sample_bytes();
+        let streamed: Vec<Record> = WartsStreamReader::new(Trickle(&bytes))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed.len(), 5);
+    }
+
+    #[test]
+    fn clean_eof_vs_truncation() {
+        let bytes = sample_bytes();
+        // Clean end.
+        let mut r = WartsStreamReader::new(bytes.as_slice());
+        while r.next_record().unwrap().is_some() {}
+        // Truncated mid-record.
+        let cut = &bytes[..bytes.len() - 3];
+        let r = WartsStreamReader::new(cut);
+        let res: Result<Vec<Record>, _> = r.collect();
+        assert!(res.is_err());
+        // Truncated mid-header.
+        let cut = &bytes[..3];
+        let mut r = WartsStreamReader::new(cut);
+        assert!(matches!(r.next_record(), Err(StreamError::Decode(_))));
+    }
+
+    #[test]
+    fn insane_length_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WARTS_MAGIC.to_be_bytes());
+        bytes.extend_from_slice(&6u16.to_be_bytes());
+        bytes.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut r = WartsStreamReader::new(bytes.as_slice());
+        assert!(r.next_record().is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! scamper-style text rendering of warts records.
+//!
+//! Mirrors the output of `sc_warts2text` / the NANOG traceroute patch
+//! the paper cites (§2.3): one line per hop, RTT in milliseconds, and
+//! the RFC 4950 label stack rendered as `MPLS Label <n> TTL=<ttl>`
+//! annotations under the hop that quoted them — the exact rendering
+//! operators read when the extension "is displayed by modified versions
+//! of traceroute".
+//!
+//! Rendering is one-way (diagnostic); the binary format remains the
+//! interchange representation.
+
+use crate::icmpext::mpls_stack_of;
+use crate::ping::PingRecord;
+use crate::trace::{StopReason, TraceRecord};
+use std::fmt::Write as _;
+
+/// Renders one traceroute record the way `sc_warts2text` would.
+pub fn trace_to_text(t: &TraceRecord) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "traceroute from {} to {}", fmt_addr(&t.src), fmt_addr(&t.dst));
+    let mut expected = t.first_hop.unwrap_or(1);
+    for hop in &t.hops {
+        while expected < hop.probe_ttl {
+            let _ = writeln!(out, "{:>2}  *", expected);
+            expected += 1;
+        }
+        expected = hop.probe_ttl.saturating_add(1);
+        let rtt_ms = hop.rtt_us as f64 / 1000.0;
+        let _ = writeln!(out, "{:>2}  {}  {:.3} ms", hop.probe_ttl, fmt_addr(&hop.addr), rtt_ms);
+        if let Ok(Some(stack)) = mpls_stack_of(&hop.icmp_exts) {
+            for lse in stack.entries() {
+                let _ = writeln!(
+                    out,
+                    "     MPLS Label {} TC={} S={} TTL={}",
+                    lse.label,
+                    lse.tc,
+                    lse.bottom as u8,
+                    lse.ttl
+                );
+            }
+        }
+    }
+    if t.stop_reason == StopReason::GapLimit {
+        let _ = writeln!(out, "{:>2}  *", expected);
+    }
+    out
+}
+
+/// Renders one ping record.
+pub fn ping_to_text(p: &PingRecord) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ping {} to {}: {} probes",
+        fmt_addr(&p.src),
+        fmt_addr(&p.dst),
+        p.ping_sent.or(p.probe_count).unwrap_or(0)
+    );
+    for r in &p.replies {
+        let _ = writeln!(
+            out,
+            "  reply from {} seq={} time={:.3} ms",
+            fmt_addr(&r.addr),
+            r.probe_id.unwrap_or(0),
+            r.rtt_us as f64 / 1000.0
+        );
+    }
+    out
+}
+
+fn fmt_addr(a: &crate::addr::Addr) -> String {
+    match a {
+        crate::addr::Addr::V4(v) => v.to_string(),
+        crate::addr::Addr::V6(v) => v.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::icmpext::IcmpExt;
+    use crate::ping::PingReply;
+    use crate::trace::HopRecord;
+    use lpr_core::label::{LabelStack, Lse};
+    use std::net::Ipv4Addr;
+
+    fn a(o: u8) -> Addr {
+        Addr::V4(Ipv4Addr::new(10, 0, 0, o))
+    }
+
+    #[test]
+    fn trace_text_shows_hops_and_labels() {
+        let mut t = TraceRecord::new(a(1), a(9));
+        t.stop_reason = StopReason::Completed;
+        let mut h1 = HopRecord::reply(1, a(2), 1500);
+        h1.icmp_exts = vec![IcmpExt::mpls(&LabelStack::from_entries(&[
+            Lse::new(lpr_core::label::Label::new(300_000), 0, false, 254),
+            Lse::transit(17, 254),
+        ]))];
+        let h2 = HopRecord::reply(3, a(9), 4500); // TTL 2 missing
+        t.hops = vec![h1, h2];
+
+        let text = trace_to_text(&t);
+        assert!(text.contains("traceroute from 10.0.0.1 to 10.0.0.9"), "{text}");
+        assert!(text.contains(" 1  10.0.0.2  1.500 ms"), "{text}");
+        assert!(text.contains("MPLS Label 300000 TC=0 S=0 TTL=254"), "{text}");
+        assert!(text.contains("MPLS Label 17 TC=0 S=1 TTL=254"), "{text}");
+        assert!(text.contains(" 2  *"), "gap must render as anonymous: {text}");
+        assert!(text.contains(" 3  10.0.0.9"), "{text}");
+    }
+
+    #[test]
+    fn unterminated_trace_ends_with_star() {
+        let mut t = TraceRecord::new(a(1), a(9));
+        t.stop_reason = StopReason::GapLimit;
+        t.hops = vec![HopRecord::reply(1, a(2), 100)];
+        let text = trace_to_text(&t);
+        assert!(text.trim_end().ends_with('*'), "{text}");
+    }
+
+    #[test]
+    fn ping_text() {
+        let mut p = PingRecord::new(a(1), a(9));
+        p.ping_sent = Some(2);
+        p.replies = vec![PingReply::echo(a(9), 2500)];
+        let text = ping_to_text(&p);
+        assert!(text.contains("ping 10.0.0.1 to 10.0.0.9: 2 probes"), "{text}");
+        assert!(text.contains("reply from 10.0.0.9 seq=0 time=2.500 ms"), "{text}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Integration-test crate for the `mpls-microscope` workspace.
+//!
+//! The actual tests live under `tests/`; this library only hosts shared
+//! fixtures.
+
+/// Shared fixtures for the integration tests.
+pub mod fixtures {
+    use lpr_core::lsp::Asn;
+    use netsim::{AsSpec, Internet, MplsConfig, Peering, Topology, TopologyParams, Vendor};
+    use std::collections::BTreeMap;
+
+    /// A small three-AS Internet: one transit (AS 65000) with the given
+    /// shape and MPLS policy, one monitor stub and two destination
+    /// stubs sharing the same egress border.
+    pub fn small_internet(params: TopologyParams, cfg: MplsConfig) -> Internet {
+        let specs = vec![
+            AsSpec::transit(65000, "transit", Vendor::Juniper, params),
+            AsSpec::stub(64600, "monitors", 0, 2),
+            AsSpec::stub(64700, "cust-a", 4, 0),
+            AsSpec::stub(64701, "cust-b", 4, 0),
+        ];
+        let peerings = vec![
+            Peering::new(Asn(64600), Asn(65000)).at_b(0),
+            Peering::new(Asn(65000), Asn(64700)).at_a(1),
+            Peering::new(Asn(65000), Asn(64701)).at_a(1),
+        ];
+        let topo = Topology::build_with_peerings(&specs, &peerings);
+        let mut configs = BTreeMap::new();
+        configs.insert(Asn(65000), cfg);
+        Internet::new(topo, &configs)
+    }
+
+    /// The transit ASN used by [`small_internet`].
+    pub const TRANSIT: Asn = Asn(65000);
+}

@@ -1,0 +1,173 @@
+//! End-to-end checks of the paper's headline claims against the
+//! simulated longitudinal dataset — the executable version of
+//! EXPERIMENTS.md. Each test pins one qualitative result from §4 of
+//! the paper that the reproduction must preserve.
+
+use ark_dataset::campaign::{analyze_cycle, generate_cycle, CampaignOptions};
+use ark_dataset::{standard_world, ATT, L3, NTT, TATA, VOD};
+use lpr_core::filter::FilterStage;
+
+/// Paper §4.2, Table 1: every filter removes a nonzero share and, end
+/// to end, roughly half of the LSPs survive.
+#[test]
+fn table1_half_of_lsps_survive() {
+    let world = standard_world();
+    let opts = CampaignOptions::default();
+    let data = generate_cycle(&world, 30, &opts);
+    let analysis = analyze_cycle(&world, &data, 2);
+    let r = &analysis.output.report;
+    let final_share = r.proportion_after(FilterStage::Persistence);
+    assert!(
+        (0.35..=0.75).contains(&final_share),
+        "expected ~0.53 of LSPs to survive, got {final_share}"
+    );
+}
+
+/// Paper abstract: "the usage of MPLS has been increasing over the
+/// last five years" — the fraction of traces crossing an explicit
+/// tunnel and the MPLS address count both grow from 2010 to 2014.
+#[test]
+fn mpls_usage_grows_over_the_period() {
+    let world = standard_world();
+    let opts = CampaignOptions { snapshots: 1, ..Default::default() };
+    let early = generate_cycle(&world, 2, &opts);
+    let late = generate_cycle(&world, 50, &opts);
+    let frac = |traces: &[lpr_core::trace::Trace]| {
+        traces.iter().filter(|t| t.has_mpls()).count() as f64 / traces.len() as f64
+    };
+    assert!(
+        frac(&late.snapshots[0]) > frac(&early.snapshots[0]),
+        "MPLS trace fraction must grow"
+    );
+}
+
+/// Paper §4.4, Fig. 10: Vodafone's Multi-FEC share grows to dominance
+/// and the AS is tagged dynamic.
+#[test]
+fn vodafone_story() {
+    let world = standard_world();
+    let opts = CampaignOptions::default();
+    let early = analyze_cycle(&world, &generate_cycle(&world, 5, &opts), 2);
+    let late = analyze_cycle(&world, &generate_cycle(&world, 55, &opts), 2);
+    let fe = early.output.class_counts_for(VOD).fractions();
+    let fl = late.output.class_counts_for(VOD).fractions();
+    assert!(fl[1] > fe[1], "Multi-FEC share must grow: {fe:?} -> {fl:?}");
+    assert!(fl[1] > 0.5, "Multi-FEC must dominate late: {fl:?}");
+    assert!(late.output.dynamic_ases.contains(&VOD), "Vodafone is dynamic");
+}
+
+/// Paper §4.4, Fig. 11: AT&T's Multi-FEC displaces Mono-FEC, and the
+/// IOTP count drops around cycle 22.
+#[test]
+fn att_story() {
+    let world = standard_world();
+    let opts = CampaignOptions::default();
+    let at = |cycle| analyze_cycle(&world, &generate_cycle(&world, cycle, &opts), 2);
+    let before_drop = at(20).output.class_counts_for(ATT);
+    let after_drop = at(24).output.class_counts_for(ATT);
+    assert!(
+        after_drop.total() < before_drop.total(),
+        "IOTP count must drop after cycle 22: {} -> {}",
+        before_drop.total(),
+        after_drop.total()
+    );
+    let late = at(55).output.class_counts_for(ATT);
+    let fe = before_drop.fractions();
+    let fl = late.fractions();
+    assert!(fl[1] > fe[1], "Multi-FEC grows: {fe:?} -> {fl:?}");
+    assert!(fl[2] < fe[2], "Mono-FEC declines: {fe:?} -> {fl:?}");
+}
+
+/// Paper §4.4, Figs. 12–13: Tata is Mono-FEC-dominant (no TE), with
+/// parallel links the larger subclass.
+#[test]
+fn tata_story() {
+    let world = standard_world();
+    let opts = CampaignOptions::default();
+    let analysis = analyze_cycle(&world, &generate_cycle(&world, 15, &opts), 2);
+    let c = analysis.output.class_counts_for(TATA);
+    assert_eq!(c.multi_fec, 0, "Tata runs no RSVP-TE: {c:?}");
+    assert!(c.mono_fec() * 2 > c.total(), "Mono-FEC dominates: {c:?}");
+    assert!(
+        c.mono_fec_parallel > c.mono_fec_disjoint,
+        "parallel links dominate the split: {c:?}"
+    );
+}
+
+/// Paper §4.4, Fig. 14: NTT is Mono-LSP-dominant and its IOTP count
+/// roughly triples over the period.
+#[test]
+fn ntt_story() {
+    let world = standard_world();
+    let opts = CampaignOptions::default();
+    let early = analyze_cycle(&world, &generate_cycle(&world, 3, &opts), 2)
+        .output
+        .class_counts_for(NTT);
+    let late = analyze_cycle(&world, &generate_cycle(&world, 57, &opts), 2)
+        .output
+        .class_counts_for(NTT);
+    assert!(early.mono_lsp * 2 > early.total(), "{early:?}");
+    assert!(late.mono_lsp * 2 > late.total(), "{late:?}");
+    assert!(
+        late.total() >= early.total() * 2,
+        "IOTP count must grow strongly: {} -> {}",
+        early.total(),
+        late.total()
+    );
+}
+
+/// Paper §4.4, Fig. 15: Level3 has no MPLS before cycle 29, plenty
+/// right after, and almost none at the end.
+#[test]
+fn level3_story() {
+    let world = standard_world();
+    let opts = CampaignOptions::default();
+    let at = |cycle| {
+        analyze_cycle(&world, &generate_cycle(&world, cycle, &opts), 2)
+            .output
+            .class_counts_for(L3)
+            .total()
+    };
+    assert_eq!(at(25), 0, "dark before cycle 29");
+    let peak = at(40);
+    assert!(peak > 5, "deployed after cycle 29: {peak}");
+    assert!(at(59) < peak / 2, "sharp decline after cycle 55");
+}
+
+/// Paper abstract, outcome (iii): across the featured ASes, TE *with*
+/// path diversity (Multi-FEC) and MPLS *without* diversity (Mono-LSP)
+/// are of comparable magnitude, and diversity is mainly ECMP+LDP.
+#[test]
+fn global_class_balance() {
+    let world = standard_world();
+    let opts = CampaignOptions::default();
+    let analysis = analyze_cycle(&world, &generate_cycle(&world, 45, &opts), 2);
+    let c = analysis.output.class_counts();
+    assert!(c.mono_lsp > 0 && c.multi_fec > 0 && c.mono_fec() > 0, "{c:?}");
+    // Same order of magnitude: neither dwarfs the other by 10x.
+    assert!(c.multi_fec < c.mono_lsp * 10 && c.mono_lsp < c.multi_fec * 10, "{c:?}");
+}
+
+/// Paper §4.5 / Fig. 17: re-optimised labels climb monotonically
+/// (modulo range wrap) and the busier LSR climbs faster.
+#[test]
+fn label_dynamics_sawtooth() {
+    let world = standard_world();
+    let opts = ark_dataset::dynamics::DynamicsOptions {
+        minutes: 300,
+        sample_every: 10,
+        reopt_every: 30,
+        reopt_batch: 10,
+    };
+    let samples = ark_dataset::dynamics::run(&world, &opts);
+    let labelled: Vec<_> = samples.iter().filter(|s| s.hops.len() >= 2).collect();
+    assert!(labelled.len() >= 3, "need a multi-LSR TE tunnel: {samples:?}");
+    // Check each LSR's series is non-decreasing except at wraps.
+    for k in 0..2 {
+        let series: Vec<u32> = labelled.iter().map(|s| s.hops[k].1).collect();
+        let climbs = series.windows(2).filter(|w| w[1] > w[0]).count();
+        let wraps = series.windows(2).filter(|w| w[1] < w[0]).count();
+        assert!(climbs > 0, "LSR{k} labels never climb: {series:?}");
+        assert!(wraps <= climbs, "LSR{k} series not sawtooth-like: {series:?}");
+    }
+}
