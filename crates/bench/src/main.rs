@@ -1,0 +1,201 @@
+//! `lpr-bench` — the workspace benchmark harness.
+//!
+//! A plain binary (no `cargo bench`/Criterion dependency): it drives
+//! the demo-scale pipeline through the `lpr-obs` instrumentation and
+//! writes the telemetry as `BENCH_pipeline.json`, so CI and the paper's
+//! Table 1 timing notes come from the same machinery as `lpr classify
+//! --metrics`.
+//!
+//! ```text
+//! lpr-bench pipeline [--out BENCH_pipeline.json] [--snapshots N] [--cycle N]
+//! lpr-bench help
+//! ```
+
+#![forbid(unsafe_code)]
+
+use lpr_core::pipeline::Pipeline;
+use lpr_core::prelude::*;
+use lpr_obs::json::JsonValue;
+use lpr_obs::Recorder;
+use std::io::Write;
+
+/// Prints to stdout, swallowing broken-pipe errors (`lpr-bench ... |
+/// head` must not panic).
+macro_rules! say {
+    ($($arg:tt)*) => {
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    };
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(|s| s.as_str()) {
+        Some("pipeline") => pipeline(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            say!("{USAGE}");
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "\
+lpr-bench — LPR pipeline benchmark harness
+
+USAGE:
+  lpr-bench pipeline [--out BENCH_pipeline.json] [--snapshots N] [--cycle N]
+  lpr-bench help
+
+`pipeline` generates the standard demo-scale campaign, round-trips it
+through the warts codec, runs the full LPR pipeline under lpr-obs
+instrumentation, and writes per-stage wall time plus records/sec
+throughput as JSON.";
+
+fn pipeline(args: &[String]) -> i32 {
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut snapshots = 3usize;
+    let mut cycle = 40usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let want = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+            it.next().cloned().ok_or_else(|| format!("{flag} wants a value"))
+        };
+        let parsed = match a.as_str() {
+            "--out" => want(&mut it, "--out").map(|v| out_path = v),
+            "--snapshots" => want(&mut it, "--snapshots").and_then(|v| {
+                v.parse().map(|n| snapshots = n).map_err(|e| format!("--snapshots: {e}"))
+            }),
+            "--cycle" => want(&mut it, "--cycle").and_then(|v| {
+                v.parse().map(|n| cycle = n).map_err(|e| format!("--cycle: {e}"))
+            }),
+            other => Err(format!("unknown flag {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    }
+    if snapshots == 0 {
+        eprintln!("--snapshots must be at least 1");
+        return 2;
+    }
+
+    let recorder = Recorder::new("lpr-bench pipeline");
+
+    // Demo-scale campaign: the longitudinal world at one cycle, with
+    // enough extra snapshots to feed the Persistence filter.
+    let sw = lpr_obs::Stopwatch::start();
+    let world = ark_dataset::standard_world();
+    let opts = ark_dataset::CampaignOptions { snapshots, ..Default::default() };
+    let data = ark_dataset::generate_cycle(&world, cycle, &opts);
+    let traces = &data.snapshots[0];
+    recorder.record_stage("GenerateCampaign", sw.elapsed_us(), 0, traces.len() as u64);
+
+    // Round-trip through the warts codec so ingest throughput reflects
+    // real record decoding, tallied by the stream reader itself.
+    let sw = lpr_obs::Stopwatch::start();
+    let mut writer = warts::WartsWriter::new();
+    let list = writer.list(1, "bench");
+    let cyc = writer.cycle_start(list, 1, 0);
+    for t in traces {
+        writer.trace(&warts::trace_to_record(t, list, cyc)).expect("encode");
+    }
+    writer.cycle_stop(cyc, 1);
+    let bytes = writer.into_bytes();
+    recorder.record_stage(
+        "WartsEncode",
+        sw.elapsed_us(),
+        traces.len() as u64,
+        bytes.len() as u64,
+    );
+
+    let sw = lpr_obs::Stopwatch::start();
+    let metrics = warts::StreamMetrics::from_registry(recorder.registry());
+    let mut decoded = Vec::new();
+    let mut reader = warts::WartsStreamReader::new(bytes.as_slice()).with_metrics(metrics);
+    loop {
+        match reader.next_record() {
+            Ok(Some(warts::Record::Trace(t))) => {
+                if let Ok(Some(core)) = warts::trace_to_core(&t) {
+                    decoded.push(core);
+                }
+            }
+            Ok(Some(_)) => {}
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("warts decode failed: {e}");
+                return 1;
+            }
+        }
+    }
+    recorder.record_stage(
+        "WartsDecode",
+        sw.elapsed_us(),
+        bytes.len() as u64,
+        decoded.len() as u64,
+    );
+
+    // The instrumented pipeline proper.
+    let future: Vec<_> =
+        data.snapshots[1..].iter().map(|t| Pipeline::snapshot_keys(t)).collect();
+    let pipeline = Pipeline::new(FilterConfig {
+        persistence_window: future.len(),
+        ..Default::default()
+    });
+    let out = pipeline.run_recorded(&decoded, world.rib(), &future, Some(&recorder));
+
+    let telemetry = recorder.finish();
+    let report = render_report(&telemetry, &out);
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("{out_path}: {e}");
+        return 1;
+    }
+
+    say!(
+        "{} traces, {} LSPs in, {} IOTPs classified, {} us total",
+        decoded.len(),
+        out.report.input,
+        out.iotps.len(),
+        telemetry.total_wall_us,
+    );
+    for s in &telemetry.stages {
+        say!(
+            "  {:<18} {:>8} -> {:<8} {:>10} us  {:>12.0} items/s",
+            s.name,
+            s.input,
+            s.output,
+            s.wall_us,
+            s.throughput_per_s(),
+        );
+    }
+    say!("wrote {out_path}");
+    0
+}
+
+/// Wraps the run telemetry with a derived per-stage throughput table:
+/// the telemetry document under `"telemetry"` (still readable with
+/// `RunTelemetry::from_json`) plus `"throughput_per_s"` mapping each
+/// stage to records/sec.
+fn render_report(
+    telemetry: &lpr_obs::RunTelemetry,
+    out: &lpr_core::pipeline::PipelineOutput,
+) -> String {
+    let inner = lpr_obs::json::parse(&telemetry.to_json()).expect("own JSON parses");
+    let throughput: Vec<(String, JsonValue)> = telemetry
+        .stages
+        .iter()
+        .map(|s| (s.name.clone(), JsonValue::Float(s.throughput_per_s())))
+        .collect();
+    let doc = JsonValue::Object(vec![
+        ("bench".to_string(), JsonValue::Str("pipeline".to_string())),
+        ("iotps".to_string(), JsonValue::Int(out.iotps.len() as i128)),
+        ("lsps_in".to_string(), JsonValue::Int(out.report.input as i128)),
+        ("telemetry".to_string(), inner),
+        ("throughput_per_s".to_string(), JsonValue::Object(throughput)),
+    ]);
+    doc.render_pretty()
+}

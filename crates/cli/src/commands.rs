@@ -12,7 +12,8 @@ pub mod classify {
 
     /// Executes the subcommand.
     pub fn run(o: &Options, w: &mut dyn Write) -> Result<(), CliError> {
-        let (_traces, out) = crate::run_pipeline(o)?;
+        let recorder = crate::recorder_for(o, "lpr classify");
+        let (_traces, out) = crate::run_pipeline_recorded(o, recorder.as_ref())?;
 
         for (iotp, cls) in &out.iotps {
             let m = IotpMetrics::of(iotp);
@@ -77,6 +78,7 @@ pub mod classify {
         if o.trees {
             run_trees(o, w)?;
         }
+        crate::emit_telemetry(o, recorder)?;
         Ok(())
     }
 
@@ -145,7 +147,8 @@ pub mod stats {
 
     /// Executes the subcommand.
     pub fn run(o: &Options, w: &mut dyn Write) -> Result<(), CliError> {
-        let (traces, out) = crate::run_pipeline(o)?;
+        let recorder = crate::recorder_for(o, "lpr stats");
+        let (traces, out) = crate::run_pipeline_recorded(o, recorder.as_ref())?;
         let mpls = traces.iter().filter(|t| t.has_mpls()).count();
         writeln!(w, "traces: {} ({} crossing explicit MPLS tunnels)", traces.len(), mpls)?;
         writeln!(w, "extracted LSPs: {}", out.report.input)?;
@@ -159,6 +162,7 @@ pub mod stats {
             )?;
         }
         writeln!(w, "classified IOTPs: {}", out.iotps.len())?;
+        crate::emit_telemetry(o, recorder)?;
         Ok(())
     }
 }

@@ -81,6 +81,11 @@ pub struct Options {
     /// Aggregate IOTPs at the router level via label-based alias
     /// resolution (§5).
     pub router_level: bool,
+    /// Write machine-readable run telemetry (stage timings, counters)
+    /// to this path as JSON.
+    pub metrics: Option<String>,
+    /// Print per-stage progress lines to stderr as the run finishes.
+    pub progress: bool,
 }
 
 impl Options {
@@ -103,6 +108,8 @@ impl Options {
                 "--trees" => o.trees = true,
                 "--per-as" => o.per_as = true,
                 "--router-level" => o.router_level = true,
+                "--metrics" => o.metrics = Some(take(&mut it, "--metrics")?),
+                "--progress" => o.progress = true,
                 flag if flag.starts_with("--") => {
                     return Err(err(format!("unknown flag {flag}")))
                 }
@@ -143,12 +150,38 @@ pub fn load_rib(path: &str) -> Result<ip2as::Ip2AsTrie, CliError> {
 
 /// Runs the analysis pipeline an analysis subcommand needs.
 pub fn run_pipeline(o: &Options) -> Result<(Vec<Trace>, PipelineOutput), CliError> {
+    run_pipeline_recorded(o, None)
+}
+
+/// [`run_pipeline`] with instrumentation: loading and every pipeline
+/// stage land in `recorder` (see `lpr_obs`).
+pub fn run_pipeline_recorded(
+    o: &Options,
+    recorder: Option<&lpr_obs::Recorder>,
+) -> Result<(Vec<Trace>, PipelineOutput), CliError> {
     if o.inputs.is_empty() {
         return Err(err("no input warts files (see `lpr help`)"));
     }
     let rib_path = o.rib.as_ref().ok_or_else(|| err("--rib <file> is required"))?;
     let rib = load_rib(rib_path)?;
+    let sw = lpr_obs::Stopwatch::start();
     let traces = load_traces(&o.inputs)?;
+    if let Some(rec) = recorder {
+        rec.record_stage(
+            "LoadTraces",
+            sw.elapsed_us(),
+            o.inputs.len() as u64,
+            traces.len() as u64,
+        );
+        let bytes: u64 = o
+            .inputs
+            .iter()
+            .filter_map(|p| std::fs::metadata(p).ok())
+            .map(|m| m.len())
+            .sum();
+        rec.counter("cli.input_bytes").add(bytes);
+        rec.counter("cli.input_files").add(o.inputs.len() as u64);
+    }
     let future: Vec<BTreeSet<LspKey>> = o
         .next
         .iter()
@@ -160,8 +193,35 @@ pub fn run_pipeline(o: &Options) -> Result<(Vec<Trace>, PipelineOutput), CliErro
     if o.alias_rescue {
         pipeline = pipeline.with_alias_rescue();
     }
-    let out = pipeline.run(&traces, &rib, &future);
+    let out = pipeline.run_recorded(&traces, &rib, &future, recorder);
     Ok((traces, out))
+}
+
+/// Builds the recorder an analysis subcommand needs — `Some` only when
+/// `--metrics` or `--progress` asked for one.
+pub fn recorder_for(o: &Options, label: &str) -> Option<lpr_obs::Recorder> {
+    (o.metrics.is_some() || o.progress).then(|| lpr_obs::Recorder::new(label))
+}
+
+/// Finalises telemetry: prints `--progress` stage lines to stderr and
+/// writes the `--metrics` JSON file.
+pub fn emit_telemetry(o: &Options, recorder: Option<lpr_obs::Recorder>) -> Result<(), CliError> {
+    let Some(recorder) = recorder else { return Ok(()) };
+    let telemetry = recorder.finish();
+    if o.progress {
+        for s in &telemetry.stages {
+            eprintln!(
+                "[lpr] {:<18} {:>8} -> {:<8} {:>8} us",
+                s.name, s.input, s.output, s.wall_us,
+            );
+        }
+        eprintln!("[lpr] total {} us", telemetry.total_wall_us);
+    }
+    if let Some(path) = &o.metrics {
+        std::fs::write(path, telemetry.to_json())
+            .map_err(|e| err(format!("{path}: {e}")))?;
+    }
+    Ok(())
 }
 
 /// Entry point: dispatches a full argument vector.
@@ -191,7 +251,9 @@ lpr — MPLS transit path diversity classification (IMC'15 LPR algorithm)
 USAGE:
   lpr classify --rib <rib.txt> <cycle.warts>... [--next <snap.warts>]...
                [--j N] [--alias-rescue] [--trees] [--per-as] [--router-level]
+               [--metrics <out.json>] [--progress]
   lpr stats    --rib <rib.txt> <cycle.warts>... [--next <snap.warts>]...
+               [--metrics <out.json>] [--progress]
   lpr tunnels  <cycle.warts>...
   lpr dump     <file.warts>...
   lpr info     <file.warts>...
@@ -200,7 +262,11 @@ USAGE:
 
 The RIB file maps prefixes to origin ASes, one `prefix asn` per line
 (Routeviews-style). `--next` snapshots feed the Persistence filter
-(paper default: two, i.e. --j 2).";
+(paper default: two, i.e. --j 2).
+
+`--metrics <out.json>` writes machine-readable run telemetry (per-stage
+wall time and LSP counts matching the Table 1 funnel, plus ingest
+counters); `--progress` prints the same stage lines to stderr.";
 
 #[cfg(test)]
 mod tests {
@@ -257,5 +323,63 @@ mod tests {
     fn classify_requires_inputs() {
         let mut out = Vec::new();
         assert!(run(&s(&["classify"]), &mut out).is_err());
+    }
+
+    #[test]
+    fn parse_metrics_and_progress_flags() {
+        let o = Options::parse(&s(&["a.warts", "--metrics", "t.json", "--progress"])).unwrap();
+        assert_eq!(o.metrics.as_deref(), Some("t.json"));
+        assert!(o.progress);
+        assert!(Options::parse(&s(&["--metrics"])).is_err());
+    }
+
+    #[test]
+    fn classify_metrics_reconcile_with_filter_report() {
+        let dir = std::env::temp_dir().join(format!("lpr-metrics-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let warts_path = dir.join("demo.warts").to_string_lossy().into_owned();
+        let rib_path = dir.join("rib.txt").to_string_lossy().into_owned();
+        let metrics_path = dir.join("telemetry.json").to_string_lossy().into_owned();
+        let (bytes, rib) = write_demo_files();
+        std::fs::write(&warts_path, &bytes).unwrap();
+        std::fs::write(&rib_path, rib).unwrap();
+
+        let mut out = Vec::new();
+        run(
+            &s(&["classify", "--rib", &rib_path, &warts_path, "--metrics", &metrics_path]),
+            &mut out,
+        )
+        .unwrap();
+
+        let text = std::fs::read_to_string(&metrics_path).unwrap();
+        let telemetry = lpr_obs::RunTelemetry::from_json(&text).unwrap();
+
+        // The same run without telemetry is the reference: stage counts
+        // in the JSON must chain exactly through the FilterReport.
+        let o = Options {
+            inputs: vec![warts_path],
+            rib: Some(rib_path),
+            ..Default::default()
+        };
+        let (_, reference) = run_pipeline(&o).unwrap();
+        let mut input = reference.report.input as u64;
+        for stage in FilterStage::ALL {
+            let st = telemetry.stage(stage.name()).expect(stage.name());
+            assert_eq!(st.input, input, "{} input", stage.name());
+            assert_eq!(
+                st.output,
+                reference.report.remaining[&stage] as u64,
+                "{} output",
+                stage.name()
+            );
+            input = st.output;
+        }
+        assert_eq!(
+            telemetry.counter("pipeline.iotps_classified"),
+            reference.iotps.len() as u64
+        );
+        assert!(telemetry.stage("LoadTraces").is_some());
+        assert!(telemetry.counter("cli.input_bytes") > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -157,9 +157,33 @@ impl Pipeline {
         mapper: &dyn AsMapper,
         future_keys: &[BTreeSet<LspKey>],
     ) -> PipelineOutput {
+        self.run_recorded(traces, mapper, future_keys, None)
+    }
+
+    /// [`Pipeline::run`] with instrumentation: stage wall times and
+    /// input/output tallies land in `recorder` (stage names match
+    /// [`FilterStage::name`], so the telemetry reconciles with the
+    /// returned [`FilterReport`]).
+    pub fn run_recorded(
+        &self,
+        traces: &[Trace],
+        mapper: &dyn AsMapper,
+        future_keys: &[BTreeSet<LspKey>],
+        recorder: Option<&lpr_obs::Recorder>,
+    ) -> PipelineOutput {
+        let sw = lpr_obs::Stopwatch::start();
         let tunnels: Vec<RawTunnel> =
             traces.iter().flat_map(extract_tunnels).collect();
-        self.run_on_tunnels(&tunnels, mapper, future_keys)
+        if let Some(rec) = recorder {
+            rec.record_stage(
+                "TunnelExtraction",
+                sw.elapsed_us(),
+                traces.len() as u64,
+                tunnels.len() as u64,
+            );
+            rec.counter("pipeline.traces").add(traces.len() as u64);
+        }
+        self.run_on_tunnels_recorded(&tunnels, mapper, future_keys, recorder)
     }
 
     /// Runs LPR over already-extracted tunnels (useful when the caller
@@ -170,10 +194,29 @@ impl Pipeline {
         mapper: &dyn AsMapper,
         future_keys: &[BTreeSet<LspKey>],
     ) -> PipelineOutput {
-        let mut report = FilterReport { input: tunnels.len(), ..Default::default() };
+        self.run_on_tunnels_recorded(tunnels, mapper, future_keys, None)
+    }
 
-        // IncompleteLsp + IntraAs + TargetAs.
+    /// [`Pipeline::run_on_tunnels`] with instrumentation (see
+    /// [`Pipeline::run_recorded`]).
+    ///
+    /// The three per-LSP filters (IncompleteLsp, IntraAS, TargetAS) run
+    /// fused in a single pass; the pass's wall time is reported on the
+    /// first stage and the fused stages report `wall_us = 0`. Counts
+    /// are exact for every stage.
+    pub fn run_on_tunnels_recorded(
+        &self,
+        tunnels: &[RawTunnel],
+        mapper: &dyn AsMapper,
+        future_keys: &[BTreeSet<LspKey>],
+        recorder: Option<&lpr_obs::Recorder>,
+    ) -> PipelineOutput {
+        let mut report = FilterReport { input: tunnels.len(), ..Default::default() };
+        let mut timer = lpr_obs::StageTimer::start();
+
+        // IncompleteLsp + IntraAs + TargetAs (one fused pass).
         let attributed = attribute_and_filter(tunnels, mapper);
+        let attribution_us = lpr_obs::time::duration_us(timer.lap("attribution"));
         report.remaining.insert(FilterStage::IncompleteLsp, attributed.after_incomplete);
         report.remaining.insert(FilterStage::IntraAs, attributed.after_intra_as);
         report.remaining.insert(FilterStage::TargetAs, attributed.after_target_as);
@@ -186,6 +229,7 @@ impl Pipeline {
         } else {
             transit_diversity(&attributed.lsps)
         };
+        let transit_us = lpr_obs::time::duration_us(timer.lap("transit_diversity"));
         report.remaining.insert(FilterStage::TransitDiversity, surviving);
         let lsps: Vec<_> = attributed
             .lsps
@@ -195,6 +239,7 @@ impl Pipeline {
 
         // Persistence.
         let persisted = persistence(lsps, future_keys, &self.config);
+        let persistence_us = lpr_obs::time::duration_us(timer.lap("persistence"));
         report
             .remaining
             .insert(FilterStage::Persistence, persisted.strictly_persistent);
@@ -207,7 +252,7 @@ impl Pipeline {
             .into_iter()
             .map(|i| (i.key, i))
             .collect();
-        let iotps = grouped
+        let iotps: Vec<(Iotp, Classification)> = grouped
             .into_values()
             .map(|iotp| {
                 let c = if self.alias_rescue {
@@ -218,8 +263,27 @@ impl Pipeline {
                 (iotp, c)
             })
             .collect();
+        let classification_us = lpr_obs::time::duration_us(timer.lap("classification"));
 
-        PipelineOutput { iotps, report, dynamic_ases: persisted.dynamic_ases }
+        let output = PipelineOutput { iotps, report, dynamic_ases: persisted.dynamic_ases };
+        if let Some(rec) = recorder {
+            record_filter_stages(
+                rec,
+                &output.report,
+                [attribution_us, 0, 0, transit_us, persistence_us],
+            );
+            rec.record_stage(
+                "Classification",
+                classification_us,
+                output.report.remaining.get(&FilterStage::Persistence).copied().unwrap_or(0)
+                    as u64,
+                output.iotps.len() as u64,
+            );
+            rec.counter("pipeline.tunnels").add(output.report.input as u64);
+            rec.counter("pipeline.iotps_classified").add(output.iotps.len() as u64);
+            rec.counter("pipeline.dynamic_ases").add(output.dynamic_ases.len() as u64);
+        }
+        output
     }
 
     /// Convenience: the per-snapshot LSP key sets used by Persistence,
@@ -228,6 +292,24 @@ impl Pipeline {
         let tunnels: Vec<RawTunnel> =
             traces.iter().flat_map(extract_tunnels).collect();
         lsp_keys_of_tunnels(&tunnels)
+    }
+}
+
+/// Records one telemetry stage per filter, named after
+/// [`FilterStage::name`] and chained so each stage's input is the
+/// previous stage's output (starting from [`FilterReport::input`]).
+/// `wall_us` gives the per-stage wall time in [`FilterStage::ALL`]
+/// order.
+pub fn record_filter_stages(
+    recorder: &lpr_obs::Recorder,
+    report: &FilterReport,
+    wall_us: [u64; FilterStage::ALL.len()],
+) {
+    let mut input = report.input as u64;
+    for (stage, us) in FilterStage::ALL.iter().zip(wall_us) {
+        let output = report.remaining.get(stage).copied().unwrap_or(0) as u64;
+        recorder.record_stage(stage.name(), us, input, output);
+        input = output;
     }
 }
 
@@ -341,6 +423,52 @@ mod tests {
             Pipeline::default().with_alias_rescue().run(&traces, &mapper, &[keys]);
         assert_eq!(rescued.class_counts().unclassified, 0);
         assert_eq!(rescued.class_counts().multi_fec, 1);
+    }
+
+    #[test]
+    fn recorded_stages_reconcile_with_filter_report() {
+        let traces = vec![
+            mpls_trace(Ipv4Addr::new(192, 0, 2, 7), [100, 200], [2, 3]),
+            mpls_trace(Ipv4Addr::new(198, 51, 100, 7), [101, 201], [2, 3]),
+        ];
+        let keys = Pipeline::snapshot_keys(&traces);
+        let rec = lpr_obs::Recorder::new("test");
+        let out =
+            Pipeline::default().run_recorded(&traces, &mapper, &[keys.clone(), keys], Some(&rec));
+        let telemetry = rec.finish();
+
+        // Filter stages chain exactly: input of stage k equals output of
+        // stage k-1, starting from the report's input tunnel count.
+        let mut input = out.report.input as u64;
+        for stage in FilterStage::ALL {
+            let s = telemetry.stage(stage.name()).expect(stage.name());
+            assert_eq!(s.input, input, "{} input", stage.name());
+            assert_eq!(s.output, out.report.remaining[&stage] as u64, "{} output", stage.name());
+            input = s.output;
+        }
+        let extraction = telemetry.stage("TunnelExtraction").unwrap();
+        assert_eq!(extraction.input, traces.len() as u64);
+        assert_eq!(extraction.output, out.report.input as u64);
+        let classification = telemetry.stage("Classification").unwrap();
+        assert_eq!(classification.output, out.iotps.len() as u64);
+        assert_eq!(telemetry.counter("pipeline.traces"), traces.len() as u64);
+        assert_eq!(telemetry.counter("pipeline.tunnels"), out.report.input as u64);
+        assert_eq!(telemetry.counter("pipeline.iotps_classified"), out.iotps.len() as u64);
+    }
+
+    #[test]
+    fn recorder_is_optional_and_unrecorded_runs_match() {
+        let traces = vec![
+            mpls_trace(Ipv4Addr::new(192, 0, 2, 7), [100, 200], [2, 3]),
+            mpls_trace(Ipv4Addr::new(198, 51, 100, 7), [101, 201], [2, 3]),
+        ];
+        let keys = Pipeline::snapshot_keys(&traces);
+        let rec = lpr_obs::Recorder::new("test");
+        let plain = Pipeline::default().run(&traces, &mapper, std::slice::from_ref(&keys));
+        let recorded =
+            Pipeline::default().run_recorded(&traces, &mapper, &[keys], Some(&rec));
+        assert_eq!(plain.report, recorded.report);
+        assert_eq!(plain.class_counts(), recorded.class_counts());
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::filter::{
     FilterStage,
 };
 use crate::lsp::{Lsp, LspKey};
-use crate::pipeline::{Pipeline, PipelineOutput};
+use crate::pipeline::{record_filter_stages, Pipeline, PipelineOutput};
 use crate::trace::Trace;
 use crate::tunnel::{extract_tunnels, RawTunnel};
 use std::collections::{BTreeMap, BTreeSet};
@@ -44,6 +44,9 @@ pub struct CycleAccumulator<'m> {
     input: usize,
     after_incomplete: usize,
     after_intra_as: usize,
+    traces_in: u64,
+    extraction_us: u64,
+    attribution_us: u64,
 }
 
 impl<'m> CycleAccumulator<'m> {
@@ -55,24 +58,32 @@ impl<'m> CycleAccumulator<'m> {
             input: 0,
             after_incomplete: 0,
             after_intra_as: 0,
+            traces_in: 0,
+            extraction_us: 0,
+            attribution_us: 0,
         }
     }
 
     /// Ingests one trace: extracts its explicit tunnels and runs the
     /// per-LSP filters immediately.
     pub fn push_trace(&mut self, trace: &Trace) {
+        let sw = lpr_obs::Stopwatch::start();
         let tunnels = extract_tunnels(trace);
+        self.traces_in += 1;
+        self.extraction_us = self.extraction_us.saturating_add(sw.elapsed_us());
         self.push_tunnels(&tunnels);
     }
 
     /// Ingests pre-extracted tunnels (e.g. from a custom warts reader
     /// loop).
     pub fn push_tunnels(&mut self, tunnels: &[RawTunnel]) {
+        let sw = lpr_obs::Stopwatch::start();
         self.input += tunnels.len();
         let out = attribute_and_filter(tunnels, self.mapper);
         self.after_incomplete += out.after_incomplete;
         self.after_intra_as += out.after_intra_as;
         self.lsps.extend(out.lsps);
+        self.attribution_us = self.attribution_us.saturating_add(sw.elapsed_us());
     }
 
     /// LSPs retained so far (post per-LSP filters).
@@ -83,10 +94,25 @@ impl<'m> CycleAccumulator<'m> {
     /// Runs the aggregate stages and produces the same
     /// [`PipelineOutput`] a batch [`Pipeline::run`] would.
     pub fn finish(self, pipeline: &Pipeline, future_keys: &[BTreeSet<LspKey>]) -> PipelineOutput {
+        self.finish_recorded(pipeline, future_keys, None)
+    }
+
+    /// [`CycleAccumulator::finish`] with instrumentation: the
+    /// accumulated per-push extraction/attribution wall time and the
+    /// aggregate stage timings land in `recorder`, with stage names and
+    /// counts reconciling with the returned [`FilterReport`] exactly as
+    /// in [`Pipeline::run_recorded`].
+    pub fn finish_recorded(
+        self,
+        pipeline: &Pipeline,
+        future_keys: &[BTreeSet<LspKey>],
+        recorder: Option<&lpr_obs::Recorder>,
+    ) -> PipelineOutput {
         let mut report = FilterReport { input: self.input, ..Default::default() };
         report.remaining.insert(FilterStage::IncompleteLsp, self.after_incomplete);
         report.remaining.insert(FilterStage::IntraAs, self.after_intra_as);
         report.remaining.insert(FilterStage::TargetAs, self.lsps.len());
+        let mut timer = lpr_obs::StageTimer::start();
 
         let (keep, surviving) = if pipeline.skip_transit_diversity {
             let keep: BTreeSet<_> = self.lsps.iter().map(|l| l.iotp_key()).collect();
@@ -95,11 +121,13 @@ impl<'m> CycleAccumulator<'m> {
         } else {
             transit_diversity(&self.lsps)
         };
+        let transit_us = lpr_obs::time::duration_us(timer.lap("transit_diversity"));
         report.remaining.insert(FilterStage::TransitDiversity, surviving);
         let lsps: Vec<_> =
             self.lsps.into_iter().filter(|l| keep.contains(&l.iotp_key())).collect();
 
         let persisted = persistence(lsps, future_keys, &pipeline.config);
+        let persistence_us = lpr_obs::time::duration_us(timer.lap("persistence"));
         report
             .remaining
             .insert(FilterStage::Persistence, persisted.strictly_persistent);
@@ -108,7 +136,7 @@ impl<'m> CycleAccumulator<'m> {
             .into_iter()
             .map(|i| (i.key, i))
             .collect();
-        let iotps = grouped
+        let iotps: Vec<_> = grouped
             .into_values()
             .map(|iotp| {
                 let c = if pipeline.alias_rescue {
@@ -119,8 +147,36 @@ impl<'m> CycleAccumulator<'m> {
                 (iotp, c)
             })
             .collect();
+        let classification_us = lpr_obs::time::duration_us(timer.lap("classification"));
 
-        PipelineOutput { iotps, report, dynamic_ases: persisted.dynamic_ases }
+        let output = PipelineOutput { iotps, report, dynamic_ases: persisted.dynamic_ases };
+        if let Some(rec) = recorder {
+            if self.traces_in > 0 {
+                rec.record_stage(
+                    "TunnelExtraction",
+                    self.extraction_us,
+                    self.traces_in,
+                    output.report.input as u64,
+                );
+                rec.counter("pipeline.traces").add(self.traces_in);
+            }
+            record_filter_stages(
+                rec,
+                &output.report,
+                [self.attribution_us, 0, 0, transit_us, persistence_us],
+            );
+            rec.record_stage(
+                "Classification",
+                classification_us,
+                output.report.remaining.get(&FilterStage::Persistence).copied().unwrap_or(0)
+                    as u64,
+                output.iotps.len() as u64,
+            );
+            rec.counter("pipeline.tunnels").add(output.report.input as u64);
+            rec.counter("pipeline.iotps_classified").add(output.iotps.len() as u64);
+            rec.counter("pipeline.dynamic_ases").add(output.dynamic_ases.len() as u64);
+        }
+        output
     }
 }
 
@@ -207,6 +263,31 @@ mod tests {
         let out = acc.finish(&Pipeline::default(), &[]);
         assert_eq!(out.report.input, 100);
         assert!(out.iotps.is_empty());
+    }
+
+    #[test]
+    fn streaming_telemetry_reconciles_with_report() {
+        let traces = sample_traces();
+        let keys = Pipeline::snapshot_keys(&traces);
+        let rec = lpr_obs::Recorder::new("stream");
+        let mut acc = CycleAccumulator::new(&mapper);
+        for t in &traces {
+            acc.push_trace(t);
+        }
+        let out = acc.finish_recorded(&Pipeline::default(), &[keys], Some(&rec));
+        let telemetry = rec.finish();
+
+        let extraction = telemetry.stage("TunnelExtraction").unwrap();
+        assert_eq!(extraction.input, traces.len() as u64);
+        assert_eq!(extraction.output, out.report.input as u64);
+        let mut input = out.report.input as u64;
+        for stage in FilterStage::ALL {
+            let s = telemetry.stage(stage.name()).expect(stage.name());
+            assert_eq!(s.input, input, "{} input", stage.name());
+            assert_eq!(s.output, out.report.remaining[&stage] as u64, "{} output", stage.name());
+            input = s.output;
+        }
+        assert_eq!(telemetry.stage("Classification").unwrap().output, out.iotps.len() as u64);
     }
 
     #[test]

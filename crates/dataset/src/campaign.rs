@@ -159,17 +159,16 @@ pub fn run_cycles(
     out.resize_with(cycles.len(), || None);
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let chunk = cycles.len().div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot, work) in out.chunks_mut(chunk).zip(cycles.chunks(chunk)) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (o, &cycle) in slot.iter_mut().zip(work) {
                     let data = generate_cycle(world, cycle, opts);
                     *o = Some((cycle, analyze_cycle(world, &data, j)));
                 }
             });
         }
-    })
-    .expect("cycle workers");
+    });
     out.into_iter().map(|o| o.expect("every cycle rendered")).collect()
 }
 

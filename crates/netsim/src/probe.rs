@@ -51,16 +51,44 @@ impl Default for ProbeOptions {
     }
 }
 
+/// Handles to the `probe.*` metrics a [`Prober`] maintains.
+struct ProbeMetrics {
+    /// Probes sent (`probe.sent`): one per TTL step.
+    sent: std::sync::Arc<lpr_obs::Counter>,
+    /// Replies received (`probe.replies`): everything but anonymous
+    /// losses.
+    replies: std::sync::Arc<lpr_obs::Counter>,
+    /// Probes lost to anonymous routers (`probe.anonymous`).
+    anonymous: std::sync::Arc<lpr_obs::Counter>,
+    /// RFC 4950 quoted label-stack depth per time-exceeded reply
+    /// (`probe.stack_depth`); depth 0 means no labels quoted.
+    stack_depth: std::sync::Arc<lpr_obs::Histogram>,
+}
+
 /// A traceroute engine bound to one simulated Internet.
 pub struct Prober<'a> {
     net: &'a Internet,
     opts: ProbeOptions,
+    metrics: Option<ProbeMetrics>,
 }
 
 impl<'a> Prober<'a> {
     /// Binds a prober to a network.
     pub fn new(net: &'a Internet, opts: ProbeOptions) -> Self {
-        Prober { net, opts }
+        Prober { net, opts, metrics: None }
+    }
+
+    /// Tallies probing activity into `recorder`'s registry: `probe.sent`,
+    /// `probe.replies`, `probe.anonymous` counters and the
+    /// `probe.stack_depth` histogram of RFC 4950 quoted stack depths.
+    pub fn with_recorder(mut self, recorder: &lpr_obs::Recorder) -> Self {
+        self.metrics = Some(ProbeMetrics {
+            sent: recorder.counter("probe.sent"),
+            replies: recorder.counter("probe.replies"),
+            anonymous: recorder.counter("probe.anonymous"),
+            stack_depth: recorder.histogram("probe.stack_depth"),
+        });
+        self
     }
 
     /// The Paris flow identifier for a `(vp, dst)` pair this snapshot.
@@ -112,6 +140,9 @@ impl<'a> Prober<'a> {
         let mut trace = Trace::new(vp, dst);
         let mut gap = 0u8;
         for ttl in 1..=self.opts.max_ttl {
+            if let Some(m) = &self.metrics {
+                m.sent.inc();
+            }
             match probe(self.net, vp, dst, ttl, flow) {
                 ProbeReply::TimeExceeded { router, addr, stack } => {
                     let rate = self
@@ -119,9 +150,16 @@ impl<'a> Prober<'a> {
                         .config(self.net.topo.router(router).as_id)
                         .anonymous_rate;
                     if self.anonymous(vp, dst, ttl, rate) {
+                        if let Some(m) = &self.metrics {
+                            m.anonymous.inc();
+                        }
                         trace.push_hop(Hop::anonymous(ttl));
                         gap += 1;
                     } else {
+                        if let Some(m) = &self.metrics {
+                            m.replies.inc();
+                            m.stack_depth.observe(stack.len());
+                        }
                         trace.push_hop(Hop {
                             probe_ttl: ttl,
                             addr: Some(addr),
@@ -132,6 +170,9 @@ impl<'a> Prober<'a> {
                     }
                 }
                 ProbeReply::Echo { addr } => {
+                    if let Some(m) = &self.metrics {
+                        m.replies.inc();
+                    }
                     trace.push_hop(Hop {
                         probe_ttl: ttl,
                         addr: Some(addr),
@@ -230,6 +271,32 @@ mod tests {
         assert_eq!(traces.len(), vps.len() * dsts.len());
         assert!(traces.iter().all(|t| t.reached));
         assert!(traces.iter().any(|t| t.has_mpls()));
+    }
+
+    #[test]
+    fn recorder_tallies_probes_and_stack_depths() {
+        let net = build(0.0);
+        let rec = lpr_obs::Recorder::new("probe-test");
+        let prober = Prober::new(&net, ProbeOptions::default()).with_recorder(&rec);
+        let vps: Vec<_> = net.topo.vantage_points().iter().map(|(a, _)| *a).collect();
+        let dsts = net.topo.destinations(2);
+        let traces = prober.campaign(&vps, &dsts);
+        let telemetry = rec.finish();
+
+        let sent = telemetry.counter("probe.sent");
+        let replies = telemetry.counter("probe.replies");
+        assert!(sent > 0);
+        // No anonymity here: every probe is answered or the ladder
+        // stopped on Unreachable (unanswered, not counted as a reply).
+        assert!(replies <= sent);
+        assert_eq!(telemetry.counter("probe.anonymous"), 0);
+        // Every responsive hop corresponds to one counted reply.
+        let responsive: u64 =
+            traces.iter().map(|t| t.responsive_hops().count() as u64).sum();
+        assert_eq!(replies, responsive);
+        // MPLS traversal shows up as non-zero quoted stack depths.
+        let depths = &telemetry.histograms["probe.stack_depth"];
+        assert!(depths.iter().skip(1).sum::<u64>() > 0, "labelled hops observed");
     }
 
     #[test]

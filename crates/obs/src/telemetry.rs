@@ -1,0 +1,385 @@
+//! One run's worth of telemetry: recording and the serializable result.
+
+use crate::json::{parse, JsonError, JsonValue};
+use crate::registry::Registry;
+use crate::time::{duration_us, Stopwatch};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Schema version written into every telemetry document.
+pub const TELEMETRY_VERSION: u64 = 1;
+
+/// One pipeline stage's accounting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageTelemetry {
+    /// Stage name (e.g. `"TransitDiversity"`).
+    pub name: String,
+    /// Wall time spent in the stage, microseconds.
+    pub wall_us: u64,
+    /// Items entering the stage.
+    pub input: u64,
+    /// Items surviving the stage.
+    pub output: u64,
+}
+
+impl StageTelemetry {
+    /// Items the stage dropped.
+    pub fn dropped(&self) -> u64 {
+        self.input.saturating_sub(self.output)
+    }
+
+    /// Items per second through the stage (0 when instantaneous).
+    pub fn throughput_per_s(&self) -> f64 {
+        if self.wall_us == 0 {
+            return 0.0;
+        }
+        self.input as f64 / (self.wall_us as f64 / 1e6)
+    }
+}
+
+/// The machine-readable result of one instrumented run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunTelemetry {
+    /// Run label (subcommand, bench name…).
+    pub label: String,
+    /// Total wall time from [`Recorder::new`] to [`Recorder::finish`],
+    /// microseconds.
+    pub total_wall_us: u64,
+    /// Ordered stage accounting.
+    pub stages: Vec<StageTelemetry>,
+    /// Final counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values.
+    pub gauges: BTreeMap<String, i64>,
+    /// Final histogram buckets (index = observed value, last bucket =
+    /// overflow).
+    pub histograms: BTreeMap<String, Vec<u64>>,
+}
+
+impl RunTelemetry {
+    /// The stage named `name`, if recorded.
+    pub fn stage(&self, name: &str) -> Option<&StageTelemetry> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// A counter's final value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Serializes to pretty-printed JSON (the `--metrics` file format).
+    pub fn to_json(&self) -> String {
+        self.to_value().render_pretty()
+    }
+
+    fn to_value(&self) -> JsonValue {
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| {
+                JsonValue::Object(vec![
+                    ("name".into(), JsonValue::Str(s.name.clone())),
+                    ("wall_us".into(), JsonValue::Int(s.wall_us as i128)),
+                    ("input".into(), JsonValue::Int(s.input as i128)),
+                    ("output".into(), JsonValue::Int(s.output as i128)),
+                ])
+            })
+            .collect();
+        let histograms = JsonValue::Object(
+            self.histograms
+                .iter()
+                .map(|(k, buckets)| {
+                    (
+                        k.clone(),
+                        JsonValue::Array(
+                            buckets.iter().map(|b| JsonValue::Int(*b as i128)).collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        );
+        JsonValue::Object(vec![
+            ("version".into(), JsonValue::Int(TELEMETRY_VERSION as i128)),
+            ("label".into(), JsonValue::Str(self.label.clone())),
+            ("total_wall_us".into(), JsonValue::Int(self.total_wall_us as i128)),
+            ("stages".into(), JsonValue::Array(stages)),
+            ("counters".into(), JsonValue::from_u64_map(&self.counters)),
+            ("gauges".into(), JsonValue::from_i64_map(&self.gauges)),
+            ("histograms".into(), histograms),
+        ])
+    }
+
+    /// Parses a document produced by [`RunTelemetry::to_json`].
+    pub fn from_json(text: &str) -> Result<RunTelemetry, JsonError> {
+        let root = parse(text)?;
+        let bad = |reason: &'static str| JsonError { offset: 0, reason };
+        let version = root
+            .get("version")
+            .and_then(|v| v.as_u64())
+            .ok_or(bad("missing version"))?;
+        if version != TELEMETRY_VERSION {
+            return Err(bad("unsupported telemetry version"));
+        }
+        let label = root
+            .get("label")
+            .and_then(|v| v.as_str())
+            .ok_or(bad("missing label"))?
+            .to_string();
+        let total_wall_us = root
+            .get("total_wall_us")
+            .and_then(|v| v.as_u64())
+            .ok_or(bad("missing total_wall_us"))?;
+        let mut stages = Vec::new();
+        for s in root.get("stages").and_then(|v| v.as_array()).ok_or(bad("missing stages"))? {
+            stages.push(StageTelemetry {
+                name: s
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .ok_or(bad("stage missing name"))?
+                    .to_string(),
+                wall_us: s
+                    .get("wall_us")
+                    .and_then(|v| v.as_u64())
+                    .ok_or(bad("stage missing wall_us"))?,
+                input: s
+                    .get("input")
+                    .and_then(|v| v.as_u64())
+                    .ok_or(bad("stage missing input"))?,
+                output: s
+                    .get("output")
+                    .and_then(|v| v.as_u64())
+                    .ok_or(bad("stage missing output"))?,
+            });
+        }
+        let mut counters = BTreeMap::new();
+        for (k, v) in root
+            .get("counters")
+            .and_then(|v| v.as_object())
+            .ok_or(bad("missing counters"))?
+        {
+            counters.insert(k.clone(), v.as_u64().ok_or(bad("bad counter value"))?);
+        }
+        let mut gauges = BTreeMap::new();
+        for (k, v) in
+            root.get("gauges").and_then(|v| v.as_object()).ok_or(bad("missing gauges"))?
+        {
+            gauges.insert(k.clone(), v.as_i64().ok_or(bad("bad gauge value"))?);
+        }
+        let mut histograms = BTreeMap::new();
+        for (k, v) in root
+            .get("histograms")
+            .and_then(|v| v.as_object())
+            .ok_or(bad("missing histograms"))?
+        {
+            let buckets = v
+                .as_array()
+                .ok_or(bad("bad histogram"))?
+                .iter()
+                .map(|b| b.as_u64().ok_or(bad("bad histogram bucket")))
+                .collect::<Result<Vec<u64>, JsonError>>()?;
+            histograms.insert(k.clone(), buckets);
+        }
+        Ok(RunTelemetry { label, total_wall_us, stages, counters, gauges, histograms })
+    }
+}
+
+/// Collects stages and metrics for one run.
+///
+/// The recorder is `Sync`: counters/gauges/histograms are atomics
+/// behind `Arc`s, and stage recording takes a short internal lock —
+/// instrument parallel workers freely.
+#[derive(Debug)]
+pub struct Recorder {
+    label: String,
+    registry: Registry,
+    stages: Mutex<Vec<StageTelemetry>>,
+    started: Stopwatch,
+}
+
+impl Recorder {
+    /// Starts a recorder (and its total-wall-time clock).
+    pub fn new(label: impl Into<String>) -> Self {
+        Recorder {
+            label: label.into(),
+            registry: Registry::new(),
+            stages: Mutex::new(Vec::new()),
+            started: Stopwatch::start(),
+        }
+    }
+
+    /// The underlying metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Counter handle (get-or-create; see [`Registry::counter`]).
+    pub fn counter(&self, name: &'static str) -> Arc<crate::Counter> {
+        self.registry.counter(name)
+    }
+
+    /// Gauge handle.
+    pub fn gauge(&self, name: &'static str) -> Arc<crate::Gauge> {
+        self.registry.gauge(name)
+    }
+
+    /// Histogram handle.
+    pub fn histogram(&self, name: &'static str) -> Arc<crate::Histogram> {
+        self.registry.histogram(name)
+    }
+
+    /// Starts timing a stage; finish it with
+    /// [`StageGuard::finish_counts`] (or drop it to record timing
+    /// only).
+    pub fn stage(&self, name: &'static str) -> StageGuard<'_> {
+        StageGuard { recorder: self, name, sw: Stopwatch::start(), done: false }
+    }
+
+    /// Records a fully-known stage in one call.
+    pub fn record_stage(&self, name: &str, wall_us: u64, input: u64, output: u64) {
+        let mut stages = self.stages.lock().expect("stage log poisoned");
+        stages.push(StageTelemetry { name: name.to_string(), wall_us, input, output });
+    }
+
+    /// Snapshot of the stages recorded so far.
+    pub fn stages_so_far(&self) -> Vec<StageTelemetry> {
+        self.stages.lock().expect("stage log poisoned").clone()
+    }
+
+    /// Stops the clock and aggregates everything recorded.
+    pub fn finish(self) -> RunTelemetry {
+        RunTelemetry {
+            label: self.label,
+            total_wall_us: self.started.elapsed_us(),
+            stages: self.stages.into_inner().expect("stage log poisoned"),
+            counters: self.registry.counter_values(),
+            gauges: self.registry.gauge_values(),
+            histograms: self.registry.histogram_values(),
+        }
+    }
+}
+
+/// An in-flight stage span (see [`Recorder::stage`]).
+pub struct StageGuard<'r> {
+    recorder: &'r Recorder,
+    name: &'static str,
+    sw: Stopwatch,
+    done: bool,
+}
+
+impl StageGuard<'_> {
+    /// Ends the span with input/output item counts; returns the wall
+    /// time in microseconds.
+    pub fn finish_counts(mut self, input: u64, output: u64) -> u64 {
+        let wall_us = duration_us(self.sw.elapsed());
+        self.recorder.record_stage(self.name, wall_us, input, output);
+        self.done = true;
+        wall_us
+    }
+
+    /// Ends the span with no item accounting.
+    pub fn finish(self) -> u64 {
+        self.finish_counts(0, 0)
+    }
+}
+
+impl Drop for StageGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            let wall_us = duration_us(self.sw.elapsed());
+            self.recorder.record_stage(self.name, wall_us, 0, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunTelemetry {
+        let rec = Recorder::new("unit");
+        rec.counter("a.count").add(7);
+        rec.gauge("b.gauge").set(-3);
+        let h = rec.histogram("c.hist");
+        h.observe(2);
+        h.observe(2);
+        h.observe(40);
+        let s = rec.stage("first");
+        s.finish_counts(100, 80);
+        rec.stage("second").finish_counts(80, 80);
+        rec.finish()
+    }
+
+    #[test]
+    fn recorder_aggregates_everything() {
+        let t = sample();
+        assert_eq!(t.label, "unit");
+        assert_eq!(t.stages.len(), 2);
+        assert_eq!(t.stages[0].name, "first");
+        assert_eq!(t.stages[0].dropped(), 20);
+        assert_eq!(t.counter("a.count"), 7);
+        assert_eq!(t.counter("missing"), 0);
+        assert_eq!(t.gauges["b.gauge"], -3);
+        let h = &t.histograms["c.hist"];
+        assert_eq!(h[2], 2);
+        assert_eq!(*h.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let t = sample();
+        let json = t.to_json();
+        let back = RunTelemetry::from_json(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn json_roundtrip_of_empty_run() {
+        let t = Recorder::new("empty").finish();
+        assert_eq!(RunTelemetry::from_json(&t.to_json()).unwrap(), t);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let t = sample();
+        let json = t.to_json().replace("\"version\": 1", "\"version\": 999");
+        assert!(RunTelemetry::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn dropped_guard_records_timing_only() {
+        let rec = Recorder::new("guard");
+        {
+            let _g = rec.stage("implicit");
+        }
+        let t = rec.finish();
+        assert_eq!(t.stages.len(), 1);
+        assert_eq!(t.stages[0].input, 0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let s = StageTelemetry { name: "x".into(), wall_us: 2_000_000, input: 100, output: 50 };
+        assert!((s.throughput_per_s() - 50.0).abs() < 1e-9);
+        let zero = StageTelemetry::default();
+        assert_eq!(zero.throughput_per_s(), 0.0);
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let rec = std::sync::Arc::new(Recorder::new("mt"));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rec = std::sync::Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    rec.counter("shared").inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let rec = std::sync::Arc::try_unwrap(rec).expect("all threads joined");
+        assert_eq!(rec.finish().counter("shared"), 4000);
+    }
+}

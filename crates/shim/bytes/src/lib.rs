@@ -1,0 +1,149 @@
+//! Offline stand-in for the crates.io `bytes` crate.
+//!
+//! The build environment has no registry access, so this workspace ships
+//! the tiny subset of the `bytes` API the warts codec actually uses:
+//! [`BytesMut`] as a growable byte buffer and the big-endian `put_*`
+//! writers of the [`BufMut`] trait. The types are drop-in compatible for
+//! that subset, so swapping the real crate back in is a one-line
+//! `Cargo.toml` change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, contiguous byte buffer (thin wrapper over `Vec<u8>`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { inner: Vec::with_capacity(cap) }
+    }
+
+    /// Clears the buffer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Consumes the buffer, yielding its bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+
+    /// Consumes the buffer, freezing it into an immutable `Vec<u8>`
+    /// (the real crate returns `Bytes`; callers here only read it).
+    pub fn freeze(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { inner: v }
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        self.inner.extend(iter);
+    }
+}
+
+/// Append-only writer trait: the big-endian subset of `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_writers() {
+        let mut b = BytesMut::new();
+        b.put_u8(0xAB);
+        b.put_u16(0x1234);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(0x0102_0304_0506_0708);
+        assert_eq!(
+            &b[..],
+            &[
+                0xAB, 0x12, 0x34, 0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04, 0x05,
+                0x06, 0x07, 0x08
+            ]
+        );
+    }
+
+    #[test]
+    fn slicing_and_len_via_deref() {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_slice(&[1, 2, 3, 4]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(&b[1..3], &[2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4]);
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

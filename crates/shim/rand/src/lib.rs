@@ -1,0 +1,156 @@
+//! Offline stand-in for the crates.io `rand` crate.
+//!
+//! The build environment has no registry access; this shim provides the
+//! subset the simulator uses — [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] and [`Rng::gen_bool`] over a deterministic
+//! splitmix64/xorshift generator. It is *not* the real `rand`: streams
+//! differ from upstream, but every consumer in this workspace only
+//! requires determinism for a fixed seed, not upstream-identical
+//! sequences.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types a generator can sample uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[low, high)` given a raw 64-bit draw.
+    fn from_draw(draw: u64, low: Self, high: Self) -> Self;
+    /// The half-open bounds for a `low..=high` range.
+    fn inclusive_upper(high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_draw(draw: u64, low: Self, high: Self) -> Self {
+                let span = (high as u128) - (low as u128);
+                debug_assert!(span > 0, "empty sample range");
+                low + (draw as u128 % span) as $t
+            }
+            fn inclusive_upper(high: Self) -> Self {
+                high + 1
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// A range a generator can sample from (`low..high` or `low..=high`).
+pub trait SampleRange<T> {
+    /// Uniform sample using `draw`.
+    fn sample(self, draw: u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, draw: u64) -> T {
+        T::from_draw(draw, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, draw: u64) -> T {
+        let (start, end) = self.into_inner();
+        T::from_draw(draw, start, T::inclusive_upper(end))
+    }
+}
+
+/// The user-facing generator trait.
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Small fast generators.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// A small xorshift64* generator seeded via splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 guarantees a non-zero state for xorshift.
+            let mut state = splitmix64(seed);
+            if state == 0 {
+                state = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { state }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    /// Alias: this shim has no cryptographic generator; `StdRng` shares
+    /// the `SmallRng` implementation.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for i in 0..1000u32 {
+            let v = rng.gen_range(0..=i);
+            assert!(v <= i);
+            let w = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

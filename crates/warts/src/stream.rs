@@ -28,11 +28,71 @@ use crate::file::{Record, RecordType, WARTS_MAGIC};
 use crate::list::ListRecord;
 use crate::ping::PingRecord;
 use crate::trace::TraceRecord;
+use lpr_obs::{Counter, Registry};
 use std::io::Read;
+use std::sync::Arc;
 
 /// Largest record body this reader will buffer (64 MiB — far above any
 /// real scamper record; a larger length indicates corruption).
 pub const MAX_RECORD_LEN: usize = 64 << 20;
+
+/// Ingest counters for a warts stream, registered under `warts.*`.
+///
+/// Hand one to [`WartsStreamReader::with_metrics`] and the reader tallies
+/// what it sees; the same counters can be read back later from the
+/// registry (or a `Recorder`) that created them.
+#[derive(Clone)]
+pub struct StreamMetrics {
+    /// Records decoded successfully (`warts.records`).
+    pub records: Arc<Counter>,
+    /// Bytes consumed, headers included (`warts.bytes`).
+    pub bytes: Arc<Counter>,
+    /// Trace records among them (`warts.traces`).
+    pub traces: Arc<Counter>,
+    /// Records whose body failed to decode and were skipped in lenient
+    /// mode (`warts.malformed_records`).
+    pub malformed: Arc<Counter>,
+    /// Records of a type this crate does not parse
+    /// (`warts.unsupported_records`).
+    pub unsupported: Arc<Counter>,
+    /// ICMP extension objects that are not RFC 4950 MPLS stacks
+    /// (`warts.unknown_icmp_ext`).
+    pub unknown_icmp_ext: Arc<Counter>,
+}
+
+impl StreamMetrics {
+    /// Binds the `warts.*` counters in `registry` (creating them at
+    /// zero on first use).
+    pub fn from_registry(registry: &Registry) -> Self {
+        StreamMetrics {
+            records: registry.counter("warts.records"),
+            bytes: registry.counter("warts.bytes"),
+            traces: registry.counter("warts.traces"),
+            malformed: registry.counter("warts.malformed_records"),
+            unsupported: registry.counter("warts.unsupported_records"),
+            unknown_icmp_ext: registry.counter("warts.unknown_icmp_ext"),
+        }
+    }
+
+    fn observe(&self, wire_len: usize, record: &Record) {
+        self.records.inc();
+        self.bytes.add(wire_len as u64);
+        match record {
+            Record::Trace(t) => {
+                self.traces.inc();
+                for hop in &t.hops {
+                    for ext in &hop.icmp_exts {
+                        if !ext.is_mpls() {
+                            self.unknown_icmp_ext.inc();
+                        }
+                    }
+                }
+            }
+            Record::Unsupported { .. } => self.unsupported.inc(),
+            _ => {}
+        }
+    }
+}
 
 /// A record-at-a-time reader over any byte source.
 pub struct WartsStreamReader<R: Read> {
@@ -40,6 +100,8 @@ pub struct WartsStreamReader<R: Read> {
     addrs: AddrTableReader,
     offset: usize,
     failed: bool,
+    metrics: Option<StreamMetrics>,
+    lenient: bool,
 }
 
 /// Errors from streaming reads: IO or decode.
@@ -77,74 +139,131 @@ impl From<WartsError> for StreamError {
 impl<R: Read> WartsStreamReader<R> {
     /// Wraps a byte source (wrap files in a `BufReader`).
     pub fn new(source: R) -> Self {
-        WartsStreamReader { source, addrs: AddrTableReader::new(), offset: 0, failed: false }
+        WartsStreamReader {
+            source,
+            addrs: AddrTableReader::new(),
+            offset: 0,
+            failed: false,
+            metrics: None,
+            lenient: false,
+        }
+    }
+
+    /// Tallies everything read into `metrics` (see [`StreamMetrics`]).
+    pub fn with_metrics(mut self, metrics: StreamMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Skips records whose *body* fails to decode instead of aborting
+    /// the stream: the declared header length keeps the reader aligned
+    /// on the next record boundary, and `warts.malformed_records`
+    /// counts the skip (silently without [`WartsStreamReader::with_metrics`]).
+    ///
+    /// Header-level corruption (bad magic, truncated header or body,
+    /// insane length) stays fatal — there is no boundary to resync on.
+    /// Note a skipped trace/ping may have carried address-dictionary
+    /// entries; later references to them then fail too (and are counted
+    /// in turn).
+    pub fn lenient(mut self) -> Self {
+        self.lenient = true;
+        self
     }
 
     /// Reads the next record; `Ok(None)` at a clean end of stream.
     pub fn next_record(&mut self) -> Result<Option<Record>, StreamError> {
-        if self.failed {
-            return Ok(None);
-        }
-        // Header: 8 bytes, but EOF exactly at a record boundary is a
-        // clean end.
-        let mut header = [0u8; 8];
-        let mut got = 0usize;
-        while got < 8 {
-            let n = self.source.read(&mut header[got..])?;
-            if n == 0 {
-                if got == 0 {
-                    return Ok(None);
+        loop {
+            if self.failed {
+                return Ok(None);
+            }
+            // Header: 8 bytes, but EOF exactly at a record boundary is a
+            // clean end.
+            let mut header = [0u8; 8];
+            let mut got = 0usize;
+            while got < 8 {
+                let n = self.source.read(&mut header[got..])?;
+                if n == 0 {
+                    if got == 0 {
+                        return Ok(None);
+                    }
+                    self.failed = true;
+                    return Err(WartsError::Truncated { context: "record header" }.into());
                 }
+                got += n;
+            }
+            let magic = u16::from_be_bytes([header[0], header[1]]);
+            if magic != WARTS_MAGIC {
                 self.failed = true;
-                return Err(WartsError::Truncated { context: "record header" }.into());
+                return Err(WartsError::BadMagic { offset: self.offset, found: magic }.into());
             }
-            got += n;
-        }
-        let magic = u16::from_be_bytes([header[0], header[1]]);
-        if magic != WARTS_MAGIC {
-            self.failed = true;
-            return Err(WartsError::BadMagic { offset: self.offset, found: magic }.into());
-        }
-        let record_type = u16::from_be_bytes([header[2], header[3]]);
-        let len = u32::from_be_bytes([header[4], header[5], header[6], header[7]]) as usize;
-        if len > MAX_RECORD_LEN {
-            self.failed = true;
-            return Err(WartsError::Truncated { context: "record length sanity" }.into());
-        }
-        let mut body = vec![0u8; len];
-        self.source.read_exact(&mut body).inspect_err(|_| {
-            self.failed = true;
-        })?;
-        self.offset += 8 + len;
+            let record_type = u16::from_be_bytes([header[2], header[3]]);
+            let len = u32::from_be_bytes([header[4], header[5], header[6], header[7]]) as usize;
+            if len > MAX_RECORD_LEN {
+                self.failed = true;
+                return Err(WartsError::Truncated { context: "record length sanity" }.into());
+            }
+            let mut body = vec![0u8; len];
+            self.source.read_exact(&mut body).inspect_err(|_| {
+                self.failed = true;
+            })?;
+            self.offset += 8 + len;
 
-        let mut cur = Cursor::new(&body);
-        let record = match record_type {
-            x if x == RecordType::List as u16 => Record::List(ListRecord::read(&mut cur)?),
-            x if x == RecordType::CycleStart as u16 || x == RecordType::CycleDef as u16 => {
-                Record::CycleStart(CycleRecord::read(&mut cur)?)
+            match decode_body(record_type, len, body, &mut self.addrs) {
+                Ok(record) => {
+                    if let Some(m) = &self.metrics {
+                        m.observe(8 + len, &record);
+                    }
+                    return Ok(Some(record));
+                }
+                Err(e) => {
+                    if self.lenient {
+                        // The body was fully consumed, so the source is
+                        // already positioned on the next header.
+                        if let Some(m) = &self.metrics {
+                            m.malformed.inc();
+                        }
+                        continue;
+                    }
+                    self.failed = true;
+                    return Err(e.into());
+                }
             }
-            x if x == RecordType::CycleStop as u16 => {
-                Record::CycleStop(CycleStopRecord::read(&mut cur)?)
-            }
-            x if x == RecordType::Trace as u16 => {
-                Record::Trace(TraceRecord::read(&mut cur, &mut self.addrs)?)
-            }
-            x if x == RecordType::Ping as u16 => {
-                Record::Ping(PingRecord::read(&mut cur, &mut self.addrs)?)
-            }
-            other => return Ok(Some(Record::Unsupported { record_type: other, body })),
-        };
-        if !cur.is_empty() {
-            self.failed = true;
-            return Err(WartsError::LengthMismatch {
-                record_type,
-                declared: len,
-                consumed: cur.position(),
-            }
-            .into());
         }
-        Ok(Some(record))
     }
+}
+
+/// Decodes one record body (already fully read off the wire).
+fn decode_body(
+    record_type: u16,
+    len: usize,
+    body: Vec<u8>,
+    addrs: &mut AddrTableReader,
+) -> Result<Record, WartsError> {
+    let mut cur = Cursor::new(&body);
+    let record = match record_type {
+        x if x == RecordType::List as u16 => Record::List(ListRecord::read(&mut cur)?),
+        x if x == RecordType::CycleStart as u16 || x == RecordType::CycleDef as u16 => {
+            Record::CycleStart(CycleRecord::read(&mut cur)?)
+        }
+        x if x == RecordType::CycleStop as u16 => {
+            Record::CycleStop(CycleStopRecord::read(&mut cur)?)
+        }
+        x if x == RecordType::Trace as u16 => {
+            Record::Trace(TraceRecord::read(&mut cur, addrs)?)
+        }
+        x if x == RecordType::Ping as u16 => {
+            Record::Ping(PingRecord::read(&mut cur, addrs)?)
+        }
+        other => return Ok(Record::Unsupported { record_type: other, body }),
+    };
+    if !cur.is_empty() {
+        return Err(WartsError::LengthMismatch {
+            record_type,
+            declared: len,
+            consumed: cur.position(),
+        });
+    }
+    Ok(record)
 }
 
 impl<R: Read> Iterator for WartsStreamReader<R> {
@@ -228,6 +347,70 @@ mod tests {
         let cut = &bytes[..3];
         let mut r = WartsStreamReader::new(cut);
         assert!(matches!(r.next_record(), Err(StreamError::Decode(_))));
+    }
+
+    #[test]
+    fn lenient_mode_skips_malformed_record_and_counts_it() {
+        // A valid header declaring a 4-byte trace body that cannot
+        // decode (truncated content), followed by a fully valid stream.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WARTS_MAGIC.to_be_bytes());
+        bytes.extend_from_slice(&(RecordType::Trace as u16).to_be_bytes());
+        bytes.extend_from_slice(&4u32.to_be_bytes());
+        bytes.extend_from_slice(&[0xFF; 4]);
+        bytes.extend_from_slice(&sample_bytes());
+
+        // Strict mode aborts on the malformed body.
+        let strict: Result<Vec<Record>, _> =
+            WartsStreamReader::new(bytes.as_slice()).collect();
+        assert!(strict.is_err());
+
+        // Lenient mode counts the skip and keeps going.
+        let registry = Registry::new();
+        let metrics = StreamMetrics::from_registry(&registry);
+        let records: Vec<Record> = WartsStreamReader::new(bytes.as_slice())
+            .with_metrics(metrics.clone())
+            .lenient()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(records.len(), 5, "all valid records still stream");
+        assert_eq!(metrics.malformed.get(), 1);
+        assert_eq!(metrics.records.get(), 5);
+        assert_eq!(metrics.traces.get(), 2);
+        assert_eq!(registry.counter("warts.malformed_records").get(), 1);
+    }
+
+    #[test]
+    fn metrics_tally_records_bytes_and_unknown_extensions() {
+        let mut w = WartsWriter::new();
+        let list = w.list(1, "metrics");
+        let cycle = w.cycle_start(list, 1, 0);
+        let mut t = TraceRecord::new(a(1), a(9));
+        let mut hop = HopRecord::reply(1, a(2), 100);
+        // One MPLS object and one vendor-specific object: only the
+        // latter is "unknown".
+        hop.icmp_exts.push(crate::icmpext::IcmpExt {
+            class: crate::icmpext::MPLS_EXT_CLASS,
+            kind: crate::icmpext::MPLS_EXT_TYPE,
+            data: vec![0, 1, 2, 3],
+        });
+        hop.icmp_exts.push(crate::icmpext::IcmpExt { class: 9, kind: 9, data: vec![1] });
+        t.hops = vec![hop];
+        w.trace(&t).unwrap();
+        w.cycle_stop(cycle, 1);
+        let bytes = w.into_bytes();
+
+        let registry = Registry::new();
+        let metrics = StreamMetrics::from_registry(&registry);
+        let records: Vec<Record> = WartsStreamReader::new(bytes.as_slice())
+            .with_metrics(metrics.clone())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(metrics.records.get(), records.len() as u64);
+        assert_eq!(metrics.bytes.get(), bytes.len() as u64);
+        assert_eq!(metrics.traces.get(), 1);
+        assert_eq!(metrics.unknown_icmp_ext.get(), 1);
+        assert_eq!(metrics.unsupported.get(), 0);
     }
 
     #[test]
