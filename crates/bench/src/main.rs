@@ -8,8 +8,14 @@
 //!
 //! ```text
 //! lpr-bench pipeline [--out BENCH_pipeline.json] [--snapshots N] [--cycle N]
+//!                    [--threads N] [--threads-sweep [1,2,4,...]]
 //! lpr-bench help
 //! ```
+//!
+//! `--threads-sweep` benchmarks the parallel pipeline across thread
+//! counts, writes the speedup curve into the JSON report, and
+//! **self-checks determinism**: the run fails (exit 1) if any thread
+//! count produces output differing from the sequential run.
 
 #![forbid(unsafe_code)]
 
@@ -48,17 +54,58 @@ lpr-bench — LPR pipeline benchmark harness
 
 USAGE:
   lpr-bench pipeline [--out BENCH_pipeline.json] [--snapshots N] [--cycle N]
+                     [--threads N] [--threads-sweep [1,2,4,...]]
   lpr-bench help
 
 `pipeline` generates the standard demo-scale campaign, round-trips it
 through the warts codec, runs the full LPR pipeline under lpr-obs
 instrumentation, and writes per-stage wall time plus records/sec
-throughput as JSON.";
+throughput as JSON.
+
+`--threads N` runs the pipeline on N worker threads (default 1, the
+sequential path). `--threads-sweep` runs every thread count in the
+given comma-separated list (default: powers of two up to the machine's
+available parallelism), records the speedup curve under
+\"thread_sweep\" in the JSON report, and exits non-zero if any thread
+count's output diverges from the sequential run.";
+
+/// Default sweep: powers of two from 1 up to the machine's available
+/// parallelism, always reaching at least 4 so the speedup curve has a
+/// multi-threaded point even on small runners.
+fn default_sweep() -> Vec<usize> {
+    let max = lpr_par::available_threads().max(4);
+    let mut ns = vec![1usize];
+    while *ns.last().expect("non-empty") * 2 <= max {
+        let next = ns.last().expect("non-empty") * 2;
+        ns.push(next);
+    }
+    ns
+}
+
+fn parse_sweep(spec: &str) -> Result<Vec<usize>, String> {
+    let mut ns: Vec<usize> = Vec::new();
+    for part in spec.split(',') {
+        let n: usize =
+            part.trim().parse().map_err(|e| format!("--threads-sweep `{part}`: {e}"))?;
+        if n == 0 {
+            return Err("--threads-sweep wants thread counts >= 1".to_string());
+        }
+        ns.push(n);
+    }
+    ns.sort_unstable();
+    ns.dedup();
+    if ns.first() != Some(&1) {
+        ns.insert(0, 1); // the sequential reference is always swept
+    }
+    Ok(ns)
+}
 
 fn pipeline(args: &[String]) -> i32 {
     let mut out_path = "BENCH_pipeline.json".to_string();
     let mut snapshots = 3usize;
     let mut cycle = 40usize;
+    let mut threads = 1usize;
+    let mut sweep: Option<Vec<usize>> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let want = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
@@ -72,6 +119,35 @@ fn pipeline(args: &[String]) -> i32 {
             "--cycle" => want(&mut it, "--cycle").and_then(|v| {
                 v.parse().map(|n| cycle = n).map_err(|e| format!("--cycle: {e}"))
             }),
+            "--threads" => want(&mut it, "--threads").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))
+                    .and_then(|n| {
+                        if n == 0 {
+                            Err("--threads wants at least 1".to_string())
+                        } else {
+                            threads = n;
+                            Ok(())
+                        }
+                    })
+            }),
+            "--threads-sweep" => {
+                // Optional value: a comma-separated thread-count list.
+                let explicit = it
+                    .clone()
+                    .next()
+                    .filter(|v| v.chars().next().is_some_and(|c| c.is_ascii_digit()));
+                if explicit.is_some() {
+                    it.next();
+                }
+                match explicit {
+                    Some(spec) => parse_sweep(spec).map(|ns| sweep = Some(ns)),
+                    None => {
+                        sweep = Some(default_sweep());
+                        Ok(())
+                    }
+                }
+            }
             other => Err(format!("unknown flag {other}")),
         };
         if let Err(e) = parsed {
@@ -139,28 +215,78 @@ fn pipeline(args: &[String]) -> i32 {
         decoded.len() as u64,
     );
 
-    // The instrumented pipeline proper.
-    let future: Vec<_> =
-        data.snapshots[1..].iter().map(|t| Pipeline::snapshot_keys(t)).collect();
-    let pipeline = Pipeline::new(FilterConfig {
-        persistence_window: future.len(),
-        ..Default::default()
-    });
-    let out = pipeline.run_recorded(&decoded, world.rib(), &future, Some(&recorder));
+    // The pipeline proper: the timed region covers the Persistence
+    // future-key computation plus the full filter/classify run — every
+    // stage the `--threads` knob shards.
+    let run_with = |threads: usize, rec: Option<&Recorder>| {
+        let sw = lpr_obs::Stopwatch::start();
+        let future: Vec<_> = data.snapshots[1..]
+            .iter()
+            .map(|t| Pipeline::snapshot_keys_par(t, threads))
+            .collect();
+        let pipeline = Pipeline::new(FilterConfig {
+            persistence_window: future.len(),
+            ..Default::default()
+        });
+        let out = pipeline.run_par_recorded(&decoded, world.rib(), &future, threads, rec);
+        (out, sw.elapsed_us().max(1))
+    };
+
+    // Sweep mode: time every thread count (best of SWEEP_REPS), verify
+    // each output is byte-identical to the sequential run's.
+    const SWEEP_REPS: usize = 3;
+    let mut sweep_rows: Vec<(usize, u64, bool)> = Vec::new();
+    let mut seq_out = None;
+    let mut diverged = false;
+    if let Some(ns) = &sweep {
+        let (reference, mut seq_wall) = run_with(1, None);
+        for _ in 1..SWEEP_REPS {
+            seq_wall = seq_wall.min(run_with(1, None).1);
+        }
+        for &n in ns {
+            if n == 1 {
+                sweep_rows.push((1, seq_wall, true));
+                continue;
+            }
+            let (out, mut wall) = run_with(n, None);
+            for _ in 1..SWEEP_REPS {
+                wall = wall.min(run_with(n, None).1);
+            }
+            let matches = out == reference;
+            if !matches {
+                eprintln!("FAIL: --threads {n} output diverges from the sequential run");
+                diverged = true;
+            }
+            sweep_rows.push((n, wall, matches));
+        }
+        threads = ns.last().copied().unwrap_or(1);
+        seq_out = Some(reference);
+    }
+
+    // The instrumented run (at the sweep's top thread count, or
+    // `--threads`): its telemetry is what lands in the report.
+    let (out, _) = run_with(threads, Some(&recorder));
+    if let Some(reference) = &seq_out {
+        if out != *reference {
+            eprintln!("FAIL: instrumented --threads {threads} output diverges");
+            diverged = true;
+        }
+    }
 
     let telemetry = recorder.finish();
-    let report = render_report(&telemetry, &out);
+    let report = render_report(&telemetry, &out, &sweep_rows);
     if let Err(e) = std::fs::write(&out_path, &report) {
         eprintln!("{out_path}: {e}");
         return 1;
     }
 
     say!(
-        "{} traces, {} LSPs in, {} IOTPs classified, {} us total",
+        "{} traces, {} LSPs in, {} IOTPs classified, {} us total, {} thread(s)",
         decoded.len(),
         out.report.input,
         out.iotps.len(),
         telemetry.total_wall_us,
+        telemetry.threads,
     );
     for s in &telemetry.stages {
         say!(
@@ -172,17 +298,39 @@ fn pipeline(args: &[String]) -> i32 {
             s.throughput_per_s(),
         );
     }
+    if !sweep_rows.is_empty() {
+        let seq_wall = sweep_rows[0].1;
+        say!("thread sweep ({} traces/run, best of {SWEEP_REPS}):", decoded.len());
+        for (n, wall, matches) in &sweep_rows {
+            say!(
+                "  threads={:<3} {:>10} us  {:>12.0} traces/s  speedup {:>5.2}x  {}",
+                n,
+                wall,
+                decoded.len() as f64 / (*wall as f64 / 1e6),
+                seq_wall as f64 / *wall as f64,
+                if *matches { "output identical" } else { "OUTPUT DIVERGED" },
+            );
+        }
+    }
     say!("wrote {out_path}");
+    if diverged {
+        eprintln!("determinism self-check failed");
+        return 1;
+    }
     0
 }
 
 /// Wraps the run telemetry with a derived per-stage throughput table:
 /// the telemetry document under `"telemetry"` (still readable with
 /// `RunTelemetry::from_json`) plus `"throughput_per_s"` mapping each
-/// stage to records/sec.
+/// stage to records/sec, and — when a `--threads-sweep` ran — a
+/// `"thread_sweep"` array of `{threads, wall_us, traces_per_s, speedup,
+/// matches_sequential}` rows (speedup relative to the `threads: 1`
+/// row's wall time).
 fn render_report(
     telemetry: &lpr_obs::RunTelemetry,
     out: &lpr_core::pipeline::PipelineOutput,
+    sweep_rows: &[(usize, u64, bool)],
 ) -> String {
     let inner = lpr_obs::json::parse(&telemetry.to_json()).expect("own JSON parses");
     let throughput: Vec<(String, JsonValue)> = telemetry
@@ -190,12 +338,42 @@ fn render_report(
         .iter()
         .map(|s| (s.name.clone(), JsonValue::Float(s.throughput_per_s())))
         .collect();
-    let doc = JsonValue::Object(vec![
+    let traces = telemetry.counter("pipeline.traces");
+    let mut fields = vec![
         ("bench".to_string(), JsonValue::Str("pipeline".to_string())),
         ("iotps".to_string(), JsonValue::Int(out.iotps.len() as i128)),
         ("lsps_in".to_string(), JsonValue::Int(out.report.input as i128)),
+        ("threads".to_string(), JsonValue::Int(telemetry.threads as i128)),
+        (
+            // Speedup curves saturate here: a sweep point above this
+            // count times-shares cores rather than adding them.
+            "available_parallelism".to_string(),
+            JsonValue::Int(lpr_par::available_threads() as i128),
+        ),
         ("telemetry".to_string(), inner),
         ("throughput_per_s".to_string(), JsonValue::Object(throughput)),
-    ]);
-    doc.render_pretty()
+    ];
+    if !sweep_rows.is_empty() {
+        let seq_wall = sweep_rows[0].1;
+        let rows: Vec<JsonValue> = sweep_rows
+            .iter()
+            .map(|&(n, wall, matches)| {
+                JsonValue::Object(vec![
+                    ("threads".to_string(), JsonValue::Int(n as i128)),
+                    ("wall_us".to_string(), JsonValue::Int(wall as i128)),
+                    (
+                        "traces_per_s".to_string(),
+                        JsonValue::Float(traces as f64 / (wall as f64 / 1e6)),
+                    ),
+                    (
+                        "speedup".to_string(),
+                        JsonValue::Float(seq_wall as f64 / wall as f64),
+                    ),
+                    ("matches_sequential".to_string(), JsonValue::Bool(matches)),
+                ])
+            })
+            .collect();
+        fields.push(("thread_sweep".to_string(), JsonValue::Array(rows)));
+    }
+    JsonValue::Object(fields).render_pretty()
 }

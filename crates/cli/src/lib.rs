@@ -86,6 +86,10 @@ pub struct Options {
     pub metrics: Option<String>,
     /// Print per-stage progress lines to stderr as the run finishes.
     pub progress: bool,
+    /// Worker threads for the parallel pipeline (`None` = the machine's
+    /// available parallelism; `1` forces the sequential path). The
+    /// output is byte-identical for every value.
+    pub threads: Option<usize>,
 }
 
 impl Options {
@@ -110,6 +114,15 @@ impl Options {
                 "--router-level" => o.router_level = true,
                 "--metrics" => o.metrics = Some(take(&mut it, "--metrics")?),
                 "--progress" => o.progress = true,
+                "--threads" => {
+                    let n: usize = take(&mut it, "--threads")?
+                        .parse()
+                        .map_err(|_| err("--threads wants an integer"))?;
+                    if n == 0 {
+                        return Err(err("--threads wants at least 1"));
+                    }
+                    o.threads = Some(n);
+                }
                 flag if flag.starts_with("--") => {
                     return Err(err(format!("unknown flag {flag}")))
                 }
@@ -126,6 +139,14 @@ fn take(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, Cli
 
 /// Loads every trace from a list of warts files.
 pub fn load_traces(paths: &[String]) -> Result<Vec<Trace>, CliError> {
+    load_traces_par(paths, 1)
+}
+
+/// [`load_traces`] with parallel record→trace conversion: the stateful
+/// warts record decode stays sequential (the format carries a file-wide
+/// address dictionary), the per-record conversion shards across
+/// `threads` workers, preserving record order.
+pub fn load_traces_par(paths: &[String], threads: usize) -> Result<Vec<Trace>, CliError> {
     let mut traces = Vec::new();
     for path in paths {
         let bytes = std::fs::read(path)
@@ -133,11 +154,10 @@ pub fn load_traces(paths: &[String]) -> Result<Vec<Trace>, CliError> {
         let records = warts::WartsReader::new(&bytes)
             .traces()
             .map_err(|e| err(format!("{path}: {e}")))?;
-        for rec in &records {
-            if let Some(t) = warts::trace_to_core(rec).map_err(|e| err(format!("{path}: {e}")))? {
-                traces.push(t);
-            }
-        }
+        traces.extend(
+            warts::traces_to_core_par(&records, threads)
+                .map_err(|e| err(format!("{path}: {e}")))?,
+        );
     }
     Ok(traces)
 }
@@ -164,8 +184,9 @@ pub fn run_pipeline_recorded(
     }
     let rib_path = o.rib.as_ref().ok_or_else(|| err("--rib <file> is required"))?;
     let rib = load_rib(rib_path)?;
+    let threads = o.threads.unwrap_or_else(lpr_par::available_threads);
     let sw = lpr_obs::Stopwatch::start();
-    let traces = load_traces(&o.inputs)?;
+    let traces = load_traces_par(&o.inputs, threads)?;
     if let Some(rec) = recorder {
         rec.record_stage(
             "LoadTraces",
@@ -185,7 +206,10 @@ pub fn run_pipeline_recorded(
     let future: Vec<BTreeSet<LspKey>> = o
         .next
         .iter()
-        .map(|p| load_traces(std::slice::from_ref(p)).map(|t| Pipeline::snapshot_keys(&t)))
+        .map(|p| {
+            load_traces_par(std::slice::from_ref(p), threads)
+                .map(|t| Pipeline::snapshot_keys_par(&t, threads))
+        })
         .collect::<Result<_, _>>()?;
     let j = o.j.unwrap_or(future.len());
     let mut pipeline =
@@ -193,7 +217,7 @@ pub fn run_pipeline_recorded(
     if o.alias_rescue {
         pipeline = pipeline.with_alias_rescue();
     }
-    let out = pipeline.run_recorded(&traces, &rib, &future, recorder);
+    let out = pipeline.run_par_recorded(&traces, &rib, &future, threads, recorder);
     Ok((traces, out))
 }
 
@@ -251,9 +275,9 @@ lpr — MPLS transit path diversity classification (IMC'15 LPR algorithm)
 USAGE:
   lpr classify --rib <rib.txt> <cycle.warts>... [--next <snap.warts>]...
                [--j N] [--alias-rescue] [--trees] [--per-as] [--router-level]
-               [--metrics <out.json>] [--progress]
+               [--metrics <out.json>] [--progress] [--threads N]
   lpr stats    --rib <rib.txt> <cycle.warts>... [--next <snap.warts>]...
-               [--metrics <out.json>] [--progress]
+               [--metrics <out.json>] [--progress] [--threads N]
   lpr tunnels  <cycle.warts>...
   lpr dump     <file.warts>...
   lpr info     <file.warts>...
@@ -266,7 +290,11 @@ The RIB file maps prefixes to origin ASes, one `prefix asn` per line
 
 `--metrics <out.json>` writes machine-readable run telemetry (per-stage
 wall time and LSP counts matching the Table 1 funnel, plus ingest
-counters); `--progress` prints the same stage lines to stderr.";
+counters); `--progress` prints the same stage lines to stderr.
+
+`--threads N` shards the pipeline across N worker threads (default: the
+machine's available parallelism). Results are byte-identical for every
+thread count; `--threads 1` forces the sequential path.";
 
 #[cfg(test)]
 mod tests {
@@ -331,6 +359,42 @@ mod tests {
         assert_eq!(o.metrics.as_deref(), Some("t.json"));
         assert!(o.progress);
         assert!(Options::parse(&s(&["--metrics"])).is_err());
+    }
+
+    #[test]
+    fn parse_threads_flag() {
+        let o = Options::parse(&s(&["a.warts", "--threads", "4"])).unwrap();
+        assert_eq!(o.threads, Some(4));
+        assert_eq!(Options::parse(&s(&["a.warts"])).unwrap().threads, None);
+        assert!(Options::parse(&s(&["--threads"])).is_err());
+        assert!(Options::parse(&s(&["--threads", "0"])).is_err());
+        assert!(Options::parse(&s(&["--threads", "x"])).is_err());
+    }
+
+    #[test]
+    fn classify_output_is_identical_for_any_thread_count() {
+        let dir = std::env::temp_dir().join(format!("lpr-threads-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let warts_path = dir.join("demo.warts").to_string_lossy().into_owned();
+        let rib_path = dir.join("rib.txt").to_string_lossy().into_owned();
+        let (bytes, rib) = write_demo_files();
+        std::fs::write(&warts_path, &bytes).unwrap();
+        std::fs::write(&rib_path, rib).unwrap();
+
+        let render = |threads: &str| {
+            let mut out = Vec::new();
+            run(
+                &s(&["classify", "--rib", &rib_path, &warts_path, "--threads", threads]),
+                &mut out,
+            )
+            .unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        let seq = render("1");
+        for threads in ["2", "3", "4"] {
+            assert_eq!(render(threads), seq, "--threads {threads}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

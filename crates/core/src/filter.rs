@@ -210,22 +210,26 @@ pub fn attribute_and_filter(
 /// Groups LSPs into IOTPs and applies the TransitDiversity filter:
 /// only IOTPs reaching at least two destination ASes survive.
 ///
-/// Returns the surviving IOTP keys and the number of LSP observations
-/// they retain (for the Table 1 accounting).
-pub fn transit_diversity(lsps: &[Lsp]) -> (BTreeSet<IotpKey>, usize) {
+/// Returns the surviving IOTP keys as a **sorted** `Vec` — membership
+/// checks downstream are a [`slice::binary_search`] on this slice (see
+/// [`iotp_kept`]), which beats a `BTreeSet` probe on both locality and
+/// allocation.
+pub fn transit_diversity_keys(lsps: &[Lsp]) -> Vec<IotpKey> {
     let mut dsts: BTreeMap<IotpKey, BTreeSet<Asn>> = BTreeMap::new();
     for l in lsps {
         if let Some(d) = l.dst_asn {
             dsts.entry(l.iotp_key()).or_default().insert(d);
         }
     }
-    let keep: BTreeSet<IotpKey> = dsts
-        .into_iter()
-        .filter(|(_, d)| d.len() >= 2)
-        .map(|(k, _)| k)
-        .collect();
-    let surviving = lsps.iter().filter(|l| keep.contains(&l.iotp_key())).count();
-    (keep, surviving)
+    // BTreeMap iterates in key order, so the Vec is born sorted.
+    dsts.into_iter().filter(|(_, d)| d.len() >= 2).map(|(k, _)| k).collect()
+}
+
+/// Membership probe against the sorted keep-slice produced by
+/// [`transit_diversity_keys`].
+#[inline]
+pub fn iotp_kept(keep: &[IotpKey], key: IotpKey) -> bool {
+    keep.binary_search(&key).is_ok()
 }
 
 /// Result of the Persistence filter.
@@ -253,25 +257,57 @@ pub fn persistence(
     future_keys: &[BTreeSet<LspKey>],
     config: &FilterConfig,
 ) -> PersistenceOutcome {
+    let flags = persistent_flags(&lsps, future_keys, config);
+    let (kept, dropped) = partition_by_flags(lsps, &flags);
+    reinject_dynamic(kept, dropped, config)
+}
+
+/// The per-LSP half of the Persistence filter: `flags[i]` is whether
+/// `lsps[i]` is re-observed inside the window. This is the expensive
+/// part — [`Lsp::key`] allocates the full signature — and is a pure
+/// per-item map, so the parallel pipeline shards it.
+pub fn persistent_flags(
+    lsps: &[Lsp],
+    future_keys: &[BTreeSet<LspKey>],
+    config: &FilterConfig,
+) -> Vec<bool> {
     if config.persistence_window == 0 {
-        let strictly_persistent = lsps.len();
-        return PersistenceOutcome { lsps, dynamic_ases: BTreeSet::new(), strictly_persistent };
+        return vec![true; lsps.len()];
     }
     let window = &future_keys[..config.persistence_window.min(future_keys.len())];
+    lsps.iter()
+        .map(|l| {
+            let key = l.key();
+            window.iter().any(|cycle| cycle.contains(&key))
+        })
+        .collect()
+}
 
-    let mut kept: Vec<Lsp> = Vec::new();
-    let mut dropped: Vec<Lsp> = Vec::new();
-    for l in lsps {
-        let key = l.key();
-        if window.iter().any(|cycle| cycle.contains(&key)) {
+/// Splits `lsps` into (kept, dropped) by the persistence flags,
+/// preserving order within each half. Moves, never clones.
+pub fn partition_by_flags(lsps: Vec<Lsp>, flags: &[bool]) -> (Vec<Lsp>, Vec<Lsp>) {
+    debug_assert_eq!(lsps.len(), flags.len());
+    let mut kept = Vec::with_capacity(lsps.len());
+    let mut dropped = Vec::new();
+    for (l, &keep) in lsps.into_iter().zip(flags) {
+        if keep {
             kept.push(l);
         } else {
             dropped.push(l);
         }
     }
+    (kept, dropped)
+}
+
+/// The aggregate half of the Persistence filter: per-AS dynamic
+/// detection and reinjection over an already-partitioned LSP set (§4.5).
+pub fn reinject_dynamic(
+    mut kept: Vec<Lsp>,
+    dropped: Vec<Lsp>,
+    config: &FilterConfig,
+) -> PersistenceOutcome {
     let strictly_persistent = kept.len();
 
-    // Dynamic reinjection, per AS.
     let mut kept_per_as: BTreeMap<Asn, usize> = BTreeMap::new();
     let mut dropped_per_as: BTreeMap<Asn, usize> = BTreeMap::new();
     for l in &kept {
@@ -296,12 +332,16 @@ pub fn persistence(
 }
 
 /// Builds the final IOTPs from the filtered LSPs, restricted to the
-/// surviving IOTP keys.
-pub fn build_iotps(lsps: &[Lsp], keep: &BTreeSet<IotpKey>) -> Vec<Iotp> {
+/// surviving IOTP keys (the sorted slice from
+/// [`transit_diversity_keys`]).
+///
+/// The result is sorted by [`IotpKey`] and key-unique — parallel
+/// classification relies on this to shard without regrouping.
+pub fn build_iotps(lsps: &[Lsp], keep: &[IotpKey]) -> Vec<Iotp> {
     let mut map: BTreeMap<IotpKey, Iotp> = BTreeMap::new();
     for l in lsps {
         let k = l.iotp_key();
-        if !keep.contains(&k) {
+        if !iotp_kept(keep, k) {
             continue;
         }
         map.entry(k).or_insert_with(|| Iotp::new(k)).absorb(l);
@@ -433,14 +473,29 @@ mod tests {
     #[test]
     fn transit_diversity_requires_two_dst_ases() {
         let single = vec![lsp_to(1, &[100], 100), lsp_to(1, &[100], 100)];
-        let (keep, n) = transit_diversity(&single);
+        let keep = transit_diversity_keys(&single);
         assert!(keep.is_empty());
-        assert_eq!(n, 0);
+        assert_eq!(single.iter().filter(|l| iotp_kept(&keep, l.iotp_key())).count(), 0);
 
         let diverse = vec![lsp_to(1, &[100], 100), lsp_to(1, &[100], 101)];
-        let (keep, n) = transit_diversity(&diverse);
+        let keep = transit_diversity_keys(&diverse);
         assert_eq!(keep.len(), 1);
-        assert_eq!(n, 2);
+        assert_eq!(diverse.iter().filter(|l| iotp_kept(&keep, l.iotp_key())).count(), 2);
+    }
+
+    #[test]
+    fn transit_diversity_keys_are_sorted_for_binary_search() {
+        let lsps: Vec<Lsp> = (1..=9u8)
+            .rev() // arrival order must not matter
+            .flat_map(|a| vec![lsp_to(a, &[100], 100), lsp_to(a, &[100], 101)])
+            .collect();
+        let keep = transit_diversity_keys(&lsps);
+        assert_eq!(keep.len(), 9);
+        assert!(keep.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+        for l in &lsps {
+            assert!(iotp_kept(&keep, l.iotp_key()));
+        }
+        assert!(!iotp_kept(&keep, lsp_to(200, &[1], 100).iotp_key()));
     }
 
     #[test]
@@ -502,7 +557,9 @@ mod tests {
     #[test]
     fn build_iotps_groups_by_key() {
         let lsps = vec![lsp_to(1, &[100], 100), lsp_to(1, &[200], 101), lsp_to(2, &[1], 100)];
-        let keep: BTreeSet<IotpKey> = lsps.iter().map(|l| l.iotp_key()).collect();
+        let mut keep: Vec<IotpKey> = lsps.iter().map(|l| l.iotp_key()).collect();
+        keep.sort();
+        keep.dedup();
         let iotps = build_iotps(&lsps, &keep);
         assert_eq!(iotps.len(), 2);
         let as1 = iotps.iter().find(|i| i.key.asn == Asn(1)).unwrap();

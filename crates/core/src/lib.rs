@@ -71,6 +71,7 @@ pub mod hist;
 pub mod label;
 pub mod lsp;
 pub mod metrics;
+pub mod par;
 pub mod pipeline;
 pub mod report;
 pub mod stream;
@@ -84,11 +85,11 @@ pub use filter::{FilterConfig, FilterReport, FilterStage};
 pub use fingerprint::{infer_vendors, InferredVendor, VendorEvidence};
 pub use label::{Label, LabelStack, Lse};
 pub use lsp::{Asn, Iotp, IotpKey, Lsp, LspHop, LspKey};
-pub use pipeline::{Pipeline, PipelineOutput};
+pub use pipeline::{IngestState, Pipeline, PipelineOutput};
 pub use stream::CycleAccumulator;
 pub use trace::{Hop, Trace};
 pub use tree::{build_fec_trees, classify_tree, FecTree, TreeClass};
-pub use tunnel::{extract_tunnels, RawTunnel, TunnelError};
+pub use tunnel::{extract_tunnels, extract_tunnels_into, RawTunnel, TunnelError};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {

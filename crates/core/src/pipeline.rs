@@ -7,13 +7,14 @@
 
 use crate::classify::{classify_iotp, Class, Classification};
 use crate::filter::{
-    attribute_and_filter, build_iotps, lsp_keys_of_tunnels, persistence, transit_diversity,
-    AsMapper, FilterConfig, FilterReport, FilterStage,
+    attribute_and_filter, build_iotps, iotp_kept, lsp_keys_of_tunnels, partition_by_flags,
+    persistent_flags, reinject_dynamic, transit_diversity_keys, AsMapper, FilterConfig,
+    FilterReport, FilterStage,
 };
-use crate::lsp::{Asn, Iotp, LspKey};
+use crate::lsp::{Asn, Iotp, IotpKey, Lsp, LspKey};
 use crate::trace::Trace;
 use crate::tunnel::{extract_tunnels, RawTunnel};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// The LPR pipeline.
 #[derive(Clone, Debug, Default)]
@@ -30,7 +31,11 @@ pub struct Pipeline {
 }
 
 /// Everything the pipeline produced for one measurement cycle.
-#[derive(Debug)]
+///
+/// `PartialEq` is structural over the full output (classified IOTPs in
+/// order, report, dynamic ASes): the parallel pipeline's determinism
+/// guarantee is checked as `seq_output == par_output`.
+#[derive(Debug, PartialEq)]
 pub struct PipelineOutput {
     /// Classified IOTPs, ordered by key.
     pub iotps: Vec<(Iotp, Classification)>,
@@ -132,6 +137,48 @@ impl ClassCounts {
     }
 }
 
+/// Accumulated state of the pipeline's *ingest* half: tunnel extraction
+/// plus the fused per-LSP filters (IncompleteLsp, IntraAS, TargetAS).
+///
+/// Unlike [`crate::stream::CycleAccumulator`] this is an owned,
+/// `Send`-able value, so parallel workers can each build one over a
+/// shard of traces and hand it back across the thread boundary;
+/// [`IngestState::merge`] combines shards. Merging in shard order over
+/// contiguous shards reproduces the sequential ingest exactly (counts
+/// are sums; `lsps` concatenates in input order).
+#[derive(Debug, Default)]
+pub struct IngestState {
+    /// LSPs surviving the per-LSP filters, in input order.
+    pub lsps: Vec<Lsp>,
+    /// Traces ingested (0 when the caller started from raw tunnels).
+    pub traces_in: u64,
+    /// Tunnels entering the filter pipeline.
+    pub input: usize,
+    /// Count after IncompleteLsp.
+    pub after_incomplete: usize,
+    /// Count after IntraAs.
+    pub after_intra_as: usize,
+    /// Accumulated tunnel-extraction time, µs (CPU time when summed
+    /// across parallel workers).
+    pub extraction_us: u64,
+    /// Accumulated attribution/filter time, µs (ditto).
+    pub attribution_us: u64,
+}
+
+impl IngestState {
+    /// Appends another shard's state; order of merges must follow shard
+    /// (= input) order for LSP order to match the sequential run.
+    pub fn merge(&mut self, mut other: IngestState) {
+        self.lsps.append(&mut other.lsps);
+        self.traces_in += other.traces_in;
+        self.input += other.input;
+        self.after_incomplete += other.after_incomplete;
+        self.after_intra_as += other.after_intra_as;
+        self.extraction_us = self.extraction_us.saturating_add(other.extraction_us);
+        self.attribution_us = self.attribution_us.saturating_add(other.attribution_us);
+    }
+}
+
 impl Pipeline {
     /// Builds a pipeline with the given filter configuration.
     pub fn new(config: FilterConfig) -> Self {
@@ -211,34 +258,74 @@ impl Pipeline {
         future_keys: &[BTreeSet<LspKey>],
         recorder: Option<&lpr_obs::Recorder>,
     ) -> PipelineOutput {
-        let mut report = FilterReport { input: tunnels.len(), ..Default::default() };
-        let mut timer = lpr_obs::StageTimer::start();
-
+        let sw = lpr_obs::Stopwatch::start();
         // IncompleteLsp + IntraAs + TargetAs (one fused pass).
         let attributed = attribute_and_filter(tunnels, mapper);
-        let attribution_us = lpr_obs::time::duration_us(timer.lap("attribution"));
-        report.remaining.insert(FilterStage::IncompleteLsp, attributed.after_incomplete);
-        report.remaining.insert(FilterStage::IntraAs, attributed.after_intra_as);
-        report.remaining.insert(FilterStage::TargetAs, attributed.after_target_as);
-
-        // TransitDiversity (per IOTP, counted in LSPs).
-        let (keep, surviving) = if self.skip_transit_diversity {
-            let keep: BTreeSet<_> = attributed.lsps.iter().map(|l| l.iotp_key()).collect();
-            let n = attributed.lsps.len();
-            (keep, n)
-        } else {
-            transit_diversity(&attributed.lsps)
+        let ingest = IngestState {
+            lsps: attributed.lsps,
+            traces_in: 0,
+            input: tunnels.len(),
+            after_incomplete: attributed.after_incomplete,
+            after_intra_as: attributed.after_intra_as,
+            extraction_us: 0,
+            attribution_us: sw.elapsed_us(),
         };
-        let transit_us = lpr_obs::time::duration_us(timer.lap("transit_diversity"));
-        report.remaining.insert(FilterStage::TransitDiversity, surviving);
-        let lsps: Vec<_> = attributed
-            .lsps
-            .into_iter()
-            .filter(|l| keep.contains(&l.iotp_key()))
-            .collect();
+        self.finish_stages(ingest, future_keys, recorder, lpr_par::ShardOptions::new(1))
+    }
 
-        // Persistence.
-        let persisted = persistence(lsps, future_keys, &self.config);
+    /// The aggregate back half of the pipeline — TransitDiversity,
+    /// Persistence, classification — over an already-ingested
+    /// [`IngestState`].
+    ///
+    /// This is the **single** implementation both the sequential and
+    /// parallel front ends funnel into (`opts` with one thread runs
+    /// every shard inline on the caller's thread), so the two paths
+    /// cannot drift: determinism of the parallel pipeline reduces to
+    /// determinism of the shard merges.
+    pub fn finish_stages(
+        &self,
+        ingest: IngestState,
+        future_keys: &[BTreeSet<LspKey>],
+        recorder: Option<&lpr_obs::Recorder>,
+        opts: lpr_par::ShardOptions,
+    ) -> PipelineOutput {
+        let parallel = opts.effective_threads() > 1;
+        let mut report = FilterReport { input: ingest.input, ..Default::default() };
+        report.remaining.insert(FilterStage::IncompleteLsp, ingest.after_incomplete);
+        report.remaining.insert(FilterStage::IntraAs, ingest.after_intra_as);
+        report.remaining.insert(FilterStage::TargetAs, ingest.lsps.len());
+        let mut timer = lpr_obs::StageTimer::start();
+
+        // TransitDiversity (per IOTP, counted in LSPs). `keep` is a
+        // sorted key slice; membership below is a binary search and the
+        // IOTP key is computed once per LSP.
+        let keep: Vec<IotpKey> = if self.skip_transit_diversity {
+            let mut keys: Vec<_> = ingest.lsps.iter().map(|l| l.iotp_key()).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            keys
+        } else {
+            transit_diversity_keys(&ingest.lsps)
+        };
+        let mut lsps = ingest.lsps;
+        lsps.retain(|l| iotp_kept(&keep, l.iotp_key()));
+        let transit_us = lpr_obs::time::duration_us(timer.lap("transit_diversity"));
+        report.remaining.insert(FilterStage::TransitDiversity, lsps.len());
+
+        // Persistence. The expensive per-LSP half (LspKey construction +
+        // window probes) shards across workers; the order-sensitive
+        // partition and the per-AS dynamic reinjection stay sequential.
+        let flags_run = lpr_par::map_shards(&lsps, opts, |_, shard| {
+            persistent_flags(shard, future_keys, &self.config)
+        });
+        let mut flag_outputs = Vec::new();
+        let mut flags: Vec<bool> = Vec::with_capacity(lsps.len());
+        for (shard, out) in flags_run.outputs.into_iter().enumerate() {
+            flag_outputs.push((shard, out.iter().filter(|&&f| f).count() as u64, out.len() as u64));
+            flags.extend(out);
+        }
+        let (kept, dropped) = partition_by_flags(lsps, &flags);
+        let persisted = reinject_dynamic(kept, dropped, &self.config);
         let persistence_us = lpr_obs::time::duration_us(timer.lap("persistence"));
         report
             .remaining
@@ -247,30 +334,41 @@ impl Pipeline {
         // Classification. IOTPs are rebuilt from the persistent LSPs and
         // re-checked for transit diversity membership (an IOTP may have
         // lost branches to Persistence but it keeps its destination
-        // diversity by construction of `keep`).
-        let grouped: BTreeMap<_, _> = build_iotps(&persisted.lsps, &keep)
-            .into_iter()
-            .map(|i| (i.key, i))
-            .collect();
-        let iotps: Vec<(Iotp, Classification)> = grouped
-            .into_values()
-            .map(|iotp| {
-                let c = if self.alias_rescue {
-                    crate::alias::classify_with_alias_heuristic(&iotp)
-                } else {
-                    classify_iotp(&iotp)
-                };
-                (iotp, c)
-            })
-            .collect();
+        // diversity by construction of `keep`). `build_iotps` returns
+        // them sorted and key-unique, so shards classify disjoint key
+        // ranges and a shard-order concat preserves key order.
+        let iotps = build_iotps(&persisted.lsps, &keep);
+        let class_run = lpr_par::map_shards(&iotps, opts, |_, shard| {
+            shard
+                .iter()
+                .map(|iotp| {
+                    if self.alias_rescue {
+                        crate::alias::classify_with_alias_heuristic(iotp)
+                    } else {
+                        classify_iotp(iotp)
+                    }
+                })
+                .collect::<Vec<Classification>>()
+        });
+        let classes: Vec<Classification> = class_run.outputs.into_iter().flatten().collect();
+        let iotps: Vec<(Iotp, Classification)> = iotps.into_iter().zip(classes).collect();
         let classification_us = lpr_obs::time::duration_us(timer.lap("classification"));
 
         let output = PipelineOutput { iotps, report, dynamic_ases: persisted.dynamic_ases };
         if let Some(rec) = recorder {
+            if ingest.traces_in > 0 {
+                rec.record_stage(
+                    "TunnelExtraction",
+                    ingest.extraction_us,
+                    ingest.traces_in,
+                    output.report.input as u64,
+                );
+                rec.counter("pipeline.traces").add(ingest.traces_in);
+            }
             record_filter_stages(
                 rec,
                 &output.report,
-                [attribution_us, 0, 0, transit_us, persistence_us],
+                [ingest.attribution_us, 0, 0, transit_us, persistence_us],
             );
             rec.record_stage(
                 "Classification",
@@ -279,6 +377,35 @@ impl Pipeline {
                     as u64,
                 output.iotps.len() as u64,
             );
+            if parallel {
+                // Per-worker stage rows (`worker{N}/...`): inputs sum to
+                // the aggregate stage's input, outputs to its output.
+                let mut per_worker: std::collections::BTreeMap<usize, (u64, u64)> =
+                    std::collections::BTreeMap::new();
+                for (shard, kept_n, len) in &flag_outputs {
+                    let w = flags_run.shard_workers.get(*shard).copied().unwrap_or(0);
+                    let e = per_worker.entry(w).or_default();
+                    e.0 += len;
+                    e.1 += kept_n;
+                }
+                for (w, (input, output)) in &per_worker {
+                    let busy = flags_run
+                        .workers
+                        .iter()
+                        .find(|s| s.worker == *w)
+                        .map_or(0, |s| s.busy_us);
+                    rec.record_worker_stage(*w, FilterStage::Persistence.name(), busy, *input, *output);
+                }
+                for stat in &class_run.workers {
+                    rec.record_worker_stage(
+                        stat.worker,
+                        "Classification",
+                        stat.busy_us,
+                        stat.items,
+                        stat.items,
+                    );
+                }
+            }
             rec.counter("pipeline.tunnels").add(output.report.input as u64);
             rec.counter("pipeline.iotps_classified").add(output.iotps.len() as u64);
             rec.counter("pipeline.dynamic_ases").add(output.dynamic_ases.len() as u64);

@@ -26,69 +26,65 @@
 //! # assert_eq!(out.iotps.len(), 0);
 //! ```
 
-use crate::classify::classify_iotp;
-use crate::filter::{
-    attribute_and_filter, build_iotps, persistence, transit_diversity, AsMapper, FilterReport,
-    FilterStage,
-};
-use crate::lsp::{Lsp, LspKey};
-use crate::pipeline::{record_filter_stages, Pipeline, PipelineOutput};
+use crate::filter::{attribute_and_filter, AsMapper};
+use crate::lsp::LspKey;
+use crate::pipeline::{IngestState, Pipeline, PipelineOutput};
 use crate::trace::Trace;
-use crate::tunnel::{extract_tunnels, RawTunnel};
-use std::collections::{BTreeMap, BTreeSet};
+use crate::tunnel::{extract_tunnels_into, RawTunnel};
+use std::collections::BTreeSet;
 
 /// Incremental, bounded-memory front end of the LPR pipeline.
 pub struct CycleAccumulator<'m> {
     mapper: &'m dyn AsMapper,
-    lsps: Vec<Lsp>,
-    input: usize,
-    after_incomplete: usize,
-    after_intra_as: usize,
-    traces_in: u64,
-    extraction_us: u64,
-    attribution_us: u64,
+    state: IngestState,
+    /// Scratch buffer for per-trace tunnel extraction, reused across
+    /// [`CycleAccumulator::push_trace`] calls so the steady state
+    /// allocates nothing per trace.
+    scratch: Vec<RawTunnel>,
 }
 
 impl<'m> CycleAccumulator<'m> {
     /// Starts an empty cycle bound to an IP2AS mapper.
     pub fn new(mapper: &'m dyn AsMapper) -> Self {
-        CycleAccumulator {
-            mapper,
-            lsps: Vec::new(),
-            input: 0,
-            after_incomplete: 0,
-            after_intra_as: 0,
-            traces_in: 0,
-            extraction_us: 0,
-            attribution_us: 0,
-        }
+        CycleAccumulator { mapper, state: IngestState::default(), scratch: Vec::new() }
     }
 
     /// Ingests one trace: extracts its explicit tunnels and runs the
     /// per-LSP filters immediately.
     pub fn push_trace(&mut self, trace: &Trace) {
         let sw = lpr_obs::Stopwatch::start();
-        let tunnels = extract_tunnels(trace);
-        self.traces_in += 1;
-        self.extraction_us = self.extraction_us.saturating_add(sw.elapsed_us());
-        self.push_tunnels(&tunnels);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        extract_tunnels_into(trace, &mut scratch);
+        self.state.traces_in += 1;
+        self.state.extraction_us = self.state.extraction_us.saturating_add(sw.elapsed_us());
+        self.push_tunnels(&scratch);
+        self.scratch = scratch;
     }
 
     /// Ingests pre-extracted tunnels (e.g. from a custom warts reader
     /// loop).
     pub fn push_tunnels(&mut self, tunnels: &[RawTunnel]) {
         let sw = lpr_obs::Stopwatch::start();
-        self.input += tunnels.len();
+        self.state.input += tunnels.len();
         let out = attribute_and_filter(tunnels, self.mapper);
-        self.after_incomplete += out.after_incomplete;
-        self.after_intra_as += out.after_intra_as;
-        self.lsps.extend(out.lsps);
-        self.attribution_us = self.attribution_us.saturating_add(sw.elapsed_us());
+        self.state.after_incomplete += out.after_incomplete;
+        self.state.after_intra_as += out.after_intra_as;
+        self.state.lsps.extend(out.lsps);
+        self.state.attribution_us = self.state.attribution_us.saturating_add(sw.elapsed_us());
     }
 
     /// LSPs retained so far (post per-LSP filters).
     pub fn retained(&self) -> usize {
-        self.lsps.len()
+        self.state.lsps.len()
+    }
+
+    /// Hands back the accumulated ingest state — an owned, `Send`-able
+    /// value the parallel pipeline's workers return across thread
+    /// boundaries (the accumulator itself borrows its mapper and
+    /// cannot leave the worker).
+    pub fn into_state(self) -> IngestState {
+        self.state
     }
 
     /// Runs the aggregate stages and produces the same
@@ -108,81 +104,19 @@ impl<'m> CycleAccumulator<'m> {
         future_keys: &[BTreeSet<LspKey>],
         recorder: Option<&lpr_obs::Recorder>,
     ) -> PipelineOutput {
-        let mut report = FilterReport { input: self.input, ..Default::default() };
-        report.remaining.insert(FilterStage::IncompleteLsp, self.after_incomplete);
-        report.remaining.insert(FilterStage::IntraAs, self.after_intra_as);
-        report.remaining.insert(FilterStage::TargetAs, self.lsps.len());
-        let mut timer = lpr_obs::StageTimer::start();
-
-        let (keep, surviving) = if pipeline.skip_transit_diversity {
-            let keep: BTreeSet<_> = self.lsps.iter().map(|l| l.iotp_key()).collect();
-            let n = self.lsps.len();
-            (keep, n)
-        } else {
-            transit_diversity(&self.lsps)
-        };
-        let transit_us = lpr_obs::time::duration_us(timer.lap("transit_diversity"));
-        report.remaining.insert(FilterStage::TransitDiversity, surviving);
-        let lsps: Vec<_> =
-            self.lsps.into_iter().filter(|l| keep.contains(&l.iotp_key())).collect();
-
-        let persisted = persistence(lsps, future_keys, &pipeline.config);
-        let persistence_us = lpr_obs::time::duration_us(timer.lap("persistence"));
-        report
-            .remaining
-            .insert(FilterStage::Persistence, persisted.strictly_persistent);
-
-        let grouped: BTreeMap<_, _> = build_iotps(&persisted.lsps, &keep)
-            .into_iter()
-            .map(|i| (i.key, i))
-            .collect();
-        let iotps: Vec<_> = grouped
-            .into_values()
-            .map(|iotp| {
-                let c = if pipeline.alias_rescue {
-                    crate::alias::classify_with_alias_heuristic(&iotp)
-                } else {
-                    classify_iotp(&iotp)
-                };
-                (iotp, c)
-            })
-            .collect();
-        let classification_us = lpr_obs::time::duration_us(timer.lap("classification"));
-
-        let output = PipelineOutput { iotps, report, dynamic_ases: persisted.dynamic_ases };
-        if let Some(rec) = recorder {
-            if self.traces_in > 0 {
-                rec.record_stage(
-                    "TunnelExtraction",
-                    self.extraction_us,
-                    self.traces_in,
-                    output.report.input as u64,
-                );
-                rec.counter("pipeline.traces").add(self.traces_in);
-            }
-            record_filter_stages(
-                rec,
-                &output.report,
-                [self.attribution_us, 0, 0, transit_us, persistence_us],
-            );
-            rec.record_stage(
-                "Classification",
-                classification_us,
-                output.report.remaining.get(&FilterStage::Persistence).copied().unwrap_or(0)
-                    as u64,
-                output.iotps.len() as u64,
-            );
-            rec.counter("pipeline.tunnels").add(output.report.input as u64);
-            rec.counter("pipeline.iotps_classified").add(output.iotps.len() as u64);
-            rec.counter("pipeline.dynamic_ases").add(output.dynamic_ases.len() as u64);
-        }
-        output
+        pipeline.finish_stages(
+            self.state,
+            future_keys,
+            recorder,
+            lpr_par::ShardOptions::new(1),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::filter::FilterStage;
     use crate::label::Lse;
     use crate::lsp::Asn;
     use crate::trace::Hop;
@@ -300,8 +234,9 @@ mod tests {
             acc.push_trace(t);
         }
         let keys = Pipeline::snapshot_keys(&traces);
-        let out = acc.finish(&pipeline, &[keys]);
-        let batch = pipeline.run(&traces, &mapper, &[Pipeline::snapshot_keys(&traces)]);
-        assert_eq!(out.class_counts(), batch.class_counts());
+        let out = acc.finish(&pipeline, std::slice::from_ref(&keys));
+        let batch = pipeline.run(&traces, &mapper, &[keys]);
+        assert_eq!(out.report, batch.report, "full FilterReport must agree");
+        assert_eq!(out, batch, "streaming and batch outputs must be identical");
     }
 }

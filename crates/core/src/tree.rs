@@ -199,7 +199,7 @@ mod tests {
         // egress-rooted tree still classifies them.
         let lsps =
             vec![lsp(1, &[(2, 100), (5, 400)], 100), lsp(3, &[(4, 200), (5, 400)], 101)];
-        let (keep, _) = crate::filter::transit_diversity(&lsps);
+        let keep = crate::filter::transit_diversity_keys(&lsps);
         assert!(keep.is_empty(), "per-IOTP analysis drops these LSPs");
         let trees = build_fec_trees(&lsps);
         assert_eq!(classify_tree(&trees[0]), TreeClass::ConsistentLdp);

@@ -85,8 +85,18 @@ impl RawTunnel {
 /// delimited are still returned, with [`RawTunnel::incomplete`] set, so
 /// that the filtering stage can account for them (Table 1).
 pub fn extract_tunnels(trace: &Trace) -> Vec<RawTunnel> {
-    let hops = &trace.hops;
     let mut tunnels = Vec::new();
+    extract_tunnels_into(trace, &mut tunnels);
+    tunnels
+}
+
+/// [`extract_tunnels`] appending into a caller-owned buffer, so
+/// per-trace streaming loops ([`crate::stream::CycleAccumulator`]) can
+/// reuse one scratch `Vec` instead of allocating per trace.
+///
+/// Existing contents of `tunnels` are left untouched.
+pub fn extract_tunnels_into(trace: &Trace, tunnels: &mut Vec<RawTunnel>) {
+    let hops = &trace.hops;
     let mut i = 0;
     while i < hops.len() {
         if !hops[i].is_labelled() {
@@ -210,7 +220,6 @@ pub fn extract_tunnels(trace: &Trace) -> Vec<RawTunnel> {
 
         i = run_end + 1;
     }
-    tunnels
 }
 
 #[cfg(test)]

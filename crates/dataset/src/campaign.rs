@@ -146,8 +146,9 @@ pub fn analyze_cycle(world: &World, data: &CycleData, j: usize) -> CycleAnalysis
     CycleAnalysis { output, report }
 }
 
-/// Convenience: renders and analyses a range of cycles in parallel
-/// (one thread per scoped chunk), returning analyses in cycle order.
+/// Convenience: renders and analyses a range of cycles in parallel on
+/// the workspace shard scheduler (`lpr-par`), returning analyses in
+/// cycle order.
 pub fn run_cycles(
     world: &World,
     cycles: std::ops::RangeInclusive<usize>,
@@ -155,21 +156,23 @@ pub fn run_cycles(
     j: usize,
 ) -> Vec<(usize, CycleAnalysis)> {
     let cycles: Vec<usize> = cycles.collect();
-    let mut out: Vec<Option<(usize, CycleAnalysis)>> = Vec::new();
-    out.resize_with(cycles.len(), || None);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let chunk = cycles.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        for (slot, work) in out.chunks_mut(chunk).zip(cycles.chunks(chunk)) {
-            s.spawn(move || {
-                for (o, &cycle) in slot.iter_mut().zip(work) {
-                    let data = generate_cycle(world, cycle, opts);
-                    *o = Some((cycle, analyze_cycle(world, &data, j)));
-                }
-            });
-        }
+    // One cycle per shard: each render+analyse is seconds of work, so
+    // the chunked queue load-balances whole cycles across workers.
+    let shard_opts = lpr_par::ShardOptions {
+        threads: 0,
+        shards_per_thread: 1,
+        min_shard_len: 1,
+    };
+    let run = lpr_par::map_shards(&cycles, shard_opts, |_, shard| {
+        shard
+            .iter()
+            .map(|&cycle| {
+                let data = generate_cycle(world, cycle, opts);
+                (cycle, analyze_cycle(world, &data, j))
+            })
+            .collect::<Vec<_>>()
     });
-    out.into_iter().map(|o| o.expect("every cycle rendered")).collect()
+    run.outputs.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

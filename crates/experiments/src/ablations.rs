@@ -27,9 +27,11 @@ pub struct Variant {
 pub fn run(world: &World, cycle: usize) -> Vec<Variant> {
     let opts = CampaignOptions::default();
     let data = generate_cycle(world, cycle, &opts);
+    // `0` threads = the machine's available parallelism; the parallel
+    // pipeline is output-identical to the sequential one.
     let futures: Vec<_> = data.snapshots[1..]
         .iter()
-        .map(|t| Pipeline::snapshot_keys(t))
+        .map(|t| Pipeline::snapshot_keys_par(t, 0))
         .collect();
     let traces = &data.snapshots[0];
     let rib = world.rib();
@@ -37,7 +39,7 @@ pub fn run(world: &World, cycle: usize) -> Vec<Variant> {
     let base = Pipeline::new(FilterConfig { persistence_window: 2, ..Default::default() });
     let mut variants = Vec::new();
 
-    let run_with = |p: &Pipeline, j: usize| p.run(traces, rib, &futures[..j]).class_counts();
+    let run_with = |p: &Pipeline, j: usize| p.run_par(traces, rib, &futures[..j], 0).class_counts();
 
     variants.push(Variant { name: "baseline (paper settings)", counts: run_with(&base, 2) });
 

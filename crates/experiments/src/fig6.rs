@@ -28,14 +28,17 @@ pub struct SweepRow {
 pub fn run(world: &World, snapshots: usize) -> Vec<SweepRow> {
     let opts = CampaignOptions { snapshots, ..Default::default() };
     let data = generate_cycle(world, 60, &opts);
+    // `0` threads = the machine's available parallelism; the parallel
+    // pipeline is output-identical to the sequential one.
     let futures: Vec<_> =
-        data.snapshots[1..].iter().map(|t| Pipeline::snapshot_keys(t)).collect();
+        data.snapshots[1..].iter().map(|t| Pipeline::snapshot_keys_par(t, 0)).collect();
 
     let mut rows = Vec::new();
     for j in 0..snapshots {
         let pipeline =
             Pipeline::new(FilterConfig { persistence_window: j, ..Default::default() });
-        let out = pipeline.run(&data.snapshots[0], world.rib(), &futures[..j.min(futures.len())]);
+        let out =
+            pipeline.run_par(&data.snapshots[0], world.rib(), &futures[..j.min(futures.len())], 0);
         rows.push(SweepRow {
             j,
             lsps_kept: out.report.remaining[&FilterStage::Persistence],

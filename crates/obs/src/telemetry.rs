@@ -45,6 +45,9 @@ pub struct RunTelemetry {
     /// Total wall time from [`Recorder::new`] to [`Recorder::finish`],
     /// microseconds.
     pub total_wall_us: u64,
+    /// Worker threads the run executed on (1 for sequential runs; set
+    /// by parallel drivers via [`Recorder::set_threads`]).
+    pub threads: u64,
     /// Ordered stage accounting.
     pub stages: Vec<StageTelemetry>,
     /// Final counter values.
@@ -65,6 +68,23 @@ impl RunTelemetry {
     /// A counter's final value (0 when never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The per-worker entries of a parallel stage: every stage named
+    /// `worker{N}/{stage}` (see [`Recorder::record_worker_stage`]), in
+    /// recording order.
+    pub fn worker_stages(&self, stage: &str) -> Vec<&StageTelemetry> {
+        self.stages
+            .iter()
+            .filter(|s| {
+                s.name
+                    .strip_prefix("worker")
+                    .and_then(|rest| rest.split_once('/'))
+                    .is_some_and(|(n, suffix)| {
+                        suffix == stage && n.chars().all(|c| c.is_ascii_digit())
+                    })
+            })
+            .collect()
     }
 
     /// Serializes to pretty-printed JSON (the `--metrics` file format).
@@ -102,6 +122,7 @@ impl RunTelemetry {
             ("version".into(), JsonValue::Int(TELEMETRY_VERSION as i128)),
             ("label".into(), JsonValue::Str(self.label.clone())),
             ("total_wall_us".into(), JsonValue::Int(self.total_wall_us as i128)),
+            ("threads".into(), JsonValue::Int(self.threads as i128)),
             ("stages".into(), JsonValue::Array(stages)),
             ("counters".into(), JsonValue::from_u64_map(&self.counters)),
             ("gauges".into(), JsonValue::from_i64_map(&self.gauges)),
@@ -129,6 +150,9 @@ impl RunTelemetry {
             .get("total_wall_us")
             .and_then(|v| v.as_u64())
             .ok_or(bad("missing total_wall_us"))?;
+        // Absent in documents written before the parallel layer landed:
+        // those runs were sequential.
+        let threads = root.get("threads").and_then(|v| v.as_u64()).unwrap_or(1);
         let mut stages = Vec::new();
         for s in root.get("stages").and_then(|v| v.as_array()).ok_or(bad("missing stages"))? {
             stages.push(StageTelemetry {
@@ -179,7 +203,7 @@ impl RunTelemetry {
                 .collect::<Result<Vec<u64>, JsonError>>()?;
             histograms.insert(k.clone(), buckets);
         }
-        Ok(RunTelemetry { label, total_wall_us, stages, counters, gauges, histograms })
+        Ok(RunTelemetry { label, total_wall_us, threads, stages, counters, gauges, histograms })
     }
 }
 
@@ -194,6 +218,7 @@ pub struct Recorder {
     registry: Registry,
     stages: Mutex<Vec<StageTelemetry>>,
     started: Stopwatch,
+    threads: std::sync::atomic::AtomicU64,
 }
 
 impl Recorder {
@@ -204,7 +229,28 @@ impl Recorder {
             registry: Registry::new(),
             stages: Mutex::new(Vec::new()),
             started: Stopwatch::start(),
+            threads: std::sync::atomic::AtomicU64::new(1),
         }
+    }
+
+    /// Declares the worker-thread count of the run (lands in
+    /// [`RunTelemetry::threads`]; defaults to 1).
+    pub fn set_threads(&self, threads: u64) {
+        self.threads.store(threads.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Records one worker's share of a parallel stage as a
+    /// `worker{N}/{stage}` entry (wall time = the worker's busy time,
+    /// not the region's wall-clock).
+    pub fn record_worker_stage(
+        &self,
+        worker: usize,
+        stage: &str,
+        busy_us: u64,
+        input: u64,
+        output: u64,
+    ) {
+        self.record_stage(&format!("worker{worker}/{stage}"), busy_us, input, output);
     }
 
     /// The underlying metric registry.
@@ -250,6 +296,7 @@ impl Recorder {
         RunTelemetry {
             label: self.label,
             total_wall_us: self.started.elapsed_us(),
+            threads: self.threads.into_inner(),
             stages: self.stages.into_inner().expect("stage log poisoned"),
             counters: self.registry.counter_values(),
             gauges: self.registry.gauge_values(),
@@ -354,6 +401,27 @@ mod tests {
         let t = rec.finish();
         assert_eq!(t.stages.len(), 1);
         assert_eq!(t.stages[0].input, 0);
+    }
+
+    #[test]
+    fn threads_field_roundtrips_and_defaults_to_sequential() {
+        let rec = Recorder::new("par");
+        rec.set_threads(8);
+        rec.record_worker_stage(0, "Ingest", 40, 10, 6);
+        rec.record_worker_stage(1, "Ingest", 35, 12, 7);
+        let t = rec.finish();
+        assert_eq!(t.threads, 8);
+        let workers = t.worker_stages("Ingest");
+        assert_eq!(workers.len(), 2);
+        assert_eq!(workers.iter().map(|s| s.input).sum::<u64>(), 22);
+        let back = RunTelemetry::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+
+        // Pre-parallel documents carry no threads field: parsed as 1.
+        let legacy = sample();
+        let json = legacy.to_json().replace("  \"threads\": 1,\n", "");
+        assert!(!json.contains("threads"));
+        assert_eq!(RunTelemetry::from_json(&json).unwrap().threads, 1);
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! # lpr-par — the workspace parallel execution layer
+//!
+//! The paper's dataset holds ~14 million LSPs *per cycle*; almost all
+//! of the LPR pipeline's wall-clock goes into embarrassingly parallel
+//! per-trace and per-IOTP work. This crate is the scheduler that work
+//! runs on: a dependency-free shard scheduler built on
+//! [`std::thread::scope`] (the offline `crates/shim` policy rules out
+//! rayon/crossbeam).
+//!
+//! The model is deliberately simple and, above all, **deterministic**:
+//!
+//! 1. The input slice is cut into contiguous *shards* (more shards than
+//!    workers, so stragglers rebalance).
+//! 2. Workers pull shard indices from a chunked work queue (an atomic
+//!    cursor) and run the caller's closure on each shard.
+//! 3. Outputs are returned **in shard order**, regardless of which
+//!    worker ran which shard or in what order they finished.
+//!
+//! Because shards are contiguous and merged in shard order,
+//! concatenating the outputs of an order-preserving per-item closure
+//! reproduces the sequential result *byte for byte*, for any thread
+//! count. Order-insensitive merges (set unions, counter sums) are
+//! trivially deterministic too.
+//!
+//! ```
+//! use lpr_par::{map_shards, ShardOptions};
+//!
+//! let items: Vec<u64> = (0..10_000).collect();
+//! let run = map_shards(&items, ShardOptions::new(4), |_shard, slice| {
+//!     slice.iter().copied().filter(|x| x % 3 == 0).collect::<Vec<_>>()
+//! });
+//! let par: Vec<u64> = run.outputs.into_iter().flatten().collect();
+//! let seq: Vec<u64> = items.iter().copied().filter(|x| x % 3 == 0).collect();
+//! assert_eq!(par, seq); // deterministic merge, any thread count
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// The machine's available parallelism (1 when undetectable).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// How a [`map_shards`] run is cut up and scheduled.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardOptions {
+    /// Worker threads. `0` means [`available_threads`].
+    pub threads: usize,
+    /// Target shards per worker (>1 lets the chunked queue rebalance
+    /// uneven shards).
+    pub shards_per_thread: usize,
+    /// Minimum items per shard; tiny inputs collapse into fewer shards
+    /// so scheduling overhead never dominates.
+    pub min_shard_len: usize,
+}
+
+impl ShardOptions {
+    /// Options for `threads` workers with the default shard geometry.
+    pub fn new(threads: usize) -> Self {
+        ShardOptions { threads, shards_per_thread: 4, min_shard_len: 64 }
+    }
+
+    /// The worker count actually used (resolves `threads == 0`).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            available_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    /// Number of shards for an input of `len` items.
+    ///
+    /// Depends only on the options and `len` — never on runtime timing —
+    /// so a run's shard boundaries are reproducible.
+    pub fn shard_count(&self, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let by_len = len.div_ceil(self.min_shard_len.max(1));
+        let by_threads = self.effective_threads().max(1) * self.shards_per_thread.max(1);
+        by_len.min(by_threads).max(1)
+    }
+}
+
+/// One worker's accounting for a [`map_shards`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Shards this worker processed.
+    pub shards: usize,
+    /// Items this worker processed (sum of its shard lengths).
+    pub items: u64,
+    /// Busy wall time of this worker, microseconds (its whole pull
+    /// loop, queue overhead included).
+    pub busy_us: u64,
+}
+
+/// The result of a [`map_shards`] run.
+#[derive(Debug)]
+pub struct ShardRun<R> {
+    /// Per-shard outputs, in shard (= input) order.
+    pub outputs: Vec<R>,
+    /// Which worker ran each shard (parallel to `outputs`).
+    pub shard_workers: Vec<usize>,
+    /// Per-worker accounting, indexed by worker.
+    pub workers: Vec<WorkerStat>,
+    /// Wall time of the whole run, spawn and join included,
+    /// microseconds.
+    pub wall_us: u64,
+}
+
+impl<R> ShardRun<R> {
+    /// Discards the scheduling metadata, keeping the ordered outputs.
+    pub fn into_outputs(self) -> Vec<R> {
+        self.outputs
+    }
+}
+
+/// Cuts `items` into contiguous shards and maps `f` over them on a pool
+/// of scoped worker threads, returning the outputs **in shard order**.
+///
+/// `f` receives `(shard_index, shard_slice)`. Shards are near-equal
+/// contiguous splits; workers pull the next unclaimed shard from an
+/// atomic cursor until the queue drains. With `threads <= 1` (after
+/// resolving `0`) everything runs inline on the caller's thread — same
+/// shard boundaries, same outputs, no spawn.
+pub fn map_shards<T, R, F>(items: &[T], opts: ShardOptions, f: F) -> ShardRun<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let started = Instant::now();
+    let nshards = opts.shard_count(items.len());
+    let bounds = shard_bounds(items.len(), nshards);
+    let threads = opts.effective_threads().max(1).min(nshards.max(1));
+
+    let mut outputs: Vec<Option<R>> = Vec::new();
+    outputs.resize_with(nshards, || None);
+    let mut shard_workers = vec![0usize; nshards];
+    let mut workers: Vec<WorkerStat> = Vec::new();
+
+    if threads <= 1 || nshards <= 1 {
+        let sw = Instant::now();
+        let mut stat = WorkerStat::default();
+        for (shard, out) in outputs.iter_mut().enumerate() {
+            let slice = &items[bounds[shard].0..bounds[shard].1];
+            stat.shards += 1;
+            stat.items += slice.len() as u64;
+            *out = Some(f(shard, slice));
+        }
+        stat.busy_us = sw.elapsed().as_micros() as u64;
+        workers.push(stat);
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let f = &f;
+        let bounds = &bounds;
+        let cursor = &cursor;
+        let mut results: Vec<(WorkerStat, Vec<(usize, R)>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        let sw = Instant::now();
+                        let mut stat = WorkerStat { worker, ..Default::default() };
+                        let mut produced = Vec::new();
+                        loop {
+                            let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                            if shard >= nshards {
+                                break;
+                            }
+                            let slice = &items[bounds[shard].0..bounds[shard].1];
+                            stat.shards += 1;
+                            stat.items += slice.len() as u64;
+                            produced.push((shard, f(shard, slice)));
+                        }
+                        stat.busy_us = sw.elapsed().as_micros() as u64;
+                        (stat, produced)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+        });
+        for (stat, produced) in &mut results {
+            for (shard, out) in produced.drain(..) {
+                shard_workers[shard] = stat.worker;
+                outputs[shard] = Some(out);
+            }
+        }
+        workers = results.into_iter().map(|(stat, _)| stat).collect();
+    }
+
+    ShardRun {
+        outputs: outputs
+            .into_iter()
+            .map(|o| o.expect("every shard claimed exactly once"))
+            .collect(),
+        shard_workers,
+        workers,
+        wall_us: started.elapsed().as_micros() as u64,
+    }
+}
+
+/// `(start, end)` byte-identical shard boundaries: near-equal contiguous
+/// splits, earlier shards one longer when `len` does not divide evenly.
+fn shard_bounds(len: usize, nshards: usize) -> Vec<(usize, usize)> {
+    let mut bounds = Vec::with_capacity(nshards);
+    if nshards == 0 {
+        return bounds;
+    }
+    let base = len / nshards;
+    let rem = len % nshards;
+    let mut start = 0;
+    for shard in 0..nshards {
+        let extent = base + usize::from(shard < rem);
+        bounds.push((start, start + extent));
+        start += extent;
+    }
+    debug_assert_eq!(start, len);
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_bounds_cover_input_exactly() {
+        for len in [0usize, 1, 7, 64, 1000, 1001] {
+            for n in 1..9usize {
+                let b = shard_bounds(len, n);
+                assert_eq!(b.len(), n);
+                assert_eq!(b[0].0, 0);
+                assert_eq!(b[n - 1].1, len);
+                for w in b.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "contiguous");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_runs_nothing() {
+        let items: Vec<u32> = Vec::new();
+        let run = map_shards(&items, ShardOptions::new(4), |_, s: &[u32]| s.len());
+        assert!(run.outputs.is_empty());
+        assert_eq!(run.workers.iter().map(|w| w.items).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn concat_merge_is_identical_for_any_thread_count() {
+        let items: Vec<u64> = (0..5000).map(|x| x * 7 % 4096).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [0usize, 1, 2, 3, 4, 8, 13] {
+            let run = map_shards(&items, ShardOptions::new(threads), |_, s| {
+                s.iter().map(|x| x * x).collect::<Vec<u64>>()
+            });
+            let par: Vec<u64> = run.outputs.into_iter().flatten().collect();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shard_indices_arrive_in_order() {
+        let items: Vec<u8> = vec![0; 4096];
+        let run = map_shards(&items, ShardOptions::new(4), |shard, _| shard);
+        let expect: Vec<usize> = (0..run.outputs.len()).collect();
+        assert_eq!(run.outputs, expect);
+    }
+
+    #[test]
+    fn worker_stats_account_for_every_item() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let run = map_shards(&items, ShardOptions::new(4), |_, s| s.len());
+        let items_seen: u64 = run.workers.iter().map(|w| w.items).sum();
+        assert_eq!(items_seen, 10_000);
+        let shards_seen: usize = run.workers.iter().map(|w| w.shards).sum();
+        assert_eq!(shards_seen, run.outputs.len());
+        assert_eq!(run.shard_workers.len(), run.outputs.len());
+        for &w in &run.shard_workers {
+            assert!(w < run.workers.len().max(1) + 16, "worker id sane");
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_collapse_to_few_shards() {
+        let opts = ShardOptions::new(8);
+        assert_eq!(opts.shard_count(0), 0);
+        assert_eq!(opts.shard_count(1), 1);
+        assert_eq!(opts.shard_count(64), 1);
+        assert_eq!(opts.shard_count(65), 2);
+        assert!(opts.shard_count(1 << 20) <= 32);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available() {
+        let opts = ShardOptions::new(0);
+        assert!(opts.effective_threads() >= 1);
+    }
+}
