@@ -37,6 +37,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(|s| s.as_str()) {
         Some("pipeline") => pipeline(&args[1..]),
+        Some("chaos") => chaos(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             say!("{USAGE}");
             0
@@ -55,6 +56,9 @@ lpr-bench — LPR pipeline benchmark harness
 USAGE:
   lpr-bench pipeline [--out BENCH_pipeline.json] [--snapshots N] [--cycle N]
                      [--threads N] [--threads-sweep [1,2,4,...]]
+  lpr-bench chaos    [--out BENCH_chaos.json] [--seed N]
+                     [--rates 0,0.02,0.05,0.1] [--snapshots N] [--cycle N]
+                     [--drift-bound F]
   lpr-bench help
 
 `pipeline` generates the standard demo-scale campaign, round-trips it
@@ -67,7 +71,19 @@ sequential path). `--threads-sweep` runs every thread count in the
 given comma-separated list (default: powers of two up to the machine's
 available parallelism), records the speedup curve under
 \"thread_sweep\" in the JSON report, and exits non-zero if any thread
-count's output diverges from the sequential run.";
+count's output diverges from the sequential run.
+
+`chaos` sweeps seeded fault-injection rates over the same golden
+campaign: each rate degrades the traces with an `lpr-chaos`
+`FaultPlan`, byte-corrupts the encoded warts stream, decodes it with
+the lenient reader, and runs the pipeline with quarantine enabled. The
+report records, per rate, the injected faults, skipped/quarantined
+tallies, class counts and the class-share drift against the rate-0
+baseline. Everything derives from `--seed`, so the JSON is
+byte-identical across runs and thread counts — no wall times are
+recorded. Exit is non-zero if any thread count 1..8 diverges, the
+kept/quarantined tallies fail to reconcile with the decoded traces, or
+drift exceeds `--drift-bound` (default 0.5).";
 
 /// Default sweep: powers of two from 1 up to the machine's available
 /// parallelism, always reaching at least 4 so the speedup curve has a
@@ -320,6 +336,375 @@ fn pipeline(args: &[String]) -> i32 {
     0
 }
 
+/// Parses a comma-separated fault-rate list; the rate-0 baseline is
+/// always swept first so every row has a drift reference.
+fn parse_rates(spec: &str) -> Result<Vec<f64>, String> {
+    let mut rates: Vec<f64> = Vec::new();
+    for part in spec.split(',') {
+        let r: f64 = part.trim().parse().map_err(|e| format!("--rates `{part}`: {e}"))?;
+        if !(0.0..=1.0).contains(&r) {
+            return Err(format!("--rates `{part}`: fault rates live in [0, 1]"));
+        }
+        rates.push(r);
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("no NaN past the range check"));
+    rates.dedup();
+    if rates.first() != Some(&0.0) {
+        rates.insert(0, 0.0);
+    }
+    Ok(rates)
+}
+
+/// Thread counts every chaos rate is verified at: the acceptance bar is
+/// byte-identical `PipelineOutput` from 1 through 8 workers.
+const CHAOS_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Per-reason quarantine tallies as JSON fields, in `QuarantineReason`
+/// declaration order (only reasons that fired appear).
+fn quarantine_fields(report: &lpr_core::quarantine::DegradedReport) -> Vec<(String, JsonValue)> {
+    lpr_core::quarantine::QuarantineReason::ALL
+        .iter()
+        .filter_map(|r| {
+            report.quarantined.get(r).map(|&n| (r.name().to_string(), JsonValue::Int(n as i128)))
+        })
+        .collect()
+}
+
+fn chaos(args: &[String]) -> i32 {
+    let mut out_path = "BENCH_chaos.json".to_string();
+    let mut seed = 42u64;
+    let mut rates = vec![0.0, 0.02, 0.05, 0.10];
+    let mut snapshots = 3usize;
+    let mut cycle = 40usize;
+    let mut drift_bound = 0.5f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let want = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+            it.next().cloned().ok_or_else(|| format!("{flag} wants a value"))
+        };
+        let parsed = match a.as_str() {
+            "--out" => want(&mut it, "--out").map(|v| out_path = v),
+            "--seed" => want(&mut it, "--seed").and_then(|v| {
+                v.parse().map(|n| seed = n).map_err(|e| format!("--seed: {e}"))
+            }),
+            "--rates" => {
+                want(&mut it, "--rates").and_then(|v| parse_rates(&v).map(|rs| rates = rs))
+            }
+            "--snapshots" => want(&mut it, "--snapshots").and_then(|v| {
+                v.parse().map(|n| snapshots = n).map_err(|e| format!("--snapshots: {e}"))
+            }),
+            "--cycle" => want(&mut it, "--cycle").and_then(|v| {
+                v.parse().map(|n| cycle = n).map_err(|e| format!("--cycle: {e}"))
+            }),
+            "--drift-bound" => want(&mut it, "--drift-bound").and_then(|v| {
+                v.parse()
+                    .map(|b| drift_bound = b)
+                    .map_err(|e| format!("--drift-bound: {e}"))
+            }),
+            other => Err(format!("unknown flag {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    }
+    if snapshots == 0 {
+        eprintln!("--snapshots must be at least 1");
+        return 2;
+    }
+
+    // The golden campaign every rate degrades a fresh copy of. Future
+    // snapshots stay clean: the Persistence reference is held fixed so a
+    // row's drift isolates the effect of faults on the measured cycle.
+    let world = ark_dataset::standard_world();
+    let opts = ark_dataset::CampaignOptions { snapshots, ..Default::default() };
+    let data = ark_dataset::generate_cycle(&world, cycle, &opts);
+    let golden = &data.snapshots[0];
+    let future: Vec<_> =
+        data.snapshots[1..].iter().map(|t| Pipeline::snapshot_keys_par(t, 1)).collect();
+    let pipeline = Pipeline::new(FilterConfig {
+        persistence_window: future.len(),
+        ..Default::default()
+    });
+
+    say!(
+        "chaos sweep: seed {seed}, {} golden traces, rates {:?}, drift bound {drift_bound}",
+        golden.len(),
+        rates
+    );
+
+    // Runs the pipeline over `input` at every thread count in
+    // `CHAOS_THREADS`, returning the sequential output and whether all
+    // counts agreed byte-for-byte.
+    let run_all = |input: &[lpr_core::trace::Trace]| {
+        let reference = pipeline.run_par_recorded(input, world.rib(), &future, 1, None);
+        let mut matches_all = true;
+        for &threads in &CHAOS_THREADS[1..] {
+            let out = pipeline.run_par_recorded(input, world.rib(), &future, threads, None);
+            if out != reference {
+                matches_all = false;
+            }
+        }
+        (reference, matches_all)
+    };
+
+    let mut rows: Vec<JsonValue> = Vec::new();
+    let mut baseline: Option<[f64; 4]> = None;
+    let mut failed = false;
+    for &rate in &rates {
+        let plan = lpr_chaos::FaultPlan::uniform(seed, rate);
+        let mut traces = golden.clone();
+        let faults = plan.degrade_traces(&mut traces);
+
+        // Direct path: the degraded traces go straight into the
+        // pipeline, so structural faults (duplicated/reordered replies)
+        // reach the quarantine layer intact. Class-share drift is
+        // measured here, uncontaminated by byte-level corruption.
+        let (direct, direct_matches) = run_all(&traces);
+        let direct_reconciled = direct.degraded.ingested() == traces.len() as u64
+            && direct.degraded.kept + direct.degraded.quarantined_total()
+                == traces.len() as u64;
+        let counts = direct.class_counts();
+        let shares = counts.fractions();
+        let base = *baseline.get_or_insert(shares);
+        let drift = shares
+            .iter()
+            .zip(base.iter())
+            .map(|(s, b)| (s - b).abs())
+            .fold(0.0f64, f64::max);
+        let drift_ok = drift <= drift_bound;
+
+        // Bytes path: encode, corrupt at the byte level, decode with
+        // the lenient reader, then classify whatever survived. (The
+        // warts→core conversion scrubs out-of-order TTLs, so this path
+        // exercises skip-and-resync rather than the quarantine.)
+        let mut writer = warts::WartsWriter::new();
+        let list = writer.list(1, "chaos");
+        let cyc = writer.cycle_start(list, 1, 0);
+        for t in &traces {
+            writer.trace(&warts::trace_to_record(t, list, cyc)).expect("encode");
+        }
+        writer.cycle_stop(cyc, 1);
+        let bytes = writer.into_bytes();
+        let (bytes, corruption) = lpr_chaos::corrupt_warts_bytes(&bytes, seed, plan.corruption);
+
+        let mut reader = warts::WartsStreamReader::new(bytes.as_slice()).lenient();
+        let mut decoded = Vec::new();
+        let mut convert_failures = 0u64;
+        loop {
+            match reader.next_record() {
+                Ok(Some(warts::Record::Trace(t))) => match warts::trace_to_core(&t) {
+                    Ok(Some(core)) => decoded.push(core),
+                    Ok(None) => {}
+                    Err(_) => convert_failures += 1,
+                },
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!("FAIL: rate {rate}: lenient decode aborted: {e}");
+                    return 1;
+                }
+            }
+        }
+        let skips = reader.skip_counts().clone();
+        let resync_bytes = reader.resync_bytes();
+
+        let (decoded_out, bytes_matches) = run_all(&decoded);
+        let bytes_reconciled = decoded_out.degraded.ingested() == decoded.len() as u64
+            && decoded_out.degraded.kept + decoded_out.degraded.quarantined_total()
+                == decoded.len() as u64;
+
+        if !direct_matches || !bytes_matches {
+            eprintln!("FAIL: rate {rate}: output diverges across thread counts");
+        }
+        if !direct_reconciled || !bytes_reconciled {
+            eprintln!("FAIL: rate {rate}: kept + quarantined != traces ingested");
+        }
+        if !drift_ok {
+            eprintln!(
+                "FAIL: rate {rate}: class-share drift {drift:.3} exceeds bound {drift_bound}"
+            );
+        }
+        let row_ok = direct_matches
+            && bytes_matches
+            && direct_reconciled
+            && bytes_reconciled
+            && drift_ok;
+        if !row_ok {
+            failed = true;
+        }
+
+        say!(
+            "  rate {rate:<5} faults {:>5}  direct: kept {:>4} quar {:>3} iotps {:>3} \
+             unclass {:.2} drift {:.3} | bytes: corrupt {:>3} skipped {:>4} decoded {:>4} \
+             iotps {:>3}  {}",
+            faults.total(),
+            direct.degraded.kept,
+            direct.degraded.quarantined_total(),
+            counts.total(),
+            shares[3],
+            drift,
+            corruption.total(),
+            reader.skipped_total(),
+            decoded.len(),
+            decoded_out.class_counts().total(),
+            if row_ok { "ok" } else { "FAIL" },
+        );
+
+        let skip_fields: Vec<(String, JsonValue)> = warts::SkipReason::ALL
+            .iter()
+            .filter_map(|r| {
+                skips.get(r).map(|&n| (r.name().to_string(), JsonValue::Int(n as i128)))
+            })
+            .collect();
+        let decoded_counts = decoded_out.class_counts();
+        rows.push(JsonValue::Object(vec![
+            ("rate".to_string(), JsonValue::Float(rate)),
+            ("traces_generated".to_string(), JsonValue::Int(traces.len() as i128)),
+            (
+                "faults_injected".to_string(),
+                JsonValue::Object(vec![
+                    ("lost".to_string(), JsonValue::Int(faults.lost as i128)),
+                    ("rate_limited".to_string(), JsonValue::Int(faults.rate_limited as i128)),
+                    ("php_silenced".to_string(), JsonValue::Int(faults.php_silenced as i128)),
+                    (
+                        "truncated_exts".to_string(),
+                        JsonValue::Int(faults.truncated_exts as i128),
+                    ),
+                    ("duplicated".to_string(), JsonValue::Int(faults.duplicated as i128)),
+                    ("reordered".to_string(), JsonValue::Int(faults.reordered as i128)),
+                    ("total".to_string(), JsonValue::Int(faults.total() as i128)),
+                ]),
+            ),
+            (
+                "direct".to_string(),
+                JsonValue::Object(vec![
+                    ("traces_kept".to_string(), JsonValue::Int(direct.degraded.kept as i128)),
+                    (
+                        "quarantined".to_string(),
+                        JsonValue::Object(quarantine_fields(&direct.degraded)),
+                    ),
+                    (
+                        "quarantined_total".to_string(),
+                        JsonValue::Int(direct.degraded.quarantined_total() as i128),
+                    ),
+                    (
+                        "classes".to_string(),
+                        JsonValue::Object(vec![
+                            ("mono_lsp".to_string(), JsonValue::Int(counts.mono_lsp as i128)),
+                            ("multi_fec".to_string(), JsonValue::Int(counts.multi_fec as i128)),
+                            (
+                                "mono_fec_parallel".to_string(),
+                                JsonValue::Int(counts.mono_fec_parallel as i128),
+                            ),
+                            (
+                                "mono_fec_disjoint".to_string(),
+                                JsonValue::Int(counts.mono_fec_disjoint as i128),
+                            ),
+                            (
+                                "unclassified".to_string(),
+                                JsonValue::Int(counts.unclassified as i128),
+                            ),
+                            ("total".to_string(), JsonValue::Int(counts.total() as i128)),
+                        ]),
+                    ),
+                    (
+                        "class_shares".to_string(),
+                        JsonValue::Object(vec![
+                            ("mono_lsp".to_string(), JsonValue::Float(shares[0])),
+                            ("multi_fec".to_string(), JsonValue::Float(shares[1])),
+                            ("mono_fec".to_string(), JsonValue::Float(shares[2])),
+                            ("unclassified".to_string(), JsonValue::Float(shares[3])),
+                        ]),
+                    ),
+                    ("drift".to_string(), JsonValue::Float(drift)),
+                    ("matches_across_threads".to_string(), JsonValue::Bool(direct_matches)),
+                    ("reconciled".to_string(), JsonValue::Bool(direct_reconciled)),
+                ]),
+            ),
+            (
+                "bytes".to_string(),
+                JsonValue::Object(vec![
+                    (
+                        "corrupted_records".to_string(),
+                        JsonValue::Object(vec![
+                            (
+                                "bit_flips".to_string(),
+                                JsonValue::Int(corruption.bit_flips as i128),
+                            ),
+                            (
+                                "truncated_bodies".to_string(),
+                                JsonValue::Int(corruption.truncated_bodies as i128),
+                            ),
+                            (
+                                "bad_lengths".to_string(),
+                                JsonValue::Int(corruption.bad_lengths as i128),
+                            ),
+                            (
+                                "bad_magics".to_string(),
+                                JsonValue::Int(corruption.bad_magics as i128),
+                            ),
+                            ("total".to_string(), JsonValue::Int(corruption.total() as i128)),
+                        ]),
+                    ),
+                    ("skipped_records".to_string(), JsonValue::Object(skip_fields)),
+                    (
+                        "skipped_total".to_string(),
+                        JsonValue::Int(reader.skipped_total() as i128),
+                    ),
+                    ("resync_bytes".to_string(), JsonValue::Int(resync_bytes as i128)),
+                    ("decoded_traces".to_string(), JsonValue::Int(decoded.len() as i128)),
+                    (
+                        "convert_failures".to_string(),
+                        JsonValue::Int(convert_failures as i128),
+                    ),
+                    (
+                        "traces_kept".to_string(),
+                        JsonValue::Int(decoded_out.degraded.kept as i128),
+                    ),
+                    (
+                        "quarantined_total".to_string(),
+                        JsonValue::Int(decoded_out.degraded.quarantined_total() as i128),
+                    ),
+                    ("iotps".to_string(), JsonValue::Int(decoded_counts.total() as i128)),
+                    ("matches_across_threads".to_string(), JsonValue::Bool(bytes_matches)),
+                    ("reconciled".to_string(), JsonValue::Bool(bytes_reconciled)),
+                ]),
+            ),
+        ]));
+    }
+
+    // Deliberately no wall times anywhere in this report: identical
+    // seed + rates must yield a byte-identical BENCH_chaos.json.
+    let report = JsonValue::Object(vec![
+        ("bench".to_string(), JsonValue::Str("chaos".to_string())),
+        ("seed".to_string(), JsonValue::Int(seed as i128)),
+        ("cycle".to_string(), JsonValue::Int(cycle as i128)),
+        ("snapshots".to_string(), JsonValue::Int(snapshots as i128)),
+        ("drift_bound".to_string(), JsonValue::Float(drift_bound)),
+        (
+            "threads_checked".to_string(),
+            JsonValue::Array(
+                CHAOS_THREADS.iter().map(|&n| JsonValue::Int(n as i128)).collect(),
+            ),
+        ),
+        ("rates".to_string(), JsonValue::Array(rates.iter().map(|&r| JsonValue::Float(r)).collect())),
+        ("rows".to_string(), JsonValue::Array(rows)),
+        ("passed".to_string(), JsonValue::Bool(!failed)),
+    ])
+    .render_pretty();
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("{out_path}: {e}");
+        return 1;
+    }
+    say!("wrote {out_path}");
+    if failed {
+        eprintln!("chaos sweep failed (determinism, reconciliation, or drift)");
+        return 1;
+    }
+    0
+}
+
 /// Wraps the run telemetry with a derived per-stage throughput table:
 /// the telemetry document under `"telemetry"` (still readable with
 /// `RunTelemetry::from_json`) plus `"throughput_per_s"` mapping each
@@ -376,4 +761,23 @@ fn render_report(
         fields.push(("thread_sweep".to_string(), JsonValue::Array(rows)));
     }
     JsonValue::Object(fields).render_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_rates;
+
+    #[test]
+    fn rates_are_sorted_deduped_and_anchored_at_zero() {
+        assert_eq!(parse_rates("0.1,0.02,0.02").unwrap(), vec![0.0, 0.02, 0.1]);
+        assert_eq!(parse_rates("0,0.05").unwrap(), vec![0.0, 0.05]);
+    }
+
+    #[test]
+    fn rates_outside_the_unit_interval_are_rejected
+    () {
+        assert!(parse_rates("1.5").is_err());
+        assert!(parse_rates("-0.1").is_err());
+        assert!(parse_rates("nope").is_err());
+    }
 }

@@ -1,0 +1,56 @@
+//! # lpr-chaos — seeded fault injection for the LPR pipeline
+//!
+//! Real Ark campaigns are messy: probes are lost, routers rate-limit
+//! ICMP, PHP makes the penultimate LSR silent about its labels, RFC 4950
+//! extensions arrive truncated, replies duplicate or reorder, and warts
+//! dumps pick up byte-level corruption on disk. The paper's LPR filters
+//! exist precisely to survive that noise — this crate produces the
+//! noise, deterministically, so the rest of the workspace can prove it
+//! degrades gracefully instead of aborting.
+//!
+//! Two fault surfaces:
+//!
+//! * [`FaultPlan`] — probe/reply-level faults. Every decision derives
+//!   from `(seed, fault kind, vp, dst, ttl)` through splitmix64, with no
+//!   hidden RNG state, so a plan replays bit-identically: the same plan
+//!   over the same traces yields the same degraded traces on every run
+//!   and any thread count.
+//! * [`corrupt_warts_bytes`] — byte-level corruption of an encoded
+//!   warts stream (bit flips, truncated bodies, bad declared lengths,
+//!   smashed magics), exercising the lenient reader's skip-and-resync
+//!   paths.
+//!
+//! ```
+//! use lpr_chaos::FaultPlan;
+//! use lpr_core::trace::{Hop, Trace};
+//! use std::net::Ipv4Addr;
+//!
+//! let mut t = Trace::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 0, 2, 9));
+//! t.push_hop(Hop::responsive(1, Ipv4Addr::new(10, 0, 0, 2)));
+//! let plan = FaultPlan::uniform(7, 0.5);
+//! let mut a = vec![t.clone()];
+//! let mut b = vec![t];
+//! let ca = plan.degrade_traces(&mut a);
+//! let cb = plan.degrade_traces(&mut b);
+//! assert_eq!(a, b, "same plan, same faults");
+//! assert_eq!(ca, cb);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corrupt;
+mod plan;
+
+pub use corrupt::{corrupt_warts_bytes, CorruptionCounts, WARTS_MAGIC_BE};
+pub use plan::{FaultCounts, FaultPlan};
+
+/// The splitmix64 mixing function — the same generator `netsim` and the
+/// `rand` shim use, copied here so fault decisions share the workspace's
+/// deterministic-by-construction randomness without a dependency edge.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}

@@ -8,12 +8,14 @@ pub mod classify {
     //! per-IOTP classification.
 
     use super::*;
+    use crate::RunStatus;
     use lpr_core::metrics::IotpMetrics;
 
     /// Executes the subcommand.
-    pub fn run(o: &Options, w: &mut dyn Write) -> Result<(), CliError> {
+    pub fn run(o: &Options, w: &mut dyn Write) -> Result<RunStatus, CliError> {
         let recorder = crate::recorder_for(o, "lpr classify");
-        let (_traces, out) = crate::run_pipeline_recorded(o, recorder.as_ref())?;
+        let artifacts = crate::run_pipeline_recorded(o, recorder.as_ref())?;
+        let out = &artifacts.output;
 
         for (iotp, cls) in &out.iotps {
             let m = IotpMetrics::of(iotp);
@@ -72,14 +74,15 @@ pub mod classify {
         }
 
         if o.router_level {
-            run_router_level(&out, w)?;
+            run_router_level(out, w)?;
         }
 
         if o.trees {
             run_trees(o, w)?;
         }
+        crate::write_degradation_summary(&artifacts, w)?;
         crate::emit_telemetry(o, recorder)?;
-        Ok(())
+        Ok(artifacts.status())
     }
 
     fn run_router_level(
@@ -143,12 +146,14 @@ pub mod stats {
     //! `lpr stats` — filter-survival accounting (the Table 1 view).
 
     use super::*;
+    use crate::RunStatus;
     use lpr_core::prelude::*;
 
     /// Executes the subcommand.
-    pub fn run(o: &Options, w: &mut dyn Write) -> Result<(), CliError> {
+    pub fn run(o: &Options, w: &mut dyn Write) -> Result<RunStatus, CliError> {
         let recorder = crate::recorder_for(o, "lpr stats");
-        let (traces, out) = crate::run_pipeline_recorded(o, recorder.as_ref())?;
+        let artifacts = crate::run_pipeline_recorded(o, recorder.as_ref())?;
+        let (traces, out) = (&artifacts.traces, &artifacts.output);
         let mpls = traces.iter().filter(|t| t.has_mpls()).count();
         writeln!(w, "traces: {} ({} crossing explicit MPLS tunnels)", traces.len(), mpls)?;
         writeln!(w, "extracted LSPs: {}", out.report.input)?;
@@ -162,8 +167,9 @@ pub mod stats {
             )?;
         }
         writeln!(w, "classified IOTPs: {}", out.iotps.len())?;
+        crate::write_degradation_summary(&artifacts, w)?;
         crate::emit_telemetry(o, recorder)?;
-        Ok(())
+        Ok(artifacts.status())
     }
 }
 

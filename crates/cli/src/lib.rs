@@ -61,6 +61,89 @@ fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
+/// How a successful run ended — the CLI's exit-code taxonomy.
+///
+/// | status | exit code | meaning |
+/// |---|---|---|
+/// | `Clean` | 0 | every record decoded, every trace entered the pipeline |
+/// | `Degraded` | 3 | the run completed, but some input was skipped or quarantined |
+///
+/// Fatal errors (bad arguments, unreadable files, strict-mode decode
+/// failures, `--fail-fast` degradation) exit 1 via [`CliError`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Full success: nothing skipped, nothing quarantined.
+    Clean,
+    /// Success with quarantine: results are valid over the surviving
+    /// input, and the degradation is itemised on stdout.
+    Degraded,
+}
+
+impl RunStatus {
+    /// The process exit code for this status.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            RunStatus::Clean => 0,
+            RunStatus::Degraded => 3,
+        }
+    }
+}
+
+/// What the warts loading stage skipped or dropped.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Trace records successfully decoded and converted.
+    pub traces: u64,
+    /// Records skipped by the lenient decoder, per reason.
+    pub skipped: std::collections::BTreeMap<warts::SkipReason, u64>,
+    /// Garbage bytes discarded while resynchronising on record magics.
+    pub resync_bytes: u64,
+    /// Records that decoded but failed trace conversion (dropped).
+    pub convert_failures: u64,
+}
+
+impl LoadReport {
+    /// Total records skipped by the decoder.
+    pub fn skipped_total(&self) -> u64 {
+        self.skipped.values().sum()
+    }
+
+    /// Whether nothing was skipped or dropped.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty() && self.convert_failures == 0
+    }
+}
+
+/// Everything [`run_pipeline`] produced: the loaded traces, the
+/// pipeline output (with its quarantine accounting) and the load-stage
+/// degradation report.
+#[derive(Debug)]
+pub struct PipelineArtifacts {
+    /// Traces loaded from the input files (post conversion).
+    pub traces: Vec<Trace>,
+    /// The classified pipeline output.
+    pub output: PipelineOutput,
+    /// What loading skipped (empty in strict mode — skips are fatal
+    /// there).
+    pub load: LoadReport,
+}
+
+impl PipelineArtifacts {
+    /// Whether any input was skipped or quarantined anywhere.
+    pub fn is_degraded(&self) -> bool {
+        !self.load.is_clean() || !self.output.degraded.is_clean()
+    }
+
+    /// The [`RunStatus`] this run ends with.
+    pub fn status(&self) -> RunStatus {
+        if self.is_degraded() {
+            RunStatus::Degraded
+        } else {
+            RunStatus::Clean
+        }
+    }
+}
+
 /// Parsed command-line options shared by the analysis subcommands.
 #[derive(Debug, Default)]
 pub struct Options {
@@ -90,6 +173,14 @@ pub struct Options {
     /// available parallelism; `1` forces the sequential path). The
     /// output is byte-identical for every value.
     pub threads: Option<usize>,
+    /// Decode warts input leniently: skip corrupt records (resyncing on
+    /// the magic) and drop traces that fail conversion, instead of
+    /// aborting. The run then reports what was skipped and exits with
+    /// the success-with-quarantine code.
+    pub keep_going: bool,
+    /// Treat any degradation — skipped records, failed conversions,
+    /// quarantined traces — as fatal instead of quarantining it.
+    pub fail_fast: bool,
 }
 
 impl Options {
@@ -109,6 +200,8 @@ impl Options {
                     )
                 }
                 "--alias-rescue" => o.alias_rescue = true,
+                "--keep-going" => o.keep_going = true,
+                "--fail-fast" => o.fail_fast = true,
                 "--trees" => o.trees = true,
                 "--per-as" => o.per_as = true,
                 "--router-level" => o.router_level = true,
@@ -128,6 +221,9 @@ impl Options {
                 }
                 path => o.inputs.push(path.to_string()),
             }
+        }
+        if o.keep_going && o.fail_fast {
+            return Err(err("--keep-going and --fail-fast contradict each other"));
         }
         Ok(o)
     }
@@ -162,6 +258,51 @@ pub fn load_traces_par(paths: &[String], threads: usize) -> Result<Vec<Trace>, C
     Ok(traces)
 }
 
+/// Lenient warts loading (`--keep-going`): corrupt records are skipped
+/// (resyncing on the next plausible record header), traces that fail
+/// conversion are dropped, and both are tallied in the returned
+/// [`LoadReport`]. Only IO failures are fatal. When a `recorder` is
+/// given, the decoder's `warts.*` counters (per-[`warts::SkipReason`]
+/// skips included) land in its registry.
+pub fn load_traces_lenient(
+    paths: &[String],
+    recorder: Option<&lpr_obs::Recorder>,
+) -> Result<(Vec<Trace>, LoadReport), CliError> {
+    let mut traces = Vec::new();
+    let mut report = LoadReport::default();
+    for path in paths {
+        let bytes = std::fs::read(path).map_err(|e| err(format!("{path}: {e}")))?;
+        let mut reader = warts::WartsStreamReader::new(bytes.as_slice()).lenient();
+        if let Some(rec) = recorder {
+            reader =
+                reader.with_metrics(warts::StreamMetrics::from_registry(rec.registry()));
+        }
+        loop {
+            match reader.next_record() {
+                Ok(Some(warts::Record::Trace(t))) => match warts::trace_to_core(&t) {
+                    Ok(Some(trace)) => {
+                        report.traces += 1;
+                        traces.push(trace);
+                    }
+                    Ok(None) => {}
+                    Err(_) => report.convert_failures += 1,
+                },
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => return Err(err(format!("{path}: {e}"))),
+            }
+        }
+        for (reason, n) in reader.skip_counts() {
+            *report.skipped.entry(*reason).or_default() += n;
+        }
+        report.resync_bytes += reader.resync_bytes();
+    }
+    if let Some(rec) = recorder {
+        rec.counter("cli.convert_failures").add(report.convert_failures);
+    }
+    Ok((traces, report))
+}
+
 /// Loads the RIB snapshot into a longest-prefix-match trie.
 pub fn load_rib(path: &str) -> Result<ip2as::Ip2AsTrie, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| err(format!("{path}: {e}")))?;
@@ -169,7 +310,7 @@ pub fn load_rib(path: &str) -> Result<ip2as::Ip2AsTrie, CliError> {
 }
 
 /// Runs the analysis pipeline an analysis subcommand needs.
-pub fn run_pipeline(o: &Options) -> Result<(Vec<Trace>, PipelineOutput), CliError> {
+pub fn run_pipeline(o: &Options) -> Result<PipelineArtifacts, CliError> {
     run_pipeline_recorded(o, None)
 }
 
@@ -178,7 +319,7 @@ pub fn run_pipeline(o: &Options) -> Result<(Vec<Trace>, PipelineOutput), CliErro
 pub fn run_pipeline_recorded(
     o: &Options,
     recorder: Option<&lpr_obs::Recorder>,
-) -> Result<(Vec<Trace>, PipelineOutput), CliError> {
+) -> Result<PipelineArtifacts, CliError> {
     if o.inputs.is_empty() {
         return Err(err("no input warts files (see `lpr help`)"));
     }
@@ -186,7 +327,11 @@ pub fn run_pipeline_recorded(
     let rib = load_rib(rib_path)?;
     let threads = o.threads.unwrap_or_else(lpr_par::available_threads);
     let sw = lpr_obs::Stopwatch::start();
-    let traces = load_traces_par(&o.inputs, threads)?;
+    let (traces, load) = if o.keep_going {
+        load_traces_lenient(&o.inputs, recorder)?
+    } else {
+        (load_traces_par(&o.inputs, threads)?, LoadReport::default())
+    };
     if let Some(rec) = recorder {
         rec.record_stage(
             "LoadTraces",
@@ -217,8 +362,60 @@ pub fn run_pipeline_recorded(
     if o.alias_rescue {
         pipeline = pipeline.with_alias_rescue();
     }
-    let out = pipeline.run_par_recorded(&traces, &rib, &future, threads, recorder);
-    Ok((traces, out))
+    let output = pipeline.run_par_recorded(&traces, &rib, &future, threads, recorder);
+    let artifacts = PipelineArtifacts { traces, output, load };
+    if o.fail_fast && artifacts.is_degraded() {
+        return Err(err(format!(
+            "--fail-fast: input degraded ({} records skipped, {} conversions failed, {} traces quarantined)",
+            artifacts.load.skipped_total(),
+            artifacts.load.convert_failures,
+            artifacts.output.degraded.quarantined_total(),
+        )));
+    }
+    Ok(artifacts)
+}
+
+/// Writes the human-readable degradation summary an analysis subcommand
+/// prints when a run ends [`RunStatus::Degraded`].
+pub fn write_degradation_summary(
+    artifacts: &PipelineArtifacts,
+    w: &mut dyn Write,
+) -> Result<(), CliError> {
+    if !artifacts.is_degraded() {
+        return Ok(());
+    }
+    writeln!(w, "\ninput degraded (exit code 3):")?;
+    if artifacts.load.skipped_total() > 0 {
+        let detail: Vec<String> = artifacts
+            .load
+            .skipped
+            .iter()
+            .map(|(r, n)| format!("{}={}", r.name(), n))
+            .collect();
+        writeln!(
+            w,
+            "  skipped records: {} [{}] ({} resync bytes)",
+            artifacts.load.skipped_total(),
+            detail.join(" "),
+            artifacts.load.resync_bytes,
+        )?;
+    }
+    if artifacts.load.convert_failures > 0 {
+        writeln!(w, "  failed conversions: {}", artifacts.load.convert_failures)?;
+    }
+    let degraded = &artifacts.output.degraded;
+    if degraded.quarantined_total() > 0 {
+        let detail: Vec<String> =
+            degraded.quarantined.iter().map(|(r, n)| format!("{}={}", r.name(), n)).collect();
+        writeln!(
+            w,
+            "  quarantined traces: {} of {} [{}]",
+            degraded.quarantined_total(),
+            degraded.ingested(),
+            detail.join(" "),
+        )?;
+    }
+    Ok(())
 }
 
 /// Builds the recorder an analysis subcommand needs — `Some` only when
@@ -248,8 +445,10 @@ pub fn emit_telemetry(o: &Options, recorder: Option<lpr_obs::Recorder>) -> Resul
     Ok(())
 }
 
-/// Entry point: dispatches a full argument vector.
-pub fn run(args: &[String], w: &mut dyn Write) -> Result<(), CliError> {
+/// Entry point: dispatches a full argument vector. `Ok` carries the
+/// [`RunStatus`] whose [`RunStatus::exit_code`] the process should exit
+/// with; `Err` means exit code 1.
+pub fn run(args: &[String], w: &mut dyn Write) -> Result<RunStatus, CliError> {
     let (cmd, rest) = match args.split_first() {
         Some((c, rest)) => (c.as_str(), rest),
         None => ("help", &[] as &[String]),
@@ -257,13 +456,13 @@ pub fn run(args: &[String], w: &mut dyn Write) -> Result<(), CliError> {
     match cmd {
         "classify" => commands::classify::run(&Options::parse(rest)?, w),
         "stats" => commands::stats::run(&Options::parse(rest)?, w),
-        "tunnels" => commands::tunnels::run(&Options::parse(rest)?, w),
-        "info" => commands::info::run(&Options::parse(rest)?, w),
-        "dump" => commands::dump::run(&Options::parse(rest)?, w),
-        "demo" => commands::demo::run(rest, w),
+        "tunnels" => commands::tunnels::run(&Options::parse(rest)?, w).map(|()| RunStatus::Clean),
+        "info" => commands::info::run(&Options::parse(rest)?, w).map(|()| RunStatus::Clean),
+        "dump" => commands::dump::run(&Options::parse(rest)?, w).map(|()| RunStatus::Clean),
+        "demo" => commands::demo::run(rest, w).map(|()| RunStatus::Clean),
         "help" | "--help" | "-h" => {
             writeln!(w, "{}", HELP)?;
-            Ok(())
+            Ok(RunStatus::Clean)
         }
         other => Err(err(format!("unknown command `{other}` (try `lpr help`)"))),
     }
@@ -276,8 +475,10 @@ USAGE:
   lpr classify --rib <rib.txt> <cycle.warts>... [--next <snap.warts>]...
                [--j N] [--alias-rescue] [--trees] [--per-as] [--router-level]
                [--metrics <out.json>] [--progress] [--threads N]
+               [--keep-going | --fail-fast]
   lpr stats    --rib <rib.txt> <cycle.warts>... [--next <snap.warts>]...
                [--metrics <out.json>] [--progress] [--threads N]
+               [--keep-going | --fail-fast]
   lpr tunnels  <cycle.warts>...
   lpr dump     <file.warts>...
   lpr info     <file.warts>...
@@ -294,7 +495,20 @@ counters); `--progress` prints the same stage lines to stderr.
 
 `--threads N` shards the pipeline across N worker threads (default: the
 machine's available parallelism). Results are byte-identical for every
-thread count; `--threads 1` forces the sequential path.";
+thread count; `--threads 1` forces the sequential path.
+
+Degraded input (classify/stats): structurally broken traces are
+quarantined rather than fatal, `--keep-going` additionally skips corrupt
+warts records (resyncing on the next record magic) and drops traces
+that fail conversion, and `--fail-fast` turns any degradation into a
+hard error.
+
+EXIT CODES:
+  0  clean success — nothing skipped, nothing quarantined
+  3  success with quarantine — results valid over the surviving input,
+     degradation itemised on stdout
+  1  fatal error (bad arguments, unreadable input, strict-mode decode
+     failure, --fail-fast degradation)";
 
 #[cfg(test)]
 mod tests {
@@ -362,6 +576,15 @@ mod tests {
     }
 
     #[test]
+    fn parse_degradation_flags() {
+        let o = Options::parse(&s(&["a.warts", "--keep-going"])).unwrap();
+        assert!(o.keep_going && !o.fail_fast);
+        let o = Options::parse(&s(&["a.warts", "--fail-fast"])).unwrap();
+        assert!(o.fail_fast && !o.keep_going);
+        assert!(Options::parse(&s(&["a.warts", "--keep-going", "--fail-fast"])).is_err());
+    }
+
+    #[test]
     fn parse_threads_flag() {
         let o = Options::parse(&s(&["a.warts", "--threads", "4"])).unwrap();
         assert_eq!(o.threads, Some(4));
@@ -425,7 +648,7 @@ mod tests {
             rib: Some(rib_path),
             ..Default::default()
         };
-        let (_, reference) = run_pipeline(&o).unwrap();
+        let reference = run_pipeline(&o).unwrap().output;
         let mut input = reference.report.input as u64;
         for stage in FilterStage::ALL {
             let st = telemetry.stage(stage.name()).expect(stage.name());

@@ -5,7 +5,8 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match lpr_cli::run(&args, &mut std::io::stdout()) {
-        Ok(()) => {}
+        // 0 = clean, 3 = success with quarantine (see `lpr help`).
+        Ok(status) => std::process::exit(status.exit_code()),
         Err(e) => {
             eprintln!("lpr: {e}");
             std::process::exit(1);

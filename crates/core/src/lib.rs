@@ -73,6 +73,7 @@ pub mod lsp;
 pub mod metrics;
 pub mod par;
 pub mod pipeline;
+pub mod quarantine;
 pub mod report;
 pub mod stream;
 pub mod trace;
@@ -99,6 +100,7 @@ pub mod prelude {
     pub use crate::lsp::{Asn, Iotp, IotpKey, Lsp, LspHop, LspKey};
     pub use crate::metrics::IotpMetrics;
     pub use crate::pipeline::{Pipeline, PipelineOutput};
+    pub use crate::quarantine::{validate_trace, DegradedReport, QuarantineReason};
     pub use crate::report::{AsMapper, CycleReport};
     pub use crate::trace::{Hop, Trace};
     pub use crate::tunnel::{extract_tunnels, RawTunnel};

@@ -24,6 +24,7 @@
 use crate::filter::{lsp_keys_of_tunnels, AsMapper};
 use crate::lsp::LspKey;
 use crate::pipeline::{IngestState, Pipeline, PipelineOutput};
+use crate::quarantine::QuarantineReason;
 use crate::stream::CycleAccumulator;
 use crate::trace::Trace;
 use crate::tunnel::RawTunnel;
@@ -65,7 +66,11 @@ impl Pipeline {
             rec.set_threads(opts.effective_threads() as u64);
         }
 
-        let run = lpr_par::map_shards(traces, opts, |_, shard| {
+        // Shards are caught: a panicking worker closure poisons only its
+        // own shard, whose traces are then quarantined wholesale instead
+        // of tearing down the run (the panic itself is deterministic per
+        // shard, so so is the quarantine).
+        let run = lpr_par::map_shards_caught(traces, opts, |_, shard| {
             let mut acc = CycleAccumulator::new(mapper);
             for trace in shard {
                 acc.push_trace(trace);
@@ -76,9 +81,26 @@ impl Pipeline {
         // Shard-order merge: LSPs concatenate in input order, counts sum.
         let mut shard_outputs = Vec::with_capacity(run.outputs.len());
         let mut ingest = IngestState::default();
-        for (shard, state) in run.outputs.into_iter().enumerate() {
-            shard_outputs.push((shard, state.lsps.len() as u64));
-            ingest.merge(state);
+        let mut poisoned = 0u64;
+        for (shard, result) in run.outputs.into_iter().enumerate() {
+            match result {
+                Ok(state) => {
+                    shard_outputs.push((shard, state.lsps.len() as u64));
+                    ingest.merge(state);
+                }
+                Err(_poisoned_shard) => {
+                    let n = run.shard_lens.get(shard).copied().unwrap_or(0) as u64;
+                    ingest.traces_in += n;
+                    ingest.degraded.note_many(QuarantineReason::PoisonedShard, n);
+                    poisoned += 1;
+                    shard_outputs.push((shard, 0));
+                }
+            }
+        }
+        if let Some(rec) = recorder {
+            if poisoned > 0 {
+                rec.counter("par.poisoned_shards").add(poisoned);
+            }
         }
 
         if let Some(rec) = recorder {
@@ -114,7 +136,9 @@ impl Pipeline {
         let run = lpr_par::map_shards(traces, ShardOptions::new(threads), |_, shard| {
             let mut tunnels: Vec<RawTunnel> = Vec::new();
             for trace in shard {
-                crate::tunnel::extract_tunnels_into(trace, &mut tunnels);
+                if crate::quarantine::validate_trace(trace).is_ok() {
+                    crate::tunnel::extract_tunnels_into(trace, &mut tunnels);
+                }
             }
             lsp_keys_of_tunnels(&tunnels)
         });
@@ -259,6 +283,68 @@ mod tests {
             persist.iter().map(|s| s.output).sum::<u64>(),
             out.report.remaining[&crate::filter::FilterStage::Persistence] as u64,
         );
+    }
+
+    #[test]
+    fn quarantine_is_identical_across_thread_counts() {
+        // Sprinkle structurally-broken traces through the workload; the
+        // quarantine (and hence the whole output, degraded report
+        // included) must not depend on sharding.
+        let mut traces = workload();
+        for i in [3usize, 17, 40] {
+            let mut t = traces[i].clone();
+            t.hops.push(t.hops[2].clone()); // duplicated reply
+            traces.insert(i, t);
+        }
+        let keys = Pipeline::snapshot_keys(&traces);
+        let pipeline = Pipeline::default();
+        let seq = pipeline.run(&traces, &mapper, std::slice::from_ref(&keys));
+        assert_eq!(seq.degraded.quarantined_total(), 3);
+        assert_eq!(seq.degraded.ingested(), traces.len() as u64);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let par = pipeline.run_par(&traces, &mapper, std::slice::from_ref(&keys), threads);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panicking_worker_quarantines_its_shard() {
+        // A mapper that panics on one sentinel address: the shard
+        // holding that trace is quarantined as PoisonedShard, every
+        // other shard classifies normally and the run completes.
+        let bomb = Ipv4Addr::new(10, 66, 0, 1);
+        let volatile_mapper = move |addr: Ipv4Addr| -> Option<Asn> {
+            assert_ne!(addr, bomb, "mapper hit the poisoned address");
+            mapper(addr)
+        };
+        // Several shards' worth of traces (shards hold >= 64 items), so
+        // the bomb's shard is a strict subset of the input.
+        let mut traces = Vec::new();
+        for _ in 0..5 {
+            traces.extend(workload());
+        }
+        let n_clean = traces.len();
+        let mut t = mpls_trace(66, Ipv4Addr::new(192, 0, 2, 99), [1, 2], [2, 3]);
+        t.hops[0] = Hop::responsive(1, bomb);
+        traces.insert(traces.len() / 2, t);
+
+        let keys = Pipeline::snapshot_keys_par(&traces, 1);
+        let pipeline = Pipeline::default();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = pipeline.run_par(&traces, &volatile_mapper, std::slice::from_ref(&keys), 4);
+        std::panic::set_hook(prev);
+
+        use crate::quarantine::QuarantineReason;
+        let poisoned = out.degraded.quarantined[&QuarantineReason::PoisonedShard];
+        assert!(poisoned >= 1, "the bomb trace's shard is quarantined");
+        assert!(
+            poisoned < traces.len() as u64,
+            "only the bomb's shard is quarantined, not the whole run"
+        );
+        assert_eq!(out.degraded.ingested(), traces.len() as u64);
+        assert_eq!(out.degraded.kept, n_clean as u64 + 1 - poisoned);
+        assert!(!out.iotps.is_empty(), "surviving shards still classify");
     }
 
     #[test]

@@ -12,8 +12,9 @@ use crate::filter::{
     FilterReport, FilterStage,
 };
 use crate::lsp::{Asn, Iotp, IotpKey, Lsp, LspKey};
+use crate::quarantine::{validate_trace, DegradedReport};
 use crate::trace::Trace;
-use crate::tunnel::{extract_tunnels, RawTunnel};
+use crate::tunnel::{extract_tunnels_into, RawTunnel};
 use std::collections::BTreeSet;
 
 /// The LPR pipeline.
@@ -43,6 +44,9 @@ pub struct PipelineOutput {
     pub report: FilterReport,
     /// ASes tagged dynamic by the Persistence filter (§4.5).
     pub dynamic_ases: BTreeSet<Asn>,
+    /// Kept/quarantined trace accounting from ingest (all-kept when the
+    /// run started from pre-extracted tunnels).
+    pub degraded: DegradedReport,
 }
 
 impl PipelineOutput {
@@ -163,6 +167,8 @@ pub struct IngestState {
     pub extraction_us: u64,
     /// Accumulated attribution/filter time, µs (ditto).
     pub attribution_us: u64,
+    /// Kept/quarantined trace accounting for this shard.
+    pub degraded: DegradedReport,
 }
 
 impl IngestState {
@@ -176,6 +182,7 @@ impl IngestState {
         self.after_intra_as += other.after_intra_as;
         self.extraction_us = self.extraction_us.saturating_add(other.extraction_us);
         self.attribution_us = self.attribution_us.saturating_add(other.attribution_us);
+        self.degraded.merge(&other.degraded);
     }
 }
 
@@ -219,18 +226,36 @@ impl Pipeline {
         recorder: Option<&lpr_obs::Recorder>,
     ) -> PipelineOutput {
         let sw = lpr_obs::Stopwatch::start();
-        let tunnels: Vec<RawTunnel> =
-            traces.iter().flat_map(extract_tunnels).collect();
-        if let Some(rec) = recorder {
-            rec.record_stage(
-                "TunnelExtraction",
-                sw.elapsed_us(),
-                traces.len() as u64,
-                tunnels.len() as u64,
-            );
-            rec.counter("pipeline.traces").add(traces.len() as u64);
+        // Quarantine structurally-broken traces before extraction: the
+        // tunnel extractor (and everything after) assumes the
+        // strictly-increasing-TTL ladder `validate_trace` checks.
+        let mut degraded = DegradedReport::default();
+        let mut tunnels: Vec<RawTunnel> = Vec::new();
+        for trace in traces {
+            match validate_trace(trace) {
+                Ok(()) => {
+                    degraded.kept += 1;
+                    extract_tunnels_into(trace, &mut tunnels);
+                }
+                Err(reason) => degraded.note(reason),
+            }
         }
-        self.run_on_tunnels_recorded(&tunnels, mapper, future_keys, recorder)
+        let extraction_us = sw.elapsed_us();
+
+        let sw = lpr_obs::Stopwatch::start();
+        // IncompleteLsp + IntraAs + TargetAs (one fused pass).
+        let attributed = attribute_and_filter(&tunnels, mapper);
+        let ingest = IngestState {
+            lsps: attributed.lsps,
+            traces_in: traces.len() as u64,
+            input: tunnels.len(),
+            after_incomplete: attributed.after_incomplete,
+            after_intra_as: attributed.after_intra_as,
+            extraction_us,
+            attribution_us: sw.elapsed_us(),
+            degraded,
+        };
+        self.finish_stages(ingest, future_keys, recorder, lpr_par::ShardOptions::new(1))
     }
 
     /// Runs LPR over already-extracted tunnels (useful when the caller
@@ -269,6 +294,7 @@ impl Pipeline {
             after_intra_as: attributed.after_intra_as,
             extraction_us: 0,
             attribution_us: sw.elapsed_us(),
+            degraded: DegradedReport::default(),
         };
         self.finish_stages(ingest, future_keys, recorder, lpr_par::ShardOptions::new(1))
     }
@@ -354,7 +380,12 @@ impl Pipeline {
         let iotps: Vec<(Iotp, Classification)> = iotps.into_iter().zip(classes).collect();
         let classification_us = lpr_obs::time::duration_us(timer.lap("classification"));
 
-        let output = PipelineOutput { iotps, report, dynamic_ases: persisted.dynamic_ases };
+        let output = PipelineOutput {
+            iotps,
+            report,
+            dynamic_ases: persisted.dynamic_ases,
+            degraded: ingest.degraded,
+        };
         if let Some(rec) = recorder {
             if ingest.traces_in > 0 {
                 rec.record_stage(
@@ -364,6 +395,14 @@ impl Pipeline {
                     output.report.input as u64,
                 );
                 rec.counter("pipeline.traces").add(ingest.traces_in);
+            }
+            if output.degraded.ingested() > 0 {
+                rec.counter("pipeline.traces_kept").add(output.degraded.kept);
+                rec.counter("pipeline.traces_quarantined")
+                    .add(output.degraded.quarantined_total());
+                for (reason, n) in &output.degraded.quarantined {
+                    rec.counter(reason.counter_name()).add(*n);
+                }
             }
             record_filter_stages(
                 rec,
@@ -416,8 +455,14 @@ impl Pipeline {
     /// Convenience: the per-snapshot LSP key sets used by Persistence,
     /// computed from raw traces.
     pub fn snapshot_keys(traces: &[Trace]) -> BTreeSet<LspKey> {
-        let tunnels: Vec<RawTunnel> =
-            traces.iter().flat_map(extract_tunnels).collect();
+        // Quarantined traces contribute no keys, matching what an ingest
+        // run over the same snapshot would keep.
+        let mut tunnels: Vec<RawTunnel> = Vec::new();
+        for trace in traces {
+            if validate_trace(trace).is_ok() {
+                extract_tunnels_into(trace, &mut tunnels);
+            }
+        }
         lsp_keys_of_tunnels(&tunnels)
     }
 }
@@ -596,6 +641,53 @@ mod tests {
             Pipeline::default().run_recorded(&traces, &mapper, &[keys], Some(&rec));
         assert_eq!(plain.report, recorded.report);
         assert_eq!(plain.class_counts(), recorded.class_counts());
+    }
+
+    #[test]
+    fn degraded_traces_are_quarantined_not_fatal() {
+        use crate::quarantine::QuarantineReason;
+        let clean = vec![
+            mpls_trace(Ipv4Addr::new(192, 0, 2, 7), [100, 200], [2, 3]),
+            mpls_trace(Ipv4Addr::new(198, 51, 100, 7), [101, 201], [2, 3]),
+        ];
+        let mut broken = clean.clone();
+        let mut dup = mpls_trace(Ipv4Addr::new(192, 0, 2, 8), [100, 200], [2, 3]);
+        dup.hops.push(dup.hops.last().unwrap().clone()); // duplicated reply
+        broken.push(dup);
+        let mut rev = mpls_trace(Ipv4Addr::new(198, 51, 100, 8), [100, 200], [2, 3]);
+        rev.hops.swap(0, 3); // reordered replies
+        broken.push(rev);
+
+        let keys = Pipeline::snapshot_keys(&broken);
+        assert_eq!(keys, Pipeline::snapshot_keys(&clean), "quarantined traces yield no keys");
+
+        let rec = lpr_obs::Recorder::new("degraded");
+        let out = Pipeline::default().run_recorded(
+            &broken,
+            &mapper,
+            std::slice::from_ref(&keys),
+            Some(&rec),
+        );
+        assert_eq!(out.degraded.kept, 2);
+        assert_eq!(out.degraded.quarantined[&QuarantineReason::DuplicateTtl], 1);
+        assert_eq!(out.degraded.quarantined[&QuarantineReason::NonMonotonicTtl], 1);
+        assert_eq!(out.degraded.ingested(), broken.len() as u64);
+
+        // The surviving pipeline matches a run over only the clean traces.
+        let clean_out = Pipeline::default().run(&clean, &mapper, &[keys]);
+        assert_eq!(out.iotps, clean_out.iotps);
+        assert_eq!(out.report, clean_out.report);
+
+        // Telemetry reconciles: kept + quarantined == traces ingested.
+        let telemetry = rec.finish();
+        assert_eq!(telemetry.counter("pipeline.traces"), broken.len() as u64);
+        assert_eq!(telemetry.counter("pipeline.traces_kept"), 2);
+        assert_eq!(telemetry.counter("pipeline.traces_quarantined"), 2);
+        assert_eq!(
+            telemetry.counter(QuarantineReason::DuplicateTtl.counter_name())
+                + telemetry.counter(QuarantineReason::NonMonotonicTtl.counter_name()),
+            telemetry.counter("pipeline.traces_quarantined"),
+        );
     }
 
     #[test]

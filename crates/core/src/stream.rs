@@ -29,6 +29,7 @@
 use crate::filter::{attribute_and_filter, AsMapper};
 use crate::lsp::LspKey;
 use crate::pipeline::{IngestState, Pipeline, PipelineOutput};
+use crate::quarantine::validate_trace;
 use crate::trace::Trace;
 use crate::tunnel::{extract_tunnels_into, RawTunnel};
 use std::collections::BTreeSet;
@@ -49,14 +50,24 @@ impl<'m> CycleAccumulator<'m> {
         CycleAccumulator { mapper, state: IngestState::default(), scratch: Vec::new() }
     }
 
-    /// Ingests one trace: extracts its explicit tunnels and runs the
-    /// per-LSP filters immediately.
+    /// Ingests one trace: validates it, extracts its explicit tunnels
+    /// and runs the per-LSP filters immediately. Structurally broken
+    /// traces are quarantined (counted on the eventual
+    /// [`PipelineOutput::degraded`] report) instead of entering the
+    /// pipeline.
     pub fn push_trace(&mut self, trace: &Trace) {
         let sw = lpr_obs::Stopwatch::start();
+        self.state.traces_in += 1;
+        if let Err(reason) = validate_trace(trace) {
+            self.state.degraded.note(reason);
+            self.state.extraction_us =
+                self.state.extraction_us.saturating_add(sw.elapsed_us());
+            return;
+        }
+        self.state.degraded.kept += 1;
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
         extract_tunnels_into(trace, &mut scratch);
-        self.state.traces_in += 1;
         self.state.extraction_us = self.state.extraction_us.saturating_add(sw.elapsed_us());
         self.push_tunnels(&scratch);
         self.scratch = scratch;

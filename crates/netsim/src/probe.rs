@@ -19,6 +19,7 @@
 
 use crate::dataplane::{probe, ProbeReply};
 use crate::internet::{splitmix64, Internet};
+use lpr_chaos::{FaultCounts, FaultPlan};
 use lpr_core::trace::{Hop, Trace};
 use std::net::Ipv4Addr;
 
@@ -70,12 +71,37 @@ pub struct Prober<'a> {
     net: &'a Internet,
     opts: ProbeOptions,
     metrics: Option<ProbeMetrics>,
+    faults: Option<FaultPlan>,
+    injected: std::cell::Cell<FaultCounts>,
 }
 
 impl<'a> Prober<'a> {
     /// Binds a prober to a network.
     pub fn new(net: &'a Internet, opts: ProbeOptions) -> Self {
-        Prober { net, opts, metrics: None }
+        Prober {
+            net,
+            opts,
+            metrics: None,
+            faults: None,
+            injected: std::cell::Cell::new(FaultCounts::default()),
+        }
+    }
+
+    /// Injects the plan's measurement-layer faults (probe loss, ICMP
+    /// rate limiting, PHP silence, truncated label-stack extensions,
+    /// duplicated and reordered replies) into every trace this prober
+    /// runs. Fault decisions derive from the plan's own seed, so the
+    /// same plan over the same campaign replays bit-identically — and a
+    /// quiet plan is the identity.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Tally of faults injected by the [`FaultPlan`] so far (zero
+    /// without one).
+    pub fn injected_faults(&self) -> FaultCounts {
+        self.injected.get()
     }
 
     /// Tallies probing activity into `recorder`'s registry: `probe.sent`,
@@ -139,6 +165,7 @@ impl<'a> Prober<'a> {
     pub fn trace_with_flow(&self, vp: Ipv4Addr, dst: Ipv4Addr, flow: u64) -> Trace {
         let mut trace = Trace::new(vp, dst);
         let mut gap = 0u8;
+        let mut injected = FaultCounts::default();
         for ttl in 1..=self.opts.max_ttl {
             if let Some(m) = &self.metrics {
                 m.sent.inc();
@@ -149,22 +176,48 @@ impl<'a> Prober<'a> {
                         .net
                         .config(self.net.topo.router(router).as_id)
                         .anonymous_rate;
-                    if self.anonymous(vp, dst, ttl, rate) {
+                    // Injected reply faults: loss in transit and router-side
+                    // ICMP rate limiting both leave the hop anonymous, like
+                    // the modelled anonymity does.
+                    let faulted = match &self.faults {
+                        Some(plan) if plan.lose_probe(vp, dst, ttl) => {
+                            injected.lost += 1;
+                            true
+                        }
+                        Some(plan) if plan.rate_limited(addr, ttl) => {
+                            injected.rate_limited += 1;
+                            true
+                        }
+                        _ => false,
+                    };
+                    if faulted || self.anonymous(vp, dst, ttl, rate) {
                         if let Some(m) = &self.metrics {
                             m.anonymous.inc();
                         }
                         trace.push_hop(Hop::anonymous(ttl));
                         gap += 1;
                     } else {
+                        let mut stack: lpr_core::label::LabelStack =
+                            stack.into_iter().collect();
+                        if let Some(plan) = &self.faults {
+                            if !stack.is_empty() && plan.php_silent(addr) {
+                                stack = lpr_core::label::LabelStack::empty();
+                                injected.php_silenced += 1;
+                            } else if stack.depth() > 1 && plan.truncate_stack(addr, ttl) {
+                                stack =
+                                    lpr_core::label::LabelStack::from_entries(&stack.entries()[..1]);
+                                injected.truncated_exts += 1;
+                            }
+                        }
                         if let Some(m) = &self.metrics {
                             m.replies.inc();
-                            m.stack_depth.observe(stack.len());
+                            m.stack_depth.observe(stack.depth());
                         }
                         trace.push_hop(Hop {
                             probe_ttl: ttl,
                             addr: Some(addr),
                             rtt_us: self.rtt(vp, dst, ttl),
-                            stack: stack.into_iter().collect(),
+                            stack,
                         });
                         gap = 0;
                     }
@@ -187,6 +240,16 @@ impl<'a> Prober<'a> {
             if gap >= self.opts.gap_limit {
                 break;
             }
+        }
+        if let Some(plan) = &self.faults {
+            // Duplicated/reordered replies rebuild the hop list, possibly
+            // breaking strict TTL order — downstream quarantine territory.
+            plan.degrade_structure(&mut trace, &mut injected);
+        }
+        if injected.total() > 0 {
+            let mut total = self.injected.get();
+            total.merge(&injected);
+            self.injected.set(total);
         }
         trace
     }
@@ -332,6 +395,88 @@ mod tests {
                 assert_eq!(x.addr, y.addr);
             }
         }
+    }
+
+    #[test]
+    fn quiet_fault_plan_is_identity() {
+        let net = build(0.0);
+        let vps: Vec<_> = net.topo.vantage_points().iter().map(|(a, _)| *a).collect();
+        let dsts = net.topo.destinations(4);
+        let plain = Prober::new(&net, ProbeOptions::default()).campaign(&vps, &dsts);
+        let quiet = Prober::new(&net, ProbeOptions::default())
+            .with_faults(lpr_chaos::FaultPlan::none(9));
+        assert_eq!(quiet.campaign(&vps, &dsts), plain);
+        assert_eq!(quiet.injected_faults(), FaultCounts::default());
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let net = build(0.0);
+        let vps: Vec<_> = net.topo.vantage_points().iter().map(|(a, _)| *a).collect();
+        let dsts = net.topo.destinations(4);
+        let run = |seed: u64| {
+            let p = Prober::new(&net, ProbeOptions::default())
+                .with_faults(lpr_chaos::FaultPlan::uniform(seed, 0.3));
+            let traces = p.campaign(&vps, &dsts);
+            (traces, p.injected_faults())
+        };
+        let (ta, ca) = run(5);
+        let (tb, cb) = run(5);
+        assert_eq!(ta, tb);
+        assert_eq!(ca, cb);
+        assert!(ca.total() > 0, "30% faults must fire somewhere");
+        let (tc, _) = run(6);
+        assert_ne!(ta, tc, "different seeds, different faults");
+    }
+
+    #[test]
+    fn probe_loss_faults_leave_anonymous_hops() {
+        let net = build(0.0);
+        let vps: Vec<_> = net.topo.vantage_points().iter().map(|(a, _)| *a).collect();
+        let dsts = net.topo.destinations(4);
+        let mut plan = lpr_chaos::FaultPlan::none(1);
+        plan.probe_loss = 0.5;
+        let prober = Prober::new(&net, ProbeOptions::default()).with_faults(plan);
+        let traces = prober.campaign(&vps, &dsts);
+        let anonymous = traces
+            .iter()
+            .flat_map(|t| t.hops.iter())
+            .filter(|h| !h.is_responsive())
+            .count() as u64;
+        let injected = prober.injected_faults();
+        assert!(injected.lost > 0);
+        assert!(anonymous >= injected.lost, "every lost reply is an anonymous hop");
+    }
+
+    #[test]
+    fn php_silence_fault_hides_label_stacks() {
+        let net = build(0.0);
+        let vps: Vec<_> = net.topo.vantage_points().iter().map(|(a, _)| *a).collect();
+        let dsts = net.topo.destinations(2);
+        let mut plan = lpr_chaos::FaultPlan::none(2);
+        plan.php_silence = 1.0;
+        let prober = Prober::new(&net, ProbeOptions::default()).with_faults(plan);
+        let traces = prober.campaign(&vps, &dsts);
+        assert!(traces.iter().all(|t| !t.has_mpls()), "every stack is silenced");
+        assert!(prober.injected_faults().php_silenced > 0);
+    }
+
+    #[test]
+    fn structural_faults_reach_the_hop_lists() {
+        let net = build(0.0);
+        let vps: Vec<_> = net.topo.vantage_points().iter().map(|(a, _)| *a).collect();
+        let dsts = net.topo.destinations(4);
+        let mut plan = lpr_chaos::FaultPlan::none(4);
+        plan.duplicate_reply = 1.0;
+        let prober = Prober::new(&net, ProbeOptions::default()).with_faults(plan);
+        let traces = prober.campaign(&vps, &dsts);
+        assert!(prober.injected_faults().duplicated > 0);
+        assert!(
+            traces.iter().any(|t| {
+                t.hops.windows(2).any(|w| w[0].probe_ttl >= w[1].probe_ttl)
+            }),
+            "duplicated replies break strict TTL order somewhere"
+        );
     }
 
     #[test]

@@ -70,6 +70,25 @@ impl RunTelemetry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Every counter whose name starts with `prefix`, in name order.
+    ///
+    /// Taxonomy counters — `warts.skip.*` skip reasons, `quarantine.*`
+    /// trace-quarantine reasons — are written one counter per variant;
+    /// this reads such a family back as a unit.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&str, u64)> {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, &v)| (k.as_str(), v))
+            .collect()
+    }
+
+    /// Sum of every counter under `prefix` (0 when none exist), for
+    /// reconciling a taxonomy family against its roll-up counter.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters.iter().filter(|(k, _)| k.starts_with(prefix)).map(|(_, &v)| v).sum()
+    }
+
     /// The per-worker entries of a parallel stage: every stage named
     /// `worker{N}/{stage}` (see [`Recorder::record_worker_stage`]), in
     /// recording order.
@@ -369,6 +388,22 @@ mod tests {
         let h = &t.histograms["c.hist"];
         assert_eq!(h[2], 2);
         assert_eq!(*h.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn prefix_family_reads_and_sums() {
+        let rec = Recorder::new("unit");
+        rec.counter("skip.bad_magic").add(3);
+        rec.counter("skip.truncated_body").add(4);
+        rec.counter("skipped_total").add(7);
+        let t = rec.finish();
+        assert_eq!(
+            t.counters_with_prefix("skip."),
+            vec![("skip.bad_magic", 3), ("skip.truncated_body", 4)]
+        );
+        assert_eq!(t.counter_sum("skip."), t.counter("skipped_total"));
+        assert!(t.counters_with_prefix("nope.").is_empty());
+        assert_eq!(t.counter_sum("nope."), 0);
     }
 
     #[test]

@@ -108,6 +108,10 @@ pub struct ShardRun<R> {
     pub outputs: Vec<R>,
     /// Which worker ran each shard (parallel to `outputs`).
     pub shard_workers: Vec<usize>,
+    /// Item count of each shard (parallel to `outputs`), so a caller
+    /// can account for a poisoned shard's items without re-deriving the
+    /// shard geometry.
+    pub shard_lens: Vec<usize>,
     /// Per-worker accounting, indexed by worker.
     pub workers: Vec<WorkerStat>,
     /// Wall time of the whole run, spawn and join included,
@@ -122,6 +126,41 @@ impl<R> ShardRun<R> {
     }
 }
 
+/// A shard whose closure panicked.
+///
+/// The panic is caught at the shard boundary ([`std::panic::catch_unwind`]
+/// inside the worker's pull loop), so one poisoned shard never tears
+/// down the other workers or the process: every remaining shard still
+/// runs and returns its output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoisonedShard {
+    /// Index of the shard whose closure panicked.
+    pub shard: usize,
+    /// Worker that ran it.
+    pub worker: usize,
+    /// The panic payload, stringified (`&str`/`String` payloads are
+    /// preserved verbatim).
+    pub message: String,
+}
+
+impl std::fmt::Display for PoisonedShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} poisoned (worker {}): {}", self.shard, self.worker, self.message)
+    }
+}
+
+impl std::error::Error for PoisonedShard {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast_ref::<&str>() {
+        Some(s) => (*s).to_string(),
+        None => match payload.downcast_ref::<String>() {
+            Some(s) => s.clone(),
+            None => "non-string panic payload".to_string(),
+        },
+    }
+}
+
 /// Cuts `items` into contiguous shards and maps `f` over them on a pool
 /// of scoped worker threads, returning the outputs **in shard order**.
 ///
@@ -130,7 +169,60 @@ impl<R> ShardRun<R> {
 /// atomic cursor until the queue drains. With `threads <= 1` (after
 /// resolving `0`) everything runs inline on the caller's thread — same
 /// shard boundaries, same outputs, no spawn.
+///
+/// A panicking shard closure poisons only its own shard; the run
+/// completes and this function then re-panics on the caller's thread
+/// with the first poisoned shard's message (use [`try_map_shards`] or
+/// [`map_shards_caught`] to handle poisoning without unwinding).
 pub fn map_shards<T, R, F>(items: &[T], opts: ShardOptions, f: F) -> ShardRun<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    match try_map_shards(items, opts, f) {
+        Ok(run) => run,
+        Err(poisoned) => panic!("{poisoned}"),
+    }
+}
+
+/// [`map_shards`] that surfaces a panicking shard as an error instead
+/// of unwinding: the first poisoned shard (in shard order) wins, as a
+/// sequential loop's first panic would.
+pub fn try_map_shards<T, R, F>(
+    items: &[T],
+    opts: ShardOptions,
+    f: F,
+) -> Result<ShardRun<R>, PoisonedShard>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let run = map_shards_caught(items, opts, f);
+    let mut outputs = Vec::with_capacity(run.outputs.len());
+    for out in run.outputs {
+        outputs.push(out?);
+    }
+    Ok(ShardRun {
+        outputs,
+        shard_workers: run.shard_workers,
+        shard_lens: run.shard_lens,
+        workers: run.workers,
+        wall_us: run.wall_us,
+    })
+}
+
+/// The raw engine behind [`map_shards`]/[`try_map_shards`]: every shard
+/// runs to completion and each output is `Ok(R)` or the
+/// [`PoisonedShard`] describing its caught panic — callers that can
+/// degrade gracefully (quarantine the shard's items, keep the rest)
+/// consume this directly.
+pub fn map_shards_caught<T, R, F>(
+    items: &[T],
+    opts: ShardOptions,
+    f: F,
+) -> ShardRun<Result<R, PoisonedShard>>
 where
     T: Sync,
     R: Send,
@@ -141,9 +233,18 @@ where
     let bounds = shard_bounds(items.len(), nshards);
     let threads = opts.effective_threads().max(1).min(nshards.max(1));
 
-    let mut outputs: Vec<Option<R>> = Vec::new();
+    // The closure only ever borrows `f` and the input slice, so a caught
+    // panic cannot leave broken state behind: the shard's would-be
+    // output is simply replaced by the error.
+    let run_one = |shard: usize, slice: &[T], worker: usize| -> Result<R, PoisonedShard> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(shard, slice)))
+            .map_err(|payload| PoisonedShard { shard, worker, message: panic_message(payload) })
+    };
+
+    let mut outputs: Vec<Option<Result<R, PoisonedShard>>> = Vec::new();
     outputs.resize_with(nshards, || None);
     let mut shard_workers = vec![0usize; nshards];
+    let shard_lens: Vec<usize> = bounds.iter().map(|(s, e)| e - s).collect();
     let mut workers: Vec<WorkerStat> = Vec::new();
 
     if threads <= 1 || nshards <= 1 {
@@ -153,39 +254,46 @@ where
             let slice = &items[bounds[shard].0..bounds[shard].1];
             stat.shards += 1;
             stat.items += slice.len() as u64;
-            *out = Some(f(shard, slice));
+            *out = Some(run_one(shard, slice, 0));
         }
         stat.busy_us = sw.elapsed().as_micros() as u64;
         workers.push(stat);
     } else {
         let cursor = AtomicUsize::new(0);
-        let f = &f;
+        let run_one = &run_one;
         let bounds = &bounds;
         let cursor = &cursor;
-        let mut results: Vec<(WorkerStat, Vec<(usize, R)>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|worker| {
-                    scope.spawn(move || {
-                        let sw = Instant::now();
-                        let mut stat = WorkerStat { worker, ..Default::default() };
-                        let mut produced = Vec::new();
-                        loop {
-                            let shard = cursor.fetch_add(1, Ordering::Relaxed);
-                            if shard >= nshards {
-                                break;
+        // One worker's harvest: its stats plus every (shard, result)
+        // pair it claimed off the queue.
+        type Harvest<R> = (WorkerStat, Vec<(usize, Result<R, PoisonedShard>)>);
+        let mut results: Vec<Harvest<R>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|worker| {
+                        scope.spawn(move || {
+                            let sw = Instant::now();
+                            let mut stat = WorkerStat { worker, ..Default::default() };
+                            let mut produced = Vec::new();
+                            loop {
+                                let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                                if shard >= nshards {
+                                    break;
+                                }
+                                let slice = &items[bounds[shard].0..bounds[shard].1];
+                                stat.shards += 1;
+                                stat.items += slice.len() as u64;
+                                produced.push((shard, run_one(shard, slice, worker)));
                             }
-                            let slice = &items[bounds[shard].0..bounds[shard].1];
-                            stat.shards += 1;
-                            stat.items += slice.len() as u64;
-                            produced.push((shard, f(shard, slice)));
-                        }
-                        stat.busy_us = sw.elapsed().as_micros() as u64;
-                        (stat, produced)
+                            stat.busy_us = sw.elapsed().as_micros() as u64;
+                            (stat, produced)
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker itself cannot panic: shards are caught"))
+                    .collect()
+            });
         for (stat, produced) in &mut results {
             for (shard, out) in produced.drain(..) {
                 shard_workers[shard] = stat.worker;
@@ -201,6 +309,7 @@ where
             .map(|o| o.expect("every shard claimed exactly once"))
             .collect(),
         shard_workers,
+        shard_lens,
         workers,
         wall_us: started.elapsed().as_micros() as u64,
     }
@@ -301,5 +410,86 @@ mod tests {
     fn zero_threads_resolves_to_available() {
         let opts = ShardOptions::new(0);
         assert!(opts.effective_threads() >= 1);
+    }
+
+    /// Suppresses the default panic hook's backtrace spam for the
+    /// duration of a test that panics on purpose inside workers.
+    fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    /// Regression: a panic inside a shard used to propagate through
+    /// `std::thread::scope`'s join and abort the whole run. Now it
+    /// poisons only its shard.
+    #[test]
+    fn panicking_shard_poisons_only_itself() {
+        with_quiet_panics(|| {
+            let items: Vec<u32> = (0..1000).collect();
+            for threads in [1usize, 2, 4] {
+                let run = map_shards_caught(&items, ShardOptions::new(threads), |shard, s| {
+                    if shard == 1 {
+                        panic!("boom in shard {shard}");
+                    }
+                    s.len()
+                });
+                assert_eq!(run.shard_lens.iter().sum::<usize>(), items.len());
+                for (shard, out) in run.outputs.iter().enumerate() {
+                    match out {
+                        Ok(n) => {
+                            assert_ne!(shard, 1);
+                            assert_eq!(*n, run.shard_lens[shard]);
+                        }
+                        Err(p) => {
+                            assert_eq!(shard, 1, "threads={threads}");
+                            assert_eq!(p.shard, 1);
+                            assert_eq!(p.message, "boom in shard 1");
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn try_map_shards_reports_first_poisoned_shard() {
+        with_quiet_panics(|| {
+            let items: Vec<u32> = (0..1000).collect();
+            let err = try_map_shards(&items, ShardOptions::new(4), |shard, _| {
+                if shard >= 2 {
+                    panic!("shard {shard} down");
+                }
+                shard
+            })
+            .unwrap_err();
+            assert_eq!(err.shard, 2, "first poisoned shard in shard order wins");
+            assert_eq!(err.message, "shard 2 down");
+            assert!(err.to_string().contains("poisoned"));
+
+            let ok = try_map_shards(&items, ShardOptions::new(4), |shard, _| shard).unwrap();
+            assert_eq!(ok.outputs, (0..ok.outputs.len()).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn map_shards_repanics_with_the_shard_message() {
+        with_quiet_panics(|| {
+            let items: Vec<u32> = (0..200).collect();
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                map_shards(&items, ShardOptions::new(2), |shard, s| {
+                    if shard == 0 {
+                        panic!("first shard failed");
+                    }
+                    s.len()
+                })
+            }));
+            let payload = caught.unwrap_err();
+            let msg = payload.downcast_ref::<String>().expect("formatted message");
+            assert!(msg.contains("first shard failed"), "{msg}");
+            assert!(msg.contains("shard 0"), "{msg}");
+        });
     }
 }

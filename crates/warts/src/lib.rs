@@ -86,6 +86,6 @@ pub use file::{read_path, write_path, Record, RecordType, WartsReader, WartsWrit
 pub use icmpext::{IcmpExt, MPLS_EXT_CLASS, MPLS_EXT_TYPE};
 pub use list::ListRecord;
 pub use ping::{PingRecord, PingReply};
-pub use stream::{StreamError, StreamMetrics, WartsStreamReader};
+pub use stream::{SkipReason, StreamError, StreamMetrics, WartsStreamReader};
 pub use text::{ping_to_text, trace_to_text};
 pub use trace::{HopRecord, StopReason, TraceRecord};

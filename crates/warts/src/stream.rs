@@ -29,12 +29,111 @@ use crate::list::ListRecord;
 use crate::ping::PingRecord;
 use crate::trace::TraceRecord;
 use lpr_obs::{Counter, Registry};
+use std::collections::BTreeMap;
 use std::io::Read;
 use std::sync::Arc;
 
 /// Largest record body this reader will buffer (64 MiB — far above any
 /// real scamper record; a larger length indicates corruption).
 pub const MAX_RECORD_LEN: usize = 64 << 20;
+
+/// Why a lenient reader skipped (part of) a stream instead of decoding
+/// a record from it.
+///
+/// The taxonomy mirrors the decode failure modes: the first four are
+/// framing-level (the stream had to be resynchronised or ended early),
+/// the rest are body-level (framing was intact, the record content was
+/// not). [`SkipReason::ALL`] lists every variant in counter order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SkipReason {
+    /// Bytes at a record boundary that are not a plausible header; the
+    /// reader scanned forward to the next candidate (one skip per
+    /// contiguous garbage run).
+    BadMagic = 0,
+    /// The stream ended inside a record header.
+    TruncatedHeader = 1,
+    /// A header declared a length beyond [`MAX_RECORD_LEN`].
+    InsaneLength = 2,
+    /// The stream ended before a record's declared body length.
+    TruncatedBody = 3,
+    /// A record body ran out of bytes while decoding.
+    Truncated = 4,
+    /// A body decoded to a different length than its header declared.
+    LengthMismatch = 5,
+    /// A bad address: unknown dictionary reference or malformed entry.
+    BadAddress = 6,
+    /// A malformed flag/parameter block.
+    ParamError = 7,
+    /// A malformed ICMP extension block.
+    BadIcmpExt = 8,
+    /// A record using a feature this crate does not support.
+    Unsupported = 9,
+}
+
+impl SkipReason {
+    /// Every reason, in counter order (`reason as usize` indexes it).
+    pub const ALL: [SkipReason; 10] = [
+        SkipReason::BadMagic,
+        SkipReason::TruncatedHeader,
+        SkipReason::InsaneLength,
+        SkipReason::TruncatedBody,
+        SkipReason::Truncated,
+        SkipReason::LengthMismatch,
+        SkipReason::BadAddress,
+        SkipReason::ParamError,
+        SkipReason::BadIcmpExt,
+        SkipReason::Unsupported,
+    ];
+
+    /// Short machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SkipReason::BadMagic => "bad_magic",
+            SkipReason::TruncatedHeader => "truncated_header",
+            SkipReason::InsaneLength => "insane_length",
+            SkipReason::TruncatedBody => "truncated_body",
+            SkipReason::Truncated => "truncated",
+            SkipReason::LengthMismatch => "length_mismatch",
+            SkipReason::BadAddress => "bad_address",
+            SkipReason::ParamError => "param_error",
+            SkipReason::BadIcmpExt => "bad_icmp_ext",
+            SkipReason::Unsupported => "unsupported",
+        }
+    }
+
+    /// The registry counter this reason tallies under.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            SkipReason::BadMagic => "warts.skip.bad_magic",
+            SkipReason::TruncatedHeader => "warts.skip.truncated_header",
+            SkipReason::InsaneLength => "warts.skip.insane_length",
+            SkipReason::TruncatedBody => "warts.skip.truncated_body",
+            SkipReason::Truncated => "warts.skip.truncated",
+            SkipReason::LengthMismatch => "warts.skip.length_mismatch",
+            SkipReason::BadAddress => "warts.skip.bad_address",
+            SkipReason::ParamError => "warts.skip.param_error",
+            SkipReason::BadIcmpExt => "warts.skip.bad_icmp_ext",
+            SkipReason::Unsupported => "warts.skip.unsupported",
+        }
+    }
+
+    /// Classifies a body-decode error.
+    pub fn of(err: &WartsError) -> SkipReason {
+        match err {
+            WartsError::BadMagic { .. } => SkipReason::BadMagic,
+            WartsError::Truncated { .. } => SkipReason::Truncated,
+            WartsError::LengthMismatch { .. } => SkipReason::LengthMismatch,
+            WartsError::UnknownAddrId { .. } | WartsError::BadAddrType { .. } => {
+                SkipReason::BadAddress
+            }
+            WartsError::ParamOverrun { .. } | WartsError::UnterminatedString => {
+                SkipReason::ParamError
+            }
+            WartsError::BadIcmpExt { .. } => SkipReason::BadIcmpExt,
+            WartsError::Unsupported { .. } => SkipReason::Unsupported,
+        }
+    }
+}
 
 /// Ingest counters for a warts stream, registered under `warts.*`.
 ///
@@ -49,8 +148,9 @@ pub struct StreamMetrics {
     pub bytes: Arc<Counter>,
     /// Trace records among them (`warts.traces`).
     pub traces: Arc<Counter>,
-    /// Records whose body failed to decode and were skipped in lenient
-    /// mode (`warts.malformed_records`).
+    /// Total skips in lenient mode, every reason included
+    /// (`warts.malformed_records`). Always equals the sum of the
+    /// per-reason counters in [`StreamMetrics::skips`].
     pub malformed: Arc<Counter>,
     /// Records of a type this crate does not parse
     /// (`warts.unsupported_records`).
@@ -58,6 +158,12 @@ pub struct StreamMetrics {
     /// ICMP extension objects that are not RFC 4950 MPLS stacks
     /// (`warts.unknown_icmp_ext`).
     pub unknown_icmp_ext: Arc<Counter>,
+    /// Per-reason skip counters (`warts.skip.<reason>`), indexed in
+    /// [`SkipReason::ALL`] order.
+    pub skips: [Arc<Counter>; SkipReason::ALL.len()],
+    /// Garbage bytes discarded while resynchronising
+    /// (`warts.resync_bytes`).
+    pub resync_bytes: Arc<Counter>,
 }
 
 impl StreamMetrics {
@@ -71,7 +177,14 @@ impl StreamMetrics {
             malformed: registry.counter("warts.malformed_records"),
             unsupported: registry.counter("warts.unsupported_records"),
             unknown_icmp_ext: registry.counter("warts.unknown_icmp_ext"),
+            skips: SkipReason::ALL.map(|r| registry.counter(r.counter_name())),
+            resync_bytes: registry.counter("warts.resync_bytes"),
         }
+    }
+
+    fn skip(&self, reason: SkipReason) {
+        self.malformed.inc();
+        self.skips[reason as usize].inc();
     }
 
     fn observe(&self, wire_len: usize, record: &Record) {
@@ -102,6 +215,13 @@ pub struct WartsStreamReader<R: Read> {
     failed: bool,
     metrics: Option<StreamMetrics>,
     lenient: bool,
+    /// Bytes read from `source` but not yet consumed
+    /// (`buf[buf_pos..]`); lenient resynchronisation scans here.
+    buf: Vec<u8>,
+    buf_pos: usize,
+    eof: bool,
+    skips: BTreeMap<SkipReason, u64>,
+    resync_bytes: u64,
 }
 
 /// Errors from streaming reads: IO or decode.
@@ -146,6 +266,11 @@ impl<R: Read> WartsStreamReader<R> {
             failed: false,
             metrics: None,
             lenient: false,
+            buf: Vec::new(),
+            buf_pos: 0,
+            eof: false,
+            skips: BTreeMap::new(),
+            resync_bytes: 0,
         }
     }
 
@@ -155,19 +280,145 @@ impl<R: Read> WartsStreamReader<R> {
         self
     }
 
-    /// Skips records whose *body* fails to decode instead of aborting
-    /// the stream: the declared header length keeps the reader aligned
-    /// on the next record boundary, and `warts.malformed_records`
-    /// counts the skip (silently without [`WartsStreamReader::with_metrics`]).
+    /// Survives corrupt input instead of aborting the stream, counting
+    /// every skip under its [`SkipReason`]:
     ///
-    /// Header-level corruption (bad magic, truncated header or body,
-    /// insane length) stays fatal — there is no boundary to resync on.
-    /// Note a skipped trace/ping may have carried address-dictionary
-    /// entries; later references to them then fail too (and are counted
-    /// in turn).
+    /// * a record whose *body* fails to decode is skipped — the declared
+    ///   header length keeps the reader aligned on the next boundary;
+    /// * header-level corruption (bad magic, insane length, a body cut
+    ///   short of its declared length) triggers *resynchronisation*: the
+    ///   reader scans forward for the next plausible record header and
+    ///   resumes there, counting one skip per corruption event and the
+    ///   discarded bytes in `warts.resync_bytes`;
+    /// * a stream ending mid-header or mid-body ends cleanly after a
+    ///   final counted skip.
+    ///
+    /// Skips tally in [`StreamMetrics`] when attached and always in
+    /// [`WartsStreamReader::skip_counts`]. Note a skipped trace/ping may
+    /// have carried address-dictionary entries; later references to them
+    /// then fail too (and are counted in turn).
     pub fn lenient(mut self) -> Self {
         self.lenient = true;
         self
+    }
+
+    /// Per-reason skip tallies so far (empty unless
+    /// [`WartsStreamReader::lenient`]).
+    pub fn skip_counts(&self) -> &BTreeMap<SkipReason, u64> {
+        &self.skips
+    }
+
+    /// Total records/runs skipped so far in lenient mode.
+    pub fn skipped_total(&self) -> u64 {
+        self.skips.values().sum()
+    }
+
+    /// Garbage bytes discarded while resynchronising.
+    pub fn resync_bytes(&self) -> u64 {
+        self.resync_bytes
+    }
+
+    fn buffered(&self) -> usize {
+        self.buf.len() - self.buf_pos
+    }
+
+    /// Ensures at least `n` bytes are buffered, or as many as the
+    /// source has before EOF.
+    fn fill(&mut self, n: usize) -> Result<(), StreamError> {
+        while self.buffered() < n && !self.eof {
+            if self.buf_pos > 0 {
+                self.buf.drain(..self.buf_pos);
+                self.buf_pos = 0;
+            }
+            let old = self.buf.len();
+            let want = (n - old).max(4096);
+            self.buf.resize(old + want, 0);
+            let got = match self.source.read(&mut self.buf[old..]) {
+                Ok(g) => g,
+                Err(e) => {
+                    self.buf.truncate(old);
+                    return Err(e.into());
+                }
+            };
+            self.buf.truncate(old + got);
+            if got == 0 {
+                self.eof = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes `n` buffered bytes as (part of) a record.
+    fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.buffered());
+        self.buf_pos += n;
+        self.offset += n;
+    }
+
+    /// Consumes `n` buffered bytes as resynchronisation garbage.
+    fn discard(&mut self, n: usize) {
+        self.consume(n);
+        self.resync_bytes += n as u64;
+        if let Some(m) = &self.metrics {
+            m.resync_bytes.add(n as u64);
+        }
+    }
+
+    fn skip(&mut self, reason: SkipReason) {
+        *self.skips.entry(reason).or_default() += 1;
+        if let Some(m) = &self.metrics {
+            m.skip(reason);
+        }
+    }
+
+    /// Scans forward to the next plausible record header (magic plus a
+    /// sane declared length), discarding garbage. Stops at EOF with the
+    /// un-frameable tail discarded. Always makes progress when invoked
+    /// after at least one byte of the bad region was consumed.
+    fn resync(&mut self) -> Result<(), StreamError> {
+        loop {
+            self.fill(8)?;
+            let window = &self.buf[self.buf_pos..];
+            if window.len() < 8 {
+                let n = window.len();
+                self.discard(n);
+                return Ok(());
+            }
+            let magic = WARTS_MAGIC.to_be_bytes();
+            let mut found = None;
+            for i in 0..=window.len() - 8 {
+                if window[i] == magic[0] && window[i + 1] == magic[1] {
+                    let len = u32::from_be_bytes([
+                        window[i + 4],
+                        window[i + 5],
+                        window[i + 6],
+                        window[i + 7],
+                    ]) as usize;
+                    if len <= MAX_RECORD_LEN {
+                        found = Some(i);
+                        break;
+                    }
+                }
+            }
+            match found {
+                Some(0) => return Ok(()),
+                Some(i) => {
+                    self.discard(i);
+                    return Ok(());
+                }
+                None => {
+                    // Keep the last 7 bytes: a header may straddle the
+                    // window edge.
+                    let n = window.len() - 7;
+                    self.discard(n);
+                    if self.eof {
+                        let tail = self.buffered();
+                        self.discard(tail);
+                        return Ok(());
+                    }
+                }
+            }
+        }
     }
 
     /// Reads the next record; `Ok(None)` at a clean end of stream.
@@ -178,35 +429,60 @@ impl<R: Read> WartsStreamReader<R> {
             }
             // Header: 8 bytes, but EOF exactly at a record boundary is a
             // clean end.
-            let mut header = [0u8; 8];
-            let mut got = 0usize;
-            while got < 8 {
-                let n = self.source.read(&mut header[got..])?;
-                if n == 0 {
-                    if got == 0 {
-                        return Ok(None);
-                    }
-                    self.failed = true;
-                    return Err(WartsError::Truncated { context: "record header" }.into());
-                }
-                got += n;
+            self.fill(8)?;
+            let avail = self.buffered();
+            if avail == 0 {
+                return Ok(None);
             }
+            if avail < 8 {
+                if self.lenient {
+                    self.skip(SkipReason::TruncatedHeader);
+                    self.discard(avail);
+                    return Ok(None);
+                }
+                self.failed = true;
+                return Err(WartsError::Truncated { context: "record header" }.into());
+            }
+            let header = &self.buf[self.buf_pos..self.buf_pos + 8];
             let magic = u16::from_be_bytes([header[0], header[1]]);
             if magic != WARTS_MAGIC {
+                if self.lenient {
+                    self.skip(SkipReason::BadMagic);
+                    self.discard(1);
+                    self.resync()?;
+                    continue;
+                }
                 self.failed = true;
                 return Err(WartsError::BadMagic { offset: self.offset, found: magic }.into());
             }
             let record_type = u16::from_be_bytes([header[2], header[3]]);
             let len = u32::from_be_bytes([header[4], header[5], header[6], header[7]]) as usize;
             if len > MAX_RECORD_LEN {
+                if self.lenient {
+                    self.skip(SkipReason::InsaneLength);
+                    self.discard(1);
+                    self.resync()?;
+                    continue;
+                }
                 self.failed = true;
                 return Err(WartsError::Truncated { context: "record length sanity" }.into());
             }
-            let mut body = vec![0u8; len];
-            self.source.read_exact(&mut body).inspect_err(|_| {
+            self.fill(8 + len)?;
+            if self.buffered() < 8 + len {
+                // The stream ends short of the declared body. In lenient
+                // mode the "header" may be a corrupted length swallowing
+                // real records, so step past it and rescan the tail.
+                if self.lenient {
+                    self.skip(SkipReason::TruncatedBody);
+                    self.discard(1);
+                    self.resync()?;
+                    continue;
+                }
                 self.failed = true;
-            })?;
-            self.offset += 8 + len;
+                return Err(WartsError::Truncated { context: "record body" }.into());
+            }
+            let body = self.buf[self.buf_pos + 8..self.buf_pos + 8 + len].to_vec();
+            self.consume(8 + len);
 
             match decode_body(record_type, len, body, &mut self.addrs) {
                 Ok(record) => {
@@ -217,11 +493,9 @@ impl<R: Read> WartsStreamReader<R> {
                 }
                 Err(e) => {
                     if self.lenient {
-                        // The body was fully consumed, so the source is
+                        // The body was fully consumed, so the reader is
                         // already positioned on the next header.
-                        if let Some(m) = &self.metrics {
-                            m.malformed.inc();
-                        }
+                        self.skip(SkipReason::of(&e));
                         continue;
                     }
                     self.failed = true;
@@ -421,5 +695,123 @@ mod tests {
         bytes.extend_from_slice(&(u32::MAX).to_be_bytes());
         let mut r = WartsStreamReader::new(bytes.as_slice());
         assert!(r.next_record().is_err());
+    }
+
+    /// Drains a lenient reader, returning the records it salvaged.
+    fn drain_lenient(bytes: &[u8]) -> (Vec<Record>, BTreeMap<SkipReason, u64>, u64) {
+        let mut r = WartsStreamReader::new(bytes).lenient();
+        let mut records = Vec::new();
+        while let Some(rec) = r.next_record().expect("lenient never errors on corrupt bytes") {
+            records.push(rec);
+        }
+        (records, r.skip_counts().clone(), r.resync_bytes())
+    }
+
+    #[test]
+    fn lenient_resyncs_over_leading_garbage() {
+        let mut bytes = vec![0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03];
+        bytes.extend_from_slice(&sample_bytes());
+        let (records, skips, resynced) = drain_lenient(&bytes);
+        assert_eq!(records.len(), 5, "every real record survives the garbage prefix");
+        assert_eq!(skips[&SkipReason::BadMagic], 1, "one skip per garbage run");
+        assert_eq!(resynced, 7);
+    }
+
+    #[test]
+    fn lenient_resyncs_over_a_smashed_magic() {
+        let mut bytes = sample_bytes();
+        bytes[0] ^= 0xFF; // first record's magic
+        let (records, skips, _) = drain_lenient(&bytes);
+        // The first record (the list) is lost; resync lands on the next.
+        assert_eq!(records.len(), 4);
+        assert!(skips[&SkipReason::BadMagic] >= 1);
+    }
+
+    #[test]
+    fn lenient_survives_insane_length_and_recovers_the_tail() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WARTS_MAGIC.to_be_bytes());
+        bytes.extend_from_slice(&6u16.to_be_bytes());
+        bytes.extend_from_slice(&(u32::MAX).to_be_bytes());
+        bytes.extend_from_slice(&sample_bytes());
+        let (records, skips, _) = drain_lenient(&bytes);
+        assert_eq!(records.len(), 5, "records after the insane header still stream");
+        assert_eq!(skips[&SkipReason::InsaneLength], 1);
+    }
+
+    #[test]
+    fn lenient_ends_cleanly_on_truncated_tail() {
+        let bytes = sample_bytes();
+        // Cut mid-body of the last record.
+        let cut = &bytes[..bytes.len() - 3];
+        let (records, skips, _) = drain_lenient(cut);
+        assert_eq!(records.len(), 4, "all but the cut record");
+        assert_eq!(skips[&SkipReason::TruncatedBody], 1);
+        // Cut mid-header.
+        let (records, skips, _) = drain_lenient(&bytes[..3]);
+        assert!(records.is_empty());
+        assert_eq!(skips[&SkipReason::TruncatedHeader], 1);
+    }
+
+    #[test]
+    fn lenient_recovers_records_swallowed_by_a_bad_length() {
+        // Inflate the first record's declared length so it would swallow
+        // the rest of the stream; resync must rescue the later records.
+        let mut bytes = sample_bytes();
+        let len = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        bytes[4..8].copy_from_slice(&(len + 9999).to_be_bytes());
+        let (records, skips, _) = drain_lenient(&bytes);
+        assert!(records.len() >= 4, "records after the bad length stream again");
+        assert!(skips[&SkipReason::TruncatedBody] >= 1);
+    }
+
+    #[test]
+    fn skip_counts_reconcile_exactly_with_stream_metrics() {
+        // A stream with three distinct corruption events: leading
+        // garbage, a bit-flipped body, and a truncated tail.
+        let mut bytes = vec![0xFFu8; 5];
+        bytes.extend_from_slice(&WARTS_MAGIC.to_be_bytes());
+        bytes.extend_from_slice(&(RecordType::Trace as u16).to_be_bytes());
+        bytes.extend_from_slice(&4u32.to_be_bytes());
+        bytes.extend_from_slice(&[0xFF; 4]); // undecodable trace body
+        bytes.extend_from_slice(&sample_bytes());
+        bytes.truncate(bytes.len() - 3);
+
+        let registry = Registry::new();
+        let metrics = StreamMetrics::from_registry(&registry);
+        let mut r = WartsStreamReader::new(bytes.as_slice())
+            .with_metrics(metrics.clone())
+            .lenient();
+        let mut decoded = 0u64;
+        while r.next_record().unwrap().is_some() {
+            decoded += 1;
+        }
+
+        // Reader-side and registry-side tallies agree per reason…
+        let mut total = 0u64;
+        for reason in SkipReason::ALL {
+            let reader_side = r.skip_counts().get(&reason).copied().unwrap_or(0);
+            assert_eq!(
+                metrics.skips[reason as usize].get(),
+                reader_side,
+                "{} counter",
+                reason.name()
+            );
+            assert_eq!(
+                registry.counter(reason.counter_name()).get(),
+                reader_side,
+                "{} registry row",
+                reason.name()
+            );
+            total += reader_side;
+        }
+        // …and the totals reconcile: malformed = Σ per-reason, records
+        // decoded + skipped covers every corruption event.
+        assert_eq!(metrics.malformed.get(), total);
+        assert_eq!(r.skipped_total(), total);
+        assert!(total >= 3, "garbage + bad body + truncated tail all counted");
+        assert_eq!(metrics.records.get(), decoded);
+        assert_eq!(registry.counter("warts.resync_bytes").get(), r.resync_bytes());
+        assert_eq!(decoded, 4, "the valid records still stream");
     }
 }

@@ -1,0 +1,133 @@
+//! Decoder-never-panics: the warts readers survive arbitrary
+//! corruption of real streams.
+//!
+//! `lpr-chaos` corrupts a realistic encoded stream (bit flips, cut
+//! bodies, inflated lengths, smashed magics) across more than a
+//! thousand seeded cases; the strict reader may error but must not
+//! panic, and the lenient reader must additionally drain every stream
+//! to a clean end with reconciling skip counts.
+
+use lpr_chaos::corrupt_warts_bytes;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use warts::{
+    HopRecord, IcmpExt, Record, SkipReason, TraceRecord, WartsReader, WartsStreamReader,
+};
+use lpr_core::label::Lse;
+
+fn a(o: u8) -> warts::Addr {
+    warts::Addr::V4(Ipv4Addr::new(10, 0, 0, o))
+}
+
+/// A realistic stream: list, cycle, MPLS-labelled traces sharing
+/// dictionary addresses, cycle stop.
+fn sample_stream() -> Vec<u8> {
+    let mut w = warts::WartsWriter::new();
+    let list = w.list(1, "chaos");
+    let cycle = w.cycle_start(list, 1, 0);
+    for i in 0..6u8 {
+        let mut t = TraceRecord::new(a(1), a(200 + i % 8));
+        let mut labelled = HopRecord::reply(2, a(20 + i), 900);
+        labelled.icmp_exts = vec![IcmpExt::mpls(
+            &[Lse::transit(1000 + i as u32, 254), Lse::transit(7, 253)]
+                .into_iter()
+                .collect(),
+        )];
+        t.hops = vec![
+            HopRecord::reply(1, a(10 + i), 500),
+            labelled,
+            HopRecord::reply(3, a(200 + i % 8), 1500),
+        ];
+        w.trace(&t).unwrap();
+    }
+    w.cycle_stop(cycle, 6);
+    w.into_bytes()
+}
+
+/// Drains a lenient reader; panics bubble to proptest, errors fail the
+/// property (a byte slice cannot produce IO errors, so lenient mode
+/// must always reach a clean end).
+fn drain_lenient(bytes: &[u8]) -> (u64, u64) {
+    let mut r = WartsStreamReader::new(bytes).lenient();
+    let mut decoded = 0u64;
+    while r.next_record().expect("lenient over in-memory bytes cannot error").is_some() {
+        decoded += 1;
+    }
+    let per_reason: u64 = SkipReason::ALL
+        .iter()
+        .map(|rs| r.skip_counts().get(rs).copied().unwrap_or(0))
+        .sum();
+    assert_eq!(per_reason, r.skipped_total(), "per-reason counts cover every skip");
+    (decoded, r.skipped_total())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(550))]
+
+    /// ≥550 corrupted streams: strict may error, lenient must survive.
+    #[test]
+    fn corrupted_streams_never_panic(seed in any::<u64>(), rate in 0.01f64..1.0) {
+        let (bytes, counts) = corrupt_warts_bytes(&sample_stream(), seed, rate);
+
+        // Strict streaming: drain until first error or clean end.
+        let mut strict = WartsStreamReader::new(bytes.as_slice());
+        loop {
+            match strict.next_record() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+
+        // Strict batch reader over the same bytes.
+        let mut batch = WartsReader::new(&bytes);
+        loop {
+            match batch.next_record() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+
+        // Lenient streaming: always a clean end, and when corruption
+        // actually landed somewhere, it is either absorbed by a skip or
+        // harmless to decode — but never fatal.
+        let (decoded, _skipped) = drain_lenient(&bytes);
+        let total = 14u64; // list + cycle start/stop + 6 traces + addr use
+        prop_assert!(decoded <= total);
+        if counts.total() == 0 {
+            let (all, skipped) = drain_lenient(&sample_stream());
+            prop_assert_eq!(all, 9, "pristine stream decodes fully");
+            prop_assert_eq!(skipped, 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    /// ≥500 corrupted *trace-record* streams plus raw byte soup mixed
+    /// in: lenient decode of whatever survives feeds the core
+    /// conversion without panicking either.
+    #[test]
+    fn salvaged_records_convert_without_panicking(
+        seed in any::<u64>(),
+        rate in 0.05f64..0.6,
+        soup in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut bytes = sample_stream();
+        let split = bytes.len() / 2;
+        // Splice garbage mid-stream, then corrupt the whole thing.
+        let mut spliced = bytes[..split].to_vec();
+        spliced.extend_from_slice(&soup);
+        spliced.extend_from_slice(&bytes[split..]);
+        bytes = corrupt_warts_bytes(&spliced, seed, rate).0;
+
+        let mut r = WartsStreamReader::new(bytes.as_slice()).lenient();
+        while let Some(rec) = r.next_record().expect("lenient cannot error on bytes") {
+            if let Record::Trace(t) = rec {
+                // Salvaged records may still carry nonsense; conversion
+                // may reject them but must not panic.
+                let _ = warts::trace_to_core(&t);
+            }
+        }
+    }
+}
