@@ -8,22 +8,72 @@
 //!
 //! ```text
 //! lpr-bench pipeline [--out BENCH_pipeline.json] [--snapshots N] [--cycle N]
-//!                    [--threads N] [--threads-sweep [1,2,4,...]]
+//!                    [--threads N] [--threads-sweep [1,2,4,...]] [--alloc]
+//!                    [--max-campaign-share F]
 //! lpr-bench help
 //! ```
 //!
 //! `--threads-sweep` benchmarks the parallel pipeline across thread
-//! counts, writes the speedup curve into the JSON report, and
+//! counts, sweeps campaign generation across probing threads 1–8,
+//! writes both speedup curves into the JSON report, and
 //! **self-checks determinism**: the run fails (exit 1) if any thread
-//! count produces output differing from the sequential run.
+//! count produces output differing from the sequential run, or if the
+//! default-shape campaign drifts from its pinned golden fingerprint.
+//! `--alloc` attributes allocation counts to stages;
+//! `--max-campaign-share` is the CI perf-regression tripwire.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 use lpr_core::pipeline::Pipeline;
 use lpr_core::prelude::*;
 use lpr_obs::json::JsonValue;
 use lpr_obs::Recorder;
 use std::io::Write;
+
+/// A counting wrapper around the system allocator: two relaxed atomics
+/// per allocation, read by `--alloc` to attribute allocation counts and
+/// bytes to pipeline stages. Counting is always on (the overhead is
+/// noise next to a malloc), reporting is opt-in.
+mod counting_alloc {
+    #![allow(unsafe_code)]
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// Forwards to [`System`], tallying calls and requested bytes.
+    pub struct CountingAlloc;
+
+    // SAFETY: defers every allocation verbatim to `System`; the only
+    // additions are relaxed counter increments, which allocate nothing.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    /// Running totals `(allocations, bytes)` since process start.
+    pub fn snapshot() -> (u64, u64) {
+        (ALLOCS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed))
+    }
+}
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
 
 /// Prints to stdout, swallowing broken-pipe errors (`lpr-bench ... |
 /// head` must not panic).
@@ -55,7 +105,8 @@ lpr-bench — LPR pipeline benchmark harness
 
 USAGE:
   lpr-bench pipeline [--out BENCH_pipeline.json] [--snapshots N] [--cycle N]
-                     [--threads N] [--threads-sweep [1,2,4,...]]
+                     [--threads N] [--threads-sweep [1,2,4,...]] [--alloc]
+                     [--max-campaign-share F]
   lpr-bench chaos    [--out BENCH_chaos.json] [--seed N]
                      [--rates 0,0.02,0.05,0.1] [--snapshots N] [--cycle N]
                      [--drift-bound F]
@@ -71,7 +122,21 @@ sequential path). `--threads-sweep` runs every thread count in the
 given comma-separated list (default: powers of two up to the machine's
 available parallelism), records the speedup curve under
 \"thread_sweep\" in the JSON report, and exits non-zero if any thread
-count's output diverges from the sequential run.
+count's output diverges from the sequential run. The sweep also
+re-generates the campaign at probing thread counts 1, 2, 4 and 8
+(\"campaign_sweep\"); every regeneration must be byte-identical to the
+sequential campaign, and at the default --cycle/--snapshots shape the
+encoded bytes must additionally match a pinned golden fingerprint
+captured before the perf rewrite.
+
+`--alloc` attributes allocation counts (calls and requested bytes,
+tallied by a counting global allocator) to each stage, written under
+\"allocations\" in the report.
+
+`--max-campaign-share F` exits non-zero when GenerateCampaign takes
+more than fraction F of the total stage wall time — the CI smoke
+signal that campaign generation has not regressed back to dominating
+the run.
 
 `chaos` sweeps seeded fault-injection rates over the same golden
 campaign: each rate degrades the traces with an `lpr-chaos`
@@ -122,6 +187,8 @@ fn pipeline(args: &[String]) -> i32 {
     let mut cycle = 40usize;
     let mut threads = 1usize;
     let mut sweep: Option<Vec<usize>> = None;
+    let mut alloc = false;
+    let mut max_campaign_share: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let want = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
@@ -164,6 +231,24 @@ fn pipeline(args: &[String]) -> i32 {
                     }
                 }
             }
+            "--alloc" => {
+                alloc = true;
+                Ok(())
+            }
+            "--max-campaign-share" => {
+                want(&mut it, "--max-campaign-share").and_then(|v| {
+                    v.parse::<f64>()
+                        .map_err(|e| format!("--max-campaign-share: {e}"))
+                        .and_then(|f| {
+                            if f > 0.0 && f <= 1.0 {
+                                max_campaign_share = Some(f);
+                                Ok(())
+                            } else {
+                                Err("--max-campaign-share wants a fraction in (0, 1]".to_string())
+                            }
+                        })
+                })
+            }
             other => Err(format!("unknown flag {other}")),
         };
         if let Err(e) = parsed {
@@ -177,18 +262,44 @@ fn pipeline(args: &[String]) -> i32 {
     }
 
     let recorder = Recorder::new("lpr-bench pipeline");
+    let mut diverged = false;
+    // Per-stage allocation deltas: (stage, allocations, bytes).
+    let mut alloc_rows: Vec<(&'static str, u64, u64)> = Vec::new();
+    netsim::igp::spf_cache_reset();
 
     // Demo-scale campaign: the longitudinal world at one cycle, with
     // enough extra snapshots to feed the Persistence filter.
+    let alloc0 = counting_alloc::snapshot();
     let sw = lpr_obs::Stopwatch::start();
     let world = ark_dataset::standard_world();
     let opts = ark_dataset::CampaignOptions { snapshots, ..Default::default() };
     let data = ark_dataset::generate_cycle(&world, cycle, &opts);
     let traces = &data.snapshots[0];
     recorder.record_stage("GenerateCampaign", sw.elapsed_us(), 0, traces.len() as u64);
+    let alloc1 = counting_alloc::snapshot();
+    alloc_rows.push(("GenerateCampaign", alloc1.0 - alloc0.0, alloc1.1 - alloc0.1));
+
+    // Golden self-check: at the default campaign shape, the encoded
+    // bytes must match the fingerprint captured before the dense-SPF /
+    // probe-ladder / parallel-probing rewrite. Any drift means the
+    // optimisations changed observable output and the run fails.
+    let golden_checked = cycle == 40 && snapshots == 3 && sweep.is_some();
+    let mut golden_matches = true;
+    if golden_checked {
+        let fp = campaign_fingerprint(&data.snapshots);
+        golden_matches = fp == GOLDEN_CAMPAIGN_FNV;
+        if !golden_matches {
+            eprintln!(
+                "FAIL: campaign fingerprint {fp:#018x} != pinned golden \
+                 {GOLDEN_CAMPAIGN_FNV:#018x}"
+            );
+            diverged = true;
+        }
+    }
 
     // Round-trip through the warts codec so ingest throughput reflects
     // real record decoding, tallied by the stream reader itself.
+    let alloc0 = counting_alloc::snapshot();
     let sw = lpr_obs::Stopwatch::start();
     let mut writer = warts::WartsWriter::new();
     let list = writer.list(1, "bench");
@@ -204,7 +315,10 @@ fn pipeline(args: &[String]) -> i32 {
         traces.len() as u64,
         bytes.len() as u64,
     );
+    let alloc1 = counting_alloc::snapshot();
+    alloc_rows.push(("WartsEncode", alloc1.0 - alloc0.0, alloc1.1 - alloc0.1));
 
+    let alloc0 = counting_alloc::snapshot();
     let sw = lpr_obs::Stopwatch::start();
     let metrics = warts::StreamMetrics::from_registry(recorder.registry());
     let mut decoded = Vec::new();
@@ -230,6 +344,8 @@ fn pipeline(args: &[String]) -> i32 {
         bytes.len() as u64,
         decoded.len() as u64,
     );
+    let alloc1 = counting_alloc::snapshot();
+    alloc_rows.push(("WartsDecode", alloc1.0 - alloc0.0, alloc1.1 - alloc0.1));
 
     // The pipeline proper: the timed region covers the Persistence
     // future-key computation plus the full filter/classify run — every
@@ -253,7 +369,6 @@ fn pipeline(args: &[String]) -> i32 {
     const SWEEP_REPS: usize = 3;
     let mut sweep_rows: Vec<(usize, u64, bool)> = Vec::new();
     let mut seq_out = None;
-    let mut diverged = false;
     if let Some(ns) = &sweep {
         let (reference, mut seq_wall) = run_with(1, None);
         for _ in 1..SWEEP_REPS {
@@ -279,9 +394,39 @@ fn pipeline(args: &[String]) -> i32 {
         seq_out = Some(reference);
     }
 
+    // Campaign thread-sweep: regenerate the cycle at each probing
+    // thread count. The shard-order merge in `campaign_par` makes the
+    // traces byte-identical for any count — verified here against the
+    // sequential campaign generated above.
+    let mut campaign_rows: Vec<(usize, u64, bool)> = Vec::new();
+    if sweep.is_some() {
+        for n in CAMPAIGN_THREADS {
+            let copts = ark_dataset::CampaignOptions {
+                snapshots,
+                threads: n,
+                ..Default::default()
+            };
+            let sw = lpr_obs::Stopwatch::start();
+            let d = ark_dataset::generate_cycle(&world, cycle, &copts);
+            let wall = sw.elapsed_us().max(1);
+            let matches = d.snapshots == data.snapshots;
+            if !matches {
+                eprintln!(
+                    "FAIL: campaign at {n} probing thread(s) diverges from the \
+                     sequential campaign"
+                );
+                diverged = true;
+            }
+            campaign_rows.push((n, wall, matches));
+        }
+    }
+
     // The instrumented run (at the sweep's top thread count, or
     // `--threads`): its telemetry is what lands in the report.
+    let alloc0 = counting_alloc::snapshot();
     let (out, _) = run_with(threads, Some(&recorder));
+    let alloc1 = counting_alloc::snapshot();
+    alloc_rows.push(("Pipeline", alloc1.0 - alloc0.0, alloc1.1 - alloc0.1));
     if let Some(reference) = &seq_out {
         if out != *reference {
             eprintln!("FAIL: instrumented --threads {threads} output diverges");
@@ -290,7 +435,47 @@ fn pipeline(args: &[String]) -> i32 {
     }
 
     let telemetry = recorder.finish();
-    let report = render_report(&telemetry, &out, &sweep_rows);
+
+    // CI perf tripwire: GenerateCampaign's share of total stage time.
+    // Per-worker rows ("worker0/Ingest", ...) re-count time already in
+    // their parent stage, so only top-level stages enter the sum.
+    let campaign_share = {
+        let total: u64 = telemetry
+            .stages
+            .iter()
+            .filter(|s| !s.name.contains('/'))
+            .map(|s| s.wall_us)
+            .sum();
+        let campaign = telemetry
+            .stages
+            .iter()
+            .find(|s| s.name == "GenerateCampaign")
+            .map_or(0, |s| s.wall_us);
+        campaign as f64 / total.max(1) as f64
+    };
+    let mut share_exceeded = false;
+    if let Some(ceiling) = max_campaign_share {
+        share_exceeded = campaign_share > ceiling;
+        if share_exceeded {
+            eprintln!(
+                "FAIL: GenerateCampaign takes {:.1}% of stage wall time \
+                 (ceiling {:.1}%)",
+                campaign_share * 100.0,
+                ceiling * 100.0,
+            );
+        }
+    }
+
+    let extras = ReportExtras {
+        sweep_rows: &sweep_rows,
+        campaign_rows: &campaign_rows,
+        campaign_traces: traces.len() as u64,
+        campaign_share,
+        golden: golden_checked.then_some(golden_matches),
+        alloc_rows: alloc.then_some(&alloc_rows[..]),
+        spf_cache: netsim::Internet::spf_cache_stats(),
+    };
+    let report = render_report(&telemetry, &out, &extras);
     if let Err(e) = std::fs::write(&out_path, &report) {
         eprintln!("{out_path}: {e}");
         return 1;
@@ -305,15 +490,32 @@ fn pipeline(args: &[String]) -> i32 {
         telemetry.threads,
     );
     for s in &telemetry.stages {
+        // A 0-µs stage has no measurable rate; "n/a" beats a fake 0.
+        let rate = if s.wall_us == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.0}", s.throughput_per_s())
+        };
         say!(
-            "  {:<18} {:>8} -> {:<8} {:>10} us  {:>12.0} items/s",
+            "  {:<18} {:>8} -> {:<8} {:>10} us  {:>12} items/s",
             s.name,
             s.input,
             s.output,
             s.wall_us,
-            s.throughput_per_s(),
+            rate,
         );
     }
+    say!(
+        "GenerateCampaign share of stage wall time: {:.1}%",
+        campaign_share * 100.0
+    );
+    if alloc {
+        say!("allocations by stage:");
+        for (name, allocs, bytes) in &alloc_rows {
+            say!("  {:<18} {:>12} allocs  {:>14} bytes", name, allocs, bytes);
+        }
+    }
+    let avail = lpr_par::available_threads();
     if !sweep_rows.is_empty() {
         let seq_wall = sweep_rows[0].1;
         say!("thread sweep ({} traces/run, best of {SWEEP_REPS}):", decoded.len());
@@ -327,13 +529,96 @@ fn pipeline(args: &[String]) -> i32 {
                 if *matches { "output identical" } else { "OUTPUT DIVERGED" },
             );
         }
+        // A regression signal, not an error: parallel slower than
+        // sequential is expected on a 1-core runner, suspicious on a
+        // multi-core one.
+        if avail > 1 {
+            for &(n, wall, _) in &sweep_rows {
+                if n > 1 && n <= avail && wall > seq_wall {
+                    say!(
+                        "warning: pipeline at {n} threads is slower than sequential \
+                         ({wall} us vs {seq_wall} us) on a {avail}-core host"
+                    );
+                }
+            }
+        }
     }
+    if !campaign_rows.is_empty() {
+        let seq_wall = campaign_rows[0].1;
+        say!("campaign sweep ({} traces x {snapshots} snapshots):", traces.len());
+        for &(n, wall, matches) in &campaign_rows {
+            say!(
+                "  threads={:<3} {:>10} us  speedup {:>5.2}x  {}",
+                n,
+                wall,
+                seq_wall as f64 / wall as f64,
+                if matches { "bytes identical" } else { "BYTES DIVERGED" },
+            );
+        }
+        if avail > 1 {
+            for &(n, wall, _) in &campaign_rows {
+                if n > 1 && n <= avail && wall > seq_wall {
+                    say!(
+                        "warning: campaign at {n} probing threads is slower than \
+                         sequential ({wall} us vs {seq_wall} us) on a {avail}-core host"
+                    );
+                }
+            }
+        }
+    }
+    if golden_checked {
+        say!(
+            "golden campaign fingerprint: {}",
+            if golden_matches { "match" } else { "MISMATCH" }
+        );
+    }
+    let (hits, misses) = extras.spf_cache;
+    say!(
+        "spf cache: {hits} hits / {misses} misses ({:.0}% hit rate)",
+        100.0 * hits as f64 / (hits + misses).max(1) as f64
+    );
     say!("wrote {out_path}");
     if diverged {
         eprintln!("determinism self-check failed");
         return 1;
     }
+    if share_exceeded {
+        return 1;
+    }
     0
+}
+
+/// Probing thread counts the campaign sweep regenerates the cycle at;
+/// byte-identity across all of them is part of the acceptance bar.
+const CAMPAIGN_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// FNV-1a fingerprint of the default-shape campaign's warts encoding,
+/// captured before the dense-SPF / probe-ladder / parallel-probing
+/// rewrite. Byte-for-byte equality with the old implementation is the
+/// contract those optimisations must keep.
+const GOLDEN_CAMPAIGN_FNV: u64 = 0x814958413857ec30;
+
+/// Combines the per-snapshot warts encodings into one order-sensitive
+/// FNV-1a fingerprint (each snapshot's hash is rotated by its index so
+/// snapshot swaps change the result).
+fn campaign_fingerprint(snapshots: &[Vec<lpr_core::trace::Trace>]) -> u64 {
+    let mut combined = 0u64;
+    for (snap, traces) in snapshots.iter().enumerate() {
+        let mut w = warts::WartsWriter::new();
+        let list = w.list(1, "bench");
+        let cyc = w.cycle_start(list, 1, 0);
+        for t in traces {
+            w.trace(&warts::trace_to_record(t, list, cyc)).expect("encode");
+        }
+        w.cycle_stop(cyc, 1);
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in w.into_bytes().iter() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        combined ^= h.rotate_left(snap as u32 * 21);
+    }
+    combined
 }
 
 /// Parses a comma-separated fault-rate list; the rate-0 baseline is
@@ -705,25 +990,90 @@ fn chaos(args: &[String]) -> i32 {
     0
 }
 
+/// Everything `render_report` attaches beyond the raw telemetry.
+struct ReportExtras<'a> {
+    /// Pipeline sweep `(threads, wall_us, matches_sequential)` rows.
+    sweep_rows: &'a [(usize, u64, bool)],
+    /// Campaign sweep `(threads, wall_us, matches_sequential)` rows.
+    campaign_rows: &'a [(usize, u64, bool)],
+    /// Traces per campaign snapshot (campaign-sweep throughput basis).
+    campaign_traces: u64,
+    /// GenerateCampaign's fraction of total stage wall time.
+    campaign_share: f64,
+    /// Golden-fingerprint verdict; `None` when the shape was non-default
+    /// and the check did not run.
+    golden: Option<bool>,
+    /// Per-stage `(stage, allocations, bytes)`; `None` without `--alloc`.
+    alloc_rows: Option<&'a [(&'static str, u64, u64)]>,
+    /// Process-wide SPF cache `(hits, misses)` over the whole run.
+    spf_cache: (u64, u64),
+}
+
+/// A sweep table as JSON rows. `speedup` stays relative to the
+/// sequential row; `speedup_vs_best` is relative to the fastest row, so
+/// a regression at high thread counts is visible even when every point
+/// beats sequential. Each row carries the host's parallelism because a
+/// speedup below 1 is only a signal when cores were actually available.
+fn sweep_json(rows: &[(usize, u64, bool)], items: u64) -> JsonValue {
+    let seq_wall = rows[0].1;
+    let best_wall = rows.iter().map(|&(_, wall, _)| wall).min().unwrap_or(1);
+    let avail = lpr_par::available_threads();
+    JsonValue::Array(
+        rows.iter()
+            .map(|&(n, wall, matches)| {
+                JsonValue::Object(vec![
+                    ("threads".to_string(), JsonValue::Int(n as i128)),
+                    ("wall_us".to_string(), JsonValue::Int(wall as i128)),
+                    (
+                        "traces_per_s".to_string(),
+                        JsonValue::Float(items as f64 / (wall as f64 / 1e6)),
+                    ),
+                    (
+                        "speedup".to_string(),
+                        JsonValue::Float(seq_wall as f64 / wall as f64),
+                    ),
+                    (
+                        "speedup_vs_best".to_string(),
+                        JsonValue::Float(best_wall as f64 / wall as f64),
+                    ),
+                    (
+                        "available_parallelism".to_string(),
+                        JsonValue::Int(avail as i128),
+                    ),
+                    ("matches_sequential".to_string(), JsonValue::Bool(matches)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 /// Wraps the run telemetry with a derived per-stage throughput table:
 /// the telemetry document under `"telemetry"` (still readable with
 /// `RunTelemetry::from_json`) plus `"throughput_per_s"` mapping each
-/// stage to records/sec, and — when a `--threads-sweep` ran — a
-/// `"thread_sweep"` array of `{threads, wall_us, traces_per_s, speedup,
-/// matches_sequential}` rows (speedup relative to the `threads: 1`
-/// row's wall time).
+/// stage to records/sec (`null` for stages too fast to time — a zero
+/// would read as "stalled"), `"campaign_share"`, the SPF cache tallies,
+/// and — when the matching mode ran — `"thread_sweep"`,
+/// `"campaign_sweep"`, `"golden_fingerprint"` and `"allocations"`.
 fn render_report(
     telemetry: &lpr_obs::RunTelemetry,
     out: &lpr_core::pipeline::PipelineOutput,
-    sweep_rows: &[(usize, u64, bool)],
+    extras: &ReportExtras<'_>,
 ) -> String {
     let inner = lpr_obs::json::parse(&telemetry.to_json()).expect("own JSON parses");
     let throughput: Vec<(String, JsonValue)> = telemetry
         .stages
         .iter()
-        .map(|s| (s.name.clone(), JsonValue::Float(s.throughput_per_s())))
+        .map(|s| {
+            let rate = if s.wall_us == 0 {
+                JsonValue::Null
+            } else {
+                JsonValue::Float(s.throughput_per_s())
+            };
+            (s.name.clone(), rate)
+        })
         .collect();
     let traces = telemetry.counter("pipeline.traces");
+    let (spf_hits, spf_misses) = extras.spf_cache;
     let mut fields = vec![
         ("bench".to_string(), JsonValue::Str("pipeline".to_string())),
         ("iotps".to_string(), JsonValue::Int(out.iotps.len() as i128)),
@@ -737,28 +1087,59 @@ fn render_report(
         ),
         ("telemetry".to_string(), inner),
         ("throughput_per_s".to_string(), JsonValue::Object(throughput)),
+        ("campaign_share".to_string(), JsonValue::Float(extras.campaign_share)),
+        (
+            "spf_cache".to_string(),
+            JsonValue::Object(vec![
+                ("hits".to_string(), JsonValue::Int(spf_hits as i128)),
+                ("misses".to_string(), JsonValue::Int(spf_misses as i128)),
+                (
+                    "hit_rate".to_string(),
+                    JsonValue::Float(
+                        spf_hits as f64 / (spf_hits + spf_misses).max(1) as f64,
+                    ),
+                ),
+            ]),
+        ),
     ];
-    if !sweep_rows.is_empty() {
-        let seq_wall = sweep_rows[0].1;
-        let rows: Vec<JsonValue> = sweep_rows
-            .iter()
-            .map(|&(n, wall, matches)| {
-                JsonValue::Object(vec![
-                    ("threads".to_string(), JsonValue::Int(n as i128)),
-                    ("wall_us".to_string(), JsonValue::Int(wall as i128)),
-                    (
-                        "traces_per_s".to_string(),
-                        JsonValue::Float(traces as f64 / (wall as f64 / 1e6)),
-                    ),
-                    (
-                        "speedup".to_string(),
-                        JsonValue::Float(seq_wall as f64 / wall as f64),
-                    ),
-                    ("matches_sequential".to_string(), JsonValue::Bool(matches)),
-                ])
-            })
-            .collect();
-        fields.push(("thread_sweep".to_string(), JsonValue::Array(rows)));
+    if !extras.sweep_rows.is_empty() {
+        fields.push(("thread_sweep".to_string(), sweep_json(extras.sweep_rows, traces)));
+    }
+    if !extras.campaign_rows.is_empty() {
+        fields.push((
+            "campaign_sweep".to_string(),
+            sweep_json(extras.campaign_rows, extras.campaign_traces),
+        ));
+    }
+    if let Some(matches) = extras.golden {
+        fields.push((
+            "golden_fingerprint".to_string(),
+            JsonValue::Object(vec![
+                (
+                    "expected".to_string(),
+                    JsonValue::Str(format!("{GOLDEN_CAMPAIGN_FNV:#018x}")),
+                ),
+                ("matches".to_string(), JsonValue::Bool(matches)),
+            ]),
+        ));
+    }
+    if let Some(rows) = extras.alloc_rows {
+        fields.push((
+            "allocations".to_string(),
+            JsonValue::Object(
+                rows.iter()
+                    .map(|&(name, allocs, bytes)| {
+                        (
+                            name.to_string(),
+                            JsonValue::Object(vec![
+                                ("allocs".to_string(), JsonValue::Int(allocs as i128)),
+                                ("bytes".to_string(), JsonValue::Int(bytes as i128)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
     }
     JsonValue::Object(fields).render_pretty()
 }

@@ -33,6 +33,12 @@ pub struct CampaignOptions {
     pub igp_perturbation: f64,
     /// Hosts probed per destination /24.
     pub hosts_per_prefix: usize,
+    /// Worker threads for per-destination probing within a snapshot
+    /// (`0` = available parallelism). Output is byte-identical for any
+    /// value (deterministic shard-order merge). Defaults to 1: cycles
+    /// are usually already sharded across threads by
+    /// [`run_cycles`](crate::run_cycles), and nesting pools oversubscribes.
+    pub threads: usize,
 }
 
 impl Default for CampaignOptions {
@@ -43,6 +49,7 @@ impl Default for CampaignOptions {
             flow_churn_rate: 0.08,
             igp_perturbation: 0.03,
             hosts_per_prefix: 1,
+            threads: 1,
         }
     }
 }
@@ -119,7 +126,7 @@ pub fn generate_cycle(world: &World, cycle: usize, opts: &CampaignOptions) -> Cy
                 ..ProbeOptions::default()
             },
         );
-        snapshots.push(prober.campaign(&vps, &dsts));
+        snapshots.push(prober.campaign_par(&vps, &dsts, opts.threads));
     }
     CycleData { cycle, snapshots }
 }

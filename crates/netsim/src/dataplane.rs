@@ -27,9 +27,6 @@ use crate::topology::{RouterId, Topology};
 use lpr_core::label::{Label, Lse};
 use std::net::Ipv4Addr;
 
-/// Safety bound on forwarding steps (far above any simulated diameter).
-const MAX_STEPS: usize = 256;
-
 /// The outcome of one probe.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ProbeReply {
@@ -52,20 +49,35 @@ pub enum ProbeReply {
     Unreachable,
 }
 
-#[derive(Clone, Debug)]
-enum TunnelKind {
+/// How a [`probe_ladder`] walk ended, after its recorded expiry events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum LadderEnd {
+    /// The destination replies to every TTL beyond the recorded events.
+    Echo {
+        /// The destination address.
+        addr: Ipv4Addr,
+    },
+    /// TTLs beyond the recorded events go unanswered (no route, or an
+    /// unknown endpoint: with zero events recorded every TTL is
+    /// unanswered).
+    Unreachable,
+    /// `max_events` expiries were recorded before any terminal.
+    Truncated,
+}
+
+#[derive(Debug)]
+enum TunnelKind<'a> {
     Ldp { ingress: RouterId, egress: RouterId },
-    Te { lsp: TeLsp, pos: usize },
+    Te { lsp: &'a TeLsp, pos: usize },
     /// Only the VPN service label remains (the transport label was
     /// popped by the penultimate router): the packet is on its final
     /// hop towards the egress PE, which pops the service label.
     Service,
 }
 
-#[derive(Clone, Debug)]
-struct Tunnel {
-    kind: TunnelKind,
-    lse_ttl: u8,
+#[derive(Debug)]
+struct Tunnel<'a> {
+    kind: TunnelKind<'a>,
     /// The (transport) label the packet carried when arriving at the
     /// current router (what RFC 4950 would quote at the top).
     arriving: Option<Label>,
@@ -74,21 +86,26 @@ struct Tunnel {
     service: Option<Label>,
 }
 
-impl Tunnel {
-    /// The RFC 4950 stack this packet would be quoted with here.
-    fn quoted_stack(&self, received_ttl: u8) -> Vec<Lse> {
+impl Tunnel<'_> {
+    /// The RFC 4950 stack quoted when a probe expires here.
+    ///
+    /// The quoted TTL is always exactly 1: the LSE TTL is pushed as a
+    /// copy of the remaining IP TTL (`ttl-propagate`) and both
+    /// decrement once per visible hop, so the entry whose TTL runs out
+    /// is received with TTL 1 — never 0, never more.
+    fn quoted_stack(&self) -> Vec<Lse> {
         let mut stack = Vec::new();
         match self.kind {
             TunnelKind::Service => {
                 if let Some(svc) = self.service {
-                    stack.push(Lse::new(svc, 0, true, received_ttl));
+                    stack.push(Lse::new(svc, 0, true, 1));
                 }
             }
             _ => {
                 if let Some(top) = self.arriving {
-                    stack.push(Lse::new(top, 0, self.service.is_none(), received_ttl));
+                    stack.push(Lse::new(top, 0, self.service.is_none(), 1));
                     if let Some(svc) = self.service {
-                        stack.push(Lse::new(svc, 0, true, received_ttl));
+                        stack.push(Lse::new(svc, 0, true, 1));
                     }
                 }
             }
@@ -129,44 +146,61 @@ fn pick_link(topo: &Topology, cur: RouterId, next: RouterId, flow: u64) -> Optio
 /// Sends one probe with the given TTL from a vantage point towards a
 /// destination; `flow` is the Paris flow identifier (constant per
 /// trace).
+///
+/// Implemented on the single-walk [`probe_ladder`]: since path choice
+/// never depends on the TTL, the reply to TTL `t` is the `t`-th expiry
+/// event of one walk (or the walk's terminal beyond the last expiry).
 pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u64) -> ProbeReply {
+    // TTL 0 expires on first arrival exactly like TTL 1.
+    let want = (probe_ttl as usize).max(1);
+    let mut events = Vec::new();
+    match probe_ladder(net, vp, dst, flow, want, &mut events) {
+        LadderEnd::Truncated => events.pop().expect("truncated ladder recorded events"),
+        LadderEnd::Echo { addr } => ProbeReply::Echo { addr },
+        LadderEnd::Unreachable => ProbeReply::Unreachable,
+    }
+}
+
+/// Walks the forwarding path from `vp` towards `dst` **once**, pushing
+/// onto `out` the [`ProbeReply::TimeExceeded`] a probe of TTL
+/// `out.len() + 1` would get — every walk step consumes exactly one TTL
+/// unit, so the i-th arrival is where the i-th TTL dies. Returns how
+/// the path ends for every TTL past the recorded events.
+///
+/// This turns the O(hops²) per-TTL re-walk of a traceroute ladder into
+/// a single O(hops) pass; [`probe`] remains as the one-TTL view.
+pub(crate) fn probe_ladder(
+    net: &Internet,
+    vp: Ipv4Addr,
+    dst: Ipv4Addr,
+    flow: u64,
+    max_events: usize,
+    out: &mut Vec<ProbeReply>,
+) -> LadderEnd {
     let topo = &net.topo;
     let Some(vp_at) = net.vp_attachment(vp) else {
-        return ProbeReply::Unreachable;
+        return LadderEnd::Unreachable;
     };
     let dest_at = net.dest_attachment(dst);
 
     let mut cur = vp_at.router;
     let mut arrival = topo.router(cur).loopback;
-    let mut ip_ttl: u32 = probe_ttl as u32;
-    let mut tunnel: Option<Tunnel> = None;
+    let mut tunnel: Option<Tunnel<'_>> = None;
     let mut entered_as = true;
 
-    for _ in 0..MAX_STEPS {
+    loop {
         let as_id = topo.router(cur).as_id;
         let cfg = net.config(as_id);
 
-        // --- TTL processing on arrival -------------------------------
-        match tunnel.as_mut() {
-            Some(t) => {
-                let received = t.lse_ttl;
-                if received <= 1 {
-                    let stack =
-                        if cfg.rfc4950 { t.quoted_stack(received) } else { Vec::new() };
-                    return ProbeReply::TimeExceeded { router: cur, addr: arrival, stack };
-                }
-                t.lse_ttl = received - 1;
-            }
-            None => {
-                if ip_ttl <= 1 {
-                    return ProbeReply::TimeExceeded {
-                        router: cur,
-                        addr: arrival,
-                        stack: Vec::new(),
-                    };
-                }
-                ip_ttl -= 1;
-            }
+        // --- TTL expiry on arrival: the probe whose last TTL unit was
+        // consumed reaching this router dies here. ---------------------
+        let stack = match &tunnel {
+            Some(t) if cfg.rfc4950 => t.quoted_stack(),
+            _ => Vec::new(),
+        };
+        out.push(ProbeReply::TimeExceeded { router: cur, addr: arrival, stack });
+        if out.len() >= max_events {
+            return LadderEnd::Truncated;
         }
 
         // --- UHP: explicit-null arrives at the egress LER, which pops
@@ -175,7 +209,6 @@ pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u
         if let Some(t) = &tunnel {
             let at_service_end = matches!(t.kind, TunnelKind::Service);
             if t.arriving == Some(Label::IPV4_EXPLICIT_NULL) || at_service_end {
-                ip_ttl = t.lse_ttl as u32;
                 tunnel = None;
             }
         }
@@ -184,17 +217,17 @@ pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u
         if tunnel.is_none() {
             if let Some(at) = dest_at {
                 if at.router == cur {
-                    return ProbeReply::Echo { addr: dst };
+                    return LadderEnd::Echo { addr: dst };
                 }
             }
         }
 
         // --- Forwarding ----------------------------------------------
         match tunnel.take() {
-            Some(Tunnel { kind: TunnelKind::Te { lsp, pos }, lse_ttl, service, .. }) => {
+            Some(Tunnel { kind: TunnelKind::Te { lsp, pos }, service, .. }) => {
                 let next = lsp.path[pos + 1];
                 let Some(next_arrival) = pick_link(topo, cur, next, flow) else {
-                    return ProbeReply::Unreachable;
+                    return LadderEnd::Unreachable;
                 };
                 let arr = lsp.arriving_label(pos + 1);
                 let at_egress = pos + 1 == lsp.path.len() - 1;
@@ -205,18 +238,13 @@ pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u
                     if service.is_some() {
                         tunnel = Some(Tunnel {
                             kind: TunnelKind::Service,
-                            lse_ttl,
                             arriving: None,
                             service,
                         });
-                    } else {
-                        ip_ttl = lse_ttl as u32;
-                        tunnel = None;
                     }
                 } else {
                     tunnel = Some(Tunnel {
                         kind: TunnelKind::Te { lsp, pos: pos + 1 },
-                        lse_ttl,
                         arriving: arr,
                         service,
                     });
@@ -229,12 +257,12 @@ pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u
             // PE (handled above); it never reaches the forwarding
             // stage.
             Some(Tunnel { kind: TunnelKind::Service, .. }) => {
-                return ProbeReply::Unreachable;
+                return LadderEnd::Unreachable;
             }
-            Some(Tunnel { kind: TunnelKind::Ldp { ingress, egress }, lse_ttl, service, .. }) => {
+            Some(Tunnel { kind: TunnelKind::Ldp { ingress, egress }, service, .. }) => {
                 let nhs = net.ecmp_nexthops(as_id, cur, egress, ingress);
                 if nhs.is_empty() {
-                    return ProbeReply::Unreachable;
+                    return LadderEnd::Unreachable;
                 }
                 let iface_id = nhs[pick(flow, cur, nhs.len(), 0x22)];
                 let peer_iface = topo.iface(topo.iface(iface_id).peer);
@@ -243,7 +271,6 @@ pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u
                 tunnel = match ldp.advertised(next, egress) {
                     crate::ldp::LdpLabel::Label(l) => Some(Tunnel {
                         kind: TunnelKind::Ldp { ingress, egress },
-                        lse_ttl,
                         arriving: Some(l),
                         service,
                     }),
@@ -251,18 +278,15 @@ pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u
                         if service.is_some() {
                             Some(Tunnel {
                                 kind: TunnelKind::Service,
-                                lse_ttl,
                                 arriving: None,
                                 service,
                             })
                         } else {
-                            ip_ttl = lse_ttl as u32;
                             None
                         }
                     }
                     crate::ldp::LdpLabel::ExplicitNull => Some(Tunnel {
                         kind: TunnelKind::Ldp { ingress, egress },
-                        lse_ttl,
                         arriving: Some(Label::IPV4_EXPLICIT_NULL),
                         service,
                     }),
@@ -277,10 +301,10 @@ pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u
                 let target = if let Some(at) = internal {
                     at.router
                 } else {
-                    let Some(at) = dest_at else { return ProbeReply::Unreachable };
+                    let Some(at) = dest_at else { return LadderEnd::Unreachable };
                     let Some(opt) = net.bgp().egress_for(as_id, at.as_id, prefix_key(dst))
                     else {
-                        return ProbeReply::Unreachable;
+                        return LadderEnd::Unreachable;
                     };
                     if opt.egress == cur {
                         // Leave the AS over the chosen peering link.
@@ -327,10 +351,10 @@ pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u
 
                 if may_tunnel && net.pair_te(as_id, cur, target) {
                     let lsps = net.te_lsps(as_id, cur, target);
-                    let lsp = lsps[(prefix_key(dst) % lsps.len() as u64) as usize].clone();
+                    let lsp = &lsps[(prefix_key(dst) % lsps.len() as u64) as usize];
                     let next = lsp.path[1];
                     let Some(next_arrival) = pick_link(topo, cur, next, flow) else {
-                        return ProbeReply::Unreachable;
+                        return LadderEnd::Unreachable;
                     };
                     let arr = lsp.arriving_label(1);
                     if arr.is_none() && lsp.path.len() == 2 && service.is_none() {
@@ -340,14 +364,12 @@ pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u
                         // rides to the egress PE.
                         tunnel = Some(Tunnel {
                             kind: TunnelKind::Service,
-                            lse_ttl: ip_ttl.min(255) as u8,
                             arriving: None,
                             service,
                         });
                     } else {
                         tunnel = Some(Tunnel {
                             kind: TunnelKind::Te { lsp, pos: 1 },
-                            lse_ttl: ip_ttl.min(255) as u8,
                             arriving: arr,
                             service,
                         });
@@ -360,7 +382,7 @@ pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u
 
                 let nhs = net.ecmp_nexthops(as_id, cur, target, cur);
                 if nhs.is_empty() {
-                    return ProbeReply::Unreachable;
+                    return LadderEnd::Unreachable;
                 }
                 let iface_id = nhs[pick(flow, cur, nhs.len(), 0x22)];
                 let peer_iface = topo.iface(topo.iface(iface_id).peer);
@@ -373,7 +395,6 @@ pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u
                     tunnel = match ldp.advertised(next, target) {
                         crate::ldp::LdpLabel::Label(l) => Some(Tunnel {
                             kind: TunnelKind::Ldp { ingress: cur, egress: target },
-                            lse_ttl: ip_ttl.min(255) as u8,
                             arriving: Some(l),
                             service,
                         }),
@@ -382,13 +403,11 @@ pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u
                         // still rides the hop.
                         crate::ldp::LdpLabel::ImplicitNull => service.map(|_| Tunnel {
                             kind: TunnelKind::Service,
-                            lse_ttl: ip_ttl.min(255) as u8,
                             arriving: None,
                             service,
                         }),
                         crate::ldp::LdpLabel::ExplicitNull => Some(Tunnel {
                             kind: TunnelKind::Ldp { ingress: cur, egress: target },
-                            lse_ttl: ip_ttl.min(255) as u8,
                             arriving: Some(Label::IPV4_EXPLICIT_NULL),
                             service,
                         }),
@@ -400,7 +419,6 @@ pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u
             }
         }
     }
-    ProbeReply::Unreachable
 }
 
 #[cfg(test)]

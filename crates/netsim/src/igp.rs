@@ -6,51 +6,181 @@
 //! (ECMP), and — crucially for the Mono-FEC subclasses — parallel links
 //! between the same router pair each contribute their own next-hop
 //! interface.
+//!
+//! ## Representation
+//!
+//! All-pairs state is stored densely: routers are mapped to a
+//! contiguous local index and the distance/next-hop tables are flat
+//! `n × n` matrices, so the per-hop lookups the data plane issues are
+//! two array reads instead of a hash of a `(RouterId, RouterId)` key.
+//! During Dijkstra the ECMP first-hop sets are tracked as bitmasks over
+//! the source's interfaces, which makes the equal-cost merge a single
+//! `|=` with no allocation.
+//!
+//! ## SPF cache
+//!
+//! [`IgpState::cached`] memoises computed states behind a process-wide
+//! cache keyed by [`Topology::igp_fingerprint`]. Evolution cycles that
+//! leave an AS's IGP untouched (LDP/RSVP-only events, probe-only
+//! cycles, snapshots perturbing *other* ASes) reuse the cached routes
+//! instead of re-running Dijkstra from every source.
 
 use crate::topology::{AsId, IfaceId, RouterId, Topology};
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// All-pairs ECMP routing state for one AS.
+/// Sentinel for "no route" / "router not in this AS".
+const UNREACHABLE: u32 = u32::MAX;
+
+/// All-pairs ECMP routing state for one AS, in dense matrix form.
 #[derive(Clone, Debug)]
 pub struct IgpState {
-    /// `nexthops[&(from, to)]` = the ECMP set of outgoing interfaces on
-    /// `from` lying on a shortest path towards `to` (empty for
-    /// unreachable or identical routers). Interfaces are sorted by id,
-    /// so the flow hash picks deterministically.
-    nexthops: HashMap<(RouterId, RouterId), Vec<IfaceId>>,
-    /// Shortest-path cost between router pairs.
-    dist: HashMap<(RouterId, RouterId), u32>,
+    /// Global router id → local dense index (`UNREACHABLE` for routers
+    /// outside the AS).
+    index: Vec<u32>,
+    /// Local index → global router id (the AS's routers, in order).
+    routers: Vec<RouterId>,
+    /// `dist[src * n + dst]`; `UNREACHABLE` when no intra-AS route.
+    dist: Vec<u32>,
+    /// Per-cell `(offset, len)` spans into `hop_pool`.
+    spans: Vec<(u32, u32)>,
+    /// Pooled ECMP next-hop sets, each cell's slice sorted by id so the
+    /// flow hash picks deterministically.
+    hop_pool: Vec<IfaceId>,
 }
 
 impl IgpState {
     /// Runs Dijkstra from every router of the AS.
     pub fn compute(topo: &Topology, as_id: AsId) -> IgpState {
-        let routers = &topo.as_of(as_id).routers;
-        let mut nexthops = HashMap::new();
-        let mut dist_map = HashMap::new();
-        for &src in routers {
-            let (dist, first_hops) = dijkstra_ecmp(topo, src);
-            for &dst in routers {
-                if let Some(&d) = dist.get(&dst) {
-                    dist_map.insert((src, dst), d);
+        let routers = topo.as_of(as_id).routers.clone();
+        let n = routers.len();
+        let mut index = vec![UNREACHABLE; topo.routers.len()];
+        for (li, &r) in routers.iter().enumerate() {
+            index[r.0 as usize] = li as u32;
+        }
+
+        // Local adjacency: for each router its intra-AS edges in
+        // interface order (ascending id, as built).
+        let adj: Vec<Vec<(u32, u32, IfaceId)>> = routers
+            .iter()
+            .map(|&r| {
+                topo.intra_neighbors(r)
+                    .map(|(iface, peer)| (index[peer.0 as usize], iface.cost, iface.id))
+                    .collect()
+            })
+            .collect();
+
+        let mut dist = vec![UNREACHABLE; n * n];
+        let mut spans = vec![(0u32, 0u32); n * n];
+        let mut hop_pool = Vec::new();
+
+        // Per-source scratch, reused across sources.
+        let mut row = vec![UNREACHABLE; n];
+        let mut masks = vec![0u128; n];
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u32)>> = BinaryHeap::new();
+
+        for src in 0..n {
+            assert!(
+                adj[src].len() <= 128,
+                "at most 128 intra-AS interfaces per router (ECMP bitmask width)"
+            );
+            row.fill(UNREACHABLE);
+            masks.fill(0);
+            row[src] = 0;
+            heap.clear();
+            heap.push(std::cmp::Reverse((0, src as u32)));
+
+            while let Some(std::cmp::Reverse((d, r))) = heap.pop() {
+                let r = r as usize;
+                if row[r] != d {
+                    continue; // stale entry
                 }
-                let mut hops = first_hops.get(&dst).cloned().unwrap_or_default();
-                hops.sort();
-                hops.dedup();
-                nexthops.insert((src, dst), hops);
+                for (bit, &(peer, cost, _)) in adj[r].iter().enumerate() {
+                    let peer = peer as usize;
+                    let nd = d + cost;
+                    // First hops towards `peer` through this edge: if r
+                    // is the source, the edge's own interface;
+                    // otherwise inherit r's set.
+                    let via = if r == src { 1u128 << bit } else { masks[r] };
+                    if nd < row[peer] {
+                        row[peer] = nd;
+                        masks[peer] = via;
+                        heap.push(std::cmp::Reverse((nd, peer as u32)));
+                    } else if nd == row[peer] {
+                        masks[peer] |= via;
+                    }
+                }
+            }
+
+            let base = src * n;
+            dist[base..base + n].copy_from_slice(&row);
+            for dst in 0..n {
+                let mut mask = masks[dst];
+                if mask == 0 {
+                    continue;
+                }
+                let offset = hop_pool.len() as u32;
+                // Source interfaces are in ascending-id order, so bit
+                // order yields the sorted set directly.
+                while mask != 0 {
+                    let bit = mask.trailing_zeros() as usize;
+                    hop_pool.push(adj[src][bit].2);
+                    mask &= mask - 1;
+                }
+                spans[base + dst] = (offset, (hop_pool.len() as u32) - offset);
             }
         }
-        IgpState { nexthops, dist: dist_map }
+
+        IgpState { index, routers, dist, spans, hop_pool }
+    }
+
+    /// Like [`IgpState::compute`], memoised behind the process-wide SPF
+    /// cache keyed by the AS's [`Topology::igp_fingerprint`]. Identical
+    /// IGP content — same routers, same intra-AS links, same costs —
+    /// reuses the cached state.
+    pub fn cached(topo: &Topology, as_id: AsId) -> Arc<IgpState> {
+        let key = topo.igp_fingerprint(as_id);
+        let cache = spf_cache();
+        if let Some(state) = cache.lock().unwrap().get(&key) {
+            SPF_HITS.fetch_add(1, Ordering::Relaxed);
+            return state.clone();
+        }
+        // Compute outside the lock; a racing duplicate compute is
+        // harmless (both produce identical state).
+        SPF_MISSES.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(Self::compute(topo, as_id));
+        let mut guard = cache.lock().unwrap();
+        if guard.len() >= SPF_CACHE_CAP {
+            guard.clear();
+        }
+        guard.insert(key, state.clone());
+        state
+    }
+
+    fn local(&self, r: RouterId) -> Option<usize> {
+        match self.index.get(r.0 as usize) {
+            Some(&li) if li != UNREACHABLE => Some(li as usize),
+            _ => None,
+        }
     }
 
     /// The ECMP next-hop interfaces from `from` towards `to`.
     pub fn nexthops(&self, from: RouterId, to: RouterId) -> &[IfaceId] {
-        self.nexthops.get(&(from, to)).map(Vec::as_slice).unwrap_or(&[])
+        let (Some(f), Some(t)) = (self.local(from), self.local(to)) else {
+            return &[];
+        };
+        let (offset, len) = self.spans[f * self.routers.len() + t];
+        &self.hop_pool[offset as usize..(offset + len) as usize]
     }
 
     /// Shortest-path cost, if reachable.
     pub fn distance(&self, from: RouterId, to: RouterId) -> Option<u32> {
-        self.dist.get(&(from, to)).copied()
+        let (f, t) = (self.local(from)?, self.local(to)?);
+        match self.dist[f * self.routers.len() + t] {
+            UNREACHABLE => None,
+            d => Some(d),
+        }
     }
 
     /// Enumerates every distinct shortest path (as router sequences)
@@ -64,81 +194,84 @@ impl IgpState {
         limit: usize,
     ) -> Vec<Vec<RouterId>> {
         let mut out = Vec::new();
-        let mut stack = vec![(from, vec![from])];
-        while let Some((r, path)) = stack.pop() {
-            if out.len() >= limit {
-                break;
-            }
-            if r == to {
-                out.push(path);
-                continue;
-            }
-            // Follow ECMP next hops; dedupe parallel links by peer.
-            let mut seen_peer = Vec::new();
-            for &ifid in self.nexthops(r, to) {
-                let peer = topo.iface(topo.iface(ifid).peer).router;
-                if seen_peer.contains(&peer) {
-                    continue;
-                }
-                seen_peer.push(peer);
-                let mut p = path.clone();
-                p.push(peer);
-                stack.push((peer, p));
-            }
-        }
+        let mut path = vec![from];
+        let mut scratch: Vec<Vec<RouterId>> = Vec::new();
+        self.dfs_paths(topo, from, to, limit, &mut path, &mut out, 0, &mut scratch);
         out.sort();
         out
     }
-}
 
-/// Dijkstra with ECMP first-hop tracking: for every destination, the
-/// set of outgoing interfaces of `src` that begin a shortest path.
-fn dijkstra_ecmp(
-    topo: &Topology,
-    src: RouterId,
-) -> (HashMap<RouterId, u32>, HashMap<RouterId, Vec<IfaceId>>) {
-    use std::cmp::Reverse;
-    let mut dist: HashMap<RouterId, u32> = HashMap::new();
-    let mut first: HashMap<RouterId, Vec<IfaceId>> = HashMap::new();
-    let mut heap: BinaryHeap<Reverse<(u32, RouterId)>> = BinaryHeap::new();
-    dist.insert(src, 0);
-    heap.push(Reverse((0, src)));
-
-    while let Some(Reverse((d, r))) = heap.pop() {
-        if dist.get(&r).copied() != Some(d) {
-            continue; // stale entry
+    /// Depth-first path enumeration over the ECMP DAG with one shared
+    /// path buffer and per-depth peer scratch — only completed paths
+    /// are materialised.
+    #[allow(clippy::too_many_arguments)]
+    fn dfs_paths(
+        &self,
+        topo: &Topology,
+        r: RouterId,
+        to: RouterId,
+        limit: usize,
+        path: &mut Vec<RouterId>,
+        out: &mut Vec<Vec<RouterId>>,
+        depth: usize,
+        scratch: &mut Vec<Vec<RouterId>>,
+    ) {
+        if out.len() >= limit {
+            return;
         }
-        for (iface, peer) in topo.intra_neighbors(r) {
-            let nd = d + iface.cost;
-            let entry = dist.get(&peer).copied();
-            // First hops towards `peer` through this edge: if r is the
-            // source, the edge's own interface; otherwise inherit r's.
-            let via: Vec<IfaceId> =
-                if r == src { vec![iface.id] } else { first.get(&r).cloned().unwrap_or_default() };
-            match entry {
-                None => {
-                    dist.insert(peer, nd);
-                    first.insert(peer, via);
-                    heap.push(Reverse((nd, peer)));
-                }
-                Some(cur) if nd < cur => {
-                    dist.insert(peer, nd);
-                    first.insert(peer, via);
-                    heap.push(Reverse((nd, peer)));
-                }
-                Some(cur) if nd == cur => {
-                    let e = first.entry(peer).or_default();
-                    for v in via {
-                        if !e.contains(&v) {
-                            e.push(v);
-                        }
-                    }
-                }
-                _ => {}
+        if r == to {
+            out.push(path.clone());
+            return;
+        }
+        if scratch.len() <= depth {
+            scratch.push(Vec::new());
+        }
+        // Follow ECMP next hops; dedupe parallel links by peer,
+        // preserving first-appearance order.
+        let mut peers = std::mem::take(&mut scratch[depth]);
+        peers.clear();
+        for &ifid in self.nexthops(r, to) {
+            let peer = topo.iface(topo.iface(ifid).peer).router;
+            if !peers.contains(&peer) {
+                peers.push(peer);
             }
         }
+        // Reverse order reproduces the exploration order of the former
+        // explicit stack (last pushed, first popped), so `limit`
+        // truncates the identical path set.
+        for i in (0..peers.len()).rev() {
+            path.push(peers[i]);
+            self.dfs_paths(topo, peers[i], to, limit, path, out, depth + 1, scratch);
+            path.pop();
+        }
+        scratch[depth] = peers;
     }
-    (dist, first)
+}
+
+/// Entries kept in the process-wide SPF cache before it is flushed
+/// wholesale (a simple bound; real campaigns hold a handful of states).
+const SPF_CACHE_CAP: usize = 256;
+
+static SPF_HITS: AtomicU64 = AtomicU64::new(0);
+static SPF_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn spf_cache() -> &'static Mutex<HashMap<u64, Arc<IgpState>>> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<IgpState>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// `(hits, misses)` of the process-wide SPF cache since start (or the
+/// last [`spf_cache_reset`]).
+pub fn spf_cache_stats() -> (u64, u64) {
+    (SPF_HITS.load(Ordering::Relaxed), SPF_MISSES.load(Ordering::Relaxed))
+}
+
+/// Empties the SPF cache and zeroes its hit/miss counters (bench runs
+/// isolate measurements with this).
+pub fn spf_cache_reset() {
+    spf_cache().lock().unwrap().clear();
+    SPF_HITS.store(0, Ordering::Relaxed);
+    SPF_MISSES.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -149,6 +282,10 @@ mod tests {
     use lpr_core::lsp::Asn;
 
     fn transit(params: TopologyParams) -> (Topology, AsId) {
+        transit_seeded(params, 7)
+    }
+
+    fn transit_seeded(params: TopologyParams, seed: u64) -> (Topology, AsId) {
         let spec = AsSpec {
             asn: Asn(1),
             name: "t".into(),
@@ -157,7 +294,7 @@ mod tests {
             params,
             dest_prefixes: 0,
             vantage_points: 0,
-            seed: 7,
+            seed,
         };
         let topo = Topology::build(&[spec], &[]);
         (topo, AsId(0))
@@ -253,5 +390,186 @@ mod tests {
         let other = topo.as_by_asn(Asn(2)).unwrap().routers[0];
         let here = topo.as_by_asn(Asn(1)).unwrap().routers[0];
         assert_eq!(igp.distance(here, other), None);
+    }
+
+    #[test]
+    fn next_hop_sets_are_sorted_and_unique() {
+        let (topo, as_id) = transit(TopologyParams {
+            core_routers: 4,
+            border_routers: 2,
+            ecmp_diamonds: 1,
+            parallel_bundles: 1,
+            parallel_width: 3,
+            ..Default::default()
+        });
+        let igp = IgpState::compute(&topo, as_id);
+        let routers = &topo.as_of(as_id).routers;
+        for &a in routers.iter() {
+            for &b in routers.iter() {
+                let nhs = igp.nexthops(a, b);
+                assert!(nhs.windows(2).all(|w| w[0] < w[1]), "{a:?}->{b:?}: {nhs:?}");
+            }
+        }
+    }
+
+    /// The pre-rewrite reference: per-source Dijkstra over `HashMap`
+    /// distance and next-hop tables, transliterated from the
+    /// implementation the dense matrices replaced. Returns
+    /// `(src, dst) -> (distance, sorted ECMP next-hop set)`.
+    fn reference_state(
+        topo: &Topology,
+        as_id: AsId,
+    ) -> HashMap<(RouterId, RouterId), (u32, Vec<IfaceId>)> {
+        use std::cmp::Reverse;
+        use std::collections::{BTreeSet, BinaryHeap};
+        let routers = &topo.as_of(as_id).routers;
+        let mut out = HashMap::new();
+        for &src in routers.iter() {
+            let mut dist: HashMap<RouterId, u32> = HashMap::new();
+            let mut hops: HashMap<RouterId, BTreeSet<IfaceId>> = HashMap::new();
+            dist.insert(src, 0);
+            let mut heap = BinaryHeap::new();
+            heap.push(Reverse((0u32, src)));
+            while let Some(Reverse((d, r))) = heap.pop() {
+                if dist.get(&r) != Some(&d) {
+                    continue; // stale entry
+                }
+                let via_r = hops.get(&r).cloned().unwrap_or_default();
+                for (iface, peer) in topo.intra_neighbors(r) {
+                    let nd = d + iface.cost;
+                    let via: BTreeSet<IfaceId> = if r == src {
+                        BTreeSet::from([iface.id])
+                    } else {
+                        via_r.clone()
+                    };
+                    match dist.get(&peer).copied() {
+                        Some(cur) if nd > cur => {}
+                        Some(cur) if nd == cur => {
+                            hops.entry(peer).or_default().extend(via);
+                        }
+                        _ => {
+                            dist.insert(peer, nd);
+                            hops.insert(peer, via);
+                            heap.push(Reverse((nd, peer)));
+                        }
+                    }
+                }
+            }
+            for &dst in routers.iter() {
+                if let Some(&d) = dist.get(&dst) {
+                    let nhs: Vec<IfaceId> =
+                        hops.get(&dst).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                    out.insert((src, dst), (d, nhs));
+                }
+            }
+        }
+        out
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    /// Property check for the dense rewrite: on pseudo-random topology
+    /// shapes with perturbed link costs, every `(src, dst)` distance and
+    /// ECMP next-hop set must equal the HashMap reference's.
+    #[test]
+    fn dense_state_matches_hashmap_reference_on_random_topologies() {
+        let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+        for case in 0..10u64 {
+            let params = TopologyParams {
+                core_routers: 2 + (xorshift(&mut rng) % 5) as usize,
+                border_routers: 1 + (xorshift(&mut rng) % 3) as usize,
+                ecmp_diamonds: (xorshift(&mut rng) % 3) as usize,
+                unbalanced_diamonds: (xorshift(&mut rng) % 2) as usize,
+                parallel_bundles: (xorshift(&mut rng) % 2) as usize,
+                parallel_width: 2 + (xorshift(&mut rng) % 2) as usize,
+                ..Default::default()
+            };
+            let (topo, as_id) = transit_seeded(params, 1 + case);
+            let topo = topo.with_perturbed_costs(case * 31 + 5, 0.4);
+            let dense = IgpState::compute(&topo, as_id);
+            let reference = reference_state(&topo, as_id);
+            let routers = &topo.as_of(as_id).routers;
+            for &a in routers.iter() {
+                for &b in routers.iter() {
+                    let (rd, rh) = match reference.get(&(a, b)) {
+                        Some((d, h)) => (Some(*d), h.as_slice()),
+                        None => (None, &[][..]),
+                    };
+                    assert_eq!(dense.distance(a, b), rd, "case {case}: dist {a:?}->{b:?}");
+                    assert_eq!(dense.nexthops(a, b), rh, "case {case}: hops {a:?}->{b:?}");
+                }
+            }
+        }
+    }
+
+    /// Mutating one link weight must bump the AS fingerprint and the
+    /// topology version, so the SPF cache misses and recomputes — and
+    /// the recomputed routes actually differ. The untouched original
+    /// keeps hitting: the cache keys on content, not identity.
+    #[test]
+    fn link_cost_mutation_invalidates_cache_and_changes_routes() {
+        let (orig, as_id) = transit(TopologyParams {
+            core_routers: 4,
+            border_routers: 2,
+            ..Default::default()
+        });
+        let mut topo = orig.clone();
+        let fp0 = topo.igp_fingerprint(as_id);
+        let v0 = topo.version();
+        let before = IgpState::cached(&topo, as_id);
+
+        // Re-weight the first intra-AS link the way maintenance does.
+        let link_idx = topo.links.iter().position(|l| !l.inter_as).expect("intra-AS link");
+        let old_cost = topo.links[link_idx].cost;
+        topo.set_link_cost(link_idx, old_cost + 1000);
+        assert_ne!(topo.igp_fingerprint(as_id), fp0, "fingerprint must move");
+        assert_ne!(topo.version(), v0, "topology version must move");
+
+        let (_, m0) = spf_cache_stats();
+        let after = IgpState::cached(&topo, as_id);
+        let (_, m1) = spf_cache_stats();
+        assert!(m1 > m0, "mutated topology misses the cache");
+        assert!(!Arc::ptr_eq(&before, &after));
+
+        // The chain link's endpoints have no alternative route, so the
+        // re-weight shows up in the distance verbatim.
+        let ra = topo.iface(topo.links[link_idx].a).router;
+        let rb = topo.iface(topo.links[link_idx].b).router;
+        assert_eq!(before.distance(ra, rb), Some(old_cost));
+        assert_eq!(after.distance(ra, rb), Some(old_cost + 1000));
+
+        let again = IgpState::cached(&orig, as_id);
+        assert!(Arc::ptr_eq(&before, &again), "original content still hits");
+    }
+
+    #[test]
+    fn cached_state_matches_computed_and_hits_on_reuse() {
+        let (topo, as_id) = transit(TopologyParams {
+            core_routers: 5,
+            border_routers: 2,
+            ecmp_diamonds: 1,
+            ..Default::default()
+        });
+        let plain = IgpState::compute(&topo, as_id);
+        let (_, m0) = spf_cache_stats();
+        let a = IgpState::cached(&topo, as_id);
+        let (h1, m1) = spf_cache_stats();
+        assert!(m1 > m0, "first lookup misses");
+        let b = IgpState::cached(&topo, as_id);
+        let (h2, _) = spf_cache_stats();
+        assert!(h2 > h1, "second lookup hits");
+        assert!(Arc::ptr_eq(&a, &b), "hit returns the cached Arc");
+        let routers = &topo.as_of(as_id).routers;
+        for &x in routers.iter() {
+            for &y in routers.iter() {
+                assert_eq!(plain.nexthops(x, y), a.nexthops(x, y));
+                assert_eq!(plain.distance(x, y), a.distance(x, y));
+            }
+        }
     }
 }

@@ -135,7 +135,7 @@ pub struct Internet {
     /// The underlying topology.
     pub topo: Topology,
     configs: Vec<MplsConfig>,
-    igp: Vec<IgpState>,
+    igp: Vec<std::sync::Arc<IgpState>>,
     ldp: Vec<Option<LdpState>>,
     te: Vec<TeState>,
     allocators: Vec<LabelAllocator>,
@@ -171,8 +171,10 @@ impl Internet {
             })
             .collect();
 
-        let igp: Vec<IgpState> =
-            topo.ases.iter().map(|a| IgpState::compute(&topo, a.id)).collect();
+        // SPF-cached: cycles (and snapshots) whose perturbations leave
+        // an AS's IGP content untouched reuse its routes outright.
+        let igp: Vec<std::sync::Arc<IgpState>> =
+            topo.ases.iter().map(|a| IgpState::cached(&topo, a.id)).collect();
 
         let mut ldp: Vec<Option<LdpState>> = Vec::with_capacity(topo.ases.len());
         let mut te: Vec<TeState> = Vec::with_capacity(topo.ases.len());
@@ -252,6 +254,12 @@ impl Internet {
     /// The IGP state of an AS.
     pub fn igp(&self, as_id: AsId) -> &IgpState {
         &self.igp[as_id.0 as usize]
+    }
+
+    /// `(hits, misses)` of the process-wide SPF cache (see
+    /// [`crate::igp::spf_cache_stats`]).
+    pub fn spf_cache_stats() -> (u64, u64) {
+        crate::igp::spf_cache_stats()
     }
 
     /// The LDP state of an AS, when MPLS is enabled there.

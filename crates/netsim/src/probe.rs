@@ -17,7 +17,7 @@
 //! Everything derives from `(seed, snapshot_salt, vp, dst, ttl)` — no
 //! hidden RNG state — so campaigns replay bit-identically.
 
-use crate::dataplane::{probe, ProbeReply};
+use crate::dataplane::{probe_ladder, LadderEnd, ProbeReply};
 use crate::internet::{splitmix64, Internet};
 use lpr_chaos::{FaultCounts, FaultPlan};
 use lpr_core::trace::{Hop, Trace};
@@ -117,6 +117,135 @@ impl<'a> Prober<'a> {
         self
     }
 
+    /// The [`Sync`] view of this prober that shard workers share; the
+    /// fault tally (a `Cell`) stays behind, accumulated per worker and
+    /// merged back in shard order.
+    fn core(&self) -> ProbeCore<'_> {
+        ProbeCore {
+            net: self.net,
+            opts: &self.opts,
+            metrics: self.metrics.as_ref(),
+            faults: self.faults.as_ref(),
+        }
+    }
+
+    /// Folds a worker-local fault tally into the prober's running total.
+    fn merge_injected(&self, injected: FaultCounts) {
+        if injected.total() > 0 {
+            let mut total = self.injected.get();
+            total.merge(&injected);
+            self.injected.set(total);
+        }
+    }
+
+    /// Runs one traceroute (Paris: the flow identifier derives from
+    /// `(vp, dst)` and stays constant across the TTL ladder).
+    pub fn trace(&self, vp: Ipv4Addr, dst: Ipv4Addr) -> Trace {
+        self.trace_with_flow(vp, dst, self.core().flow(vp, dst))
+    }
+
+    /// Runs one traceroute with an explicit flow identifier — the MDA
+    /// (multipath detection) primitive: Paris traceroute enumerates
+    /// ECMP branches by probing the same destination under several
+    /// flow identifiers, each held constant within its own trace.
+    pub fn trace_with_flow(&self, vp: Ipv4Addr, dst: Ipv4Addr, flow: u64) -> Trace {
+        let mut injected = FaultCounts::default();
+        let trace = self.core().trace_with_flow(vp, dst, flow, &mut injected);
+        self.merge_injected(injected);
+        trace
+    }
+
+    /// MDA-style multipath enumeration: traces the destination under
+    /// `flows` distinct flow identifiers and returns the distinct IP
+    /// paths observed (responsive-hop address sequences). The §5
+    /// validation campaign compares this IP-level view against the
+    /// label-level LPR classes.
+    pub fn mda_paths(&self, vp: Ipv4Addr, dst: Ipv4Addr, flows: usize) -> Vec<Vec<Ipv4Addr>> {
+        let mut paths = std::collections::BTreeSet::new();
+        for k in 0..flows {
+            let flow = splitmix64(
+                (u32::from(vp) as u64) ^ ((u32::from(dst) as u64) << 32) ^ (k as u64) << 17,
+            );
+            let trace = self.trace_with_flow(vp, dst, flow);
+            let path: Vec<Ipv4Addr> =
+                trace.responsive_hops().map(|h| h.addr.expect("responsive")).collect();
+            paths.insert(path);
+        }
+        paths.into_iter().collect()
+    }
+
+    /// Runs a full campaign: every vantage point towards every
+    /// destination, in row-major `(vp, dst)` order.
+    pub fn campaign(&self, vps: &[Ipv4Addr], dsts: &[Ipv4Addr]) -> Vec<Trace> {
+        self.campaign_par(vps, dsts, 1)
+    }
+
+    /// [`Prober::campaign`] sharded over `threads` workers (`0` =
+    /// available parallelism) via `lpr-par`, with the deterministic
+    /// shard-order merge discipline: contiguous shards of the row-major
+    /// `(vp, dst)` pair list are concatenated in shard order, so the
+    /// output — traces and injected-fault tallies alike — is
+    /// byte-identical to the sequential campaign for any thread count.
+    /// Fault decisions are pure functions of `(plan, vp, dst, ttl)`, so
+    /// chaos mode shards safely.
+    pub fn campaign_par(
+        &self,
+        vps: &[Ipv4Addr],
+        dsts: &[Ipv4Addr],
+        threads: usize,
+    ) -> Vec<Trace> {
+        let core = self.core();
+        if threads == 1 {
+            let mut injected = FaultCounts::default();
+            let mut out = Vec::with_capacity(vps.len() * dsts.len());
+            for &vp in vps {
+                for &dst in dsts {
+                    let flow = core.flow(vp, dst);
+                    out.push(core.trace_with_flow(vp, dst, flow, &mut injected));
+                }
+            }
+            self.merge_injected(injected);
+            return out;
+        }
+        let pairs: Vec<(Ipv4Addr, Ipv4Addr)> = vps
+            .iter()
+            .flat_map(|&vp| dsts.iter().map(move |&dst| (vp, dst)))
+            .collect();
+        let run = lpr_par::map_shards(&pairs, lpr_par::ShardOptions::new(threads), |_, shard| {
+            let mut injected = FaultCounts::default();
+            let traces: Vec<Trace> = shard
+                .iter()
+                .map(|&(vp, dst)| {
+                    let flow = core.flow(vp, dst);
+                    core.trace_with_flow(vp, dst, flow, &mut injected)
+                })
+                .collect();
+            (traces, injected)
+        });
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut merged = FaultCounts::default();
+        for (traces, injected) in run.outputs {
+            out.extend(traces);
+            merged.merge(&injected);
+        }
+        self.merge_injected(merged);
+        out
+    }
+}
+
+/// The shareable probing state: everything [`Prober`] holds except the
+/// interior-mutable fault tally, so shard workers can trace
+/// concurrently while each accumulates faults into its own
+/// [`FaultCounts`].
+#[derive(Clone, Copy)]
+struct ProbeCore<'a> {
+    net: &'a Internet,
+    opts: &'a ProbeOptions,
+    metrics: Option<&'a ProbeMetrics>,
+    faults: Option<&'a FaultPlan>,
+}
+
+impl ProbeCore<'_> {
     /// The Paris flow identifier for a `(vp, dst)` pair this snapshot.
     fn flow(&self, vp: Ipv4Addr, dst: Ipv4Addr) -> u64 {
         let base = splitmix64(
@@ -152,26 +281,28 @@ impl<'a> Prober<'a> {
         ttl as u32 * 1500 + (h % 900) as u32
     }
 
-    /// Runs one traceroute (Paris: the flow identifier derives from
-    /// `(vp, dst)` and stays constant across the TTL ladder).
-    pub fn trace(&self, vp: Ipv4Addr, dst: Ipv4Addr) -> Trace {
-        self.trace_with_flow(vp, dst, self.flow(vp, dst))
-    }
-
-    /// Runs one traceroute with an explicit flow identifier — the MDA
-    /// (multipath detection) primitive: Paris traceroute enumerates
-    /// ECMP branches by probing the same destination under several
-    /// flow identifiers, each held constant within its own trace.
-    pub fn trace_with_flow(&self, vp: Ipv4Addr, dst: Ipv4Addr, flow: u64) -> Trace {
+    /// One traceroute over a single forwarding walk: the TTL ladder
+    /// consumes the walk's per-TTL expiry events in order, then its
+    /// terminal (Echo/Unreachable) — O(hops) where probing each TTL
+    /// separately was O(hops²).
+    fn trace_with_flow(
+        &self,
+        vp: Ipv4Addr,
+        dst: Ipv4Addr,
+        flow: u64,
+        injected: &mut FaultCounts,
+    ) -> Trace {
         let mut trace = Trace::new(vp, dst);
         let mut gap = 0u8;
-        let mut injected = FaultCounts::default();
+        let mut events = Vec::new();
+        let end = probe_ladder(self.net, vp, dst, flow, self.opts.max_ttl as usize, &mut events);
+        let mut events = events.into_iter();
         for ttl in 1..=self.opts.max_ttl {
-            if let Some(m) = &self.metrics {
+            if let Some(m) = self.metrics {
                 m.sent.inc();
             }
-            match probe(self.net, vp, dst, ttl, flow) {
-                ProbeReply::TimeExceeded { router, addr, stack } => {
+            match events.next() {
+                Some(ProbeReply::TimeExceeded { router, addr, stack }) => {
                     let rate = self
                         .net
                         .config(self.net.topo.router(router).as_id)
@@ -179,7 +310,7 @@ impl<'a> Prober<'a> {
                     // Injected reply faults: loss in transit and router-side
                     // ICMP rate limiting both leave the hop anonymous, like
                     // the modelled anonymity does.
-                    let faulted = match &self.faults {
+                    let faulted = match self.faults {
                         Some(plan) if plan.lose_probe(vp, dst, ttl) => {
                             injected.lost += 1;
                             true
@@ -191,7 +322,7 @@ impl<'a> Prober<'a> {
                         _ => false,
                     };
                     if faulted || self.anonymous(vp, dst, ttl, rate) {
-                        if let Some(m) = &self.metrics {
+                        if let Some(m) = self.metrics {
                             m.anonymous.inc();
                         }
                         trace.push_hop(Hop::anonymous(ttl));
@@ -199,7 +330,7 @@ impl<'a> Prober<'a> {
                     } else {
                         let mut stack: lpr_core::label::LabelStack =
                             stack.into_iter().collect();
-                        if let Some(plan) = &self.faults {
+                        if let Some(plan) = self.faults {
                             if !stack.is_empty() && plan.php_silent(addr) {
                                 stack = lpr_core::label::LabelStack::empty();
                                 injected.php_silenced += 1;
@@ -209,7 +340,7 @@ impl<'a> Prober<'a> {
                                 injected.truncated_exts += 1;
                             }
                         }
-                        if let Some(m) = &self.metrics {
+                        if let Some(m) = self.metrics {
                             m.replies.inc();
                             m.stack_depth.observe(stack.depth());
                         }
@@ -222,67 +353,35 @@ impl<'a> Prober<'a> {
                         gap = 0;
                     }
                 }
-                ProbeReply::Echo { addr } => {
-                    if let Some(m) = &self.metrics {
-                        m.replies.inc();
+                Some(_) => unreachable!("the ladder records only TTL expiries"),
+                None => {
+                    // Past the last expiry: the walk's terminal answers
+                    // (or doesn't) every remaining TTL.
+                    if let LadderEnd::Echo { addr } = end {
+                        if let Some(m) = self.metrics {
+                            m.replies.inc();
+                        }
+                        trace.push_hop(Hop {
+                            probe_ttl: ttl,
+                            addr: Some(addr),
+                            rtt_us: self.rtt(vp, dst, ttl),
+                            stack: lpr_core::label::LabelStack::empty(),
+                        });
+                        trace.reached = true;
                     }
-                    trace.push_hop(Hop {
-                        probe_ttl: ttl,
-                        addr: Some(addr),
-                        rtt_us: self.rtt(vp, dst, ttl),
-                        stack: lpr_core::label::LabelStack::empty(),
-                    });
-                    trace.reached = true;
                     break;
                 }
-                ProbeReply::Unreachable => break,
             }
             if gap >= self.opts.gap_limit {
                 break;
             }
         }
-        if let Some(plan) = &self.faults {
+        if let Some(plan) = self.faults {
             // Duplicated/reordered replies rebuild the hop list, possibly
             // breaking strict TTL order — downstream quarantine territory.
-            plan.degrade_structure(&mut trace, &mut injected);
-        }
-        if injected.total() > 0 {
-            let mut total = self.injected.get();
-            total.merge(&injected);
-            self.injected.set(total);
+            plan.degrade_structure(&mut trace, injected);
         }
         trace
-    }
-
-    /// MDA-style multipath enumeration: traces the destination under
-    /// `flows` distinct flow identifiers and returns the distinct IP
-    /// paths observed (responsive-hop address sequences). The §5
-    /// validation campaign compares this IP-level view against the
-    /// label-level LPR classes.
-    pub fn mda_paths(&self, vp: Ipv4Addr, dst: Ipv4Addr, flows: usize) -> Vec<Vec<Ipv4Addr>> {
-        let mut paths = std::collections::BTreeSet::new();
-        for k in 0..flows {
-            let flow = splitmix64(
-                (u32::from(vp) as u64) ^ ((u32::from(dst) as u64) << 32) ^ (k as u64) << 17,
-            );
-            let trace = self.trace_with_flow(vp, dst, flow);
-            let path: Vec<Ipv4Addr> =
-                trace.responsive_hops().map(|h| h.addr.expect("responsive")).collect();
-            paths.insert(path);
-        }
-        paths.into_iter().collect()
-    }
-
-    /// Runs a full campaign: every vantage point towards every
-    /// destination.
-    pub fn campaign(&self, vps: &[Ipv4Addr], dsts: &[Ipv4Addr]) -> Vec<Trace> {
-        let mut out = Vec::with_capacity(vps.len() * dsts.len());
-        for &vp in vps {
-            for &dst in dsts {
-                out.push(self.trace(vp, dst));
-            }
-        }
-        out
     }
 }
 
@@ -477,6 +576,22 @@ mod tests {
             }),
             "duplicated replies break strict TTL order somewhere"
         );
+    }
+
+    #[test]
+    fn campaign_par_matches_sequential_for_any_thread_count() {
+        let net = build(0.2);
+        let vps: Vec<_> = net.topo.vantage_points().iter().map(|(a, _)| *a).collect();
+        let dsts = net.topo.destinations(64);
+        let plan = lpr_chaos::FaultPlan::uniform(3, 0.2);
+        let seq_prober = Prober::new(&net, ProbeOptions::default()).with_faults(plan);
+        let seq = seq_prober.campaign(&vps, &dsts);
+        assert!(vps.len() * dsts.len() > 64, "needs to span several shards");
+        for threads in [2usize, 3, 8] {
+            let p = Prober::new(&net, ProbeOptions::default()).with_faults(plan);
+            assert_eq!(p.campaign_par(&vps, &dsts, threads), seq, "threads = {threads}");
+            assert_eq!(p.injected_faults(), seq_prober.injected_faults());
+        }
     }
 
     #[test]

@@ -572,6 +572,60 @@ impl Topology {
 }
 
 impl Topology {
+    /// Content fingerprint of one AS's IGP inputs: its router list and
+    /// every intra-AS interface's `(id, router, peer, cost)`. Two
+    /// topologies agree on an AS's fingerprint exactly when Dijkstra
+    /// would produce identical routes there, so the SPF cache
+    /// ([`crate::igp::IgpState::cached`]) can key on it. Inter-AS links
+    /// are excluded: the IGP ignores them, and peering-only changes
+    /// must not invalidate cached routes.
+    pub fn igp_fingerprint(&self, as_id: AsId) -> u64 {
+        let mut h = Fnv::new();
+        h.write(as_id.0 as u64 ^ 0x1697_F1A6);
+        for &r in &self.as_of(as_id).routers {
+            h.write(r.0 as u64);
+            for &i in &self.router(r).ifaces {
+                let iface = self.iface(i);
+                if iface.inter_as {
+                    continue;
+                }
+                h.write(iface.id.0 as u64);
+                h.write(self.iface(iface.peer).router.0 as u64);
+                h.write(iface.cost as u64);
+            }
+        }
+        h.finish()
+    }
+
+    /// Content version of the whole topology: combines every AS's
+    /// [`Topology::igp_fingerprint`] with the inter-AS link structure.
+    /// Any change to routers, links or costs — including a single
+    /// [`Topology::set_link_cost`] — yields a different version.
+    pub fn version(&self) -> u64 {
+        let mut h = Fnv::new();
+        for a in &self.ases {
+            h.write(self.igp_fingerprint(a.id));
+        }
+        for l in &self.links {
+            if l.inter_as {
+                h.write(l.a.0 as u64);
+                h.write(l.b.0 as u64);
+                h.write(l.cost as u64);
+            }
+        }
+        h.finish()
+    }
+
+    /// Sets the IGP cost of one link (both interface ends included),
+    /// the way a maintenance re-weighting does. The topology version
+    /// and the owning AS's IGP fingerprint change accordingly.
+    pub fn set_link_cost(&mut self, link_idx: usize, cost: u32) {
+        let (a, b) = (self.links[link_idx].a, self.links[link_idx].b);
+        self.links[link_idx].cost = cost;
+        self.ifaces[a.0 as usize].cost = cost;
+        self.ifaces[b.0 as usize].cost = cost;
+    }
+
     /// A copy of the topology with a fraction of intra-AS link costs
     /// perturbed (±50 %), deterministically from `seed`.
     ///
@@ -602,6 +656,26 @@ impl Topology {
             topo.ifaces[b.0 as usize].cost = delta.max(2);
         }
         topo
+    }
+}
+
+/// FNV-1a over a word stream (topology fingerprints).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn write(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 

@@ -11,8 +11,9 @@
 //!
 //! 1. The input slice is cut into contiguous *shards* (more shards than
 //!    workers, so stragglers rebalance).
-//! 2. Workers pull shard indices from a chunked work queue (an atomic
-//!    cursor) and run the caller's closure on each shard.
+//! 2. Worker *i* starts on shard *i* (so every worker is guaranteed
+//!    work even when an early spawn races ahead), then pulls further
+//!    shard indices from a chunked work queue (an atomic cursor).
 //! 3. Outputs are returned **in shard order**, regardless of which
 //!    worker ran which shard or in what order they finished.
 //!
@@ -259,7 +260,13 @@ where
         stat.busy_us = sw.elapsed().as_micros() as u64;
         workers.push(stat);
     } else {
-        let cursor = AtomicUsize::new(0);
+        // Shards 0..threads are statically assigned (worker i owns
+        // shard i); only the remainder goes through the shared cursor.
+        // Without this, a worker that spawns early can drain the whole
+        // queue before the later spawns are even scheduled, leaving
+        // them with zero items — a real effect at small queue sizes,
+        // and a guaranteed one on a single-core host.
+        let cursor = AtomicUsize::new(threads);
         let run_one = &run_one;
         let bounds = &bounds;
         let cursor = &cursor;
@@ -274,8 +281,12 @@ where
                             let sw = Instant::now();
                             let mut stat = WorkerStat { worker, ..Default::default() };
                             let mut produced = Vec::new();
+                            let mut first = Some(worker); // threads <= nshards
                             loop {
-                                let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                                let shard = match first.take() {
+                                    Some(s) => s,
+                                    None => cursor.fetch_add(1, Ordering::Relaxed),
+                                };
                                 if shard >= nshards {
                                     break;
                                 }
@@ -393,6 +404,23 @@ mod tests {
         assert_eq!(run.shard_workers.len(), run.outputs.len());
         for &w in &run.shard_workers {
             assert!(w < run.workers.len().max(1) + 16, "worker id sane");
+        }
+    }
+
+    /// Regression: before the static first-shard assignment, a worker
+    /// spawned early could drain the whole cursor queue before the rest
+    /// were scheduled, and `worker2`/`worker3` reported 0 items on a
+    /// 3654-trace run. Every spawned worker now owns at least one shard.
+    #[test]
+    fn every_worker_receives_work() {
+        let items: Vec<u32> = (0..3654).collect();
+        for threads in [2usize, 4, 8] {
+            let run = map_shards(&items, ShardOptions::new(threads), |_, s| s.len());
+            assert_eq!(run.workers.len(), threads);
+            for w in &run.workers {
+                assert!(w.shards >= 1, "worker {} starved at threads={threads}", w.worker);
+                assert!(w.items > 0, "worker {} got 0 items at threads={threads}", w.worker);
+            }
         }
     }
 

@@ -171,11 +171,21 @@ impl WartsWriter {
         }
     }
 
-    fn record(&mut self, record_type: RecordType, body: BytesMut) {
+    /// Writes a record header with a zero length placeholder; the body
+    /// is then encoded straight into the file buffer (no per-record
+    /// allocation) and [`Self::end_record`] backpatches the length.
+    fn begin_record(&mut self, record_type: RecordType) -> usize {
         self.out.put_u16(WARTS_MAGIC);
         self.out.put_u16(record_type as u16);
-        self.out.put_u32(body.len() as u32);
-        self.out.put_slice(&body);
+        self.out.put_u32(0);
+        self.out.len()
+    }
+
+    /// Backpatches the length placeholder of the record whose body
+    /// started at `body_start`.
+    fn end_record(&mut self, body_start: usize) {
+        let len = (self.out.len() - body_start) as u32;
+        self.out[body_start - 4..body_start].copy_from_slice(&len.to_be_bytes());
     }
 
     /// Appends a list definition; returns its file-local id.
@@ -183,17 +193,15 @@ impl WartsWriter {
         let id = self.next_list_file_id;
         self.next_list_file_id += 1;
         let rec = ListRecord { id, list_id, name: to_owned(name), descr: None, monitor: None };
-        let mut body = BytesMut::new();
-        rec.write(&mut body);
-        self.record(RecordType::List, body);
+        self.list_record(&rec);
         id
     }
 
     /// Appends a full list record.
     pub fn list_record(&mut self, rec: &ListRecord) {
-        let mut body = BytesMut::new();
-        rec.write(&mut body);
-        self.record(RecordType::List, body);
+        let start = self.begin_record(RecordType::List);
+        rec.write(&mut self.out);
+        self.end_record(start);
     }
 
     /// Appends a cycle start; returns its file-local id.
@@ -208,39 +216,39 @@ impl WartsWriter {
             stop: None,
             hostname: None,
         };
-        let mut body = BytesMut::new();
-        rec.write(&mut body);
-        self.record(RecordType::CycleStart, body);
+        let at = self.begin_record(RecordType::CycleStart);
+        rec.write(&mut self.out);
+        self.end_record(at);
         id
     }
 
     /// Appends a cycle stop for a cycle's file-local id.
     pub fn cycle_stop(&mut self, cycle_file_id: u32, stop: u32) {
         let rec = CycleStopRecord { id: cycle_file_id, stop };
-        let mut body = BytesMut::new();
-        rec.write(&mut body);
-        self.record(RecordType::CycleStop, body);
+        let at = self.begin_record(RecordType::CycleStop);
+        rec.write(&mut self.out);
+        self.end_record(at);
     }
 
     /// Appends a traceroute record.
     pub fn trace(&mut self, rec: &TraceRecord) -> Result<(), WartsError> {
-        let mut body = BytesMut::new();
-        rec.write(&mut body, &mut self.addrs);
-        self.record(RecordType::Trace, body);
+        let at = self.begin_record(RecordType::Trace);
+        rec.write(&mut self.out, &mut self.addrs);
+        self.end_record(at);
         Ok(())
     }
 
     /// Appends a ping record.
     pub fn ping(&mut self, rec: &PingRecord) -> Result<(), WartsError> {
-        let mut body = BytesMut::new();
-        rec.write(&mut body, &mut self.addrs);
-        self.record(RecordType::Ping, body);
+        let at = self.begin_record(RecordType::Ping);
+        rec.write(&mut self.out, &mut self.addrs);
+        self.end_record(at);
         Ok(())
     }
 
-    /// Finishes the file and hands back its bytes.
+    /// Finishes the file and hands back its bytes (no copy).
     pub fn into_bytes(self) -> Vec<u8> {
-        self.out.to_vec()
+        self.out.into_vec()
     }
 
     /// Bytes written so far.

@@ -56,6 +56,11 @@ impl FlagSet {
         self.bits.iter().all(|&b| b == 0)
     }
 
+    /// Unsets every flag, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.bits.clear();
+    }
+
     /// Decodes a flag bitfield (not the parameter length) from a cursor.
     pub fn read(cur: &mut Cursor<'_>) -> Result<Self, WartsError> {
         let mut bits = Vec::new();
@@ -124,12 +129,22 @@ impl ParamWriter {
     }
 
     /// Finalises into the on-disk layout.
-    pub fn finish(self, out: &mut BytesMut) {
+    pub fn finish(mut self, out: &mut BytesMut) {
+        self.finish_reset(out);
+    }
+
+    /// [`ParamWriter::finish`] for a long-lived writer: emits the block,
+    /// then clears the flag set and parameter buffer while keeping both
+    /// allocations, so one scratch writer serves every hop of a record
+    /// (and every record of a file) without reallocating.
+    pub fn finish_reset(&mut self, out: &mut BytesMut) {
         self.flags.write(out);
         if !self.flags.is_empty() {
             out.put_u16(self.params.len() as u16);
             out.put_slice(&self.params);
         }
+        self.flags.clear();
+        self.params.clear();
     }
 }
 

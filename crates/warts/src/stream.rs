@@ -481,10 +481,19 @@ impl<R: Read> WartsStreamReader<R> {
                 self.failed = true;
                 return Err(WartsError::Truncated { context: "record body" }.into());
             }
-            let body = self.buf[self.buf_pos + 8..self.buf_pos + 8 + len].to_vec();
+            // Decode borrows the body straight out of the stream buffer
+            // (no per-record copy); the bytes are consumed afterwards,
+            // which both outcomes permit: success owns its fields,
+            // failure leaves the reader positioned on the next header.
+            let result = decode_body(
+                record_type,
+                len,
+                &self.buf[self.buf_pos + 8..self.buf_pos + 8 + len],
+                &mut self.addrs,
+            );
             self.consume(8 + len);
 
-            match decode_body(record_type, len, body, &mut self.addrs) {
+            match result {
                 Ok(record) => {
                     if let Some(m) = &self.metrics {
                         m.observe(8 + len, &record);
@@ -506,14 +515,16 @@ impl<R: Read> WartsStreamReader<R> {
     }
 }
 
-/// Decodes one record body (already fully read off the wire).
+/// Decodes one record body, borrowed from the stream buffer (only an
+/// unsupported record, whose bytes are preserved for re-emission,
+/// copies it).
 fn decode_body(
     record_type: u16,
     len: usize,
-    body: Vec<u8>,
+    body: &[u8],
     addrs: &mut AddrTableReader,
 ) -> Result<Record, WartsError> {
-    let mut cur = Cursor::new(&body);
+    let mut cur = Cursor::new(body);
     let record = match record_type {
         x if x == RecordType::List as u16 => Record::List(ListRecord::read(&mut cur)?),
         x if x == RecordType::CycleStart as u16 || x == RecordType::CycleDef as u16 => {
@@ -528,7 +539,7 @@ fn decode_body(
         x if x == RecordType::Ping as u16 => {
             Record::Ping(PingRecord::read(&mut cur, addrs)?)
         }
-        other => return Ok(Record::Unsupported { record_type: other, body }),
+        other => return Ok(Record::Unsupported { record_type: other, body: body.to_vec() }),
     };
     if !cur.is_empty() {
         return Err(WartsError::LengthMismatch {

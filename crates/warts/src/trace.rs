@@ -157,8 +157,8 @@ impl HopRecord {
         }
     }
 
-    fn write(&self, out: &mut BytesMut, addrs: &mut AddrTableWriter) {
-        let mut p = ParamWriter::new();
+    /// Encodes one hop via `p`, a reusable (cleared) scratch writer.
+    fn write(&self, out: &mut BytesMut, addrs: &mut AddrTableWriter, p: &mut ParamWriter) {
         p.param(H_PROBE_TTL).put_u8(self.probe_ttl);
         if let Some(v) = self.reply_ttl {
             p.param(H_REPLY_TTL).put_u8(v);
@@ -189,7 +189,7 @@ impl HopRecord {
             write_exts(p.param(H_ICMPEXT), &self.icmp_exts);
         }
         addrs.write(p.param(H_ADDR), self.addr);
-        p.finish(out);
+        p.finish_reset(out);
     }
 
     fn read(cur: &mut Cursor<'_>, addrs: &mut AddrTableReader) -> Result<Self, WartsError> {
@@ -323,9 +323,9 @@ impl TraceRecord {
         p.param(T_HOPCOUNT).put_u16(self.hops.len() as u16);
         addrs.write(p.param(T_ADDR_SRC), self.src);
         addrs.write(p.param(T_ADDR_DST), self.dst);
-        p.finish(out);
+        p.finish_reset(out);
         for hop in &self.hops {
-            hop.write(out, addrs);
+            hop.write(out, addrs, &mut p);
         }
     }
 
