@@ -9,8 +9,15 @@
 //! * `paper` — one Criterion entry per table/figure regenerator of the
 //!   paper's evaluation, at reduced scale (the full-scale regeneration
 //!   is `cargo run --release -p experiments -- all`).
+//!
+//! This library holds the pieces of the `lpr-bench` binary that want
+//! unit tests: the shared rate/speedup formatters (one source of truth
+//! for the stdout table and the JSON report) and the [`compare`]
+//! engine behind `lpr-bench compare`.
 
 #![forbid(unsafe_code)]
+
+use lpr_obs::json::JsonValue;
 
 /// Builds the standard fixture shared by the benches: one cycle of the
 /// longitudinal world plus its RIB.
@@ -20,4 +27,507 @@ pub fn bench_cycle() -> (ark_dataset::World, Vec<lpr_core::trace::Trace>) {
     let data = ark_dataset::generate_cycle(&world, 40, &opts);
     let traces = data.snapshots.into_iter().next().expect("one snapshot");
     (world, traces)
+}
+
+/// Items/second over a wall time, or `None` when the wall rounded to
+/// 0 µs — a 0-µs stage has no measurable rate, and a fake `0.0` would
+/// read as "stalled". Both renderings of the report derive from this
+/// one cell (for pipeline stages, `items` is the stage's input count,
+/// matching `StageTelemetry::throughput_per_s`).
+pub fn throughput_cell(wall_us: u64, items: u64) -> Option<f64> {
+    if wall_us == 0 {
+        None
+    } else {
+        Some(items as f64 / (wall_us as f64 / 1e6))
+    }
+}
+
+/// The stdout rendering of [`throughput_cell`]: `"n/a"` or the rate
+/// rounded to whole items/s.
+pub fn throughput_text(wall_us: u64, items: u64) -> String {
+    match throughput_cell(wall_us, items) {
+        None => "n/a".to_string(),
+        Some(rate) => format!("{rate:.0}"),
+    }
+}
+
+/// The JSON rendering of [`throughput_cell`]: `null` or a float.
+pub fn throughput_json(wall_us: u64, items: u64) -> JsonValue {
+    match throughput_cell(wall_us, items) {
+        None => JsonValue::Null,
+        Some(rate) => JsonValue::Float(rate),
+    }
+}
+
+/// Wall-time ratio `reference / wall`, saturating 0-µs measurements to
+/// 1 µs so a sweep over an immeasurably fast run reports a finite
+/// (and, for the reference row itself, exactly `1.0`) speedup.
+pub fn speedup(reference_wall_us: u64, wall_us: u64) -> f64 {
+    reference_wall_us.max(1) as f64 / wall_us.max(1) as f64
+}
+
+pub mod compare {
+    //! The `lpr-bench compare` engine: diffs two `BENCH_pipeline.json`
+    //! reports and decides whether the newer one regressed.
+    //!
+    //! Three classes of check:
+    //!
+    //! * **Wall time** — per top-level stage (worker rows re-count time
+    //!   already in their parent), the current/baseline ratio must stay
+    //!   under `1 + threshold`. Stages whose baseline wall is 0 or
+    //!   absent are skipped: the committed baseline strips
+    //!   nondeterministic timings (see `lpr-bench baseline`), and a
+    //!   0-µs measurement has no meaningful ratio.
+    //! * **Counts** — IOTPs, input LSPs and every counter present in
+    //!   both reports must match *exactly*; these are deterministic for
+    //!   a given campaign shape, so any drift is a correctness change,
+    //!   not noise.
+    //! * **Allocations** — per-stage allocation calls compare like wall
+    //!   time (ratio under `1 + threshold`), when both reports carry
+    //!   `"allocations"`.
+
+    use super::JsonValue;
+
+    /// One stage's wall-time comparison.
+    #[derive(Clone, Debug)]
+    pub struct StageRow {
+        /// Stage name (top-level stages only).
+        pub name: String,
+        /// Baseline wall time; `None` when absent or stripped to 0.
+        pub baseline_wall_us: Option<u64>,
+        /// Current wall time.
+        pub current_wall_us: u64,
+        /// `current / baseline`, when comparable.
+        pub ratio: Option<f64>,
+        /// Whether the ratio breached the threshold.
+        pub regressed: bool,
+    }
+
+    /// Everything `lpr-bench compare` decides and reports.
+    #[derive(Clone, Debug, Default)]
+    pub struct Outcome {
+        /// Per-stage wall-time rows, in current-report stage order.
+        pub stages: Vec<StageRow>,
+        /// Human-readable regression lines (threshold breaches).
+        pub regressions: Vec<String>,
+        /// Strict count mismatches (always failures).
+        pub mismatches: Vec<String>,
+        /// Comparisons skipped for lack of a baseline measurement.
+        pub skipped: Vec<String>,
+    }
+
+    impl Outcome {
+        /// A comparison passes when nothing regressed or mismatched.
+        pub fn passed(&self) -> bool {
+            self.regressions.is_empty() && self.mismatches.is_empty()
+        }
+
+        /// The diff document CI uploads as an artifact.
+        pub fn to_json(&self, threshold: f64) -> String {
+            let stages = self
+                .stages
+                .iter()
+                .map(|row| {
+                    JsonValue::Object(vec![
+                        ("name".to_string(), JsonValue::Str(row.name.clone())),
+                        (
+                            "baseline_wall_us".to_string(),
+                            match row.baseline_wall_us {
+                                Some(us) => JsonValue::Int(us as i128),
+                                None => JsonValue::Null,
+                            },
+                        ),
+                        (
+                            "current_wall_us".to_string(),
+                            JsonValue::Int(row.current_wall_us as i128),
+                        ),
+                        (
+                            "ratio".to_string(),
+                            match row.ratio {
+                                Some(r) => JsonValue::Float(r),
+                                None => JsonValue::Null,
+                            },
+                        ),
+                        ("regressed".to_string(), JsonValue::Bool(row.regressed)),
+                    ])
+                })
+                .collect();
+            let strs = |items: &[String]| {
+                JsonValue::Array(items.iter().map(|s| JsonValue::Str(s.clone())).collect())
+            };
+            JsonValue::Object(vec![
+                ("bench".to_string(), JsonValue::Str("compare".to_string())),
+                ("threshold".to_string(), JsonValue::Float(threshold)),
+                ("passed".to_string(), JsonValue::Bool(self.passed())),
+                ("stages".to_string(), JsonValue::Array(stages)),
+                ("regressions".to_string(), strs(&self.regressions)),
+                ("mismatches".to_string(), strs(&self.mismatches)),
+                ("skipped".to_string(), strs(&self.skipped)),
+            ])
+            .render_pretty()
+        }
+    }
+
+    fn telemetry_of(report: &JsonValue) -> Option<&JsonValue> {
+        report.get("telemetry")
+    }
+
+    /// Top-level `(name, wall_us, input, output)` stage rows of a
+    /// report, in document order; worker rows (`worker0/...`) excluded.
+    fn stage_rows(report: &JsonValue) -> Vec<(String, u64, u64, u64)> {
+        let Some(items) = telemetry_of(report)
+            .and_then(|t| t.get("stages"))
+            .and_then(|s| s.as_array())
+        else {
+            return Vec::new();
+        };
+        items
+            .iter()
+            .filter_map(|s| {
+                let name = s.get("name")?.as_str()?.to_string();
+                if name.contains('/') {
+                    return None;
+                }
+                Some((
+                    name,
+                    s.get("wall_us")?.as_u64()?,
+                    s.get("input")?.as_u64()?,
+                    s.get("output")?.as_u64()?,
+                ))
+            })
+            .collect()
+    }
+
+    fn counters_of(report: &JsonValue) -> Vec<(String, u64)> {
+        let Some(counters) =
+            telemetry_of(report).and_then(|t| t.get("counters")).and_then(|c| c.as_object())
+        else {
+            return Vec::new();
+        };
+        counters.iter().filter_map(|(name, v)| Some((name.clone(), v.as_u64()?))).collect()
+    }
+
+    fn alloc_rows(report: &JsonValue) -> Vec<(String, u64)> {
+        let Some(allocs) = report.get("allocations").and_then(|a| a.as_object()) else {
+            return Vec::new();
+        };
+        allocs
+            .iter()
+            .filter_map(|(name, v)| Some((name.clone(), v.get("allocs")?.as_u64()?)))
+            .collect()
+    }
+
+    /// Diffs `current` against `baseline` with a relative wall-time
+    /// regression `threshold` (0.5 = fail past 1.5× the baseline).
+    pub fn run(current: &JsonValue, baseline: &JsonValue, threshold: f64) -> Outcome {
+        let mut outcome = Outcome::default();
+        let limit = 1.0 + threshold;
+
+        let base_stages = stage_rows(baseline);
+        let base_by_name: std::collections::BTreeMap<&str, (u64, u64, u64)> = base_stages
+            .iter()
+            .map(|(name, wall, input, output)| (name.as_str(), (*wall, *input, *output)))
+            .collect();
+        for (name, wall, input, output) in stage_rows(current) {
+            let Some(&(base_wall, base_input, base_output)) = base_by_name.get(name.as_str())
+            else {
+                outcome.skipped.push(format!("{name}: stage absent from baseline"));
+                continue;
+            };
+            if input != base_input || output != base_output {
+                outcome.mismatches.push(format!(
+                    "{name}: counts {input} -> {output} differ from baseline \
+                     {base_input} -> {base_output}"
+                ));
+            }
+            if base_wall == 0 {
+                outcome.skipped.push(format!("{name}: baseline carries no wall time"));
+                outcome.stages.push(StageRow {
+                    name,
+                    baseline_wall_us: None,
+                    current_wall_us: wall,
+                    ratio: None,
+                    regressed: false,
+                });
+                continue;
+            }
+            let ratio = wall.max(1) as f64 / base_wall as f64;
+            let regressed = ratio > limit;
+            if regressed {
+                outcome.regressions.push(format!(
+                    "{name}: wall {wall} us is {ratio:.2}x the baseline {base_wall} us \
+                     (limit {limit:.2}x)"
+                ));
+            }
+            outcome.stages.push(StageRow {
+                name,
+                baseline_wall_us: Some(base_wall),
+                current_wall_us: wall,
+                ratio: Some(ratio),
+                regressed,
+            });
+        }
+
+        for key in ["iotps", "lsps_in"] {
+            match (
+                current.get(key).and_then(|v| v.as_u64()),
+                baseline.get(key).and_then(|v| v.as_u64()),
+            ) {
+                (Some(cur), Some(base)) if cur != base => outcome
+                    .mismatches
+                    .push(format!("{key}: {cur} differs from baseline {base}")),
+                (Some(_), Some(_)) => {}
+                _ => outcome.skipped.push(format!("{key}: absent from one report")),
+            }
+        }
+
+        let base_counters: std::collections::BTreeMap<String, u64> =
+            counters_of(baseline).into_iter().collect();
+        for (name, value) in counters_of(current) {
+            if let Some(&base) = base_counters.get(&name) {
+                if value != base {
+                    outcome.mismatches.push(format!(
+                        "counter {name}: {value} differs from baseline {base}"
+                    ));
+                }
+            }
+        }
+
+        let base_allocs: std::collections::BTreeMap<String, u64> =
+            alloc_rows(baseline).into_iter().collect();
+        for (name, allocs) in alloc_rows(current) {
+            let Some(&base) = base_allocs.get(&name) else { continue };
+            if base == 0 {
+                outcome.skipped.push(format!("{name}: baseline carries no allocations"));
+                continue;
+            }
+            let ratio = allocs as f64 / base as f64;
+            if ratio > limit {
+                outcome.regressions.push(format!(
+                    "{name}: {allocs} allocations is {ratio:.2}x the baseline {base} \
+                     (limit {limit:.2}x)"
+                ));
+            }
+        }
+
+        match (
+            current.get("campaign_share").and_then(|v| v.as_f64()),
+            baseline.get("campaign_share").and_then(|v| v.as_f64()),
+        ) {
+            (Some(cur), Some(base)) if base > 0.0 => {
+                if cur > base * limit {
+                    outcome.regressions.push(format!(
+                        "campaign_share: {cur:.3} is over {limit:.2}x the baseline \
+                         {base:.3}"
+                    ));
+                }
+            }
+            _ => outcome.skipped.push("campaign_share: no baseline measurement".to_string()),
+        }
+
+        outcome
+    }
+
+    /// Strips the nondeterministic measurements out of a report,
+    /// producing the committable baseline form: stage and total wall
+    /// times zeroed, throughput nulled, sweep timings, allocation
+    /// tallies, SPF cache stats and `campaign_share` removed. Counts,
+    /// counters and the golden fingerprint stay — they are the
+    /// deterministic contract `compare` checks strictly.
+    pub fn strip_nondeterministic(report: &JsonValue) -> JsonValue {
+        let Some(fields) = report.as_object() else {
+            return report.clone();
+        };
+        let kept: Vec<(String, JsonValue)> = fields
+            .iter()
+            .filter(|(key, _)| {
+                !matches!(
+                    key.as_str(),
+                    "campaign_share"
+                        | "allocations"
+                        | "thread_sweep"
+                        | "campaign_sweep"
+                        | "spf_cache"
+                )
+            })
+            .map(|(key, value)| {
+                let value = match key.as_str() {
+                    "telemetry" => zero_telemetry_walls(value),
+                    "throughput_per_s" => JsonValue::Object(
+                        value
+                            .as_object()
+                            .map(|m| m.iter().map(|(k, _)| (k.clone(), JsonValue::Null)).collect())
+                            .unwrap_or_default(),
+                    ),
+                    _ => value.clone(),
+                };
+                (key.clone(), value)
+            })
+            .collect();
+        JsonValue::Object(kept)
+    }
+
+    fn zero_telemetry_walls(telemetry: &JsonValue) -> JsonValue {
+        let Some(fields) = telemetry.as_object() else {
+            return telemetry.clone();
+        };
+        JsonValue::Object(
+            fields
+                .iter()
+                .map(|(key, value)| {
+                    let value = match key.as_str() {
+                        "total_wall_us" => JsonValue::Int(0),
+                        "stages" => JsonValue::Array(
+                            value
+                                .as_array()
+                                .map(|stages| stages.iter().map(zero_stage_wall).collect())
+                                .unwrap_or_default(),
+                        ),
+                        _ => value.clone(),
+                    };
+                    (key.clone(), value)
+                })
+                .collect(),
+        )
+    }
+
+    fn zero_stage_wall(stage: &JsonValue) -> JsonValue {
+        let Some(fields) = stage.as_object() else {
+            return stage.clone();
+        };
+        JsonValue::Object(
+            fields
+                .iter()
+                .map(|(key, value)| {
+                    let value =
+                        if key == "wall_us" { JsonValue::Int(0) } else { value.clone() };
+                    (key.clone(), value)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpr_obs::json;
+
+    #[test]
+    fn throughput_cells_agree_across_renderings() {
+        // 0-µs stage: no measurable rate in either form.
+        assert_eq!(throughput_cell(0, 1000), None);
+        assert_eq!(throughput_text(0, 1000), "n/a");
+        assert_eq!(throughput_json(0, 1000), JsonValue::Null);
+        // A measurable stage: 500 items in half a second.
+        assert_eq!(throughput_cell(500_000, 500), Some(1000.0));
+        assert_eq!(throughput_text(500_000, 500), "1000");
+        assert_eq!(throughput_json(500_000, 500), JsonValue::Float(1000.0));
+    }
+
+    #[test]
+    fn speedup_handles_zero_and_reference_rows() {
+        // The single-thread reference row compares against itself.
+        assert_eq!(speedup(840, 840), 1.0);
+        // 0-µs walls saturate to 1 µs instead of dividing by zero.
+        assert_eq!(speedup(0, 0), 1.0);
+        assert_eq!(speedup(0, 4), 0.25);
+        assert_eq!(speedup(8, 0), 8.0);
+        assert_eq!(speedup(900, 300), 3.0);
+    }
+
+    fn sample_report(classify_wall: u64) -> json::JsonValue {
+        json::parse(&format!(
+            r#"{{
+              "bench": "pipeline",
+              "iotps": 12,
+              "lsps_in": 48,
+              "campaign_share": 0.4,
+              "telemetry": {{
+                "label": "t",
+                "total_wall_us": {total},
+                "threads": 1,
+                "stages": [
+                  {{"name": "Ingest", "wall_us": 100, "input": 60, "output": 48}},
+                  {{"name": "Classification", "wall_us": {classify_wall}, "input": 48, "output": 12}},
+                  {{"name": "worker0/Ingest", "wall_us": 90, "input": 60, "output": 48}}
+                ],
+                "counters": {{"pipeline.traces": 60, "pipeline.traces_kept": 60}}
+              }},
+              "allocations": {{
+                "Pipeline": {{"allocs": 1000, "bytes": 5000}}
+              }}
+            }}"#,
+            total = 100 + classify_wall,
+        ))
+        .expect("sample parses")
+    }
+
+    #[test]
+    fn self_compare_passes() {
+        let report = sample_report(200);
+        let outcome = compare::run(&report, &report, 0.5);
+        assert!(outcome.passed(), "{outcome:?}");
+        // Worker rows never enter the stage table.
+        assert_eq!(outcome.stages.len(), 2);
+        assert!(outcome.to_json(0.5).contains("\"passed\": true"));
+    }
+
+    #[test]
+    fn doubled_stage_wall_is_flagged() {
+        let baseline = sample_report(200);
+        let outcome = compare::run(&sample_report(400), &baseline, 0.5);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.regressions.len(), 1);
+        assert!(outcome.regressions[0].starts_with("Classification:"));
+        let row = outcome.stages.iter().find(|r| r.name == "Classification").unwrap();
+        assert!(row.regressed && row.ratio == Some(2.0));
+        assert!(outcome.to_json(0.5).contains("\"passed\": false"));
+    }
+
+    #[test]
+    fn count_drift_is_a_mismatch_even_when_fast() {
+        let baseline = sample_report(200);
+        let text = sample_report(100).render_pretty().replace("\"iotps\": 12", "\"iotps\": 11");
+        let outcome = compare::run(&json::parse(&text).unwrap(), &baseline, 10.0);
+        assert!(!outcome.passed());
+        assert!(outcome.mismatches.iter().any(|m| m.starts_with("iotps:")));
+    }
+
+    #[test]
+    fn counter_drift_is_a_mismatch() {
+        let baseline = sample_report(200);
+        let text = sample_report(200)
+            .render_pretty()
+            .replace("\"pipeline.traces_kept\": 60", "\"pipeline.traces_kept\": 59");
+        let outcome = compare::run(&json::parse(&text).unwrap(), &baseline, 10.0);
+        assert!(!outcome.passed());
+        assert!(outcome.mismatches.iter().any(|m| m.contains("pipeline.traces_kept")));
+    }
+
+    #[test]
+    fn stripped_baseline_skips_wall_checks_but_keeps_counts() {
+        let baseline = compare::strip_nondeterministic(&sample_report(200));
+        // 10x slower than the (stripped) baseline: walls are skipped...
+        let outcome = compare::run(&sample_report(2000), &baseline, 0.1);
+        assert!(outcome.passed(), "{outcome:?}");
+        assert!(outcome.stages.iter().all(|r| r.ratio.is_none() && !r.regressed));
+        assert!(!outcome.skipped.is_empty());
+        // ...but count drift still fails against the stripped form.
+        let drifted = sample_report(200)
+            .render_pretty()
+            .replace("\"input\": 60,", "\"input\": 61,");
+        let outcome = compare::run(&json::parse(&drifted).unwrap(), &baseline, 0.1);
+        assert!(!outcome.passed());
+    }
+
+    #[test]
+    fn doubled_allocations_are_flagged() {
+        let baseline = sample_report(200);
+        let text =
+            sample_report(200).render_pretty().replace("\"allocs\": 1000", "\"allocs\": 2500");
+        let outcome = compare::run(&json::parse(&text).unwrap(), &baseline, 0.5);
+        assert!(!outcome.passed());
+        assert!(outcome.regressions.iter().any(|r| r.contains("allocations")));
+    }
 }

@@ -88,6 +88,8 @@ fn main() {
     let code = match args.first().map(|s| s.as_str()) {
         Some("pipeline") => pipeline(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
+        Some("compare") => compare_cmd(&args[1..]),
+        Some("baseline") => baseline_cmd(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             say!("{USAGE}");
             0
@@ -106,10 +108,15 @@ lpr-bench — LPR pipeline benchmark harness
 USAGE:
   lpr-bench pipeline [--out BENCH_pipeline.json] [--snapshots N] [--cycle N]
                      [--threads N] [--threads-sweep [1,2,4,...]] [--alloc]
-                     [--max-campaign-share F]
+                     [--max-campaign-share F] [--trace-out trace.json]
+                     [--trace-level debug|info|warn|error]
   lpr-bench chaos    [--out BENCH_chaos.json] [--seed N]
                      [--rates 0,0.02,0.05,0.1] [--snapshots N] [--cycle N]
-                     [--drift-bound F]
+                     [--drift-bound F] [--trace-out trace.json]
+                     [--trace-level debug|info|warn|error]
+  lpr-bench compare  <current.json> --against <baseline.json>
+                     [--threshold F] [--diff-out DIFF.json]
+  lpr-bench baseline <BENCH_pipeline.json> [--out results/BENCH_baseline.json]
   lpr-bench help
 
 `pipeline` generates the standard demo-scale campaign, round-trips it
@@ -148,7 +155,23 @@ baseline. Everything derives from `--seed`, so the JSON is
 byte-identical across runs and thread counts — no wall times are
 recorded. Exit is non-zero if any thread count 1..8 diverges, the
 kept/quarantined tallies fail to reconcile with the decoded traces, or
-drift exceeds `--drift-bound` (default 0.5).";
+drift exceeds `--drift-bound` (default 0.5).
+
+`--trace-out` (both subcommands) writes a hierarchical span trace of
+the run as Chrome trace_event JSON — load it in chrome://tracing or
+Perfetto, or validate it with `lpr trace-check`.
+
+`compare` diffs two BENCH_pipeline.json reports: per-stage wall time
+and allocations must stay under `1 + --threshold` (default 0.5) times
+the baseline, and IOTP/LSP/counter tallies must match exactly. Stages
+whose baseline wall is 0 (a committed wall-free baseline) skip the
+timing check. Exit is non-zero on any regression or count mismatch;
+`--diff-out` writes the machine-readable diff.
+
+`baseline` strips the nondeterministic measurements (wall times,
+throughput, sweeps, allocations, campaign share) out of a report,
+producing the committable form under results/BENCH_baseline.json that
+CI compares every run against.";
 
 /// Default sweep: powers of two from 1 up to the machine's available
 /// parallelism, always reaching at least 4 so the speedup curve has a
@@ -189,6 +212,8 @@ fn pipeline(args: &[String]) -> i32 {
     let mut sweep: Option<Vec<usize>> = None;
     let mut alloc = false;
     let mut max_campaign_share: Option<f64> = None;
+    let mut trace_out: Option<String> = None;
+    let mut trace_level = lpr_obs::Level::Info;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let want = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
@@ -249,6 +274,12 @@ fn pipeline(args: &[String]) -> i32 {
                         })
                 })
             }
+            "--trace-out" => want(&mut it, "--trace-out").map(|v| trace_out = Some(v)),
+            "--trace-level" => want(&mut it, "--trace-level").and_then(|v| {
+                lpr_obs::Level::parse(&v)
+                    .map(|l| trace_level = l)
+                    .ok_or_else(|| format!("--trace-level `{v}` is not a level"))
+            }),
             other => Err(format!("unknown flag {other}")),
         };
         if let Err(e) = parsed {
@@ -261,7 +292,13 @@ fn pipeline(args: &[String]) -> i32 {
         return 2;
     }
 
-    let recorder = Recorder::new("lpr-bench pipeline");
+    let tracer = match &trace_out {
+        Some(_) => lpr_obs::Tracer::new(trace_level),
+        None => lpr_obs::Tracer::disabled(),
+    };
+    let recorder = Recorder::new("lpr-bench pipeline").with_tracer(tracer.clone());
+    let run_span = tracer.span("run:bench-pipeline");
+    tracer.set_default_parent(run_span.context());
     let mut diverged = false;
     // Per-stage allocation deltas: (stage, allocations, bytes).
     let mut alloc_rows: Vec<(&'static str, u64, u64)> = Vec::new();
@@ -270,11 +307,13 @@ fn pipeline(args: &[String]) -> i32 {
     // Demo-scale campaign: the longitudinal world at one cycle, with
     // enough extra snapshots to feed the Persistence filter.
     let alloc0 = counting_alloc::snapshot();
+    let campaign_span = tracer.span("stage:GenerateCampaign");
     let sw = lpr_obs::Stopwatch::start();
     let world = ark_dataset::standard_world();
     let opts = ark_dataset::CampaignOptions { snapshots, ..Default::default() };
     let data = ark_dataset::generate_cycle(&world, cycle, &opts);
     let traces = &data.snapshots[0];
+    drop(campaign_span);
     recorder.record_stage("GenerateCampaign", sw.elapsed_us(), 0, traces.len() as u64);
     let alloc1 = counting_alloc::snapshot();
     alloc_rows.push(("GenerateCampaign", alloc1.0 - alloc0.0, alloc1.1 - alloc0.1));
@@ -300,6 +339,7 @@ fn pipeline(args: &[String]) -> i32 {
     // Round-trip through the warts codec so ingest throughput reflects
     // real record decoding, tallied by the stream reader itself.
     let alloc0 = counting_alloc::snapshot();
+    let encode_span = tracer.span("stage:WartsEncode");
     let sw = lpr_obs::Stopwatch::start();
     let mut writer = warts::WartsWriter::new();
     let list = writer.list(1, "bench");
@@ -309,6 +349,7 @@ fn pipeline(args: &[String]) -> i32 {
     }
     writer.cycle_stop(cyc, 1);
     let bytes = writer.into_bytes();
+    drop(encode_span);
     recorder.record_stage(
         "WartsEncode",
         sw.elapsed_us(),
@@ -319,8 +360,9 @@ fn pipeline(args: &[String]) -> i32 {
     alloc_rows.push(("WartsEncode", alloc1.0 - alloc0.0, alloc1.1 - alloc0.1));
 
     let alloc0 = counting_alloc::snapshot();
+    let decode_span = tracer.span("stage:WartsDecode");
     let sw = lpr_obs::Stopwatch::start();
-    let metrics = warts::StreamMetrics::from_registry(recorder.registry());
+    let metrics = warts::StreamMetrics::from_recorder(&recorder);
     let mut decoded = Vec::new();
     let mut reader = warts::WartsStreamReader::new(bytes.as_slice()).with_metrics(metrics);
     loop {
@@ -338,6 +380,7 @@ fn pipeline(args: &[String]) -> i32 {
             }
         }
     }
+    drop(decode_span);
     recorder.record_stage(
         "WartsDecode",
         sw.elapsed_us(),
@@ -490,12 +533,7 @@ fn pipeline(args: &[String]) -> i32 {
         telemetry.threads,
     );
     for s in &telemetry.stages {
-        // A 0-µs stage has no measurable rate; "n/a" beats a fake 0.
-        let rate = if s.wall_us == 0 {
-            "n/a".to_string()
-        } else {
-            format!("{:.0}", s.throughput_per_s())
-        };
+        let rate = lpr_bench::throughput_text(s.wall_us, s.input);
         say!(
             "  {:<18} {:>8} -> {:<8} {:>10} us  {:>12} items/s",
             s.name,
@@ -521,11 +559,11 @@ fn pipeline(args: &[String]) -> i32 {
         say!("thread sweep ({} traces/run, best of {SWEEP_REPS}):", decoded.len());
         for (n, wall, matches) in &sweep_rows {
             say!(
-                "  threads={:<3} {:>10} us  {:>12.0} traces/s  speedup {:>5.2}x  {}",
+                "  threads={:<3} {:>10} us  {:>12} traces/s  speedup {:>5.2}x  {}",
                 n,
                 wall,
-                decoded.len() as f64 / (*wall as f64 / 1e6),
-                seq_wall as f64 / *wall as f64,
+                lpr_bench::throughput_text(*wall, decoded.len() as u64),
+                lpr_bench::speedup(seq_wall, *wall),
                 if *matches { "output identical" } else { "OUTPUT DIVERGED" },
             );
         }
@@ -551,7 +589,7 @@ fn pipeline(args: &[String]) -> i32 {
                 "  threads={:<3} {:>10} us  speedup {:>5.2}x  {}",
                 n,
                 wall,
-                seq_wall as f64 / wall as f64,
+                lpr_bench::speedup(seq_wall, wall),
                 if matches { "bytes identical" } else { "BYTES DIVERGED" },
             );
         }
@@ -578,6 +616,13 @@ fn pipeline(args: &[String]) -> i32 {
         100.0 * hits as f64 / (hits + misses).max(1) as f64
     );
     say!("wrote {out_path}");
+    tracer.set_default_parent(lpr_obs::SpanContext::ROOT);
+    drop(run_span);
+    if let Some(path) = &trace_out {
+        if !write_trace(&tracer, path) {
+            return 1;
+        }
+    }
     if diverged {
         eprintln!("determinism self-check failed");
         return 1;
@@ -662,6 +707,8 @@ fn chaos(args: &[String]) -> i32 {
     let mut snapshots = 3usize;
     let mut cycle = 40usize;
     let mut drift_bound = 0.5f64;
+    let mut trace_out: Option<String> = None;
+    let mut trace_level = lpr_obs::Level::Info;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let want = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
@@ -685,6 +732,12 @@ fn chaos(args: &[String]) -> i32 {
                 v.parse()
                     .map(|b| drift_bound = b)
                     .map_err(|e| format!("--drift-bound: {e}"))
+            }),
+            "--trace-out" => want(&mut it, "--trace-out").map(|v| trace_out = Some(v)),
+            "--trace-level" => want(&mut it, "--trace-level").and_then(|v| {
+                lpr_obs::Level::parse(&v)
+                    .map(|l| trace_level = l)
+                    .ok_or_else(|| format!("--trace-level `{v}` is not a level"))
             }),
             other => Err(format!("unknown flag {other}")),
         };
@@ -718,6 +771,15 @@ fn chaos(args: &[String]) -> i32 {
         rates
     );
 
+    // The trace journal is observational only: the chaos report itself
+    // stays byte-reproducible (the trace file carries the wall times).
+    let tracer = match &trace_out {
+        Some(_) => lpr_obs::Tracer::new(trace_level),
+        None => lpr_obs::Tracer::disabled(),
+    };
+    let run_span = tracer.span("run:bench-chaos");
+    tracer.set_default_parent(run_span.context());
+
     // Runs the pipeline over `input` at every thread count in
     // `CHAOS_THREADS`, returning the sequential output and whether all
     // counts agreed byte-for-byte.
@@ -737,6 +799,7 @@ fn chaos(args: &[String]) -> i32 {
     let mut baseline: Option<[f64; 4]> = None;
     let mut failed = false;
     for &rate in &rates {
+        let rate_span = tracer.span(format!("rate:{rate}"));
         let plan = lpr_chaos::FaultPlan::uniform(seed, rate);
         let mut traces = golden.clone();
         let faults = plan.degrade_traces(&mut traces);
@@ -818,6 +881,23 @@ fn chaos(args: &[String]) -> i32 {
         if !row_ok {
             failed = true;
         }
+        rate_span.event(
+            if row_ok { lpr_obs::Level::Info } else { lpr_obs::Level::Error },
+            "chaos-row",
+            vec![
+                ("rate".to_string(), lpr_obs::FieldValue::Str(rate.to_string())),
+                ("faults".to_string(), lpr_obs::FieldValue::U64(faults.total() as u64)),
+                ("kept".to_string(), lpr_obs::FieldValue::U64(direct.degraded.kept)),
+                (
+                    "quarantined".to_string(),
+                    lpr_obs::FieldValue::U64(direct.degraded.quarantined_total()),
+                ),
+                (
+                    "ok".to_string(),
+                    lpr_obs::FieldValue::Str(if row_ok { "true" } else { "false" }.to_string()),
+                ),
+            ],
+        );
 
         say!(
             "  rate {rate:<5} faults {:>5}  direct: kept {:>4} quar {:>3} iotps {:>3} \
@@ -983,10 +1063,183 @@ fn chaos(args: &[String]) -> i32 {
         return 1;
     }
     say!("wrote {out_path}");
+    tracer.set_default_parent(lpr_obs::SpanContext::ROOT);
+    drop(run_span);
+    if let Some(path) = &trace_out {
+        if !write_trace(&tracer, path) {
+            return 1;
+        }
+    }
     if failed {
         eprintln!("chaos sweep failed (determinism, reconciliation, or drift)");
         return 1;
     }
+    0
+}
+
+/// Writes the tracer's journal as Chrome trace JSON, warning when the
+/// ring wrapped. Returns `false` on I/O failure.
+fn write_trace(tracer: &lpr_obs::Tracer, path: &str) -> bool {
+    let snapshot = tracer.snapshot();
+    if snapshot.dropped > 0 {
+        eprintln!(
+            "warning: trace journal wrapped, {} oldest events overwritten",
+            snapshot.dropped
+        );
+    }
+    match std::fs::write(path, lpr_obs::export::chrome_trace(&snapshot)) {
+        Ok(()) => {
+            say!("wrote {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            false
+        }
+    }
+}
+
+fn compare_cmd(args: &[String]) -> i32 {
+    let mut current_path: Option<String> = None;
+    let mut against: Option<String> = None;
+    let mut threshold = 0.5f64;
+    let mut diff_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let want = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+            it.next().cloned().ok_or_else(|| format!("{flag} wants a value"))
+        };
+        let parsed = match a.as_str() {
+            "--against" => want(&mut it, "--against").map(|v| against = Some(v)),
+            "--threshold" => want(&mut it, "--threshold").and_then(|v| {
+                v.parse::<f64>().map_err(|e| format!("--threshold: {e}")).and_then(|f| {
+                    if f > 0.0 {
+                        threshold = f;
+                        Ok(())
+                    } else {
+                        Err("--threshold wants a positive fraction".to_string())
+                    }
+                })
+            }),
+            "--diff-out" => want(&mut it, "--diff-out").map(|v| diff_out = Some(v)),
+            other if !other.starts_with("--") && current_path.is_none() => {
+                current_path = Some(other.to_string());
+                Ok(())
+            }
+            other => Err(format!("unknown flag {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    }
+    let (Some(current_path), Some(against)) = (current_path, against) else {
+        eprintln!("compare wants <current.json> --against <baseline.json>\n{USAGE}");
+        return 2;
+    };
+
+    let load = |path: &str| -> Result<JsonValue, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        lpr_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (current, baseline) = match (load(&current_path), load(&against)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+
+    let outcome = lpr_bench::compare::run(&current, &baseline, threshold);
+    say!("comparing {current_path} against {against} (threshold {threshold})");
+    for row in &outcome.stages {
+        match (row.baseline_wall_us, row.ratio) {
+            (Some(base), Some(ratio)) => {
+                say!(
+                    "  {:<18} {:>10} us -> {:>10} us  {:>5.2}x  {}",
+                    row.name,
+                    base,
+                    row.current_wall_us,
+                    ratio,
+                    if row.regressed { "REGRESSED" } else { "ok" },
+                );
+            }
+            _ => {
+                say!(
+                    "  {:<18}        n/a -> {:>10} us    n/a  skipped",
+                    row.name,
+                    row.current_wall_us,
+                );
+            }
+        }
+    }
+    for line in &outcome.skipped {
+        say!("  skipped: {line}");
+    }
+    for line in &outcome.mismatches {
+        eprintln!("FAIL: {line}");
+    }
+    for line in &outcome.regressions {
+        eprintln!("FAIL: {line}");
+    }
+    if let Some(path) = diff_out {
+        if let Err(e) = std::fs::write(&path, outcome.to_json(threshold)) {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+        say!("wrote {path}");
+    }
+    if outcome.passed() {
+        say!("compare: ok");
+        0
+    } else {
+        eprintln!("compare: regression past threshold or count mismatch");
+        1
+    }
+}
+
+fn baseline_cmd(args: &[String]) -> i32 {
+    let mut in_path: Option<String> = None;
+    let mut out_path = "results/BENCH_baseline.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let parsed = match a.as_str() {
+            "--out" => it
+                .next()
+                .cloned()
+                .map(|v| out_path = v)
+                .ok_or_else(|| "--out wants a value".to_string()),
+            other if !other.starts_with("--") && in_path.is_none() => {
+                in_path = Some(other.to_string());
+                Ok(())
+            }
+            other => Err(format!("unknown flag {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    }
+    let Some(in_path) = in_path else {
+        eprintln!("baseline wants <BENCH_pipeline.json>\n{USAGE}");
+        return 2;
+    };
+    let report = match std::fs::read_to_string(&in_path)
+        .map_err(|e| format!("{in_path}: {e}"))
+        .and_then(|text| lpr_obs::json::parse(&text).map_err(|e| format!("{in_path}: {e}")))
+    {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let stripped = lpr_bench::compare::strip_nondeterministic(&report).render_pretty();
+    if let Err(e) = std::fs::write(&out_path, stripped) {
+        eprintln!("{out_path}: {e}");
+        return 1;
+    }
+    say!("wrote {out_path} (wall-time-free baseline of {in_path})");
     0
 }
 
@@ -1024,17 +1277,14 @@ fn sweep_json(rows: &[(usize, u64, bool)], items: u64) -> JsonValue {
                 JsonValue::Object(vec![
                     ("threads".to_string(), JsonValue::Int(n as i128)),
                     ("wall_us".to_string(), JsonValue::Int(wall as i128)),
-                    (
-                        "traces_per_s".to_string(),
-                        JsonValue::Float(items as f64 / (wall as f64 / 1e6)),
-                    ),
+                    ("traces_per_s".to_string(), lpr_bench::throughput_json(wall, items)),
                     (
                         "speedup".to_string(),
-                        JsonValue::Float(seq_wall as f64 / wall as f64),
+                        JsonValue::Float(lpr_bench::speedup(seq_wall, wall)),
                     ),
                     (
                         "speedup_vs_best".to_string(),
-                        JsonValue::Float(best_wall as f64 / wall as f64),
+                        JsonValue::Float(lpr_bench::speedup(best_wall, wall)),
                     ),
                     (
                         "available_parallelism".to_string(),
@@ -1063,14 +1313,7 @@ fn render_report(
     let throughput: Vec<(String, JsonValue)> = telemetry
         .stages
         .iter()
-        .map(|s| {
-            let rate = if s.wall_us == 0 {
-                JsonValue::Null
-            } else {
-                JsonValue::Float(s.throughput_per_s())
-            };
-            (s.name.clone(), rate)
-        })
+        .map(|s| (s.name.clone(), lpr_bench::throughput_json(s.wall_us, s.input)))
         .collect();
     let traces = telemetry.counter("pipeline.traces");
     let (spf_hits, spf_misses) = extras.spf_cache;

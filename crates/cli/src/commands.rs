@@ -14,6 +14,7 @@ pub mod classify {
     /// Executes the subcommand.
     pub fn run(o: &Options, w: &mut dyn Write) -> Result<RunStatus, CliError> {
         let recorder = crate::recorder_for(o, "lpr classify");
+        let run_span = crate::open_run_span(recorder.as_ref(), "classify");
         let artifacts = crate::run_pipeline_recorded(o, recorder.as_ref())?;
         let out = &artifacts.output;
 
@@ -81,6 +82,7 @@ pub mod classify {
             run_trees(o, w)?;
         }
         crate::write_degradation_summary(&artifacts, w)?;
+        drop(run_span);
         crate::emit_telemetry(o, recorder)?;
         Ok(artifacts.status())
     }
@@ -152,6 +154,7 @@ pub mod stats {
     /// Executes the subcommand.
     pub fn run(o: &Options, w: &mut dyn Write) -> Result<RunStatus, CliError> {
         let recorder = crate::recorder_for(o, "lpr stats");
+        let run_span = crate::open_run_span(recorder.as_ref(), "stats");
         let artifacts = crate::run_pipeline_recorded(o, recorder.as_ref())?;
         let (traces, out) = (&artifacts.traces, &artifacts.output);
         let mpls = traces.iter().filter(|t| t.has_mpls()).count();
@@ -168,6 +171,7 @@ pub mod stats {
         }
         writeln!(w, "classified IOTPs: {}", out.iotps.len())?;
         crate::write_degradation_summary(&artifacts, w)?;
+        drop(run_span);
         crate::emit_telemetry(o, recorder)?;
         Ok(artifacts.status())
     }

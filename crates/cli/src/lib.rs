@@ -167,6 +167,16 @@ pub struct Options {
     /// Write machine-readable run telemetry (stage timings, counters)
     /// to this path as JSON.
     pub metrics: Option<String>,
+    /// Write a Chrome `trace_event` JSON span trace of the run
+    /// (`run → cycle → stage → shard`) to this path; load it in
+    /// `chrome://tracing` or Perfetto.
+    pub trace_out: Option<String>,
+    /// Minimum level journaled by `--trace-out`
+    /// (debug/info/warn/error; default info).
+    pub trace_level: Option<lpr_obs::Level>,
+    /// Write a Prometheus-style text exposition of the run's
+    /// counter/gauge/histogram registry to this path.
+    pub prom_out: Option<String>,
     /// Print per-stage progress lines to stderr as the run finishes.
     pub progress: bool,
     /// Worker threads for the parallel pipeline (`None` = the machine's
@@ -206,6 +216,14 @@ impl Options {
                 "--per-as" => o.per_as = true,
                 "--router-level" => o.router_level = true,
                 "--metrics" => o.metrics = Some(take(&mut it, "--metrics")?),
+                "--trace-out" => o.trace_out = Some(take(&mut it, "--trace-out")?),
+                "--trace-level" => {
+                    let level = take(&mut it, "--trace-level")?;
+                    o.trace_level = Some(lpr_obs::Level::parse(&level).ok_or_else(|| {
+                        err("--trace-level wants debug, info, warn or error")
+                    })?);
+                }
+                "--prom-out" => o.prom_out = Some(take(&mut it, "--prom-out")?),
                 "--progress" => o.progress = true,
                 "--threads" => {
                     let n: usize = take(&mut it, "--threads")?
@@ -274,8 +292,7 @@ pub fn load_traces_lenient(
         let bytes = std::fs::read(path).map_err(|e| err(format!("{path}: {e}")))?;
         let mut reader = warts::WartsStreamReader::new(bytes.as_slice()).lenient();
         if let Some(rec) = recorder {
-            reader =
-                reader.with_metrics(warts::StreamMetrics::from_registry(rec.registry()));
+            reader = reader.with_metrics(warts::StreamMetrics::from_recorder(rec));
         }
         loop {
             match reader.next_record() {
@@ -298,7 +315,7 @@ pub fn load_traces_lenient(
         report.resync_bytes += reader.resync_bytes();
     }
     if let Some(rec) = recorder {
-        rec.counter("cli.convert_failures").add(report.convert_failures);
+        rec.counter(lpr_obs::names::CLI_CONVERT_FAILURES).add(report.convert_failures);
     }
     Ok((traces, report))
 }
@@ -326,12 +343,22 @@ pub fn run_pipeline_recorded(
     let rib_path = o.rib.as_ref().ok_or_else(|| err("--rib <file> is required"))?;
     let rib = load_rib(rib_path)?;
     let threads = o.threads.unwrap_or_else(lpr_par::available_threads);
+    // One classify/stats invocation processes one cycle; its span nests
+    // under the subcommand's `run:` root and everything the pipeline
+    // opens (stage, shard spans) nests under it in turn.
+    let disabled = lpr_obs::Tracer::disabled();
+    let tracer = recorder.map_or(&disabled, |r| r.tracer());
+    let outer_parent = tracer.default_parent();
+    let cycle_span = tracer.span("cycle");
+    tracer.set_default_parent(cycle_span.context());
     let sw = lpr_obs::Stopwatch::start();
+    let load_span = tracer.span("stage:LoadTraces");
     let (traces, load) = if o.keep_going {
         load_traces_lenient(&o.inputs, recorder)?
     } else {
         (load_traces_par(&o.inputs, threads)?, LoadReport::default())
     };
+    drop(load_span);
     if let Some(rec) = recorder {
         rec.record_stage(
             "LoadTraces",
@@ -345,8 +372,8 @@ pub fn run_pipeline_recorded(
             .filter_map(|p| std::fs::metadata(p).ok())
             .map(|m| m.len())
             .sum();
-        rec.counter("cli.input_bytes").add(bytes);
-        rec.counter("cli.input_files").add(o.inputs.len() as u64);
+        rec.counter(lpr_obs::names::CLI_INPUT_BYTES).add(bytes);
+        rec.counter(lpr_obs::names::CLI_INPUT_FILES).add(o.inputs.len() as u64);
     }
     let future: Vec<BTreeSet<LspKey>> = o
         .next
@@ -363,6 +390,8 @@ pub fn run_pipeline_recorded(
         pipeline = pipeline.with_alias_rescue();
     }
     let output = pipeline.run_par_recorded(&traces, &rib, &future, threads, recorder);
+    tracer.set_default_parent(outer_parent);
+    drop(cycle_span);
     let artifacts = PipelineArtifacts { traces, output, load };
     if o.fail_fast && artifacts.is_degraded() {
         return Err(err(format!(
@@ -419,15 +448,42 @@ pub fn write_degradation_summary(
 }
 
 /// Builds the recorder an analysis subcommand needs — `Some` only when
-/// `--metrics` or `--progress` asked for one.
+/// `--metrics`, `--progress`, `--trace-out` or `--prom-out` asked for
+/// one. With `--trace-out` the recorder carries an enabled tracer at
+/// the `--trace-level` threshold (default info).
 pub fn recorder_for(o: &Options, label: &str) -> Option<lpr_obs::Recorder> {
-    (o.metrics.is_some() || o.progress).then(|| lpr_obs::Recorder::new(label))
+    let wanted =
+        o.metrics.is_some() || o.progress || o.trace_out.is_some() || o.prom_out.is_some();
+    wanted.then(|| {
+        let mut rec = lpr_obs::Recorder::new(label);
+        if o.trace_out.is_some() {
+            let level = o.trace_level.unwrap_or(lpr_obs::Level::Info);
+            rec = rec.with_tracer(lpr_obs::Tracer::new(level));
+        }
+        rec
+    })
+}
+
+/// Opens the root `run` span of a traced invocation and makes it the
+/// tracer's default parent, so every span the pipeline opens nests
+/// under it. Returns `None` (and journals nothing) without a recorder
+/// or tracer.
+pub fn open_run_span(recorder: Option<&lpr_obs::Recorder>, name: &str) -> Option<lpr_obs::Span> {
+    let rec = recorder?;
+    if !rec.tracer().is_enabled() {
+        return None;
+    }
+    let span = rec.tracer().span(format!("run:{name}"));
+    rec.tracer().set_default_parent(span.context());
+    Some(span)
 }
 
 /// Finalises telemetry: prints `--progress` stage lines to stderr and
-/// writes the `--metrics` JSON file.
+/// writes the `--metrics` JSON, `--trace-out` Chrome trace and
+/// `--prom-out` exposition files.
 pub fn emit_telemetry(o: &Options, recorder: Option<lpr_obs::Recorder>) -> Result<(), CliError> {
     let Some(recorder) = recorder else { return Ok(()) };
+    let tracer = recorder.tracer().clone();
     let telemetry = recorder.finish();
     if o.progress {
         for s in &telemetry.stages {
@@ -441,6 +497,42 @@ pub fn emit_telemetry(o: &Options, recorder: Option<lpr_obs::Recorder>) -> Resul
     if let Some(path) = &o.metrics {
         std::fs::write(path, telemetry.to_json())
             .map_err(|e| err(format!("{path}: {e}")))?;
+    }
+    if let Some(path) = &o.trace_out {
+        let snapshot = tracer.snapshot();
+        if snapshot.dropped > 0 {
+            eprintln!(
+                "[lpr] trace journal wrapped: {} oldest events overwritten",
+                snapshot.dropped
+            );
+        }
+        std::fs::write(path, lpr_obs::export::chrome_trace(&snapshot))
+            .map_err(|e| err(format!("{path}: {e}")))?;
+    }
+    if let Some(path) = &o.prom_out {
+        std::fs::write(path, lpr_obs::export::prometheus_text(&telemetry))
+            .map_err(|e| err(format!("{path}: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Validates `--trace-out` files: parses each as the canonical Chrome
+/// `trace_event` document, checks the round trip is byte-identical,
+/// and prints an event census — the CI smoke test for trace emission.
+fn trace_check(paths: &[String], w: &mut dyn Write) -> Result<(), CliError> {
+    if paths.is_empty() {
+        return Err(err("trace-check wants at least one trace file"));
+    }
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| err(format!("{path}: {e}")))?;
+        let trace = lpr_obs::export::ChromeTrace::parse(&text)
+            .map_err(|e| err(format!("{path}: not a canonical trace document: {e}")))?;
+        if trace.to_json() != text {
+            return Err(err(format!("{path}: round trip is not byte-identical")));
+        }
+        let spans = trace.events.iter().filter(|e| e.ph == "X").count();
+        let instants = trace.events.iter().filter(|e| e.ph == "i").count();
+        writeln!(w, "{path}: ok ({spans} spans, {instants} events)")?;
     }
     Ok(())
 }
@@ -460,6 +552,7 @@ pub fn run(args: &[String], w: &mut dyn Write) -> Result<RunStatus, CliError> {
         "info" => commands::info::run(&Options::parse(rest)?, w).map(|()| RunStatus::Clean),
         "dump" => commands::dump::run(&Options::parse(rest)?, w).map(|()| RunStatus::Clean),
         "demo" => commands::demo::run(rest, w).map(|()| RunStatus::Clean),
+        "trace-check" => trace_check(rest, w).map(|()| RunStatus::Clean),
         "help" | "--help" | "-h" => {
             writeln!(w, "{}", HELP)?;
             Ok(RunStatus::Clean)
@@ -475,14 +568,17 @@ USAGE:
   lpr classify --rib <rib.txt> <cycle.warts>... [--next <snap.warts>]...
                [--j N] [--alias-rescue] [--trees] [--per-as] [--router-level]
                [--metrics <out.json>] [--progress] [--threads N]
-               [--keep-going | --fail-fast]
+               [--trace-out <trace.json>] [--trace-level <level>]
+               [--prom-out <metrics.prom>] [--keep-going | --fail-fast]
   lpr stats    --rib <rib.txt> <cycle.warts>... [--next <snap.warts>]...
                [--metrics <out.json>] [--progress] [--threads N]
-               [--keep-going | --fail-fast]
+               [--trace-out <trace.json>] [--trace-level <level>]
+               [--prom-out <metrics.prom>] [--keep-going | --fail-fast]
   lpr tunnels  <cycle.warts>...
   lpr dump     <file.warts>...
   lpr info     <file.warts>...
   lpr demo     --out <demo.warts> --rib-out <rib.txt>
+  lpr trace-check <trace.json>...
   lpr help
 
 The RIB file maps prefixes to origin ASes, one `prefix asn` per line
@@ -492,6 +588,13 @@ The RIB file maps prefixes to origin ASes, one `prefix asn` per line
 `--metrics <out.json>` writes machine-readable run telemetry (per-stage
 wall time and LSP counts matching the Table 1 funnel, plus ingest
 counters); `--progress` prints the same stage lines to stderr.
+
+`--trace-out <trace.json>` writes a hierarchical span trace
+(run -> cycle -> stage -> shard, plus quarantine/skip events) as Chrome
+trace_event JSON — open it in chrome://tracing or Perfetto, or validate
+it with `lpr trace-check`. `--trace-level` sets the event threshold
+(debug/info/warn/error; default info). `--prom-out` writes the final
+counter/gauge/histogram registry as Prometheus-style text.
 
 `--threads N` shards the pipeline across N worker threads (default: the
 machine's available parallelism). Results are byte-identical for every
@@ -651,7 +754,7 @@ mod tests {
         let reference = run_pipeline(&o).unwrap().output;
         let mut input = reference.report.input as u64;
         for stage in FilterStage::ALL {
-            let st = telemetry.stage(stage.name()).expect(stage.name());
+            let st = telemetry.stage(stage.name()).unwrap_or_else(|| panic!("{}", stage.name()));
             assert_eq!(st.input, input, "{} input", stage.name());
             assert_eq!(
                 st.output,
@@ -667,6 +770,222 @@ mod tests {
         );
         assert!(telemetry.stage("LoadTraces").is_some());
         assert!(telemetry.counter("cli.input_bytes") > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Runs a traced classify in-process and returns the journal plus
+    /// the finished telemetry.
+    fn traced_classify(
+        threads: usize,
+        warts_paths: &[String],
+        rib_path: &str,
+    ) -> (lpr_obs::TraceSnapshot, lpr_obs::RunTelemetry) {
+        let recorder = lpr_obs::Recorder::new("lpr classify")
+            .with_tracer(lpr_obs::Tracer::new(lpr_obs::Level::Debug));
+        let run_span = open_run_span(Some(&recorder), "classify");
+        let o = Options {
+            inputs: warts_paths.to_vec(),
+            rib: Some(rib_path.to_string()),
+            threads: Some(threads),
+            ..Default::default()
+        };
+        run_pipeline_recorded(&o, Some(&recorder)).unwrap();
+        drop(run_span);
+        let snapshot = recorder.tracer().snapshot();
+        (snapshot, recorder.finish())
+    }
+
+    /// Span records reconstructed from a journal: `id -> (name, parent,
+    /// begin, end)`.
+    fn span_table(
+        snapshot: &lpr_obs::TraceSnapshot,
+    ) -> std::collections::BTreeMap<u64, (String, u64, u64, u64)> {
+        let mut spans = std::collections::BTreeMap::new();
+        for ev in &snapshot.events {
+            match ev {
+                lpr_obs::TraceEvent::SpanBegin { id, parent, name, ts_us, .. } => {
+                    spans.insert(*id, (name.clone(), *parent, *ts_us, u64::MAX));
+                }
+                lpr_obs::TraceEvent::SpanEnd { id, ts_us } => {
+                    spans.get_mut(id).expect("end without begin").3 = *ts_us;
+                }
+                lpr_obs::TraceEvent::Event { .. } => {}
+            }
+        }
+        spans
+    }
+
+    /// Root-to-leaf name paths, with per-shard spans pruned (shard
+    /// count varies with input size, not thread count, but pruning them
+    /// keeps the invariant independent of both).
+    fn span_skeleton(snapshot: &lpr_obs::TraceSnapshot) -> Vec<String> {
+        let spans = span_table(snapshot);
+        let mut paths: Vec<String> = spans
+            .values()
+            .filter(|(name, ..)| !name.starts_with("shard"))
+            .map(|(name, parent, ..)| {
+                let mut path = vec![name.clone()];
+                let mut up = *parent;
+                while let Some((pname, pparent, ..)) = spans.get(&up) {
+                    path.push(pname.clone());
+                    up = *pparent;
+                }
+                path.reverse();
+                path.join("/")
+            })
+            .collect();
+        paths.sort();
+        paths
+    }
+
+    #[test]
+    fn span_structure_is_identical_across_thread_counts() {
+        let dir = std::env::temp_dir().join(format!("lpr-span-det-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let warts_path = dir.join("demo.warts").to_string_lossy().into_owned();
+        let rib_path = dir.join("rib.txt").to_string_lossy().into_owned();
+        let (bytes, rib) = write_demo_files();
+        std::fs::write(&warts_path, &bytes).unwrap();
+        std::fs::write(&rib_path, rib).unwrap();
+
+        let (seq, _) = traced_classify(1, std::slice::from_ref(&warts_path), &rib_path);
+        let reference = span_skeleton(&seq);
+        assert!(
+            reference.iter().any(|p| p == "run:classify/cycle/stage:Ingest"),
+            "skeleton misses the ingest stage: {reference:?}"
+        );
+        for threads in [2usize, 8] {
+            let (snap, _) = traced_classify(threads, std::slice::from_ref(&warts_path), &rib_path);
+            assert_eq!(span_skeleton(&snap), reference, "--threads {threads}");
+            // Every opened span must close, whatever the schedule.
+            for (id, (name, _, _, end)) in span_table(&snap) {
+                assert_ne!(end, u64::MAX, "span {id} ({name}) never ended");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_spans_and_events_reconcile_with_telemetry() {
+        let dir = std::env::temp_dir().join(format!("lpr-span-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let warts_path = dir.join("demo.warts").to_string_lossy().into_owned();
+        let bad_path = dir.join("bad.warts").to_string_lossy().into_owned();
+        let rib_path = dir.join("rib.txt").to_string_lossy().into_owned();
+        let (bytes, rib) = write_demo_files();
+        std::fs::write(&warts_path, &bytes).unwrap();
+        std::fs::write(&rib_path, rib).unwrap();
+
+        // A second input whose only trace quotes an impossibly deep
+        // label stack (the codec carries it verbatim; structural
+        // validation at ingest quarantines it), so exactly one trace
+        // lands in quarantine.
+        let deep: Vec<lpr_core::label::Lse> =
+            (0..40).map(|i| lpr_core::label::Lse::transit(i, 254)).collect();
+        let mut bad = lpr_core::trace::Trace::new(
+            std::net::Ipv4Addr::new(10, 9, 0, 1),
+            std::net::Ipv4Addr::new(10, 9, 0, 2),
+        );
+        bad.push_hop(lpr_core::trace::Hop::labelled(
+            1,
+            std::net::Ipv4Addr::new(10, 9, 0, 3),
+            &deep,
+        ));
+        let mut w = warts::WartsWriter::new();
+        w.trace(&warts::trace_to_record(&bad, 1, 1)).unwrap();
+        std::fs::write(&bad_path, w.into_bytes()).unwrap();
+
+        let inputs = vec![warts_path, bad_path];
+        let (snapshot, telemetry) = traced_classify(4, &inputs, &rib_path);
+        assert_eq!(snapshot.dropped, 0, "journal must not wrap on the demo input");
+        let spans = span_table(&snapshot);
+
+        // Shard spans nest inside their stage span, and their summed
+        // duration accounts for the stage wall time: at most `threads`
+        // lanes deep, and the stage span itself must agree with the
+        // StageGuard's wall_us up to scheduling noise.
+        const TOLERANCE_US: u64 = 5_000;
+        for stage in ["Ingest", "Persistence", "Classification"] {
+            let (stage_id, &(_, _, stage_begin, stage_end)) = spans
+                .iter()
+                .find(|(_, (name, ..))| name == &format!("stage:{stage}"))
+                .unwrap_or_else(|| panic!("no stage:{stage} span"));
+            assert_ne!(stage_end, u64::MAX, "stage:{stage} never ended");
+            let stage_dur = stage_end - stage_begin;
+
+            // Ingest has no aggregate telemetry row (its wall is split
+            // between TunnelExtraction and LabelAttribution); the two
+            // StageGuard-backed stages must agree with their span.
+            if stage != "Ingest" {
+                let wall = telemetry.stage(stage).unwrap_or_else(|| panic!("{stage}")).wall_us;
+                assert!(
+                    stage_dur.abs_diff(wall) <= TOLERANCE_US + wall,
+                    "stage:{stage} span {stage_dur}us vs telemetry wall {wall}us"
+                );
+            }
+
+            let mut shard_sum = 0u64;
+            for (name, parent, begin, end) in spans.values() {
+                if parent == stage_id && name.starts_with("shard") {
+                    assert!(
+                        *begin >= stage_begin && *end <= stage_end,
+                        "shard span escapes stage:{stage}"
+                    );
+                    shard_sum += end - begin;
+                }
+            }
+            assert!(
+                shard_sum <= 4 * stage_dur + TOLERANCE_US,
+                "stage:{stage} shard sum {shard_sum}us exceeds 4 lanes of {stage_dur}us"
+            );
+        }
+
+        // Quarantine warn events carry an `n` field per reason; their
+        // sum is exactly the quarantined counter.
+        let mut event_total = 0u64;
+        for ev in &snapshot.events {
+            if let lpr_obs::TraceEvent::Event { level, name, fields, .. } = ev {
+                if name == "quarantine" {
+                    assert_eq!(*level, lpr_obs::Level::Warn);
+                    let n = fields
+                        .iter()
+                        .find_map(|(k, v)| match (k.as_str(), v) {
+                            ("n", lpr_obs::FieldValue::U64(n)) => Some(*n),
+                            _ => None,
+                        })
+                        .expect("quarantine event without n");
+                    event_total += n;
+                }
+            }
+        }
+        assert_eq!(event_total, telemetry.counter("pipeline.traces_quarantined"));
+        assert_eq!(event_total, 1, "the deep-stack trace must be quarantined");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_emitted_counter_is_in_the_names_vocabulary() {
+        let dir = std::env::temp_dir().join(format!("lpr-names-audit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let warts_path = dir.join("demo.warts").to_string_lossy().into_owned();
+        let rib_path = dir.join("rib.txt").to_string_lossy().into_owned();
+        let (bytes, rib) = write_demo_files();
+        std::fs::write(&warts_path, &bytes).unwrap();
+        std::fs::write(&rib_path, rib).unwrap();
+
+        let (_, telemetry) = traced_classify(2, std::slice::from_ref(&warts_path), &rib_path);
+        for name in telemetry.counters.keys() {
+            assert!(
+                lpr_obs::names::is_known_counter(name),
+                "counter {name} is not in lpr_obs::names::ALL_COUNTERS"
+            );
+        }
+        for name in telemetry.histograms.keys() {
+            assert!(
+                lpr_obs::names::is_known_histogram(name),
+                "histogram {name} is not in lpr_obs::names::ALL_HISTOGRAMS"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -65,18 +65,26 @@ impl Pipeline {
         if let Some(rec) = recorder {
             rec.set_threads(opts.effective_threads() as u64);
         }
+        let disabled = lpr_obs::Tracer::disabled();
+        let tracer = recorder.map_or(&disabled, |r| r.tracer());
 
         // Shards are caught: a panicking worker closure poisons only its
         // own shard, whose traces are then quarantined wholesale instead
         // of tearing down the run (the panic itself is deterministic per
         // shard, so so is the quarantine).
-        let run = lpr_par::map_shards_caught(traces, opts, |_, shard| {
-            let mut acc = CycleAccumulator::new(mapper);
-            for trace in shard {
-                acc.push_trace(trace);
-            }
-            acc.into_state()
-        });
+        let ingest_span = tracer.span("stage:Ingest");
+        let run = lpr_par::map_shards_traced(
+            traces,
+            opts,
+            lpr_par::ShardTrace::new(tracer, ingest_span.context()),
+            |_, shard| {
+                let mut acc = CycleAccumulator::new(mapper);
+                for trace in shard {
+                    acc.push_trace(trace);
+                }
+                acc.into_state()
+            },
+        );
 
         // Shard-order merge: LSPs concatenate in input order, counts sum.
         let mut shard_outputs = Vec::with_capacity(run.outputs.len());
@@ -97,9 +105,10 @@ impl Pipeline {
                 }
             }
         }
+        drop(ingest_span);
         if let Some(rec) = recorder {
             if poisoned > 0 {
-                rec.counter("par.poisoned_shards").add(poisoned);
+                rec.counter(lpr_obs::names::PAR_POISONED_SHARDS).add(poisoned);
             }
         }
 
@@ -248,7 +257,7 @@ mod tests {
         // Aggregate filter stages chain exactly as in the sequential run.
         let mut input = out.report.input as u64;
         for stage in crate::filter::FilterStage::ALL {
-            let s = telemetry.stage(stage.name()).expect(stage.name());
+            let s = telemetry.stage(stage.name()).unwrap_or_else(|| panic!("{}", stage.name()));
             assert_eq!(s.input, input, "{} input", stage.name());
             assert_eq!(s.output, out.report.remaining[&stage] as u64, "{} output", stage.name());
             input = s.output;

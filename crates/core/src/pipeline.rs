@@ -316,6 +316,8 @@ impl Pipeline {
         opts: lpr_par::ShardOptions,
     ) -> PipelineOutput {
         let parallel = opts.effective_threads() > 1;
+        let disabled = lpr_obs::Tracer::disabled();
+        let tracer = recorder.map_or(&disabled, |r| r.tracer());
         let mut report = FilterReport { input: ingest.input, ..Default::default() };
         report.remaining.insert(FilterStage::IncompleteLsp, ingest.after_incomplete);
         report.remaining.insert(FilterStage::IntraAs, ingest.after_intra_as);
@@ -325,6 +327,7 @@ impl Pipeline {
         // TransitDiversity (per IOTP, counted in LSPs). `keep` is a
         // sorted key slice; membership below is a binary search and the
         // IOTP key is computed once per LSP.
+        let td_span = tracer.span("stage:TransitDiversity");
         let keep: Vec<IotpKey> = if self.skip_transit_diversity {
             let mut keys: Vec<_> = ingest.lsps.iter().map(|l| l.iotp_key()).collect();
             keys.sort_unstable();
@@ -335,15 +338,21 @@ impl Pipeline {
         };
         let mut lsps = ingest.lsps;
         lsps.retain(|l| iotp_kept(&keep, l.iotp_key()));
+        drop(td_span);
         let transit_us = lpr_obs::time::duration_us(timer.lap("transit_diversity"));
         report.remaining.insert(FilterStage::TransitDiversity, lsps.len());
 
         // Persistence. The expensive per-LSP half (LspKey construction +
         // window probes) shards across workers; the order-sensitive
         // partition and the per-AS dynamic reinjection stay sequential.
-        let flags_run = lpr_par::map_shards(&lsps, opts, |_, shard| {
-            persistent_flags(shard, future_keys, &self.config)
-        });
+        let persist_span = tracer.span("stage:Persistence");
+        let flags_run = lpr_par::map_shards_traced(
+            &lsps,
+            opts,
+            lpr_par::ShardTrace::new(tracer, persist_span.context()),
+            |_, shard| persistent_flags(shard, future_keys, &self.config),
+        )
+        .expect_ok();
         let mut flag_outputs = Vec::new();
         let mut flags: Vec<bool> = Vec::with_capacity(lsps.len());
         for (shard, out) in flags_run.outputs.into_iter().enumerate() {
@@ -352,6 +361,7 @@ impl Pipeline {
         }
         let (kept, dropped) = partition_by_flags(lsps, &flags);
         let persisted = reinject_dynamic(kept, dropped, &self.config);
+        drop(persist_span);
         let persistence_us = lpr_obs::time::duration_us(timer.lap("persistence"));
         report
             .remaining
@@ -364,20 +374,28 @@ impl Pipeline {
         // them sorted and key-unique, so shards classify disjoint key
         // ranges and a shard-order concat preserves key order.
         let iotps = build_iotps(&persisted.lsps, &keep);
-        let class_run = lpr_par::map_shards(&iotps, opts, |_, shard| {
-            shard
-                .iter()
-                .map(|iotp| {
-                    if self.alias_rescue {
-                        crate::alias::classify_with_alias_heuristic(iotp)
-                    } else {
-                        classify_iotp(iotp)
-                    }
-                })
-                .collect::<Vec<Classification>>()
-        });
+        let class_span = tracer.span("stage:Classification");
+        let class_run = lpr_par::map_shards_traced(
+            &iotps,
+            opts,
+            lpr_par::ShardTrace::new(tracer, class_span.context()),
+            |_, shard| {
+                shard
+                    .iter()
+                    .map(|iotp| {
+                        if self.alias_rescue {
+                            crate::alias::classify_with_alias_heuristic(iotp)
+                        } else {
+                            classify_iotp(iotp)
+                        }
+                    })
+                    .collect::<Vec<Classification>>()
+            },
+        )
+        .expect_ok();
         let classes: Vec<Classification> = class_run.outputs.into_iter().flatten().collect();
         let iotps: Vec<(Iotp, Classification)> = iotps.into_iter().zip(classes).collect();
+        drop(class_span);
         let classification_us = lpr_obs::time::duration_us(timer.lap("classification"));
 
         let output = PipelineOutput {
@@ -394,14 +412,28 @@ impl Pipeline {
                     ingest.traces_in,
                     output.report.input as u64,
                 );
-                rec.counter("pipeline.traces").add(ingest.traces_in);
+                rec.counter(lpr_obs::names::PIPELINE_TRACES).add(ingest.traces_in);
             }
             if output.degraded.ingested() > 0 {
-                rec.counter("pipeline.traces_kept").add(output.degraded.kept);
-                rec.counter("pipeline.traces_quarantined")
+                rec.counter(lpr_obs::names::PIPELINE_TRACES_KEPT).add(output.degraded.kept);
+                rec.counter(lpr_obs::names::PIPELINE_TRACES_QUARANTINED)
                     .add(output.degraded.quarantined_total());
                 for (reason, n) in &output.degraded.quarantined {
                     rec.counter(reason.counter_name()).add(*n);
+                    // One warn event per reason, carrying the count —
+                    // traces reconcile against the quarantine counters.
+                    tracer.event(
+                        tracer.default_parent(),
+                        lpr_obs::Level::Warn,
+                        "quarantine",
+                        vec![
+                            (
+                                "reason".to_string(),
+                                lpr_obs::FieldValue::Str(reason.name().to_string()),
+                            ),
+                            ("n".to_string(), lpr_obs::FieldValue::U64(*n)),
+                        ],
+                    );
                 }
             }
             record_filter_stages(
@@ -445,9 +477,9 @@ impl Pipeline {
                     );
                 }
             }
-            rec.counter("pipeline.tunnels").add(output.report.input as u64);
-            rec.counter("pipeline.iotps_classified").add(output.iotps.len() as u64);
-            rec.counter("pipeline.dynamic_ases").add(output.dynamic_ases.len() as u64);
+            rec.counter(lpr_obs::names::PIPELINE_TUNNELS).add(output.report.input as u64);
+            rec.counter(lpr_obs::names::PIPELINE_IOTPS_CLASSIFIED).add(output.iotps.len() as u64);
+            rec.counter(lpr_obs::names::PIPELINE_DYNAMIC_ASES).add(output.dynamic_ases.len() as u64);
         }
         output
     }
@@ -589,7 +621,7 @@ mod tests {
             mk(3, 101, Ipv4Addr::new(198, 51, 100, 7)),
         ];
         let keys = Pipeline::snapshot_keys(&traces);
-        let base = Pipeline::default().run(&traces, &mapper, &[keys.clone()]);
+        let base = Pipeline::default().run(&traces, &mapper, std::slice::from_ref(&keys));
         assert_eq!(base.class_counts().unclassified, 1);
         let rescued =
             Pipeline::default().with_alias_rescue().run(&traces, &mapper, &[keys]);
@@ -613,7 +645,7 @@ mod tests {
         // stage k-1, starting from the report's input tunnel count.
         let mut input = out.report.input as u64;
         for stage in FilterStage::ALL {
-            let s = telemetry.stage(stage.name()).expect(stage.name());
+            let s = telemetry.stage(stage.name()).unwrap_or_else(|| panic!("{}", stage.name()));
             assert_eq!(s.input, input, "{} input", stage.name());
             assert_eq!(s.output, out.report.remaining[&stage] as u64, "{} output", stage.name());
             input = s.output;

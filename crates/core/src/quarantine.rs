@@ -60,14 +60,15 @@ impl QuarantineReason {
         }
     }
 
-    /// The telemetry counter this reason tallies under.
+    /// The telemetry counter this reason tallies under (a constant from
+    /// [`lpr_obs::names`], the workspace metric vocabulary).
     pub fn counter_name(self) -> &'static str {
         match self {
-            QuarantineReason::TooManyHops => "quarantine.too_many_hops",
-            QuarantineReason::DuplicateTtl => "quarantine.duplicate_ttl",
-            QuarantineReason::NonMonotonicTtl => "quarantine.non_monotonic_ttl",
-            QuarantineReason::ExcessStackDepth => "quarantine.excess_stack_depth",
-            QuarantineReason::PoisonedShard => "quarantine.poisoned_shard",
+            QuarantineReason::TooManyHops => lpr_obs::names::QUARANTINE_TOO_MANY_HOPS,
+            QuarantineReason::DuplicateTtl => lpr_obs::names::QUARANTINE_DUPLICATE_TTL,
+            QuarantineReason::NonMonotonicTtl => lpr_obs::names::QUARANTINE_NON_MONOTONIC_TTL,
+            QuarantineReason::ExcessStackDepth => lpr_obs::names::QUARANTINE_EXCESS_STACK_DEPTH,
+            QuarantineReason::PoisonedShard => lpr_obs::names::QUARANTINE_POISONED_SHARD,
         }
     }
 }

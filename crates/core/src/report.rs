@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn ip_usage_classifies_addresses() {
         let traces =
-            vec![mpls_trace(Ipv4Addr::new(192, 0, 2, 7), [100, 200]), plain_trace(ip(3, 7))];
+            [mpls_trace(Ipv4Addr::new(192, 0, 2, 7), [100, 200]), plain_trace(ip(3, 7))];
         let usage = IpUsage::of_traces(traces.iter());
         assert_eq!(usage.mpls.len(), 2);
         // ingress, egress, dst of trace 1, two hops of trace 2

@@ -227,7 +227,7 @@ mod tests {
         assert_eq!(extraction.output, out.report.input as u64);
         let mut input = out.report.input as u64;
         for stage in FilterStage::ALL {
-            let s = telemetry.stage(stage.name()).expect(stage.name());
+            let s = telemetry.stage(stage.name()).unwrap_or_else(|| panic!("{}", stage.name()));
             assert_eq!(s.input, input, "{} input", stage.name());
             assert_eq!(s.output, out.report.remaining[&stage] as u64, "{} output", stage.name());
             input = s.output;
@@ -238,8 +238,7 @@ mod tests {
     #[test]
     fn streaming_respects_pipeline_options() {
         let traces = sample_traces();
-        let mut pipeline = Pipeline::default();
-        pipeline.skip_transit_diversity = true;
+        let pipeline = Pipeline { skip_transit_diversity: true, ..Pipeline::default() };
         let mut acc = CycleAccumulator::new(&mapper);
         for t in &traces {
             acc.push_trace(t);

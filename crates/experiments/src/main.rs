@@ -2,7 +2,8 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! experiments <command> [--cycles N]
+//! experiments <command> [--cycles N] [--trace-out trace.json]
+//!             [--trace-level debug|info|warn|error]
 //!
 //! commands:
 //!   fig5      global MPLS deployment over 60 cycles (Fig. 5a/5b)
@@ -21,8 +22,21 @@
 //!
 //! CSV outputs land under `results/` (override with
 //! `LPR_RESULTS_DIR`).
+//!
+//! With `--trace-out` the run records a hierarchical span journal
+//! (`run:experiments` → one `exp:<name>` span per regenerator, plus a
+//! `longitudinal` span for the shared 60-cycle render) and writes it
+//! as Chrome trace JSON — loadable in `chrome://tracing` or Perfetto,
+//! or foldable into a flamegraph via `lpr_obs::export::folded_stacks`.
 
 use experiments::{ablations, fig16, fig17, fig6, fig789, longitudinal, summary, validation};
+
+/// Runs one regenerator under an `exp:<name>` span so the trace shows
+/// where the wall time of an `all` run actually goes.
+fn with_span(tracer: &lpr_obs::Tracer, name: &str, f: impl FnOnce()) {
+    let _span = tracer.span(format!("exp:{name}"));
+    f();
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +47,28 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(ark_dataset::CYCLES);
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let trace_level = match args
+        .iter()
+        .position(|a| a == "--trace-level")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(v) => lpr_obs::Level::parse(v).unwrap_or_else(|| {
+            eprintln!("--trace-level `{v}` is not a level (debug|info|warn|error)");
+            std::process::exit(2);
+        }),
+        None => lpr_obs::Level::Info,
+    };
+    let tracer = match &trace_out {
+        Some(_) => lpr_obs::Tracer::new(trace_level),
+        None => lpr_obs::Tracer::disabled(),
+    };
+    let run_span = tracer.span("run:experiments");
+    tracer.set_default_parent(run_span.context());
 
     let world = ark_dataset::standard_world();
     eprintln!(
@@ -56,40 +92,77 @@ fn main() {
         matches!(cmd, "fig5" | "table1" | "peras" | "table2" | "summary" | "all");
     let rows = if needs_longitudinal {
         eprintln!("[longitudinal] rendering {cycles} cycles × 3 snapshots …");
-        Some(longitudinal::run(&world, cycles))
+        let span = tracer.span("longitudinal");
+        let rows = longitudinal::run(&world, cycles);
+        drop(span);
+        tracer.event(
+            run_span.context(),
+            lpr_obs::Level::Info,
+            "longitudinal-rendered",
+            vec![
+                ("cycles".to_string(), lpr_obs::FieldValue::U64(cycles as u64)),
+                ("rows".to_string(), lpr_obs::FieldValue::U64(rows.len() as u64)),
+            ],
+        );
+        Some(rows)
     } else {
         None
     };
 
     match cmd {
-        "fig5" => longitudinal::emit_fig5(rows.as_ref().unwrap()),
-        "table1" => longitudinal::emit_table1(rows.as_ref().unwrap()),
-        "peras" => longitudinal::emit_per_as(rows.as_ref().unwrap()),
-        "table2" => longitudinal::emit_table2(rows.as_ref().unwrap(), &world),
-        "fig6" => fig6::emit(&fig6::run(&world, 29)),
-        "fig789" => fig789::emit(&fig789::run(&world, 60)),
-        "fig16" => fig16::emit(&fig16::run(&world)),
-        "fig17" => fig17::emit(&fig17::run(&world)),
-        "ablations" => ablations::emit(&ablations::run(&world, 45)),
-        "validation" => validation::emit(&validation::run(&world, 45, 24)),
-        "summary" => summary::emit(&summary::run(rows.as_ref().unwrap())),
+        "fig5" => with_span(&tracer, "fig5", || longitudinal::emit_fig5(rows.as_ref().unwrap())),
+        "table1" => {
+            with_span(&tracer, "table1", || longitudinal::emit_table1(rows.as_ref().unwrap()))
+        }
+        "peras" => with_span(&tracer, "peras", || longitudinal::emit_per_as(rows.as_ref().unwrap())),
+        "table2" => {
+            with_span(&tracer, "table2", || longitudinal::emit_table2(rows.as_ref().unwrap(), &world))
+        }
+        "fig6" => with_span(&tracer, "fig6", || fig6::emit(&fig6::run(&world, 29))),
+        "fig789" => with_span(&tracer, "fig789", || fig789::emit(&fig789::run(&world, 60))),
+        "fig16" => with_span(&tracer, "fig16", || fig16::emit(&fig16::run(&world))),
+        "fig17" => with_span(&tracer, "fig17", || fig17::emit(&fig17::run(&world))),
+        "ablations" => with_span(&tracer, "ablations", || ablations::emit(&ablations::run(&world, 45))),
+        "validation" => {
+            with_span(&tracer, "validation", || validation::emit(&validation::run(&world, 45, 24)))
+        }
+        "summary" => {
+            with_span(&tracer, "summary", || summary::emit(&summary::run(rows.as_ref().unwrap())))
+        }
         "all" => {
             let rows = rows.as_ref().unwrap();
-            longitudinal::emit_fig5(rows);
-            longitudinal::emit_table1(rows);
-            longitudinal::emit_per_as(rows);
-            longitudinal::emit_table2(rows, &world);
-            fig6::emit(&fig6::run(&world, 29));
-            fig789::emit(&fig789::run(&world, 60));
-            fig16::emit(&fig16::run(&world));
-            fig17::emit(&fig17::run(&world));
-            ablations::emit(&ablations::run(&world, 45));
-            validation::emit(&validation::run(&world, 45, 24));
-            summary::emit(&summary::run(rows));
+            with_span(&tracer, "fig5", || longitudinal::emit_fig5(rows));
+            with_span(&tracer, "table1", || longitudinal::emit_table1(rows));
+            with_span(&tracer, "peras", || longitudinal::emit_per_as(rows));
+            with_span(&tracer, "table2", || longitudinal::emit_table2(rows, &world));
+            with_span(&tracer, "fig6", || fig6::emit(&fig6::run(&world, 29)));
+            with_span(&tracer, "fig789", || fig789::emit(&fig789::run(&world, 60)));
+            with_span(&tracer, "fig16", || fig16::emit(&fig16::run(&world)));
+            with_span(&tracer, "fig17", || fig17::emit(&fig17::run(&world)));
+            with_span(&tracer, "ablations", || ablations::emit(&ablations::run(&world, 45)));
+            with_span(&tracer, "validation", || validation::emit(&validation::run(&world, 45, 24)));
+            with_span(&tracer, "summary", || summary::emit(&summary::run(rows)));
         }
         other => {
             eprintln!("unknown command `{other}`; see --help in the crate docs");
             std::process::exit(2);
         }
+    }
+
+    tracer.set_default_parent(lpr_obs::SpanContext::ROOT);
+    drop(run_span);
+    if let Some(path) = &trace_out {
+        let snapshot = tracer.snapshot();
+        if snapshot.dropped > 0 {
+            eprintln!(
+                "warning: trace journal wrapped, {} oldest events overwritten",
+                snapshot.dropped
+            );
+        }
+        if let Err(e) = std::fs::write(path, lpr_obs::export::chrome_trace(&snapshot)) {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[trace] wrote {path}");
     }
 }

@@ -64,6 +64,9 @@ struct ProbeMetrics {
     /// RFC 4950 quoted label-stack depth per time-exceeded reply
     /// (`probe.stack_depth`); depth 0 means no labels quoted.
     stack_depth: std::sync::Arc<lpr_obs::Histogram>,
+    /// The recorder's span/event journal: campaigns run inside a
+    /// `campaign` span with per-shard child spans (inert by default).
+    tracer: lpr_obs::Tracer,
 }
 
 /// A traceroute engine bound to one simulated Internet.
@@ -109,12 +112,19 @@ impl<'a> Prober<'a> {
     /// `probe.stack_depth` histogram of RFC 4950 quoted stack depths.
     pub fn with_recorder(mut self, recorder: &lpr_obs::Recorder) -> Self {
         self.metrics = Some(ProbeMetrics {
-            sent: recorder.counter("probe.sent"),
-            replies: recorder.counter("probe.replies"),
-            anonymous: recorder.counter("probe.anonymous"),
-            stack_depth: recorder.histogram("probe.stack_depth"),
+            sent: recorder.counter(lpr_obs::names::PROBE_SENT),
+            replies: recorder.counter(lpr_obs::names::PROBE_REPLIES),
+            anonymous: recorder.counter(lpr_obs::names::PROBE_ANONYMOUS),
+            stack_depth: recorder.histogram(lpr_obs::names::PROBE_STACK_DEPTH),
+            tracer: recorder.tracer().clone(),
         });
         self
+    }
+
+    /// The span/event journal this prober records into (the inert
+    /// tracer without a recorder).
+    fn tracer(&self) -> lpr_obs::Tracer {
+        self.metrics.as_ref().map_or_else(lpr_obs::Tracer::disabled, |m| m.tracer.clone())
     }
 
     /// The [`Sync`] view of this prober that shard workers share; the
@@ -195,6 +205,8 @@ impl<'a> Prober<'a> {
         threads: usize,
     ) -> Vec<Trace> {
         let core = self.core();
+        let tracer = self.tracer();
+        let span = tracer.span("campaign");
         if threads == 1 {
             let mut injected = FaultCounts::default();
             let mut out = Vec::with_capacity(vps.len() * dsts.len());
@@ -211,17 +223,23 @@ impl<'a> Prober<'a> {
             .iter()
             .flat_map(|&vp| dsts.iter().map(move |&dst| (vp, dst)))
             .collect();
-        let run = lpr_par::map_shards(&pairs, lpr_par::ShardOptions::new(threads), |_, shard| {
-            let mut injected = FaultCounts::default();
-            let traces: Vec<Trace> = shard
-                .iter()
-                .map(|&(vp, dst)| {
-                    let flow = core.flow(vp, dst);
-                    core.trace_with_flow(vp, dst, flow, &mut injected)
-                })
-                .collect();
-            (traces, injected)
-        });
+        let run = lpr_par::map_shards_traced(
+            &pairs,
+            lpr_par::ShardOptions::new(threads),
+            lpr_par::ShardTrace::new(&tracer, span.context()),
+            |_, shard| {
+                let mut injected = FaultCounts::default();
+                let traces: Vec<Trace> = shard
+                    .iter()
+                    .map(|&(vp, dst)| {
+                        let flow = core.flow(vp, dst);
+                        core.trace_with_flow(vp, dst, flow, &mut injected)
+                    })
+                    .collect();
+                (traces, injected)
+            },
+        )
+        .expect_ok();
         let mut out = Vec::with_capacity(pairs.len());
         let mut merged = FaultCounts::default();
         for (traces, injected) in run.outputs {

@@ -173,6 +173,15 @@ impl JsonValue {
         }
     }
 
+    /// The value as f64: floats verbatim, integers widened.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Float(f) => Some(*f),
+            JsonValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
     /// Builds an object from string-keyed u64s.
     pub fn from_u64_map(map: &BTreeMap<String, u64>) -> JsonValue {
         JsonValue::Object(

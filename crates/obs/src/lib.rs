@@ -12,7 +12,13 @@
 //! * [`Recorder`] — one run's worth of stages + metrics, aggregated
 //!   into a [`RunTelemetry`];
 //! * [`RunTelemetry`] — the machine-readable result, serialized with a
-//!   hand-rolled JSON writer/parser (the repo is zero-serde by design).
+//!   hand-rolled JSON writer/parser (the repo is zero-serde by design);
+//! * [`Tracer`] — hierarchical spans (`run → cycle → stage → shard`)
+//!   and leveled events in a fixed-capacity journal, exported by
+//!   [`export`] as Chrome `trace_event` JSON, folded stacks, or
+//!   Prometheus text;
+//! * [`names`] — the single vocabulary of metric names the workspace
+//!   emits.
 //!
 //! ```
 //! use lpr_obs::Recorder;
@@ -34,11 +40,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod json;
+pub mod names;
 pub mod registry;
 pub mod telemetry;
 pub mod time;
+pub mod tracing;
 
 pub use registry::{Counter, Gauge, Histogram, Registry};
 pub use telemetry::{Recorder, RunTelemetry, StageGuard, StageTelemetry};
 pub use time::{StageTimer, Stopwatch};
+pub use tracing::{FieldValue, Level, Span, SpanContext, TraceEvent, TraceSnapshot, Tracer};

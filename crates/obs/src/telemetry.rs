@@ -238,10 +238,12 @@ pub struct Recorder {
     stages: Mutex<Vec<StageTelemetry>>,
     started: Stopwatch,
     threads: std::sync::atomic::AtomicU64,
+    tracer: crate::Tracer,
 }
 
 impl Recorder {
-    /// Starts a recorder (and its total-wall-time clock).
+    /// Starts a recorder (and its total-wall-time clock). Tracing is
+    /// disabled until [`Recorder::with_tracer`] attaches a journal.
     pub fn new(label: impl Into<String>) -> Self {
         Recorder {
             label: label.into(),
@@ -249,7 +251,22 @@ impl Recorder {
             stages: Mutex::new(Vec::new()),
             started: Stopwatch::start(),
             threads: std::sync::atomic::AtomicU64::new(1),
+            tracer: crate::Tracer::disabled(),
         }
+    }
+
+    /// Attaches a span/event journal; everything instrumented against
+    /// this recorder traces into it. Keep a [`Tracer`](crate::Tracer)
+    /// clone to snapshot after the run.
+    pub fn with_tracer(mut self, tracer: crate::Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer (the inert no-op one by default), for
+    /// opening spans and journaling events alongside stage recording.
+    pub fn tracer(&self) -> &crate::Tracer {
+        &self.tracer
     }
 
     /// Declares the worker-thread count of the run (lands in

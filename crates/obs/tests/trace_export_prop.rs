@@ -1,0 +1,127 @@
+//! Property tests for the Chrome trace_event exporter.
+//!
+//! The exporter is serde-free and hand-rendered, so the invariant that
+//! keeps it honest is the byte-identical round trip: any journal
+//! snapshot, once exported, must parse back through the strict
+//! [`ChromeTrace`] reader and re-render to exactly the same bytes.
+
+use lpr_obs::export::{chrome_trace, ChromeTrace};
+use lpr_obs::{FieldValue, Level, TraceEvent, TraceSnapshot};
+use proptest::prelude::*;
+
+/// Span/event names stress the JSON string escaper: quotes,
+/// backslashes, control characters and non-ASCII all appear.
+const NAME_PARTS: [&str; 13] = [
+    "stage:", "shard", "run", "cycle", "q\"uote", "back\\slash", "new\nline", "tab\t", "é",
+    "µs", "0", "7", "-",
+];
+
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..NAME_PARTS.len(), 1..4)
+        .prop_map(|picks| picks.into_iter().map(|i| NAME_PARTS[i]).collect())
+}
+
+fn arb_field() -> impl Strategy<Value = (String, FieldValue)> {
+    (arb_name(), any::<u64>(), any::<bool>()).prop_map(|(name, raw, is_str)| {
+        let value = if is_str {
+            FieldValue::Str(format!("v{raw:x}"))
+        } else if raw % 2 == 0 {
+            FieldValue::U64(raw)
+        } else {
+            FieldValue::I64(raw as i64)
+        };
+        (name, value)
+    })
+}
+
+fn arb_level() -> impl Strategy<Value = Level> {
+    (0usize..Level::ALL.len()).prop_map(|i| Level::ALL[i])
+}
+
+type EventSpec = (String, Level, Vec<(String, FieldValue)>);
+
+/// One span: begin at `ts`, optionally end `dur` later. Unended spans
+/// exercise the exporter's close-at-max-ts path.
+#[derive(Clone, Debug)]
+struct SpanSpec {
+    name: String,
+    ts: u64,
+    dur: Option<u64>,
+    tid: u64,
+    events: Vec<EventSpec>,
+}
+
+prop_compose! {
+    fn arb_span()(
+        name in arb_name(),
+        ts in 0u64..1_000_000,
+        dur in proptest::option::of(0u64..500_000),
+        tid in 0u64..9,
+        events in proptest::collection::vec(
+            (arb_name(), arb_level(), proptest::collection::vec(arb_field(), 0..3)),
+            0..3,
+        ),
+    ) -> SpanSpec {
+        SpanSpec { name, ts, dur, tid, events }
+    }
+}
+
+/// Lays the specs out as a journal: begins in spec order (parent =
+/// previous span, so the tree is a random-depth chain), point events
+/// inside their span, ends for the spans that have one.
+fn snapshot_of(specs: &[SpanSpec], dropped: u64) -> TraceSnapshot {
+    let mut events = Vec::new();
+    let mut ends = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let id = i as u64 + 1;
+        events.push(TraceEvent::SpanBegin {
+            id,
+            parent: i as u64,
+            name: spec.name.clone(),
+            ts_us: spec.ts,
+            tid: spec.tid,
+        });
+        for (j, (name, level, fields)) in spec.events.iter().enumerate() {
+            events.push(TraceEvent::Event {
+                span: id,
+                level: *level,
+                name: name.clone(),
+                ts_us: spec.ts + j as u64,
+                fields: fields.clone(),
+            });
+        }
+        if let Some(dur) = spec.dur {
+            ends.push(TraceEvent::SpanEnd { id, ts_us: spec.ts + dur });
+        }
+    }
+    events.extend(ends);
+    TraceSnapshot { events, dropped }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chrome_export_round_trips_byte_identical(
+        specs in proptest::collection::vec(arb_span(), 0..12),
+        dropped in 0u64..3,
+    ) {
+        let snapshot = snapshot_of(&specs, dropped);
+        let text = chrome_trace(&snapshot);
+        let parsed = ChromeTrace::parse(&text)
+            .expect("exporter output must satisfy the strict parser");
+        prop_assert_eq!(parsed.to_json(), text);
+    }
+
+    #[test]
+    fn chrome_export_preserves_span_and_event_counts(
+        specs in proptest::collection::vec(arb_span(), 0..12),
+    ) {
+        let snapshot = snapshot_of(&specs, 0);
+        let parsed = ChromeTrace::parse(&chrome_trace(&snapshot)).expect("parse");
+        let spans = parsed.events.iter().filter(|e| e.ph == "X").count();
+        let instants = parsed.events.iter().filter(|e| e.ph == "i").count();
+        prop_assert_eq!(spans, specs.len());
+        prop_assert_eq!(instants, specs.iter().map(|s| s.events.len()).sum::<usize>());
+    }
+}

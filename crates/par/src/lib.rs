@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use lpr_obs::{FieldValue, Level, SpanContext, Tracer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -127,6 +128,30 @@ impl<R> ShardRun<R> {
     }
 }
 
+impl<R> ShardRun<Result<R, PoisonedShard>> {
+    /// Unwraps every shard output, panicking with the first poisoned
+    /// shard's message (in shard order) — [`map_shards`] semantics for
+    /// the caught/traced engines, for callers whose closures are not
+    /// expected to panic.
+    pub fn expect_ok(self) -> ShardRun<R> {
+        let outputs = self
+            .outputs
+            .into_iter()
+            .map(|o| match o {
+                Ok(r) => r,
+                Err(poisoned) => panic!("{poisoned}"),
+            })
+            .collect();
+        ShardRun {
+            outputs,
+            shard_workers: self.shard_workers,
+            shard_lens: self.shard_lens,
+            workers: self.workers,
+            wall_us: self.wall_us,
+        }
+    }
+}
+
 /// A shard whose closure panicked.
 ///
 /// The panic is caught at the shard boundary ([`std::panic::catch_unwind`]
@@ -151,6 +176,27 @@ impl std::fmt::Display for PoisonedShard {
 }
 
 impl std::error::Error for PoisonedShard {}
+
+/// Span context a traced run propagates into its shard workers: each
+/// shard runs inside a `shard{N}` span parented under `parent` (the
+/// caller's stage span), drawn on lane `worker + 1` so worker activity
+/// separates from the main thread in timeline exporters. A caught
+/// shard panic journals a `poisoned-shard` error event inside the
+/// shard's span.
+#[derive(Clone, Copy)]
+pub struct ShardTrace<'a> {
+    /// The journal shard spans record into.
+    pub tracer: &'a Tracer,
+    /// The span shard spans parent under (the stage span).
+    pub parent: SpanContext,
+}
+
+impl<'a> ShardTrace<'a> {
+    /// A trace context under `parent` in `tracer`'s journal.
+    pub fn new(tracer: &'a Tracer, parent: SpanContext) -> Self {
+        ShardTrace { tracer, parent }
+    }
+}
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     match payload.downcast_ref::<&str>() {
@@ -229,6 +275,39 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
+    map_shards_engine(items, opts, None, f)
+}
+
+/// [`map_shards_caught`] with span propagation: every shard runs inside
+/// a `shard{N}` span under `trace.parent`, and a caught panic journals
+/// a `poisoned-shard` error event (fields: `shard`, `worker`,
+/// `message`) before the span closes — so a trace shows *which* shard
+/// died, on which worker lane, and when.
+pub fn map_shards_traced<T, R, F>(
+    items: &[T],
+    opts: ShardOptions,
+    trace: ShardTrace<'_>,
+    f: F,
+) -> ShardRun<Result<R, PoisonedShard>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    map_shards_engine(items, opts, Some(trace), f)
+}
+
+fn map_shards_engine<T, R, F>(
+    items: &[T],
+    opts: ShardOptions,
+    trace: Option<ShardTrace<'_>>,
+    f: F,
+) -> ShardRun<Result<R, PoisonedShard>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
     let started = Instant::now();
     let nshards = opts.shard_count(items.len());
     let bounds = shard_bounds(items.len(), nshards);
@@ -238,8 +317,25 @@ where
     // panic cannot leave broken state behind: the shard's would-be
     // output is simply replaced by the error.
     let run_one = |shard: usize, slice: &[T], worker: usize| -> Result<R, PoisonedShard> {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(shard, slice)))
-            .map_err(|payload| PoisonedShard { shard, worker, message: panic_message(payload) })
+        // Skip the span bookkeeping entirely (name formatting included)
+        // unless a live journal is attached.
+        let span = trace.filter(|tr| tr.tracer.is_enabled()).map(|tr| {
+            tr.tracer.span_on(tr.parent, format!("shard{shard}"), worker as u64 + 1)
+        });
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(shard, slice)))
+            .map_err(|payload| PoisonedShard { shard, worker, message: panic_message(payload) });
+        if let (Some(span), Err(poisoned)) = (&span, &out) {
+            span.event(
+                Level::Error,
+                "poisoned-shard",
+                vec![
+                    ("shard".to_string(), FieldValue::U64(poisoned.shard as u64)),
+                    ("worker".to_string(), FieldValue::U64(poisoned.worker as u64)),
+                    ("message".to_string(), FieldValue::Str(poisoned.message.clone())),
+                ],
+            );
+        }
+        out
     };
 
     let mut outputs: Vec<Option<Result<R, PoisonedShard>>> = Vec::new();
@@ -480,6 +576,71 @@ mod tests {
                 }
             }
         });
+    }
+
+    #[test]
+    fn traced_run_parents_shard_spans_and_journals_poison() {
+        with_quiet_panics(|| {
+            let items: Vec<u32> = (0..1000).collect();
+            let tracer = Tracer::new(Level::Debug);
+            let stage = tracer.span("stage:Test");
+            let stage_ctx = stage.context();
+            let run = map_shards_traced(
+                &items,
+                ShardOptions::new(4),
+                ShardTrace::new(&tracer, stage_ctx),
+                |shard, s| {
+                    if shard == 2 {
+                        panic!("shard 2 down");
+                    }
+                    s.len()
+                },
+            );
+            drop(stage);
+            assert_eq!(run.outputs.iter().filter(|o| o.is_err()).count(), 1);
+            let snap = tracer.snapshot();
+            let shard_begins: Vec<_> = snap
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    lpr_obs::TraceEvent::SpanBegin { parent, name, tid, .. }
+                        if name.starts_with("shard") =>
+                    {
+                        Some((*parent, *tid))
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(shard_begins.len(), run.outputs.len());
+            assert!(
+                shard_begins.iter().all(|(p, tid)| *p == stage_ctx.id() && *tid >= 1),
+                "shard spans parent under the stage, off the main lane"
+            );
+            let poison_events: Vec<_> = snap
+                .events
+                .iter()
+                .filter(|e| matches!(e, lpr_obs::TraceEvent::Event { name, level, .. }
+                    if name == "poisoned-shard" && *level == Level::Error))
+                .collect();
+            assert_eq!(poison_events.len(), 1);
+            let lpr_obs::TraceEvent::Event { fields, .. } = poison_events[0] else { panic!() };
+            assert!(fields.iter().any(|(k, v)| k == "message"
+                && matches!(v, FieldValue::Str(s) if s.contains("shard 2 down"))));
+        });
+    }
+
+    #[test]
+    fn untraced_runs_stay_silent() {
+        let items: Vec<u32> = (0..200).collect();
+        let tracer = Tracer::disabled();
+        let run = map_shards_traced(
+            &items,
+            ShardOptions::new(2),
+            ShardTrace::new(&tracer, SpanContext::ROOT),
+            |_, s| s.len(),
+        );
+        assert_eq!(run.outputs.iter().filter_map(|o| o.as_ref().ok()).sum::<usize>(), 200);
+        assert_eq!(tracer.snapshot(), lpr_obs::TraceSnapshot::default());
     }
 
     #[test]

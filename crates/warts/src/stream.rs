@@ -101,19 +101,20 @@ impl SkipReason {
         }
     }
 
-    /// The registry counter this reason tallies under.
+    /// The registry counter this reason tallies under (a constant from
+    /// [`lpr_obs::names`], the workspace metric vocabulary).
     pub fn counter_name(self) -> &'static str {
         match self {
-            SkipReason::BadMagic => "warts.skip.bad_magic",
-            SkipReason::TruncatedHeader => "warts.skip.truncated_header",
-            SkipReason::InsaneLength => "warts.skip.insane_length",
-            SkipReason::TruncatedBody => "warts.skip.truncated_body",
-            SkipReason::Truncated => "warts.skip.truncated",
-            SkipReason::LengthMismatch => "warts.skip.length_mismatch",
-            SkipReason::BadAddress => "warts.skip.bad_address",
-            SkipReason::ParamError => "warts.skip.param_error",
-            SkipReason::BadIcmpExt => "warts.skip.bad_icmp_ext",
-            SkipReason::Unsupported => "warts.skip.unsupported",
+            SkipReason::BadMagic => lpr_obs::names::WARTS_SKIP_BAD_MAGIC,
+            SkipReason::TruncatedHeader => lpr_obs::names::WARTS_SKIP_TRUNCATED_HEADER,
+            SkipReason::InsaneLength => lpr_obs::names::WARTS_SKIP_INSANE_LENGTH,
+            SkipReason::TruncatedBody => lpr_obs::names::WARTS_SKIP_TRUNCATED_BODY,
+            SkipReason::Truncated => lpr_obs::names::WARTS_SKIP_TRUNCATED,
+            SkipReason::LengthMismatch => lpr_obs::names::WARTS_SKIP_LENGTH_MISMATCH,
+            SkipReason::BadAddress => lpr_obs::names::WARTS_SKIP_BAD_ADDRESS,
+            SkipReason::ParamError => lpr_obs::names::WARTS_SKIP_PARAM_ERROR,
+            SkipReason::BadIcmpExt => lpr_obs::names::WARTS_SKIP_BAD_ICMP_EXT,
+            SkipReason::Unsupported => lpr_obs::names::WARTS_SKIP_UNSUPPORTED,
         }
     }
 
@@ -164,6 +165,10 @@ pub struct StreamMetrics {
     /// Garbage bytes discarded while resynchronising
     /// (`warts.resync_bytes`).
     pub resync_bytes: Arc<Counter>,
+    /// Optional event journal: every lenient skip records a
+    /// `warts-skip` warn event alongside its counter (disabled by
+    /// default — counting costs nothing extra).
+    pub tracer: lpr_obs::Tracer,
 }
 
 impl StreamMetrics {
@@ -171,20 +176,41 @@ impl StreamMetrics {
     /// zero on first use).
     pub fn from_registry(registry: &Registry) -> Self {
         StreamMetrics {
-            records: registry.counter("warts.records"),
-            bytes: registry.counter("warts.bytes"),
-            traces: registry.counter("warts.traces"),
-            malformed: registry.counter("warts.malformed_records"),
-            unsupported: registry.counter("warts.unsupported_records"),
-            unknown_icmp_ext: registry.counter("warts.unknown_icmp_ext"),
+            records: registry.counter(lpr_obs::names::WARTS_RECORDS),
+            bytes: registry.counter(lpr_obs::names::WARTS_BYTES),
+            traces: registry.counter(lpr_obs::names::WARTS_TRACES),
+            malformed: registry.counter(lpr_obs::names::WARTS_MALFORMED_RECORDS),
+            unsupported: registry.counter(lpr_obs::names::WARTS_UNSUPPORTED_RECORDS),
+            unknown_icmp_ext: registry.counter(lpr_obs::names::WARTS_UNKNOWN_ICMP_EXT),
             skips: SkipReason::ALL.map(|r| registry.counter(r.counter_name())),
-            resync_bytes: registry.counter("warts.resync_bytes"),
+            resync_bytes: registry.counter(lpr_obs::names::WARTS_RESYNC_BYTES),
+            tracer: lpr_obs::Tracer::disabled(),
         }
+    }
+
+    /// [`StreamMetrics::from_registry`] over a recorder's registry,
+    /// inheriting its tracer so skips journal warn events too.
+    pub fn from_recorder(recorder: &lpr_obs::Recorder) -> Self {
+        Self::from_registry(recorder.registry()).with_tracer(recorder.tracer().clone())
+    }
+
+    /// Attaches an event journal (see the `tracer` field).
+    pub fn with_tracer(mut self, tracer: lpr_obs::Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     fn skip(&self, reason: SkipReason) {
         self.malformed.inc();
         self.skips[reason as usize].inc();
+        if self.tracer.would_log(lpr_obs::Level::Warn) {
+            self.tracer.event(
+                self.tracer.default_parent(),
+                lpr_obs::Level::Warn,
+                "warts-skip",
+                vec![("reason".to_string(), lpr_obs::FieldValue::Str(reason.name().to_string()))],
+            );
+        }
     }
 
     fn observe(&self, wire_len: usize, record: &Record) {

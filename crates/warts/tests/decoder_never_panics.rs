@@ -71,21 +71,11 @@ proptest! {
 
         // Strict streaming: drain until first error or clean end.
         let mut strict = WartsStreamReader::new(bytes.as_slice());
-        loop {
-            match strict.next_record() {
-                Ok(Some(_)) => {}
-                Ok(None) | Err(_) => break,
-            }
-        }
+        while let Ok(Some(_)) = strict.next_record() {}
 
         // Strict batch reader over the same bytes.
         let mut batch = WartsReader::new(&bytes);
-        loop {
-            match batch.next_record() {
-                Ok(Some(_)) => {}
-                Ok(None) | Err(_) => break,
-            }
-        }
+        while let Ok(Some(_)) = batch.next_record() {}
 
         // Lenient streaming: always a clean end, and when corruption
         // actually landed somewhere, it is either absorbed by a skip or

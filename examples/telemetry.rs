@@ -1,7 +1,8 @@
 //! Telemetry: run the LPR pipeline under `lpr-obs` instrumentation —
 //! probe counters, per-filter stage timings that reconcile with the
-//! Table 1 funnel, and the machine-readable JSON document `lpr classify
-//! --metrics` writes.
+//! Table 1 funnel, the machine-readable JSON document `lpr classify
+//! --metrics` writes, and the hierarchical span journal behind
+//! `--trace-out` (here rendered as folded stacks).
 //!
 //! ```sh
 //! cargo run -p lpr-examples --bin telemetry
@@ -48,16 +49,35 @@ fn main() {
 
     // One Recorder observes everything: the prober tallies `probe.*`
     // counters and the RFC 4950 stack-depth histogram while the
-    // pipeline records one timed stage per filter.
-    let recorder = lpr_obs::Recorder::new("telemetry example");
+    // pipeline records one timed stage per filter. The attached Tracer
+    // additionally journals hierarchical spans — everything recorded
+    // below the root span nests under `run:telemetry-example`.
+    let tracer = lpr_obs::Tracer::new(lpr_obs::Level::Debug);
+    let recorder = lpr_obs::Recorder::new("telemetry example").with_tracer(tracer.clone());
+    let run_span = tracer.span("run:telemetry-example");
+    tracer.set_default_parent(run_span.context());
+
     let prober = Prober::new(&net, ProbeOptions::default()).with_recorder(&recorder);
     let vps: Vec<Ipv4Addr> = net.topo.vantage_points().iter().map(|(a, _)| *a).collect();
     let dsts = net.topo.destinations(1);
-    let traces = prober.campaign(&vps, &dsts);
+    let traces = {
+        let campaign_span = tracer.span("campaign");
+        let traces = prober.campaign(&vps, &dsts);
+        campaign_span.event(
+            lpr_obs::Level::Info,
+            "campaign-complete",
+            vec![("traces".to_string(), lpr_obs::FieldValue::U64(traces.len() as u64))],
+        );
+        traces
+    };
 
     let keys = Pipeline::snapshot_keys(&traces);
     let pipeline = Pipeline::new(FilterConfig { persistence_window: 1, ..Default::default() });
     let out = pipeline.run_recorded(&traces, &rib, &[keys], Some(&recorder));
+
+    // Close the root span before snapshotting so every span has an end.
+    tracer.set_default_parent(lpr_obs::SpanContext::ROOT);
+    drop(run_span);
 
     let telemetry = recorder.finish();
     println!("=== stages (counts chain through the Table 1 funnel) ===");
@@ -78,6 +98,18 @@ fn main() {
     }
     let depths = &telemetry.histograms["probe.stack_depth"];
     println!("\nquoted label-stack depths: {depths:?}");
+
+    // The span journal behind `lpr classify --trace-out`: folded-stack
+    // lines ready for flamegraph.pl; `lpr_obs::export::chrome_trace`
+    // renders the same snapshot for chrome://tracing / Perfetto.
+    let snapshot = tracer.snapshot();
+    let events = snapshot
+        .events
+        .iter()
+        .filter(|e| matches!(e, lpr_obs::TraceEvent::Event { .. }))
+        .count();
+    println!("\n=== span journal ({events} events; folded stacks, self-time in us) ===");
+    print!("{}", lpr_obs::export::folded_stacks(&snapshot));
 
     // The exact document `lpr classify --metrics out.json` writes; it
     // round-trips losslessly.

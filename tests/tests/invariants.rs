@@ -152,7 +152,7 @@ proptest! {
         let mut traces = prober.campaign(&vps, &dsts);
         let rib = net.topo.rib();
         let keys = Pipeline::snapshot_keys(&traces);
-        let a = Pipeline::default().run(&traces, &rib, &[keys.clone()]);
+        let a = Pipeline::default().run(&traces, &rib, std::slice::from_ref(&keys));
 
         // Deterministic shuffle driven by the seed.
         let mut s = seed;
