@@ -310,6 +310,43 @@ pub mod compare {
             }
         }
 
+        // Deterministic out-of-core ingest counts: corpus shape and
+        // trace/LSP tallies must match exactly when both reports ran
+        // the ingest phase at the same scale. Rates, walls and peak
+        // memory in the same section are measurements, never compared.
+        match (
+            current.get("ingest").filter(|v| v.as_object().is_some()),
+            baseline.get("ingest").filter(|v| v.as_object().is_some()),
+        ) {
+            (Some(cur), Some(base)) => {
+                let scale = |v: &JsonValue| v.get("scale").and_then(|s| s.as_u64());
+                if scale(cur) != scale(base) {
+                    outcome
+                        .skipped
+                        .push("ingest: reports ran at different --scale".to_string());
+                } else {
+                    for key in
+                        ["corpus_files", "corpus_bytes", "corpus_records", "traces", "lsps_in"]
+                    {
+                        match (
+                            cur.get(key).and_then(|v| v.as_u64()),
+                            base.get(key).and_then(|v| v.as_u64()),
+                        ) {
+                            (Some(c), Some(b)) if c != b => outcome.mismatches.push(format!(
+                                "ingest.{key}: {c} differs from baseline {b}"
+                            )),
+                            (Some(_), Some(_)) => {}
+                            _ => outcome
+                                .skipped
+                                .push(format!("ingest.{key}: absent from one report")),
+                        }
+                    }
+                }
+            }
+            (None, None) => {}
+            _ => outcome.skipped.push("ingest: absent from one report".to_string()),
+        }
+
         match (
             current.get("campaign_share").and_then(|v| v.as_f64()),
             baseline.get("campaign_share").and_then(|v| v.as_f64()),
@@ -331,9 +368,11 @@ pub mod compare {
     /// Strips the nondeterministic measurements out of a report,
     /// producing the committable baseline form: stage and total wall
     /// times zeroed, throughput nulled, sweep timings, allocation
-    /// tallies, SPF cache stats and `campaign_share` removed. Counts,
-    /// counters and the golden fingerprint stay — they are the
-    /// deterministic contract `compare` checks strictly.
+    /// tallies, SPF cache stats and `campaign_share` removed, and the
+    /// `"ingest"` section's rates/walls/peak-memory readings (plus the
+    /// elide check's allocation tallies) nulled. Counts, counters and
+    /// the golden fingerprint stay — they are the deterministic
+    /// contract `compare` checks strictly.
     pub fn strip_nondeterministic(report: &JsonValue) -> JsonValue {
         let Some(fields) = report.as_object() else {
             return report.clone();
@@ -359,12 +398,41 @@ pub mod compare {
                             .map(|m| m.iter().map(|(k, _)| (k.clone(), JsonValue::Null)).collect())
                             .unwrap_or_default(),
                     ),
+                    "ingest" => null_ingest_measurements(value),
+                    "unsupported_elide" => null_fields(
+                        value,
+                        &["kept_alloc_bytes", "elided_alloc_bytes"],
+                    ),
                     _ => value.clone(),
                 };
                 (key.clone(), value)
             })
             .collect();
         JsonValue::Object(kept)
+    }
+
+    /// Nulls the measurement fields of the `"ingest"` section, keeping
+    /// its deterministic corpus/trace/LSP counts for strict comparison.
+    fn null_ingest_measurements(ingest: &JsonValue) -> JsonValue {
+        null_fields(
+            ingest,
+            &["wall_us", "traces_per_s", "bytes_per_s", "peak_resident_bytes", "peak_heap_bytes"],
+        )
+    }
+
+    fn null_fields(value: &JsonValue, nulled: &[&str]) -> JsonValue {
+        let Some(fields) = value.as_object() else {
+            return value.clone();
+        };
+        JsonValue::Object(
+            fields
+                .iter()
+                .map(|(key, v)| {
+                    let v = if nulled.contains(&key.as_str()) { JsonValue::Null } else { v.clone() };
+                    (key.clone(), v)
+                })
+                .collect(),
+        )
     }
 
     fn zero_telemetry_walls(telemetry: &JsonValue) -> JsonValue {
@@ -518,6 +586,59 @@ mod tests {
             .render_pretty()
             .replace("\"input\": 60,", "\"input\": 61,");
         let outcome = compare::run(&json::parse(&drifted).unwrap(), &baseline, 0.1);
+        assert!(!outcome.passed());
+    }
+
+    fn sample_report_with_ingest(traces: u64, wall_us: u64) -> json::JsonValue {
+        let base = sample_report(200).render_pretty();
+        let with_ingest = base.replacen(
+            "\"bench\": \"pipeline\",",
+            &format!(
+                r#""bench": "pipeline",
+                "ingest": {{
+                  "scale": 1,
+                  "corpus_files": 4,
+                  "corpus_bytes": 9000,
+                  "corpus_records": 70,
+                  "traces": {traces},
+                  "lsps_in": 48,
+                  "wall_us": {wall_us},
+                  "traces_per_s": 123.0,
+                  "bytes_per_s": 456.0,
+                  "peak_resident_bytes": 1048576,
+                  "peak_heap_bytes": 2048
+                }},"#
+            ),
+            1,
+        );
+        json::parse(&with_ingest).expect("ingest sample parses")
+    }
+
+    #[test]
+    fn ingest_count_drift_is_a_mismatch_but_rates_are_not_compared() {
+        let baseline = sample_report_with_ingest(60, 100);
+        // Slower wall, same counts: passes.
+        let outcome = compare::run(&sample_report_with_ingest(60, 99_000), &baseline, 0.1);
+        assert!(outcome.passed(), "{outcome:?}");
+        // Trace-count drift: strict failure.
+        let outcome = compare::run(&sample_report_with_ingest(59, 100), &baseline, 10.0);
+        assert!(!outcome.passed());
+        assert!(outcome.mismatches.iter().any(|m| m.starts_with("ingest.traces:")));
+    }
+
+    #[test]
+    fn stripped_ingest_keeps_counts_and_nulls_measurements() {
+        let stripped = compare::strip_nondeterministic(&sample_report_with_ingest(60, 100));
+        let ingest = stripped.get("ingest").expect("ingest survives the strip");
+        assert_eq!(ingest.get("traces").and_then(|v| v.as_u64()), Some(60));
+        assert_eq!(ingest.get("corpus_bytes").and_then(|v| v.as_u64()), Some(9000));
+        for key in
+            ["wall_us", "traces_per_s", "bytes_per_s", "peak_resident_bytes", "peak_heap_bytes"]
+        {
+            assert_eq!(ingest.get(key), Some(&JsonValue::Null), "{key} should be nulled");
+        }
+        // The stripped form still count-checks strictly against a drift.
+        let outcome = compare::run(&sample_report_with_ingest(59, 100), &stripped, 10.0);
         assert!(!outcome.passed());
     }
 

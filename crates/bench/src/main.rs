@@ -38,10 +38,20 @@ mod counting_alloc {
     #![allow(unsafe_code)]
 
     use std::alloc::{GlobalAlloc, Layout, System};
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
     static ALLOCS: AtomicU64 = AtomicU64::new(0);
     static BYTES: AtomicU64 = AtomicU64::new(0);
+    /// Live heap bytes (allocated minus freed); signed because a
+    /// relaxed race can transiently observe a free before its alloc.
+    static LIVE: AtomicI64 = AtomicI64::new(0);
+    /// High-water mark of [`LIVE`] since the last [`heap_reset_peak`].
+    static PEAK: AtomicI64 = AtomicI64::new(0);
+
+    fn grow(delta: i64) {
+        let live = LIVE.fetch_add(delta, Ordering::Relaxed) + delta;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
 
     /// Forwards to [`System`], tallying calls and requested bytes.
     pub struct CountingAlloc;
@@ -52,16 +62,19 @@ mod counting_alloc {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            grow(layout.size() as i64);
             unsafe { System.alloc(layout) }
         }
 
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            LIVE.fetch_sub(layout.size() as i64, Ordering::Relaxed);
             unsafe { System.dealloc(ptr, layout) }
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            grow(new_size as i64 - layout.size() as i64);
             unsafe { System.realloc(ptr, layout, new_size) }
         }
     }
@@ -69,6 +82,18 @@ mod counting_alloc {
     /// Running totals `(allocations, bytes)` since process start.
     pub fn snapshot() -> (u64, u64) {
         (ALLOCS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed))
+    }
+
+    /// Live-heap high-water mark, bytes, since [`heap_reset_peak`] (or
+    /// process start).
+    pub fn heap_peak() -> u64 {
+        PEAK.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Restarts the high-water mark from the current live-heap size, so
+    /// the next [`heap_peak`] reading covers only the phase that follows.
+    pub fn heap_reset_peak() {
+        PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 }
 
@@ -108,7 +133,8 @@ lpr-bench — LPR pipeline benchmark harness
 USAGE:
   lpr-bench pipeline [--out BENCH_pipeline.json] [--snapshots N] [--cycle N]
                      [--threads N] [--threads-sweep [1,2,4,...]] [--alloc]
-                     [--max-campaign-share F] [--trace-out trace.json]
+                     [--max-campaign-share F] [--scale N]
+                     [--mem-ceiling-bytes N] [--trace-out trace.json]
                      [--trace-level debug|info|warn|error]
   lpr-bench chaos    [--out BENCH_chaos.json] [--seed N]
                      [--rates 0,0.02,0.05,0.1] [--snapshots N] [--cycle N]
@@ -144,6 +170,28 @@ tallied by a counting global allocator) to each stage, written under
 more than fraction F of the total stage wall time — the CI smoke
 signal that campaign generation has not regressed back to dominating
 the run.
+
+`--scale N` grows the campaign towards paper scale (N=1 is the default
+demo shape; larger N multiplies destinations via a wider transit core
+and denser prefixes). At scale 1 the run additionally writes the cycle
+as a multi-file warts corpus, builds/loads the per-file record indexes,
+and re-runs the pipeline through the out-of-core mmap ingest at thread
+counts 1/2/4/8, failing (exit 1) unless every run's PipelineOutput is
+byte-identical to the in-memory pipeline over the same corpus (both
+with the in-memory and the spilled persistence window). Past scale 1
+the run never holds the cycle in memory: each snapshot is generated,
+written to the corpus (snapshot 0) or spilled to sorted key files
+(later snapshots), and dropped; the pipeline then runs purely
+out-of-core, with the same 1/2/4/8 thread identity check against the
+single-threaded out-of-core run. Either way the report gains an
+\"ingest\" section with traces/sec, bytes/sec, peak resident bytes
+(Linux VmHWM, reset before the ingest phase) and the live-heap
+high-water mark.
+
+`--mem-ceiling-bytes N` exits non-zero when the ingest phase's peak
+resident bytes exceed N — the CI guard that out-of-core stays
+out-of-core. Skipped (with a warning) when the kernel does not expose
+a resettable RSS high-water mark.
 
 `chaos` sweeps seeded fault-injection rates over the same golden
 campaign: each rate degrades the traces with an `lpr-chaos`
@@ -204,6 +252,179 @@ fn parse_sweep(spec: &str) -> Result<Vec<usize>, String> {
     Ok(ns)
 }
 
+/// This process's peak resident set size in bytes (Linux `VmHWM`), or
+/// `None` off Linux / when the parse fails.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Resets the kernel's RSS high-water mark (`echo 5 >
+/// /proc/self/clear_refs`) so the next [`peak_rss_bytes`] reading
+/// covers only the phase that follows. `false` when unsupported.
+fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// Satellite self-check for the zero-copy decode of `Unsupported`
+/// record bodies: decodes one large unknown-type record with and
+/// without `elide_unsupported_bodies`, measuring allocated bytes via
+/// the counting allocator. Eliding must remove the body-sized copy —
+/// the kept-body pass has to allocate at least half a body more than
+/// the elided pass. Returns the JSON verdict and whether it held.
+fn unsupported_elide_check() -> (JsonValue, bool) {
+    const BODY: usize = 4 << 20;
+    let mut bytes = Vec::with_capacity(8 + BODY);
+    bytes.extend_from_slice(&0x1205u16.to_be_bytes()); // warts magic
+    bytes.extend_from_slice(&0x00F0u16.to_be_bytes()); // unknown type
+    bytes.extend_from_slice(&(BODY as u32).to_be_bytes());
+    bytes.resize(8 + BODY, 0x5a);
+
+    let decode = |elide: bool| -> u64 {
+        let mut reader = warts::WartsStreamReader::new(bytes.as_slice());
+        if elide {
+            reader = reader.elide_unsupported_bodies();
+        }
+        let before = counting_alloc::snapshot().1;
+        while let Ok(Some(_)) = reader.next_record() {}
+        counting_alloc::snapshot().1 - before
+    };
+    let kept = decode(false);
+    let elided = decode(true);
+    let ok = kept.saturating_sub(elided) >= BODY as u64 / 2;
+    let verdict = JsonValue::Object(vec![
+        ("body_bytes".to_string(), JsonValue::Int(BODY as i128)),
+        ("kept_alloc_bytes".to_string(), JsonValue::Int(kept as i128)),
+        ("elided_alloc_bytes".to_string(), JsonValue::Int(elided as i128)),
+        ("ok".to_string(), JsonValue::Bool(ok)),
+    ]);
+    (verdict, ok)
+}
+
+/// Thread counts every out-of-core ingest is verified at; byte-identical
+/// `PipelineOutput` across all of them is part of the acceptance bar.
+const INGEST_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// How many files a corpus cycle is split across: one per ~100K traces,
+/// at least 4 so multi-file sharding is always exercised.
+fn corpus_file_count(traces: usize) -> usize {
+    (traces / 100_000).clamp(4, 64)
+}
+
+/// The measurements of one out-of-core ingest phase, rendered under
+/// `"ingest"` in the report.
+struct IngestStats {
+    scale: usize,
+    threads: usize,
+    corpus_files: u64,
+    corpus_bytes: u64,
+    corpus_records: u64,
+    traces: u64,
+    lsps_in: u64,
+    wall_us: u64,
+    spilled_window: bool,
+    matches_all: bool,
+    peak_rss: Option<u64>,
+    peak_heap: u64,
+}
+
+impl IngestStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("scale".to_string(), JsonValue::Int(self.scale as i128)),
+            ("threads".to_string(), JsonValue::Int(self.threads as i128)),
+            (
+                "threads_checked".to_string(),
+                JsonValue::Array(
+                    INGEST_THREADS.iter().map(|&n| JsonValue::Int(n as i128)).collect(),
+                ),
+            ),
+            ("corpus_files".to_string(), JsonValue::Int(self.corpus_files as i128)),
+            ("corpus_bytes".to_string(), JsonValue::Int(self.corpus_bytes as i128)),
+            ("corpus_records".to_string(), JsonValue::Int(self.corpus_records as i128)),
+            ("traces".to_string(), JsonValue::Int(self.traces as i128)),
+            ("lsps_in".to_string(), JsonValue::Int(self.lsps_in as i128)),
+            ("wall_us".to_string(), JsonValue::Int(self.wall_us as i128)),
+            (
+                "traces_per_s".to_string(),
+                lpr_bench::throughput_json(self.wall_us, self.traces),
+            ),
+            (
+                "bytes_per_s".to_string(),
+                lpr_bench::throughput_json(self.wall_us, self.corpus_bytes),
+            ),
+            ("spilled_window".to_string(), JsonValue::Bool(self.spilled_window)),
+            ("matches_across_threads".to_string(), JsonValue::Bool(self.matches_all)),
+            (
+                "peak_resident_bytes".to_string(),
+                match self.peak_rss {
+                    Some(b) => JsonValue::Int(b as i128),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("peak_heap_bytes".to_string(), JsonValue::Int(self.peak_heap as i128)),
+        ])
+    }
+
+    fn say(&self) {
+        say!(
+            "out-of-core ingest: {} traces over {} files ({} bytes), {} LSPs in, \
+             {} us, {} traces/s, {} bytes/s",
+            self.traces,
+            self.corpus_files,
+            self.corpus_bytes,
+            self.lsps_in,
+            self.wall_us,
+            lpr_bench::throughput_text(self.wall_us, self.traces),
+            lpr_bench::throughput_text(self.wall_us, self.corpus_bytes),
+        );
+        match self.peak_rss {
+            Some(b) => {
+                say!(
+                    "  ingest-phase peak: {b} resident bytes, {} live-heap bytes",
+                    self.peak_heap
+                );
+            }
+            None => {
+                say!(
+                    "  ingest-phase peak: resident bytes unavailable, {} live-heap bytes",
+                    self.peak_heap
+                );
+            }
+        }
+        say!(
+            "  thread identity {:?}: {}",
+            INGEST_THREADS,
+            if self.matches_all { "output identical" } else { "OUTPUT DIVERGED" },
+        );
+    }
+}
+
+/// Applies `--mem-ceiling-bytes` to an ingest phase's peak RSS.
+/// Returns `true` when the ceiling was breached (the run must fail).
+fn ceiling_breached(stats: &IngestStats, ceiling: Option<u64>) -> bool {
+    let Some(ceiling) = ceiling else { return false };
+    match stats.peak_rss {
+        Some(peak) if peak > ceiling => {
+            eprintln!(
+                "FAIL: ingest-phase peak resident bytes {peak} exceed the \
+                 --mem-ceiling-bytes {ceiling}"
+            );
+            true
+        }
+        Some(_) => false,
+        None => {
+            eprintln!(
+                "warning: --mem-ceiling-bytes skipped: no resettable RSS \
+                 high-water mark on this kernel"
+            );
+            false
+        }
+    }
+}
+
 fn pipeline(args: &[String]) -> i32 {
     let mut out_path = "BENCH_pipeline.json".to_string();
     let mut snapshots = 3usize;
@@ -212,6 +433,8 @@ fn pipeline(args: &[String]) -> i32 {
     let mut sweep: Option<Vec<usize>> = None;
     let mut alloc = false;
     let mut max_campaign_share: Option<f64> = None;
+    let mut scale = 1usize;
+    let mut mem_ceiling: Option<u64> = None;
     let mut trace_out: Option<String> = None;
     let mut trace_level = lpr_obs::Level::Info;
     let mut it = args.iter();
@@ -274,6 +497,21 @@ fn pipeline(args: &[String]) -> i32 {
                         })
                 })
             }
+            "--scale" => want(&mut it, "--scale").and_then(|v| {
+                v.parse::<usize>().map_err(|e| format!("--scale: {e}")).and_then(|n| {
+                    if n == 0 {
+                        Err("--scale wants at least 1".to_string())
+                    } else {
+                        scale = n;
+                        Ok(())
+                    }
+                })
+            }),
+            "--mem-ceiling-bytes" => want(&mut it, "--mem-ceiling-bytes").and_then(|v| {
+                v.parse::<u64>()
+                    .map_err(|e| format!("--mem-ceiling-bytes: {e}"))
+                    .map(|n| mem_ceiling = Some(n))
+            }),
             "--trace-out" => want(&mut it, "--trace-out").map(|v| trace_out = Some(v)),
             "--trace-level" => want(&mut it, "--trace-level").and_then(|v| {
                 lpr_obs::Level::parse(&v)
@@ -290,6 +528,23 @@ fn pipeline(args: &[String]) -> i32 {
     if snapshots == 0 {
         eprintln!("--snapshots must be at least 1");
         return 2;
+    }
+    if scale > 1 {
+        if sweep.is_some() {
+            eprintln!("--threads-sweep is demo-scale only; drop it or use --scale 1");
+            return 2;
+        }
+        return pipeline_scaled(ScaledParams {
+            out_path,
+            snapshots,
+            cycle,
+            threads,
+            scale,
+            mem_ceiling,
+            max_campaign_share,
+            trace_out,
+            trace_level,
+        });
     }
 
     let tracer = match &trace_out {
@@ -477,6 +732,41 @@ fn pipeline(args: &[String]) -> i32 {
         }
     }
 
+    // Out-of-core corpus stages + byte-identity self-check: the same
+    // cycle through mmap'd multi-file ingest must reproduce the
+    // in-memory pipeline exactly, at every thread count, with both
+    // persistence-window representations.
+    let (ooc_stats, ooc_diverged) = match out_of_core_demo(
+        &recorder,
+        &tracer,
+        &world,
+        &data.snapshots,
+        &decoded,
+        threads,
+        &mut alloc_rows,
+    ) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    if ooc_diverged {
+        diverged = true;
+    }
+
+    // Zero-copy Unsupported decode: eliding bodies must remove the
+    // body-sized allocation (measured after the peak readings above so
+    // the check's own buffers stay out of the ingest-phase peaks).
+    let (elide_verdict, elide_ok) = unsupported_elide_check();
+    if !elide_ok {
+        eprintln!(
+            "FAIL: eliding Unsupported bodies did not remove the body-sized \
+             decode allocation"
+        );
+        diverged = true;
+    }
+
     let telemetry = recorder.finish();
 
     // CI perf tripwire: GenerateCampaign's share of total stage time.
@@ -509,6 +799,8 @@ fn pipeline(args: &[String]) -> i32 {
         }
     }
 
+    let mem_breached = ceiling_breached(&ooc_stats, mem_ceiling);
+
     let extras = ReportExtras {
         sweep_rows: &sweep_rows,
         campaign_rows: &campaign_rows,
@@ -517,6 +809,8 @@ fn pipeline(args: &[String]) -> i32 {
         golden: golden_checked.then_some(golden_matches),
         alloc_rows: alloc.then_some(&alloc_rows[..]),
         spf_cache: netsim::Internet::spf_cache_stats(),
+        ingest: Some(ooc_stats.to_json()),
+        unsupported_elide: Some(elide_verdict),
     };
     let report = render_report(&telemetry, &out, &extras);
     if let Err(e) = std::fs::write(&out_path, &report) {
@@ -610,6 +904,11 @@ fn pipeline(args: &[String]) -> i32 {
             if golden_matches { "match" } else { "MISMATCH" }
         );
     }
+    ooc_stats.say();
+    say!(
+        "unsupported-body elide: {}",
+        if elide_ok { "zero-copy (body-sized allocation removed)" } else { "COPY SURVIVED" }
+    );
     let (hits, misses) = extras.spf_cache;
     say!(
         "spf cache: {hits} hits / {misses} misses ({:.0}% hit rate)",
@@ -627,7 +926,461 @@ fn pipeline(args: &[String]) -> i32 {
         eprintln!("determinism self-check failed");
         return 1;
     }
-    if share_exceeded {
+    if share_exceeded || mem_breached {
+        return 1;
+    }
+    0
+}
+
+/// The demo-scale out-of-core leg of `lpr-bench pipeline`: writes the
+/// decoded cycle as a multi-file corpus, indexes it (cold, then cached),
+/// spills the persistence window, and verifies that the out-of-core
+/// pipeline reproduces the in-memory pipeline byte-for-byte at every
+/// [`INGEST_THREADS`] count — with the in-memory window — and at
+/// `threads` with the spilled window (the instrumented, measured run).
+/// Returns the phase's measurements and whether anything diverged.
+#[allow(clippy::too_many_arguments)]
+fn out_of_core_demo(
+    recorder: &Recorder,
+    tracer: &lpr_obs::Tracer,
+    world: &ark_dataset::World,
+    snapshots: &[Vec<lpr_core::trace::Trace>],
+    decoded: &[lpr_core::trace::Trace],
+    threads: usize,
+    alloc_rows: &mut Vec<(&'static str, u64, u64)>,
+) -> Result<(IngestStats, bool), String> {
+    use lpr_core::pipeline::PersistenceWindow;
+    use lpr_core::spill::KeySpiller;
+
+    let tmp = std::env::temp_dir().join(format!("lpr-bench-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let mut diverged = false;
+
+    let alloc0 = counting_alloc::snapshot();
+    let span = tracer.span("stage:CorpusWrite");
+    let sw = lpr_obs::Stopwatch::start();
+    let paths =
+        lpr_corpus::write_corpus_files(&tmp, "bench", decoded, corpus_file_count(decoded.len()))
+            .map_err(|e| format!("corpus write: {e}"))?;
+    drop(span);
+    let written: u64 =
+        paths.iter().filter_map(|p| std::fs::metadata(p).ok()).map(|m| m.len()).sum();
+    recorder.record_stage("CorpusWrite", sw.elapsed_us(), decoded.len() as u64, written);
+    let alloc1 = counting_alloc::snapshot();
+    alloc_rows.push(("CorpusWrite", alloc1.0 - alloc0.0, alloc1.1 - alloc0.1));
+
+    // Open twice: the first open builds and caches every `.lpridx`, the
+    // second must hit all of them — both land in the corpus.* counters,
+    // so a cache-staleness regression shows up as an index_hits drift.
+    let alloc0 = counting_alloc::snapshot();
+    let span = tracer.span("stage:IndexBuild");
+    let sw = lpr_obs::Stopwatch::start();
+    let cold = lpr_corpus::Corpus::open_with(&paths, true, Some(recorder))
+        .map_err(|e| format!("corpus index build: {e}"))?;
+    drop(cold);
+    let corpus = lpr_corpus::Corpus::open_with(&paths, true, Some(recorder))
+        .map_err(|e| format!("corpus index reload: {e}"))?;
+    drop(span);
+    recorder.record_stage("IndexBuild", sw.elapsed_us(), paths.len() as u64, corpus.total_records());
+    let alloc1 = counting_alloc::snapshot();
+    alloc_rows.push(("IndexBuild", alloc1.0 - alloc0.0, alloc1.1 - alloc0.1));
+
+    // The in-memory reference runs over the traces loaded back from the
+    // corpus itself, so the comparison isolates the ingest machinery
+    // from the (already golden-checked) encode round-trip.
+    let (ref_traces, _cf) = lpr_corpus::ingest::load_traces(&corpus);
+    let future: Vec<_> =
+        snapshots[1..].iter().map(|t| Pipeline::snapshot_keys_par(t, 1)).collect();
+    let pl = Pipeline::new(FilterConfig {
+        persistence_window: future.len(),
+        ..Default::default()
+    });
+    let reference = pl.run_par_recorded(&ref_traces, world.rib(), &future, 1, None);
+    drop(ref_traces);
+
+    // The same future keys, as sorted on-disk spill files.
+    let spill_dir = tmp.join("spill");
+    let mut spilled = Vec::new();
+    for (i, keys) in future.iter().enumerate() {
+        let mut sp = KeySpiller::new(&spill_dir, &format!("next{i}"))
+            .map_err(|e| format!("key spill: {e}"))?;
+        for key in keys {
+            sp.push(key).map_err(|e| format!("key spill: {e}"))?;
+        }
+        spilled.push(sp.finish().map_err(|e| format!("key spill: {e}"))?);
+    }
+
+    // Identity sweep: out-of-core ingest at every thread count, against
+    // the in-memory persistence window.
+    for &n in &INGEST_THREADS {
+        let (ingest, _rep) = lpr_corpus::ingest_cycle(
+            &corpus,
+            world.rib(),
+            lpr_corpus::IngestOptions::new(n),
+            None,
+        );
+        let o = pl
+            .finish_stages_windowed(
+                ingest,
+                PersistenceWindow::Mem(&future),
+                None,
+                lpr_par::ShardOptions::new(n),
+            )
+            .map_err(|e| format!("out-of-core pipeline: {e}"))?;
+        if o != reference {
+            eprintln!(
+                "FAIL: out-of-core ingest at {n} thread(s) diverges from the \
+                 in-memory pipeline"
+            );
+            diverged = true;
+        }
+    }
+
+    // The measured run: spilled window, `threads` workers, counters on.
+    counting_alloc::heap_reset_peak();
+    let rss_reset = reset_peak_rss();
+    let alloc0 = counting_alloc::snapshot();
+    let span = tracer.span("stage:OutOfCoreIngest");
+    let sw = lpr_obs::Stopwatch::start();
+    let (ingest, _rep) = lpr_corpus::ingest_cycle(
+        &corpus,
+        world.rib(),
+        lpr_corpus::IngestOptions::new(threads),
+        Some(recorder),
+    );
+    let o = pl
+        .finish_stages_windowed(
+            ingest,
+            PersistenceWindow::Spilled(&spilled),
+            None,
+            lpr_par::ShardOptions::new(threads),
+        )
+        .map_err(|e| format!("out-of-core pipeline: {e}"))?;
+    let wall = sw.elapsed_us().max(1);
+    drop(span);
+    recorder.record_stage("OutOfCoreIngest", wall, corpus.total_traces(), o.report.input as u64);
+    let alloc1 = counting_alloc::snapshot();
+    alloc_rows.push(("OutOfCoreIngest", alloc1.0 - alloc0.0, alloc1.1 - alloc0.1));
+    if o != reference {
+        eprintln!(
+            "FAIL: out-of-core ingest with the spilled persistence window \
+             diverges from the in-memory pipeline"
+        );
+        diverged = true;
+    }
+
+    let stats = IngestStats {
+        scale: 1,
+        threads,
+        corpus_files: paths.len() as u64,
+        corpus_bytes: corpus.total_bytes(),
+        corpus_records: corpus.total_records(),
+        traces: corpus.total_traces(),
+        lsps_in: o.report.input as u64,
+        wall_us: wall,
+        spilled_window: true,
+        matches_all: !diverged,
+        peak_rss: if rss_reset { peak_rss_bytes() } else { None },
+        peak_heap: counting_alloc::heap_peak(),
+    };
+    let _ = std::fs::remove_dir_all(&tmp);
+    Ok((stats, diverged))
+}
+
+/// Everything `pipeline_scaled` needs from the flag parser.
+struct ScaledParams {
+    out_path: String,
+    snapshots: usize,
+    cycle: usize,
+    threads: usize,
+    scale: usize,
+    mem_ceiling: Option<u64>,
+    max_campaign_share: Option<f64>,
+    trace_out: Option<String>,
+    trace_level: lpr_obs::Level,
+}
+
+/// The paper-scale flow (`--scale` > 1): the cycle never exists in
+/// memory as a whole. Each snapshot is generated, persisted (snapshot 0
+/// becomes the multi-file corpus; later snapshots spill their LSP keys
+/// to sorted files) and dropped; the pipeline then runs purely
+/// out-of-core, with the 1/2/4/8 thread identity check against the run
+/// at `--threads` and the ingest-phase peak-memory accounting.
+fn pipeline_scaled(p: ScaledParams) -> i32 {
+    use lpr_core::pipeline::PersistenceWindow;
+    use lpr_core::spill::KeySpiller;
+
+    let tracer = match &p.trace_out {
+        Some(_) => lpr_obs::Tracer::new(p.trace_level),
+        None => lpr_obs::Tracer::disabled(),
+    };
+    let recorder = Recorder::new("lpr-bench pipeline").with_tracer(tracer.clone());
+    let run_span = tracer.span("run:bench-pipeline-scaled");
+    tracer.set_default_parent(run_span.context());
+    netsim::igp::spf_cache_reset();
+    let mut diverged = false;
+
+    let tmp = std::env::temp_dir().join(format!("lpr-bench-scale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let spill_dir = tmp.join("spill");
+
+    let world = ark_dataset::scaled_world(p.scale);
+    let copts = ark_dataset::CampaignOptions {
+        snapshots: p.snapshots,
+        hosts_per_prefix: ark_dataset::scale_hosts_per_prefix(p.scale),
+        threads: p.threads,
+        ..Default::default()
+    };
+    say!(
+        "scaled campaign: scale {}, {} VPs, {} prefixes, {} hosts/prefix",
+        p.scale,
+        world.all_vps().len(),
+        world.all_destinations(1).len(),
+        copts.hosts_per_prefix,
+    );
+
+    // Generate-and-persist, one snapshot resident at a time.
+    let mut campaign_wall = 0u64;
+    let mut write_wall = 0u64;
+    let mut spill_wall = 0u64;
+    let mut total_traces = 0u64;
+    let mut cycle_traces = 0u64;
+    let mut paths = Vec::new();
+    let mut spilled = Vec::new();
+    let mut spilled_keys_total = 0u64;
+    for snap in 0..p.snapshots {
+        let span = tracer.span(format!("snapshot:{snap}"));
+        let sw = lpr_obs::Stopwatch::start();
+        let traces = ark_dataset::generate_snapshot(&world, p.cycle, snap, &copts);
+        campaign_wall += sw.elapsed_us();
+        total_traces += traces.len() as u64;
+        if snap == 0 {
+            let sw = lpr_obs::Stopwatch::start();
+            cycle_traces = traces.len() as u64;
+            paths = match lpr_corpus::write_corpus_files(
+                &tmp,
+                "cycle",
+                &traces,
+                corpus_file_count(traces.len()),
+            ) {
+                Ok(paths) => paths,
+                Err(e) => {
+                    eprintln!("corpus write: {e}");
+                    return 1;
+                }
+            };
+            write_wall += sw.elapsed_us();
+        } else {
+            let sw = lpr_obs::Stopwatch::start();
+            let keys = Pipeline::snapshot_keys_par(&traces, p.threads);
+            let spill = (|| -> std::io::Result<_> {
+                let mut sp = KeySpiller::new(&spill_dir, &format!("next{}", snap - 1))?;
+                for key in &keys {
+                    sp.push(key)?;
+                }
+                sp.finish()
+            })();
+            match spill {
+                Ok(sp) => {
+                    spilled_keys_total += sp.count;
+                    spilled.push(sp);
+                }
+                Err(e) => {
+                    eprintln!("key spill: {e}");
+                    return 1;
+                }
+            }
+            spill_wall += sw.elapsed_us();
+        }
+        drop(span);
+        say!("  snapshot {snap}: {} traces generated and persisted", traces.len());
+    }
+    let written: u64 =
+        paths.iter().filter_map(|p| std::fs::metadata(p).ok()).map(|m| m.len()).sum();
+    recorder.record_stage("GenerateCampaign", campaign_wall, 0, total_traces);
+    recorder.record_stage("CorpusWrite", write_wall, cycle_traces, written);
+    recorder.record_stage(
+        "SpillFutureKeys",
+        spill_wall,
+        total_traces - cycle_traces,
+        spilled_keys_total,
+    );
+
+    // Ingest phase: everything from here runs out-of-core, and the
+    // peak-memory accounting starts here.
+    counting_alloc::heap_reset_peak();
+    let rss_reset = reset_peak_rss();
+
+    let span = tracer.span("stage:IndexBuild");
+    let sw = lpr_obs::Stopwatch::start();
+    let corpus = match lpr_corpus::Corpus::open_with(&paths, true, Some(&recorder)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("corpus index build: {e}");
+            return 1;
+        }
+    };
+    drop(span);
+    recorder.record_stage("IndexBuild", sw.elapsed_us(), paths.len() as u64, corpus.total_records());
+
+    let pl = Pipeline::new(FilterConfig {
+        persistence_window: spilled.len(),
+        ..Default::default()
+    });
+    let run_ooc = |n: usize, rec: Option<&Recorder>| {
+        let (ingest, _rep) =
+            lpr_corpus::ingest_cycle(&corpus, world.rib(), lpr_corpus::IngestOptions::new(n), rec);
+        pl.finish_stages_windowed(
+            ingest,
+            PersistenceWindow::Spilled(&spilled),
+            None,
+            lpr_par::ShardOptions::new(n),
+        )
+    };
+
+    // The measured run at `--threads`, then the identity sweep against
+    // it at every other INGEST_THREADS count.
+    let span = tracer.span("stage:OutOfCoreIngest");
+    let sw = lpr_obs::Stopwatch::start();
+    let out = match run_ooc(p.threads, Some(&recorder)) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("out-of-core pipeline: {e}");
+            return 1;
+        }
+    };
+    let wall = sw.elapsed_us().max(1);
+    drop(span);
+    recorder.record_stage("OutOfCoreIngest", wall, corpus.total_traces(), out.report.input as u64);
+    for &n in &INGEST_THREADS {
+        if n == p.threads {
+            continue;
+        }
+        match run_ooc(n, None) {
+            Ok(o) => {
+                if o != out {
+                    eprintln!(
+                        "FAIL: out-of-core ingest at {n} thread(s) diverges from the \
+                         --threads {} run",
+                        p.threads
+                    );
+                    diverged = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("out-of-core pipeline at {n} thread(s): {e}");
+                return 1;
+            }
+        }
+    }
+
+    let stats = IngestStats {
+        scale: p.scale,
+        threads: p.threads,
+        corpus_files: paths.len() as u64,
+        corpus_bytes: corpus.total_bytes(),
+        corpus_records: corpus.total_records(),
+        traces: corpus.total_traces(),
+        lsps_in: out.report.input as u64,
+        wall_us: wall,
+        spilled_window: true,
+        matches_all: !diverged,
+        peak_rss: if rss_reset { peak_rss_bytes() } else { None },
+        peak_heap: counting_alloc::heap_peak(),
+    };
+    let mem_breached = ceiling_breached(&stats, p.mem_ceiling);
+
+    let (elide_verdict, elide_ok) = unsupported_elide_check();
+    if !elide_ok {
+        eprintln!(
+            "FAIL: eliding Unsupported bodies did not remove the body-sized \
+             decode allocation"
+        );
+        diverged = true;
+    }
+
+    let telemetry = recorder.finish();
+    let campaign_share = {
+        let total: u64 = telemetry
+            .stages
+            .iter()
+            .filter(|s| !s.name.contains('/'))
+            .map(|s| s.wall_us)
+            .sum();
+        let campaign = telemetry
+            .stages
+            .iter()
+            .find(|s| s.name == "GenerateCampaign")
+            .map_or(0, |s| s.wall_us);
+        campaign as f64 / total.max(1) as f64
+    };
+    let mut share_exceeded = false;
+    if let Some(ceiling) = p.max_campaign_share {
+        share_exceeded = campaign_share > ceiling;
+        if share_exceeded {
+            eprintln!(
+                "FAIL: GenerateCampaign takes {:.1}% of stage wall time (ceiling {:.1}%)",
+                campaign_share * 100.0,
+                ceiling * 100.0,
+            );
+        }
+    }
+
+    let extras = ReportExtras {
+        sweep_rows: &[],
+        campaign_rows: &[],
+        campaign_traces: cycle_traces,
+        campaign_share,
+        golden: None,
+        alloc_rows: None,
+        spf_cache: netsim::Internet::spf_cache_stats(),
+        ingest: Some(stats.to_json()),
+        unsupported_elide: Some(elide_verdict),
+    };
+    let report = render_report(&telemetry, &out, &extras);
+    if let Err(e) = std::fs::write(&p.out_path, &report) {
+        eprintln!("{}: {e}", p.out_path);
+        return 1;
+    }
+
+    say!(
+        "{} traces, {} LSPs in, {} IOTPs classified, {} us total, {} thread(s)",
+        corpus.total_traces(),
+        out.report.input,
+        out.iotps.len(),
+        telemetry.total_wall_us,
+        telemetry.threads,
+    );
+    for s in &telemetry.stages {
+        let rate = lpr_bench::throughput_text(s.wall_us, s.input);
+        say!(
+            "  {:<18} {:>8} -> {:<8} {:>10} us  {:>12} items/s",
+            s.name,
+            s.input,
+            s.output,
+            s.wall_us,
+            rate,
+        );
+    }
+    stats.say();
+    say!(
+        "unsupported-body elide: {}",
+        if elide_ok { "zero-copy (body-sized allocation removed)" } else { "COPY SURVIVED" }
+    );
+    say!("wrote {}", p.out_path);
+    let _ = std::fs::remove_dir_all(&tmp);
+    tracer.set_default_parent(lpr_obs::SpanContext::ROOT);
+    drop(run_span);
+    if let Some(path) = &p.trace_out {
+        if !write_trace(&tracer, path) {
+            return 1;
+        }
+    }
+    if diverged {
+        eprintln!("determinism self-check failed");
+        return 1;
+    }
+    if share_exceeded || mem_breached {
         return 1;
     }
     0
@@ -1260,6 +2013,11 @@ struct ReportExtras<'a> {
     alloc_rows: Option<&'a [(&'static str, u64, u64)]>,
     /// Process-wide SPF cache `(hits, misses)` over the whole run.
     spf_cache: (u64, u64),
+    /// The out-of-core ingest phase's measurements (see
+    /// [`IngestStats::to_json`]); `None` when the phase did not run.
+    ingest: Option<JsonValue>,
+    /// The zero-copy Unsupported-body decode verdict.
+    unsupported_elide: Option<JsonValue>,
 }
 
 /// A sweep table as JSON rows. `speedup` stays relative to the
@@ -1365,6 +2123,12 @@ fn render_report(
                 ("matches".to_string(), JsonValue::Bool(matches)),
             ]),
         ));
+    }
+    if let Some(ingest) = &extras.ingest {
+        fields.push(("ingest".to_string(), ingest.clone()));
+    }
+    if let Some(elide) = &extras.unsupported_elide {
+        fields.push(("unsupported_elide".to_string(), elide.clone()));
     }
     if let Some(rows) = extras.alloc_rows {
         fields.push((

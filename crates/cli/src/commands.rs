@@ -156,9 +156,12 @@ pub mod stats {
         let recorder = crate::recorder_for(o, "lpr stats");
         let run_span = crate::open_run_span(recorder.as_ref(), "stats");
         let artifacts = crate::run_pipeline_recorded(o, recorder.as_ref())?;
-        let (traces, out) = (&artifacts.traces, &artifacts.output);
-        let mpls = traces.iter().filter(|t| t.has_mpls()).count();
-        writeln!(w, "traces: {} ({} crossing explicit MPLS tunnels)", traces.len(), mpls)?;
+        let out = &artifacts.output;
+        writeln!(
+            w,
+            "traces: {} ({} crossing explicit MPLS tunnels)",
+            artifacts.trace_count, artifacts.mpls_traces,
+        )?;
         writeln!(w, "extracted LSPs: {}", out.report.input)?;
         for stage in FilterStage::ALL {
             writeln!(

@@ -119,8 +119,15 @@ impl LoadReport {
 /// degradation report.
 #[derive(Debug)]
 pub struct PipelineArtifacts {
-    /// Traces loaded from the input files (post conversion).
+    /// Traces loaded from the input files (post conversion). Empty in
+    /// out-of-core mode, where traces stream through the pipeline
+    /// without being materialised.
     pub traces: Vec<Trace>,
+    /// Traces that entered the pipeline (`traces.len()` when they were
+    /// materialised).
+    pub trace_count: u64,
+    /// Of those, traces crossing at least one explicit MPLS tunnel.
+    pub mpls_traces: u64,
     /// The classified pipeline output.
     pub output: PipelineOutput,
     /// What loading skipped (empty in strict mode — skips are fatal
@@ -191,6 +198,15 @@ pub struct Options {
     /// Treat any degradation — skipped records, failed conversions,
     /// quarantined traces — as fatal instead of quarantining it.
     pub fail_fast: bool,
+    /// Memory-map and index the inputs (`.lpridx` caches next to each
+    /// file) and stream traces through the pipeline without
+    /// materialising them: bounded memory at paper scale, byte-identical
+    /// output.
+    pub out_of_core: bool,
+    /// Spill the Persistence window's key sets to sorted files under
+    /// this directory instead of holding them in memory (out-of-core
+    /// mode only).
+    pub spill_dir: Option<String>,
 }
 
 impl Options {
@@ -212,6 +228,8 @@ impl Options {
                 "--alias-rescue" => o.alias_rescue = true,
                 "--keep-going" => o.keep_going = true,
                 "--fail-fast" => o.fail_fast = true,
+                "--out-of-core" => o.out_of_core = true,
+                "--spill-dir" => o.spill_dir = Some(take(&mut it, "--spill-dir")?),
                 "--trees" => o.trees = true,
                 "--per-as" => o.per_as = true,
                 "--router-level" => o.router_level = true,
@@ -242,6 +260,9 @@ impl Options {
         }
         if o.keep_going && o.fail_fast {
             return Err(err("--keep-going and --fail-fast contradict each other"));
+        }
+        if o.spill_dir.is_some() && !o.out_of_core {
+            return Err(err("--spill-dir needs --out-of-core"));
         }
         Ok(o)
     }
@@ -343,6 +364,9 @@ pub fn run_pipeline_recorded(
     let rib_path = o.rib.as_ref().ok_or_else(|| err("--rib <file> is required"))?;
     let rib = load_rib(rib_path)?;
     let threads = o.threads.unwrap_or_else(lpr_par::available_threads);
+    if o.out_of_core {
+        return run_pipeline_out_of_core(o, &rib, threads, recorder);
+    }
     // One classify/stats invocation processes one cycle; its span nests
     // under the subcommand's `run:` root and everything the pipeline
     // opens (stage, shard spans) nests under it in turn.
@@ -392,7 +416,116 @@ pub fn run_pipeline_recorded(
     let output = pipeline.run_par_recorded(&traces, &rib, &future, threads, recorder);
     tracer.set_default_parent(outer_parent);
     drop(cycle_span);
-    let artifacts = PipelineArtifacts { traces, output, load };
+    let trace_count = traces.len() as u64;
+    let mpls_traces = traces.iter().filter(|t| t.has_mpls()).count() as u64;
+    let artifacts = PipelineArtifacts { traces, trace_count, mpls_traces, output, load };
+    if o.fail_fast && artifacts.is_degraded() {
+        return Err(err(format!(
+            "--fail-fast: input degraded ({} records skipped, {} conversions failed, {} traces quarantined)",
+            artifacts.load.skipped_total(),
+            artifacts.load.convert_failures,
+            artifacts.output.degraded.quarantined_total(),
+        )));
+    }
+    Ok(artifacts)
+}
+
+/// The `--out-of-core` pipeline: inputs are memory-mapped and indexed
+/// ([`lpr_corpus::Corpus`]), trace records decode sharded straight out
+/// of the mappings, and each trace streams through ingest without ever
+/// being materialised in a list. `--next` snapshots become either
+/// in-memory key sets or (`--spill-dir`) sorted on-disk spill files.
+/// The [`PipelineOutput`] is byte-identical to the in-memory path at
+/// every thread count.
+///
+/// The indexed decode is inherently lenient (the index records what a
+/// lenient scan salvaged); without `--keep-going`, any skipped record
+/// or failed conversion is promoted to a fatal error, mirroring the
+/// strict loader.
+fn run_pipeline_out_of_core(
+    o: &Options,
+    rib: &ip2as::Ip2AsTrie,
+    threads: usize,
+    recorder: Option<&lpr_obs::Recorder>,
+) -> Result<PipelineArtifacts, CliError> {
+    use lpr_corpus::{ingest_cycle, snapshot_keys, spill_snapshot_keys, Corpus, IngestOptions};
+    let disabled = lpr_obs::Tracer::disabled();
+    let tracer = recorder.map_or(&disabled, |r| r.tracer());
+    let outer_parent = tracer.default_parent();
+    let cycle_span = tracer.span("cycle");
+    tracer.set_default_parent(cycle_span.context());
+
+    let sw = lpr_obs::Stopwatch::start();
+    let load_span = tracer.span("stage:CorpusIngest");
+    let corpus = Corpus::open_with(&o.inputs, true, recorder)?;
+    let (ingest, report) = ingest_cycle(&corpus, rib, IngestOptions::new(threads), recorder);
+    drop(load_span);
+    let load = LoadReport {
+        traces: ingest.traces_in,
+        skipped: report.skipped.clone(),
+        resync_bytes: report.resync_bytes,
+        convert_failures: report.convert_failures,
+    };
+    if let Some(rec) = recorder {
+        rec.record_stage("CorpusIngest", sw.elapsed_us(), o.inputs.len() as u64, ingest.traces_in);
+        rec.counter(lpr_obs::names::CLI_INPUT_BYTES).add(corpus.total_bytes());
+        rec.counter(lpr_obs::names::CLI_INPUT_FILES).add(o.inputs.len() as u64);
+        rec.counter(lpr_obs::names::CLI_CONVERT_FAILURES).add(report.convert_failures);
+    }
+    if !o.keep_going && (load.skipped_total() > 0 || load.convert_failures > 0) {
+        return Err(err(format!(
+            "corpus degraded: {} records skipped, {} conversions failed (use --keep-going to accept)",
+            load.skipped_total(),
+            load.convert_failures,
+        )));
+    }
+
+    let j = o.j.unwrap_or(o.next.len());
+    let mut pipeline =
+        Pipeline::new(FilterConfig { persistence_window: j, ..Default::default() });
+    if o.alias_rescue {
+        pipeline = pipeline.with_alias_rescue();
+    }
+    let shard = lpr_par::ShardOptions::new(threads);
+    let open_next = |path: &String| -> Result<Corpus, CliError> {
+        Corpus::open_with(std::slice::from_ref(path), true, recorder)
+            .map_err(|e| err(format!("{path}: {e}")))
+    };
+    let (trace_count, mpls_traces) = (ingest.traces_in, report.mpls_traces);
+    let output = if let Some(dir) = &o.spill_dir {
+        let mut spilled = Vec::with_capacity(o.next.len());
+        for (i, path) in o.next.iter().enumerate() {
+            let next = open_next(path)?;
+            spilled.push(spill_snapshot_keys(
+                &next,
+                std::path::Path::new(dir),
+                &format!("next{i}"),
+                threads,
+                recorder,
+            )?);
+        }
+        pipeline.finish_stages_windowed(
+            ingest,
+            lpr_core::pipeline::PersistenceWindow::Spilled(&spilled),
+            recorder,
+            shard,
+        )?
+    } else {
+        let mut keys = Vec::with_capacity(o.next.len());
+        for path in &o.next {
+            keys.push(snapshot_keys(&open_next(path)?, threads));
+        }
+        pipeline.finish_stages_windowed(
+            ingest,
+            lpr_core::pipeline::PersistenceWindow::Mem(&keys),
+            recorder,
+            shard,
+        )?
+    };
+    tracer.set_default_parent(outer_parent);
+    drop(cycle_span);
+    let artifacts =
+        PipelineArtifacts { traces: Vec::new(), trace_count, mpls_traces, output, load };
     if o.fail_fast && artifacts.is_degraded() {
         return Err(err(format!(
             "--fail-fast: input degraded ({} records skipped, {} conversions failed, {} traces quarantined)",
@@ -570,10 +703,12 @@ USAGE:
                [--metrics <out.json>] [--progress] [--threads N]
                [--trace-out <trace.json>] [--trace-level <level>]
                [--prom-out <metrics.prom>] [--keep-going | --fail-fast]
+               [--out-of-core [--spill-dir <dir>]]
   lpr stats    --rib <rib.txt> <cycle.warts>... [--next <snap.warts>]...
                [--metrics <out.json>] [--progress] [--threads N]
                [--trace-out <trace.json>] [--trace-level <level>]
                [--prom-out <metrics.prom>] [--keep-going | --fail-fast]
+               [--out-of-core [--spill-dir <dir>]]
   lpr tunnels  <cycle.warts>...
   lpr dump     <file.warts>...
   lpr info     <file.warts>...
@@ -599,6 +734,14 @@ counter/gauge/histogram registry as Prometheus-style text.
 `--threads N` shards the pipeline across N worker threads (default: the
 machine's available parallelism). Results are byte-identical for every
 thread count; `--threads 1` forces the sequential path.
+
+`--out-of-core` memory-maps the input corpus, builds (and caches, as
+`.lpridx` siblings) a per-file record index, decodes record ranges
+sharded straight out of the mappings and streams every trace through
+the pipeline without materialising the trace list — bounded memory at
+paper scale, byte-identical output. `--spill-dir <dir>` additionally
+spills the Persistence window's key sets to sorted files under <dir>
+instead of holding them in memory.
 
 Degraded input (classify/stats): structurally broken traces are
 quarantined rather than fatal, `--keep-going` additionally skips corrupt
@@ -685,6 +828,51 @@ mod tests {
         let o = Options::parse(&s(&["a.warts", "--fail-fast"])).unwrap();
         assert!(o.fail_fast && !o.keep_going);
         assert!(Options::parse(&s(&["a.warts", "--keep-going", "--fail-fast"])).is_err());
+    }
+
+    #[test]
+    fn parse_out_of_core_flags() {
+        let o = Options::parse(&s(&["a.warts", "--out-of-core"])).unwrap();
+        assert!(o.out_of_core && o.spill_dir.is_none());
+        let o =
+            Options::parse(&s(&["a.warts", "--out-of-core", "--spill-dir", "/tmp/x"])).unwrap();
+        assert_eq!(o.spill_dir.as_deref(), Some("/tmp/x"));
+        assert!(Options::parse(&s(&["a.warts", "--spill-dir", "/tmp/x"])).is_err());
+        assert!(Options::parse(&s(&["a.warts", "--out-of-core", "--spill-dir"])).is_err());
+    }
+
+    #[test]
+    fn out_of_core_output_matches_in_memory() {
+        let dir = std::env::temp_dir().join(format!("lpr-ooc-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let warts_path = dir.join("demo.warts").to_string_lossy().into_owned();
+        let rib_path = dir.join("rib.txt").to_string_lossy().into_owned();
+        let (bytes, rib) = write_demo_files();
+        std::fs::write(&warts_path, &bytes).unwrap();
+        std::fs::write(&rib_path, rib).unwrap();
+        let spill_dir = dir.join("spill").to_string_lossy().into_owned();
+
+        let render = |cmd: &str, extra: &[&str]| {
+            let mut args =
+                s(&[cmd, "--rib", &rib_path, &warts_path, "--next", &warts_path, "--threads", "2"]);
+            args.extend(extra.iter().map(|x| x.to_string()));
+            let mut out = Vec::new();
+            let status = run(&args, &mut out).unwrap();
+            (String::from_utf8(out).unwrap(), status)
+        };
+        for cmd in ["classify", "stats"] {
+            let reference = render(cmd, &[]);
+            assert_eq!(render(cmd, &["--out-of-core"]), reference, "{cmd} --out-of-core");
+            assert_eq!(
+                render(cmd, &["--out-of-core", "--spill-dir", &spill_dir]),
+                reference,
+                "{cmd} with spilled persistence window"
+            );
+        }
+        // The second pass onward reused the .lpridx caches; a cached
+        // open still matches.
+        assert!(dir.join("demo.warts.lpridx").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

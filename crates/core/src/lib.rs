@@ -75,6 +75,7 @@ pub mod par;
 pub mod pipeline;
 pub mod quarantine;
 pub mod report;
+pub mod spill;
 pub mod stream;
 pub mod trace;
 pub mod tree;
@@ -86,7 +87,8 @@ pub use filter::{FilterConfig, FilterReport, FilterStage};
 pub use fingerprint::{infer_vendors, InferredVendor, VendorEvidence};
 pub use label::{Label, LabelStack, Lse};
 pub use lsp::{Asn, Iotp, IotpKey, Lsp, LspHop, LspKey};
-pub use pipeline::{IngestState, Pipeline, PipelineOutput};
+pub use pipeline::{IngestState, PersistenceWindow, Pipeline, PipelineOutput};
+pub use spill::{KeySpiller, SpilledKeys};
 pub use stream::CycleAccumulator;
 pub use trace::{Hop, Trace};
 pub use tree::{build_fec_trees, classify_tree, FecTree, TreeClass};

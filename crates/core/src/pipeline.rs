@@ -141,6 +141,23 @@ impl ClassCounts {
     }
 }
 
+/// The Persistence filter's re-observation window: one LSP key set per
+/// future snapshot, either held in memory (the default at demo scale)
+/// or spilled to sorted on-disk files by [`crate::spill::KeySpiller`]
+/// (the out-of-core path, where a window of `BTreeSet`s would defeat
+/// bounded-memory ingest).
+///
+/// Both forms answer the same membership question over the same keys,
+/// so [`Pipeline::finish_stages_windowed`] produces identical output
+/// either way.
+#[derive(Clone, Copy, Debug)]
+pub enum PersistenceWindow<'a> {
+    /// In-memory per-snapshot key sets.
+    Mem(&'a [BTreeSet<LspKey>]),
+    /// Spilled per-snapshot key files (see [`crate::spill`]).
+    Spilled(&'a [crate::spill::SpilledKeys]),
+}
+
 /// Accumulated state of the pipeline's *ingest* half: tunnel extraction
 /// plus the fused per-LSP filters (IncompleteLsp, IntraAS, TargetAS).
 ///
@@ -315,6 +332,26 @@ impl Pipeline {
         recorder: Option<&lpr_obs::Recorder>,
         opts: lpr_par::ShardOptions,
     ) -> PipelineOutput {
+        match self.finish_stages_windowed(ingest, PersistenceWindow::Mem(future_keys), recorder, opts)
+        {
+            Ok(out) => out,
+            // The in-memory window performs no IO.
+            Err(e) => unreachable!("in-memory persistence cannot fail: {e}"),
+        }
+    }
+
+    /// [`Pipeline::finish_stages`] generalised over the persistence
+    /// window representation. The [`PersistenceWindow::Spilled`] form
+    /// probes sorted on-disk key files (hence the `io::Result`); it
+    /// computes flags in one aggregate merge-join pass, so no per-worker
+    /// Persistence telemetry rows are emitted on that path.
+    pub fn finish_stages_windowed(
+        &self,
+        ingest: IngestState,
+        window: PersistenceWindow<'_>,
+        recorder: Option<&lpr_obs::Recorder>,
+        opts: lpr_par::ShardOptions,
+    ) -> std::io::Result<PipelineOutput> {
         let parallel = opts.effective_threads() > 1;
         let disabled = lpr_obs::Tracer::disabled();
         let tracer = recorder.map_or(&disabled, |r| r.tracer());
@@ -346,19 +383,53 @@ impl Pipeline {
         // window probes) shards across workers; the order-sensitive
         // partition and the per-AS dynamic reinjection stay sequential.
         let persist_span = tracer.span("stage:Persistence");
-        let flags_run = lpr_par::map_shards_traced(
-            &lsps,
-            opts,
-            lpr_par::ShardTrace::new(tracer, persist_span.context()),
-            |_, shard| persistent_flags(shard, future_keys, &self.config),
-        )
-        .expect_ok();
-        let mut flag_outputs = Vec::new();
-        let mut flags: Vec<bool> = Vec::with_capacity(lsps.len());
-        for (shard, out) in flags_run.outputs.into_iter().enumerate() {
-            flag_outputs.push((shard, out.iter().filter(|&&f| f).count() as u64, out.len() as u64));
-            flags.extend(out);
-        }
+        // Per-worker Persistence rows `(worker, busy_us, input, output)`
+        // — filled by the sharded in-memory path, empty for the spilled
+        // aggregate pass.
+        let mut persist_rows: Vec<(usize, u64, u64, u64)> = Vec::new();
+        let flags: Vec<bool> = match window {
+            PersistenceWindow::Mem(future_keys) => {
+                let flags_run = lpr_par::map_shards_traced(
+                    &lsps,
+                    opts,
+                    lpr_par::ShardTrace::new(tracer, persist_span.context()),
+                    |_, shard| persistent_flags(shard, future_keys, &self.config),
+                )
+                .expect_ok();
+                let mut flag_outputs = Vec::new();
+                let mut flags: Vec<bool> = Vec::with_capacity(lsps.len());
+                for (shard, out) in flags_run.outputs.into_iter().enumerate() {
+                    flag_outputs.push((
+                        shard,
+                        out.iter().filter(|&&f| f).count() as u64,
+                        out.len() as u64,
+                    ));
+                    flags.extend(out);
+                }
+                if parallel {
+                    let mut per_worker: std::collections::BTreeMap<usize, (u64, u64)> =
+                        std::collections::BTreeMap::new();
+                    for (shard, kept_n, len) in &flag_outputs {
+                        let w = flags_run.shard_workers.get(*shard).copied().unwrap_or(0);
+                        let e = per_worker.entry(w).or_default();
+                        e.0 += len;
+                        e.1 += kept_n;
+                    }
+                    for (w, (input, output)) in &per_worker {
+                        let busy = flags_run
+                            .workers
+                            .iter()
+                            .find(|s| s.worker == *w)
+                            .map_or(0, |s| s.busy_us);
+                        persist_rows.push((*w, busy, *input, *output));
+                    }
+                }
+                flags
+            }
+            PersistenceWindow::Spilled(snapshots) => {
+                crate::spill::persistent_flags_spilled(&lsps, snapshots, &self.config)?
+            }
+        };
         let (kept, dropped) = partition_by_flags(lsps, &flags);
         let persisted = reinject_dynamic(kept, dropped, &self.config);
         drop(persist_span);
@@ -451,21 +522,14 @@ impl Pipeline {
             if parallel {
                 // Per-worker stage rows (`worker{N}/...`): inputs sum to
                 // the aggregate stage's input, outputs to its output.
-                let mut per_worker: std::collections::BTreeMap<usize, (u64, u64)> =
-                    std::collections::BTreeMap::new();
-                for (shard, kept_n, len) in &flag_outputs {
-                    let w = flags_run.shard_workers.get(*shard).copied().unwrap_or(0);
-                    let e = per_worker.entry(w).or_default();
-                    e.0 += len;
-                    e.1 += kept_n;
-                }
-                for (w, (input, output)) in &per_worker {
-                    let busy = flags_run
-                        .workers
-                        .iter()
-                        .find(|s| s.worker == *w)
-                        .map_or(0, |s| s.busy_us);
-                    rec.record_worker_stage(*w, FilterStage::Persistence.name(), busy, *input, *output);
+                for (w, busy, input, output) in &persist_rows {
+                    rec.record_worker_stage(
+                        *w,
+                        FilterStage::Persistence.name(),
+                        *busy,
+                        *input,
+                        *output,
+                    );
                 }
                 for stat in &class_run.workers {
                     rec.record_worker_stage(
@@ -481,7 +545,7 @@ impl Pipeline {
             rec.counter(lpr_obs::names::PIPELINE_IOTPS_CLASSIFIED).add(output.iotps.len() as u64);
             rec.counter(lpr_obs::names::PIPELINE_DYNAMIC_ASES).add(output.dynamic_ases.len() as u64);
         }
-        output
+        Ok(output)
     }
 
     /// Convenience: the per-snapshot LSP key sets used by Persistence,

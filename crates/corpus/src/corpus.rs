@@ -1,0 +1,136 @@
+//! A multi-file warts corpus, mapped and indexed.
+
+use crate::index::RecordIndex;
+use crate::mmap::MappedFile;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use warts::SkipReason;
+
+/// One mapped + indexed corpus file.
+pub struct CorpusFile {
+    /// Where the file lives.
+    pub path: PathBuf,
+    map: MappedFile,
+    /// The file's record index (loaded from cache or built on open).
+    pub index: RecordIndex,
+}
+
+impl CorpusFile {
+    /// The file's raw bytes (borrowed from the mapping — no copy).
+    pub fn bytes(&self) -> &[u8] {
+        self.map.bytes()
+    }
+
+    /// The body slice of record `rec` (header excluded), straight out
+    /// of the mapping.
+    pub fn body(&self, rec: usize) -> &[u8] {
+        let span = &self.index.records[rec];
+        let start = span.offset as usize + 8;
+        &self.bytes()[start..start + span.body_len as usize]
+    }
+}
+
+/// An open corpus: one measurement cycle spread over N files.
+pub struct Corpus {
+    /// The cycle's files, in the order given to [`Corpus::open`] — the
+    /// cycle's record order is file order, then stream order within
+    /// each file.
+    pub files: Vec<CorpusFile>,
+}
+
+/// Decode accounting for a corpus pass, mirroring what the sequential
+/// lenient loader reports: the skip tallies come from each file's
+/// index scan (equal to a sequential lenient decode by construction),
+/// `convert_failures` from the warts→core conversion during ingest.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DecodeReport {
+    /// Trace records decoded.
+    pub traces: u64,
+    /// Ingested traces crossing at least one explicit MPLS tunnel
+    /// (filled by [`crate::ingest_cycle`]; index scans leave it 0).
+    pub mpls_traces: u64,
+    /// Malformed records skipped, by reason (zero entries omitted).
+    pub skipped: BTreeMap<SkipReason, u64>,
+    /// Bytes discarded while resynchronizing.
+    pub resync_bytes: u64,
+    /// Traces that decoded but failed warts→core conversion.
+    pub convert_failures: u64,
+}
+
+impl DecodeReport {
+    /// Total records skipped.
+    pub fn skipped_total(&self) -> u64 {
+        self.skipped.values().sum()
+    }
+}
+
+impl Corpus {
+    /// Opens and indexes `paths` (writing `.lpridx` caches next to
+    /// them).
+    pub fn open<P: AsRef<Path>>(paths: &[P]) -> io::Result<Self> {
+        Self::open_with(paths, true, None)
+    }
+
+    /// [`Corpus::open`] with cache control and telemetry: counts
+    /// files/bytes mapped, index hits vs builds, and records indexed.
+    pub fn open_with<P: AsRef<Path>>(
+        paths: &[P],
+        cache: bool,
+        recorder: Option<&lpr_obs::Recorder>,
+    ) -> io::Result<Self> {
+        let mut files = Vec::with_capacity(paths.len());
+        let (mut bytes, mut hits, mut builds, mut records) = (0u64, 0u64, 0u64, 0u64);
+        for path in paths {
+            let path = path.as_ref().to_path_buf();
+            let map = MappedFile::open(&path)?;
+            let (index, hit) = RecordIndex::load_or_build(&path, map.bytes(), cache);
+            bytes += map.len() as u64;
+            if hit {
+                hits += 1;
+            } else {
+                builds += 1;
+            }
+            records += index.records.len() as u64;
+            files.push(CorpusFile { path, map, index });
+        }
+        if let Some(rec) = recorder {
+            rec.counter(lpr_obs::names::CORPUS_FILES_MAPPED).add(files.len() as u64);
+            rec.counter(lpr_obs::names::CORPUS_BYTES_MAPPED).add(bytes);
+            rec.counter(lpr_obs::names::CORPUS_INDEX_HITS).add(hits);
+            rec.counter(lpr_obs::names::CORPUS_INDEX_BUILDS).add(builds);
+            rec.counter(lpr_obs::names::CORPUS_RECORDS_INDEXED).add(records);
+        }
+        Ok(Corpus { files })
+    }
+
+    /// Total corpus size, bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.bytes().len() as u64).sum()
+    }
+
+    /// Total successfully indexed records.
+    pub fn total_records(&self) -> u64 {
+        self.files.iter().map(|f| f.index.records.len() as u64).sum()
+    }
+
+    /// Total trace records.
+    pub fn total_traces(&self) -> u64 {
+        self.files.iter().map(|f| f.index.traces).sum()
+    }
+
+    /// The corpus-wide decode accounting from the index scans
+    /// (`convert_failures` stays 0 here; [`crate::ingest_cycle`] fills
+    /// it in).
+    pub fn decode_report(&self) -> DecodeReport {
+        let mut report = DecodeReport::default();
+        for file in &self.files {
+            report.traces += file.index.traces;
+            report.resync_bytes += file.index.resync_bytes;
+            for (reason, n) in file.index.skipped() {
+                *report.skipped.entry(reason).or_default() += n;
+            }
+        }
+        report
+    }
+}

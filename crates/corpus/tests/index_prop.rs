@@ -1,0 +1,119 @@
+//! Record-index robustness under corruption (ISSUE 7 satellite):
+//! `lpr-chaos` smashes magics, flips bits, truncates and inflates
+//! bodies across hundreds of seeded cases; the index build must never
+//! panic, must resynchronize exactly like the sequential lenient
+//! decoder (same per-reason skip tallies, same resync byte count), and
+//! an indexed range decode against the preloaded dictionary must
+//! reproduce the sequential record stream record for record.
+
+use lpr_chaos::corrupt_warts_bytes;
+use lpr_core::label::Lse;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use warts::{
+    decode_record_body, AddrTableReader, HopRecord, IcmpExt, Record, SkipReason, TraceRecord,
+    WartsStreamReader, WartsWriter,
+};
+
+fn a(o: u8) -> warts::Addr {
+    warts::Addr::V4(Ipv4Addr::new(10, 0, 0, o))
+}
+
+/// A realistic stream: list, cycle, MPLS-labelled traces sharing
+/// dictionary addresses, cycle stop.
+fn sample_stream() -> Vec<u8> {
+    let mut w = WartsWriter::new();
+    let list = w.list(1, "chaos");
+    let cycle = w.cycle_start(list, 1, 0);
+    for i in 0..8u8 {
+        let mut t = TraceRecord::new(a(1), a(200 + i % 8));
+        let mut labelled = HopRecord::reply(2, a(20 + i), 900);
+        labelled.icmp_exts = vec![IcmpExt::mpls(
+            &[Lse::transit(1000 + i as u32, 254), Lse::transit(7, 253)].into_iter().collect(),
+        )];
+        t.hops = vec![
+            HopRecord::reply(1, a(10 + i), 500),
+            labelled,
+            HopRecord::reply(3, a(200 + i % 8), 1500),
+        ];
+        w.trace(&t).unwrap();
+    }
+    w.cycle_stop(cycle, 8);
+    w.into_bytes()
+}
+
+/// Sequential lenient decode: the records plus the reader's final skip
+/// and resync accounting.
+fn sequential_decode(bytes: &[u8]) -> (Vec<Record>, Vec<(SkipReason, u64)>, u64) {
+    let mut r = WartsStreamReader::new(bytes).lenient().elide_unsupported_bodies();
+    let mut records = Vec::new();
+    while let Some(rec) = r.next_record().expect("lenient over bytes cannot error") {
+        records.push(rec);
+    }
+    let skips = r.skip_counts().iter().map(|(&k, &v)| (k, v)).collect();
+    (records, skips, r.resync_bytes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Corrupted corpora: index build never panics and its accounting
+    /// IS the sequential lenient decoder's.
+    #[test]
+    fn index_build_matches_sequential_lenient_decode(
+        seed in any::<u64>(),
+        rate in 0.01f64..0.9,
+    ) {
+        let (bytes, _) = corrupt_warts_bytes(&sample_stream(), seed, rate);
+        let index = lpr_corpus::RecordIndex::build(&bytes);
+        let (records, skips, resync) = sequential_decode(&bytes);
+
+        prop_assert_eq!(index.records.len(), records.len());
+        prop_assert_eq!(
+            index.skipped().into_iter().collect::<Vec<_>>(),
+            skips,
+            "per-reason skip tallies must match the sequential decoder"
+        );
+        prop_assert_eq!(index.resync_bytes, resync);
+        let traces =
+            records.iter().filter(|r| matches!(r, Record::Trace(_))).count() as u64;
+        prop_assert_eq!(index.traces, traces);
+    }
+
+    /// Indexed range decode (full-dictionary preload) reproduces the
+    /// sequential record stream exactly, from any range start.
+    #[test]
+    fn indexed_decode_reproduces_sequential_records(
+        seed in any::<u64>(),
+        rate in 0.01f64..0.6,
+    ) {
+        let (bytes, _) = corrupt_warts_bytes(&sample_stream(), seed, rate);
+        let index = lpr_corpus::RecordIndex::build(&bytes);
+        let (records, _, _) = sequential_decode(&bytes);
+
+        // Decode each indexed record independently, as a range shard
+        // would: fresh reader state per record, full dictionary
+        // preloaded.
+        for (span, expect) in index.records.iter().zip(&records) {
+            let start = span.offset as usize + 8;
+            let body = &bytes[start..start + span.body_len as usize];
+            let mut addrs = AddrTableReader::from_table(index.addr_table.clone());
+            let got = decode_record_body(span.record_type, body, &mut addrs)
+                .expect("indexed records decoded once already");
+            prop_assert_eq!(&got, expect);
+        }
+    }
+
+    /// Serialization survives corruption end-to-end: whatever the scan
+    /// produced roundtrips through the cache encoding.
+    #[test]
+    fn index_serialization_roundtrips_after_corruption(
+        seed in any::<u64>(),
+        rate in 0.05f64..0.9,
+    ) {
+        let (bytes, _) = corrupt_warts_bytes(&sample_stream(), seed, rate);
+        let index = lpr_corpus::RecordIndex::build(&bytes);
+        let restored = lpr_corpus::RecordIndex::from_bytes(&index.to_bytes()).unwrap();
+        prop_assert_eq!(restored, index);
+    }
+}

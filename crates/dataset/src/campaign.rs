@@ -96,39 +96,51 @@ pub fn probing_list(world: &World, cycle: usize, opts: &CampaignOptions) -> (Vec
 /// Persistence filter removes. Dynamic ASes additionally re-signal
 /// their TE LSPs (fresh labels) between snapshots (§4.5).
 pub fn generate_cycle(world: &World, cycle: usize, opts: &CampaignOptions) -> CycleData {
+    let snapshots = (0..opts.snapshots)
+        .map(|snap| generate_snapshot(world, cycle, snap, opts))
+        .collect();
+    CycleData { cycle, snapshots }
+}
+
+/// Renders **one** snapshot of a cycle — the bounded-memory unit. At
+/// paper scale the corpus writer consumes snapshots one at a time
+/// (write or spill, then drop) instead of holding the whole cycle;
+/// collecting `0..opts.snapshots` reproduces [`generate_cycle`]
+/// exactly.
+pub fn generate_snapshot(
+    world: &World,
+    cycle: usize,
+    snap: usize,
+    opts: &CampaignOptions,
+) -> Vec<Trace> {
     let configs = configs_for_cycle(cycle);
     let (vps, dsts) = probing_list(world, cycle, opts);
-
-    let mut snapshots = Vec::with_capacity(opts.snapshots);
-    for snap in 0..opts.snapshots {
-        let topo = if snap == 0 || opts.igp_perturbation <= 0.0 {
-            world.topo.clone()
-        } else {
-            world.topo.with_perturbed_costs(
-                opts.seed ^ (cycle as u64) << 16 ^ snap as u64,
-                opts.igp_perturbation,
-            )
-        };
-        let mut net = Internet::new(topo, &configs);
-        // Dynamic ASes re-signal their TE LSPs between snapshots; the
-        // k-th snapshot has seen k re-optimisations.
-        for asn in dynamic_ases() {
-            for _ in 0..snap {
-                net.reoptimize_te(asn);
-            }
+    let topo = if snap == 0 || opts.igp_perturbation <= 0.0 {
+        world.topo.clone()
+    } else {
+        world.topo.with_perturbed_costs(
+            opts.seed ^ (cycle as u64) << 16 ^ snap as u64,
+            opts.igp_perturbation,
+        )
+    };
+    let mut net = Internet::new(topo, &configs);
+    // Dynamic ASes re-signal their TE LSPs between snapshots; the
+    // k-th snapshot has seen k re-optimisations.
+    for asn in dynamic_ases() {
+        for _ in 0..snap {
+            net.reoptimize_te(asn);
         }
-        let prober = Prober::new(
-            &net,
-            ProbeOptions {
-                seed: opts.seed,
-                snapshot_salt: (cycle as u64) << 8 | snap as u64,
-                flow_churn_rate: if snap == 0 { 0.0 } else { opts.flow_churn_rate },
-                ..ProbeOptions::default()
-            },
-        );
-        snapshots.push(prober.campaign_par(&vps, &dsts, opts.threads));
     }
-    CycleData { cycle, snapshots }
+    let prober = Prober::new(
+        &net,
+        ProbeOptions {
+            seed: opts.seed,
+            snapshot_salt: (cycle as u64) << 8 | snap as u64,
+            flow_churn_rate: if snap == 0 { 0.0 } else { opts.flow_churn_rate },
+            ..ProbeOptions::default()
+        },
+    );
+    prober.campaign_par(&vps, &dsts, opts.threads)
 }
 
 /// A cycle's LPR results.

@@ -29,7 +29,9 @@ pub mod evolution;
 pub mod export;
 pub mod world;
 
-pub use campaign::{analyze_cycle, generate_cycle, CampaignOptions, CycleAnalysis, CycleData};
+pub use campaign::{
+    analyze_cycle, generate_cycle, generate_snapshot, CampaignOptions, CycleAnalysis, CycleData,
+};
 pub use export::{export_cycle, ExportedCycle};
 pub use evolution::{configs_for_cycle, dest_growth, vp_availability, CYCLES};
-pub use world::{standard_world, World, ATT, GIN, L3, NTT, TATA, VOD};
+pub use world::{scale_hosts_per_prefix, scaled_world, standard_world, World, ATT, GIN, L3, NTT, TATA, VOD};

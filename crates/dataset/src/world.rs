@@ -95,8 +95,59 @@ fn transit_spec(
     spec
 }
 
-/// Builds the standard world.
+/// Builds the standard world — [`scaled_world`] at scale 1.
 pub fn standard_world() -> World {
+    scaled_world(1)
+}
+
+/// Integer square root (floor).
+fn isqrt(n: usize) -> usize {
+    let mut r = (n as f64).sqrt() as usize;
+    while (r + 1) * (r + 1) <= n {
+        r += 1;
+    }
+    while r * r > n {
+        r -= 1;
+    }
+    r
+}
+
+/// Extra transit ASes beyond the standard six at `scale`: the total
+/// transit count grows with `6·⌊√scale⌋ + 2`, so probed `(vp, dst)`
+/// pairs — quadratic in the transit count — grow roughly linearly with
+/// `scale`.
+fn extra_transit_count(scale: usize) -> usize {
+    if scale <= 1 {
+        return 0;
+    }
+    6 * isqrt(scale) + 2 - 6
+}
+
+/// Hosts probed per destination /24 so that the probed pair count
+/// tracks `scale` even between the quadratic jumps of the transit
+/// count. The numerator carries a 3× margin: the fringe added past the
+/// featured six yields fewer LSPs per trace than the standard world
+/// (~0.6 vs ~1.4), so tripling the pairs keeps the *LSP* count growing
+/// at least linearly with `scale` (e.g. scale 100 has 62 transits — a
+/// 100× pair growth — and probes 3 hosts per prefix on top, clearing
+/// half a million LSPs per snapshot).
+pub fn scale_hosts_per_prefix(scale: usize) -> usize {
+    if scale <= 1 {
+        return 1;
+    }
+    let t = 6 + extra_transit_count(scale);
+    let base = (t / 6) * (t / 6);
+    (3 * scale).div_ceil(base.max(1))
+}
+
+/// Builds a world `scale` times the standard one (scale ≤ 1 is exactly
+/// [`standard_world`]): extra background transits cycle the six
+/// featured shapes, each hanging off three tier-1 cores and its
+/// predecessor (linear peering — the core mesh must not grow
+/// quadratically), and each anchoring the same monitor/destination
+/// fringe as the featured six. Combine with [`scale_hosts_per_prefix`]
+/// for the probing list.
+pub fn scaled_world(scale: usize) -> World {
     let mut specs = vec![
         transit_spec(VOD, "vodafone", Vendor::Juniper, 4, 0, 0),
         transit_spec(ATT, "att", Vendor::Cisco, 7, 3, 1),
@@ -106,13 +157,28 @@ pub fn standard_world() -> World {
         transit_spec(GIN, "gin", Vendor::Cisco, 5, 1, 2),
     ];
 
-    let transits = [VOD, ATT, TATA, NTT, L3, GIN];
+    let mut transits = vec![VOD, ATT, TATA, NTT, L3, GIN];
+    const TEMPLATES: [(Vendor, usize, usize, usize); 6] = [
+        (Vendor::Juniper, 4, 0, 0),
+        (Vendor::Cisco, 7, 3, 1),
+        (Vendor::Cisco, 6, 1, 4),
+        (Vendor::Cisco, 5, 1, 0),
+        (Vendor::Juniper, 8, 2, 3),
+        (Vendor::Cisco, 5, 1, 2),
+    ];
+    for i in 0..extra_transit_count(scale) {
+        let asn = Asn(20_000 + i as u32);
+        let (vendor, core, diamonds, bundles) = TEMPLATES[i % TEMPLATES.len()];
+        specs.push(transit_spec(asn, &format!("xt-{}", asn.0), vendor, core, diamonds, bundles));
+        transits.push(asn);
+    }
+
     let mut peerings: Vec<Peering> = Vec::new();
 
     // Tier-1 mesh (all pairs of the five big ones; VOD hangs off three
     // of them as a large transit customer).
     let tier1 = [ATT, TATA, NTT, L3, GIN];
-    let mut mesh_cursor = vec![0usize; 6];
+    let mut mesh_cursor = vec![0usize; transits.len()];
     let slot = |asn: Asn| transits.iter().position(|&a| a == asn).unwrap();
     let mesh = |a: Asn, b: Asn, peerings: &mut Vec<Peering>, cursor: &mut Vec<usize>| {
         let (sa, sb) = (slot(a), slot(b));
@@ -129,6 +195,15 @@ pub fn standard_world() -> World {
     }
     for upstream in [ATT, TATA, L3] {
         mesh(VOD, upstream, &mut peerings, &mut mesh_cursor);
+    }
+    for k in 0..extra_transit_count(scale) {
+        let t = transits[6 + k];
+        for j in 0..3 {
+            mesh(t, tier1[(k + j) % tier1.len()], &mut peerings, &mut mesh_cursor);
+        }
+        if k > 0 {
+            mesh(t, transits[6 + k - 1], &mut peerings, &mut mesh_cursor);
+        }
     }
 
     // Per-transit fringe: monitors, destination groups, lonely stubs.
@@ -225,6 +300,35 @@ mod tests {
         assert_eq!(w.all_vps().len(), 18);
         // 6 transits × (8 group stubs × 3 + 1 lonely × 2 + own 10) = 216.
         assert_eq!(w.all_destinations(1).len(), 216);
+    }
+
+    #[test]
+    fn scale_one_is_the_standard_world() {
+        let s = standard_world();
+        let w = scaled_world(1);
+        assert_eq!(w.topo.routers.len(), s.topo.routers.len());
+        assert_eq!(w.all_vps(), s.all_vps());
+        assert_eq!(w.all_destinations(1), s.all_destinations(1));
+        assert_eq!(scale_hosts_per_prefix(1), 1);
+    }
+
+    #[test]
+    fn scaled_world_grows_transits_and_fringe() {
+        // scale 10: 6·⌊√10⌋ + 2 = 20 transits → 60 monitors and
+        // 20 × 36 = 720 destination prefixes, at 4 hosts each
+        // (⌈3·10 / 3²⌉, the 3× LSP-yield margin included).
+        let w = scaled_world(10);
+        assert_eq!(w.all_vps().len(), 60);
+        assert_eq!(w.all_destinations(1).len(), 720);
+        assert_eq!(scale_hosts_per_prefix(10), 4);
+        // scale 100: 62 transits, pair growth is already ~100×; the
+        // margin leaves 3 hosts per prefix.
+        assert_eq!(super::extra_transit_count(100), 56);
+        assert_eq!(scale_hosts_per_prefix(100), 3);
+        // The featured six keep their identity and shape.
+        for asn in w.featured {
+            assert!(w.topo.as_by_asn(asn).is_some(), "{asn} missing at scale 10");
+        }
     }
 
     #[test]

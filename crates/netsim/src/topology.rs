@@ -268,13 +268,18 @@ impl Builder {
         }
     }
 
+    /// Each AS owns a /16: the first 255 fill `10.0.0.0/8` (block 0 is
+    /// `10.1.0.0/16`, unchanged from the original plan), later ones
+    /// spill into `11.0.0.0/8`, `12.0.0.0/8`, … — paper-scale worlds
+    /// need several hundred ASes.
     fn block_base(as_id: AsId) -> u32 {
-        (10u32 << 24) | ((as_id.0 as u32 + 1) << 16)
+        let id = as_id.0 as u32;
+        ((10 + id / 255) << 24) | ((id % 255 + 1) << 16)
     }
 
     fn add_as(&mut self, spec: &AsSpec) -> AsId {
         let id = AsId(self.topo.ases.len() as u16);
-        assert!(id.0 < 255, "address plan supports at most 255 ASes");
+        assert!(id.0 < 255 * 80, "address plan supports at most {} ASes", 255 * 80);
         let base = Self::block_base(id);
         let block = Prefix::new(Ipv4Addr::from(base), 16);
         let dest_prefixes = (0..spec.dest_prefixes)

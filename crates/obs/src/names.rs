@@ -83,6 +83,26 @@ pub const CLI_INPUT_BYTES: &str = "cli.input_bytes";
 /// Input files read.
 pub const CLI_INPUT_FILES: &str = "cli.input_files";
 
+/// Warts corpus bytes memory-mapped (or read) for out-of-core ingest.
+pub const CORPUS_BYTES_MAPPED: &str = "corpus.bytes_mapped";
+/// Warts corpus files opened for out-of-core ingest.
+pub const CORPUS_FILES_MAPPED: &str = "corpus.files_mapped";
+/// Record indexes built by a sequential scan (cache miss or stale).
+pub const CORPUS_INDEX_BUILDS: &str = "corpus.index_builds";
+/// Record indexes served from the on-disk `.lpridx` cache.
+pub const CORPUS_INDEX_HITS: &str = "corpus.index_hits";
+/// Records covered by loaded-or-built corpus indexes.
+pub const CORPUS_RECORDS_INDEXED: &str = "corpus.records_indexed";
+/// Indexed records whose sharded re-decode failed (should be zero).
+pub const CORPUS_SHARD_DECODE_ERRORS: &str = "corpus.shard_decode_errors";
+
+/// Bytes written to persistence-window spill files.
+pub const INGEST_SPILL_BYTES: &str = "ingest.spill_bytes";
+/// Unique LSP keys spilled for the persistence window.
+pub const INGEST_SPILLED_KEYS: &str = "ingest.spilled_keys";
+/// Traces ingested through the bounded-memory out-of-core path.
+pub const INGEST_SPILLED_TRACES: &str = "ingest.spilled_traces";
+
 /// RFC 4950 quoted label-stack depth per time-exceeded reply.
 pub const PROBE_STACK_DEPTH: &str = "probe.stack_depth";
 
@@ -91,6 +111,15 @@ pub const ALL_COUNTERS: &[&str] = &[
     CLI_CONVERT_FAILURES,
     CLI_INPUT_BYTES,
     CLI_INPUT_FILES,
+    CORPUS_BYTES_MAPPED,
+    CORPUS_FILES_MAPPED,
+    CORPUS_INDEX_BUILDS,
+    CORPUS_INDEX_HITS,
+    CORPUS_RECORDS_INDEXED,
+    CORPUS_SHARD_DECODE_ERRORS,
+    INGEST_SPILL_BYTES,
+    INGEST_SPILLED_KEYS,
+    INGEST_SPILLED_TRACES,
     PAR_POISONED_SHARDS,
     PIPELINE_DYNAMIC_ASES,
     PIPELINE_IOTPS_CLASSIFIED,

@@ -62,6 +62,24 @@ impl AddrTableReader {
         Self::default()
     }
 
+    /// A table preloaded with a file's full dictionary, in table-id
+    /// order (as captured by [`AddrTableReader::snapshot`] at the end
+    /// of a sequential pass).
+    ///
+    /// Re-decoding any record of the same file against the preloaded
+    /// table yields the addresses the sequential decode saw: reference
+    /// ids always resolve (the full table is a superset of every
+    /// prefix), and embed-form occurrences append duplicates past the
+    /// preload, which nothing references.
+    pub fn from_table(table: Vec<Addr>) -> Self {
+        AddrTableReader { table }
+    }
+
+    /// The dictionary learned so far, in table-id order.
+    pub fn snapshot(&self) -> Vec<Addr> {
+        self.table.clone()
+    }
+
     /// Number of addresses learned so far.
     pub fn len(&self) -> usize {
         self.table.len()

@@ -78,7 +78,7 @@ pub mod stream;
 pub mod text;
 pub mod trace;
 
-pub use addr::Addr;
+pub use addr::{Addr, AddrTableReader};
 pub use convert::{hop_to_core, trace_to_core, trace_to_record, traces_to_core_par};
 pub use cycle::{CycleRecord, CycleStopRecord};
 pub use error::WartsError;
@@ -86,6 +86,8 @@ pub use file::{read_path, write_path, Record, RecordType, WartsReader, WartsWrit
 pub use icmpext::{IcmpExt, MPLS_EXT_CLASS, MPLS_EXT_TYPE};
 pub use list::ListRecord;
 pub use ping::{PingRecord, PingReply};
-pub use stream::{SkipReason, StreamError, StreamMetrics, WartsStreamReader};
+pub use stream::{
+    decode_record_body, RecordSpan, SkipReason, StreamError, StreamMetrics, WartsStreamReader,
+};
 pub use text::{ping_to_text, trace_to_text};
 pub use trace::{HopRecord, StopReason, TraceRecord};

@@ -233,6 +233,29 @@ impl StreamMetrics {
     }
 }
 
+/// The wire position of one successfully decoded record: where its
+/// 8-byte header starts, how long its body is, and its type code.
+///
+/// Spans are what the out-of-core record index stores per record — an
+/// index-driven re-decode slices `bytes[offset + 8 .. offset + 8 +
+/// body_len]` straight out of a memory-mapped file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordSpan {
+    /// Byte offset of the record header from the start of the stream.
+    pub offset: u64,
+    /// Declared body length (the header's length field).
+    pub body_len: u32,
+    /// Record type code (e.g. `RecordType::Trace as u16`).
+    pub record_type: u16,
+}
+
+impl RecordSpan {
+    /// Total bytes on the wire, header included.
+    pub fn wire_len(&self) -> u64 {
+        8 + self.body_len as u64
+    }
+}
+
 /// A record-at-a-time reader over any byte source.
 pub struct WartsStreamReader<R: Read> {
     source: R,
@@ -241,6 +264,7 @@ pub struct WartsStreamReader<R: Read> {
     failed: bool,
     metrics: Option<StreamMetrics>,
     lenient: bool,
+    elide_unsupported: bool,
     /// Bytes read from `source` but not yet consumed
     /// (`buf[buf_pos..]`); lenient resynchronisation scans here.
     buf: Vec<u8>,
@@ -248,6 +272,7 @@ pub struct WartsStreamReader<R: Read> {
     eof: bool,
     skips: BTreeMap<SkipReason, u64>,
     resync_bytes: u64,
+    last_span: Option<RecordSpan>,
 }
 
 /// Errors from streaming reads: IO or decode.
@@ -292,11 +317,13 @@ impl<R: Read> WartsStreamReader<R> {
             failed: false,
             metrics: None,
             lenient: false,
+            elide_unsupported: false,
             buf: Vec::new(),
             buf_pos: 0,
             eof: false,
             skips: BTreeMap::new(),
             resync_bytes: 0,
+            last_span: None,
         }
     }
 
@@ -328,10 +355,42 @@ impl<R: Read> WartsStreamReader<R> {
         self
     }
 
+    /// Yields [`Record::Unsupported`] with an *empty* body instead of
+    /// copying the bytes out of the stream buffer. The ingest paths use
+    /// this: they only count unsupported records, so the one remaining
+    /// per-record copy in the decoder disappears (`Vec::new()` does not
+    /// allocate). Leave it off when bodies must be preserved (e.g. the
+    /// `lpr dump` byte census).
+    pub fn elide_unsupported_bodies(mut self) -> Self {
+        self.elide_unsupported = true;
+        self
+    }
+
     /// Per-reason skip tallies so far (empty unless
     /// [`WartsStreamReader::lenient`]).
     pub fn skip_counts(&self) -> &BTreeMap<SkipReason, u64> {
         &self.skips
+    }
+
+    /// Total bytes consumed from the source so far (records plus any
+    /// resynchronisation garbage).
+    pub fn offset(&self) -> u64 {
+        self.offset as u64
+    }
+
+    /// The wire span of the most recent record
+    /// [`WartsStreamReader::next_record`] returned, or `None` before the
+    /// first success. An index builder calls this after every
+    /// `Ok(Some(_))`.
+    pub fn last_record_span(&self) -> Option<RecordSpan> {
+        self.last_span
+    }
+
+    /// The address dictionary accumulated so far, in table-id order
+    /// (including entries added by records whose decode later failed —
+    /// exactly the state a sequential lenient pass carries forward).
+    pub fn addr_snapshot(&self) -> Vec<crate::addr::Addr> {
+        self.addrs.snapshot()
     }
 
     /// Total records/runs skipped so far in lenient mode.
@@ -511,11 +570,13 @@ impl<R: Read> WartsStreamReader<R> {
             // (no per-record copy); the bytes are consumed afterwards,
             // which both outcomes permit: success owns its fields,
             // failure leaves the reader positioned on the next header.
+            let start = self.offset as u64;
             let result = decode_body(
                 record_type,
                 len,
                 &self.buf[self.buf_pos + 8..self.buf_pos + 8 + len],
                 &mut self.addrs,
+                !self.elide_unsupported,
             );
             self.consume(8 + len);
 
@@ -524,6 +585,11 @@ impl<R: Read> WartsStreamReader<R> {
                     if let Some(m) = &self.metrics {
                         m.observe(8 + len, &record);
                     }
+                    self.last_span = Some(RecordSpan {
+                        offset: start,
+                        body_len: len as u32,
+                        record_type,
+                    });
                     return Ok(Some(record));
                 }
                 Err(e) => {
@@ -541,14 +607,16 @@ impl<R: Read> WartsStreamReader<R> {
     }
 }
 
-/// Decodes one record body, borrowed from the stream buffer (only an
-/// unsupported record, whose bytes are preserved for re-emission,
-/// copies it).
+/// Decodes one record body, borrowed from the stream buffer. With
+/// `keep_unsupported` an unsupported record's bytes are copied so they
+/// can be preserved for inspection; without it the body stays empty and
+/// nothing is copied at all.
 fn decode_body(
     record_type: u16,
     len: usize,
     body: &[u8],
     addrs: &mut AddrTableReader,
+    keep_unsupported: bool,
 ) -> Result<Record, WartsError> {
     let mut cur = Cursor::new(body);
     let record = match record_type {
@@ -565,7 +633,10 @@ fn decode_body(
         x if x == RecordType::Ping as u16 => {
             Record::Ping(PingRecord::read(&mut cur, addrs)?)
         }
-        other => return Ok(Record::Unsupported { record_type: other, body: body.to_vec() }),
+        other => {
+            let body = if keep_unsupported { body.to_vec() } else { Vec::new() };
+            return Ok(Record::Unsupported { record_type: other, body });
+        }
     };
     if !cur.is_empty() {
         return Err(WartsError::LengthMismatch {
@@ -575,6 +646,22 @@ fn decode_body(
         });
     }
     Ok(record)
+}
+
+/// Decodes one record body against a caller-supplied address table —
+/// the entry point for index-driven shard decoding, where the body is a
+/// slice of a memory-mapped file and `addrs` is the file's full
+/// dictionary preloaded via [`AddrTableReader::from_table`].
+///
+/// Semantics are identical to [`WartsStreamReader::next_record`]'s body
+/// decode (length-mismatch included). Unsupported record bodies are
+/// always elided here: range decoders count them, never re-emit them.
+pub fn decode_record_body(
+    record_type: u16,
+    body: &[u8],
+    addrs: &mut AddrTableReader,
+) -> Result<Record, WartsError> {
+    decode_body(record_type, body.len(), body, addrs, false)
 }
 
 impl<R: Read> Iterator for WartsStreamReader<R> {
@@ -800,6 +887,69 @@ mod tests {
         let (records, skips, _) = drain_lenient(&bytes);
         assert!(records.len() >= 4, "records after the bad length stream again");
         assert!(skips[&SkipReason::TruncatedBody] >= 1);
+    }
+
+    #[test]
+    fn record_spans_tile_the_stream_and_redecode_identically() {
+        let bytes = sample_bytes();
+        let mut r = WartsStreamReader::new(bytes.as_slice());
+        assert_eq!(r.last_record_span(), None);
+        let mut spans = Vec::new();
+        let mut records = Vec::new();
+        while let Some(rec) = r.next_record().unwrap() {
+            spans.push(r.last_record_span().unwrap());
+            records.push(rec);
+        }
+        // Spans tile the stream exactly: each starts where the previous
+        // ended, and they cover every byte.
+        let mut expect = 0u64;
+        for s in &spans {
+            assert_eq!(s.offset, expect);
+            expect += s.wire_len();
+        }
+        assert_eq!(expect, bytes.len() as u64);
+        assert_eq!(r.offset(), bytes.len() as u64);
+
+        // Re-decoding each span's body against the full preloaded
+        // dictionary reproduces the sequential records (the dictionary
+        // references in the second trace resolve from the preload).
+        let dict = r.addr_snapshot();
+        let mut addrs = AddrTableReader::from_table(dict);
+        for (s, rec) in spans.iter().zip(&records) {
+            let body = &bytes[s.offset as usize + 8..(s.offset + s.wire_len()) as usize];
+            let redecoded = decode_record_body(s.record_type, body, &mut addrs).unwrap();
+            assert_eq!(&redecoded, rec);
+        }
+    }
+
+    #[test]
+    fn elided_unsupported_bodies_are_empty_but_counted() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WARTS_MAGIC.to_be_bytes());
+        bytes.extend_from_slice(&0x00F0u16.to_be_bytes()); // unknown type
+        bytes.extend_from_slice(&5u32.to_be_bytes());
+        bytes.extend_from_slice(&[9; 5]);
+        bytes.extend_from_slice(&sample_bytes());
+
+        let registry = Registry::new();
+        let metrics = StreamMetrics::from_registry(&registry);
+        let kept: Vec<Record> = WartsStreamReader::new(bytes.as_slice())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(
+            kept[0],
+            Record::Unsupported { record_type: 0x00F0, body: vec![9; 5] },
+            "default mode preserves the body"
+        );
+        let elided: Vec<Record> = WartsStreamReader::new(bytes.as_slice())
+            .with_metrics(metrics.clone())
+            .elide_unsupported_bodies()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(elided[0], Record::Unsupported { record_type: 0x00F0, body: Vec::new() });
+        assert_eq!(elided.len(), kept.len());
+        assert_eq!(metrics.unsupported.get(), 1, "still counted");
+        assert_eq!(metrics.bytes.get(), bytes.len() as u64, "wire bytes still tallied");
     }
 
     #[test]
