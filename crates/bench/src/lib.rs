@@ -103,6 +103,25 @@ pub mod compare {
         pub regressed: bool,
     }
 
+    /// An optional report section skipped wholesale: one report carries
+    /// it, the other does not (or they are not comparable). Structured
+    /// so CI can route "section missing" separately from a hard count
+    /// mismatch — a baseline captured before a section existed must not
+    /// fail the comparison.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SectionSkip {
+        /// Section key in the report document (e.g. `"ingest"`).
+        pub section: String,
+        /// Why the section was not compared.
+        pub reason: String,
+    }
+
+    impl SectionSkip {
+        fn new(section: &str, reason: &str) -> Self {
+            SectionSkip { section: section.to_string(), reason: reason.to_string() }
+        }
+    }
+
     /// Everything `lpr-bench compare` decides and reports.
     #[derive(Clone, Debug, Default)]
     pub struct Outcome {
@@ -112,8 +131,12 @@ pub mod compare {
         pub regressions: Vec<String>,
         /// Strict count mismatches (always failures).
         pub mismatches: Vec<String>,
-        /// Comparisons skipped for lack of a baseline measurement.
+        /// Row-level comparisons skipped for lack of a baseline
+        /// measurement.
         pub skipped: Vec<String>,
+        /// Whole optional sections skipped with a structured reason
+        /// (never failures).
+        pub sections_skipped: Vec<SectionSkip>,
     }
 
     impl Outcome {
@@ -163,6 +186,23 @@ pub mod compare {
                 ("regressions".to_string(), strs(&self.regressions)),
                 ("mismatches".to_string(), strs(&self.mismatches)),
                 ("skipped".to_string(), strs(&self.skipped)),
+                (
+                    "sections_skipped".to_string(),
+                    JsonValue::Array(
+                        self.sections_skipped
+                            .iter()
+                            .map(|s| {
+                                JsonValue::Object(vec![
+                                    (
+                                        "section".to_string(),
+                                        JsonValue::Str(s.section.clone()),
+                                    ),
+                                    ("reason".to_string(), JsonValue::Str(s.reason.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ])
             .render_pretty()
         }
@@ -322,8 +362,8 @@ pub mod compare {
                 let scale = |v: &JsonValue| v.get("scale").and_then(|s| s.as_u64());
                 if scale(cur) != scale(base) {
                     outcome
-                        .skipped
-                        .push("ingest: reports ran at different --scale".to_string());
+                        .sections_skipped
+                        .push(SectionSkip::new("ingest", "reports ran at different --scale"));
                 } else {
                     for key in
                         ["corpus_files", "corpus_bytes", "corpus_records", "traces", "lsps_in"]
@@ -344,7 +384,12 @@ pub mod compare {
                 }
             }
             (None, None) => {}
-            _ => outcome.skipped.push("ingest: absent from one report".to_string()),
+            (Some(_), None) => outcome
+                .sections_skipped
+                .push(SectionSkip::new("ingest", "absent from baseline report")),
+            (None, Some(_)) => outcome
+                .sections_skipped
+                .push(SectionSkip::new("ingest", "absent from current report")),
         }
 
         match (
@@ -359,7 +404,9 @@ pub mod compare {
                     ));
                 }
             }
-            _ => outcome.skipped.push("campaign_share: no baseline measurement".to_string()),
+            _ => outcome
+                .sections_skipped
+                .push(SectionSkip::new("campaign_share", "no baseline measurement")),
         }
 
         outcome
@@ -612,6 +659,35 @@ mod tests {
             1,
         );
         json::parse(&with_ingest).expect("ingest sample parses")
+    }
+
+    #[test]
+    fn missing_optional_section_is_a_structured_skip_not_a_failure() {
+        // Baseline predates the ingest section: the comparison still
+        // passes, and the absence is reported structurally (section +
+        // reason), not as a count mismatch or a bare string.
+        let outcome = compare::run(&sample_report_with_ingest(60, 100), &sample_report(200), 0.5);
+        assert!(outcome.passed(), "{outcome:?}");
+        assert_eq!(
+            outcome.sections_skipped,
+            vec![compare::SectionSkip {
+                section: "ingest".to_string(),
+                reason: "absent from baseline report".to_string(),
+            }]
+        );
+        assert!(
+            !outcome.skipped.iter().any(|s| s.starts_with("ingest")),
+            "section-level skip must not leak into the row-level list: {outcome:?}"
+        );
+        let json = outcome.to_json(0.5);
+        assert!(json.contains("\"sections_skipped\""), "{json}");
+        assert!(json.contains("\"section\": \"ingest\""), "{json}");
+        assert!(json.contains("\"reason\": \"absent from baseline report\""), "{json}");
+
+        // The mirror direction names the other report.
+        let outcome = compare::run(&sample_report(200), &sample_report_with_ingest(60, 100), 0.5);
+        assert!(outcome.passed(), "{outcome:?}");
+        assert_eq!(outcome.sections_skipped[0].reason, "absent from current report");
     }
 
     #[test]

@@ -298,6 +298,97 @@ pub mod info {
     }
 }
 
+pub mod serve {
+    //! `lpr serve` — the continuous-measurement daemon: watch a spool
+    //! directory for warts drops, ingest them into a windowed pipeline
+    //! state, and serve snapshots/reports/metrics over HTTP.
+
+    use super::*;
+    use lpr_serve::{Server, ServeConfig};
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    /// Parses the subcommand's own flags into a [`ServeConfig`].
+    /// Returns the config plus whether `--once` was given (run a
+    /// bounded number of ticks and exit — for smoke tests).
+    pub fn parse(args: &[String]) -> Result<(ServeConfig, Option<u64>), CliError> {
+        let mut spool = None;
+        let mut rib = None;
+        let mut cfg_overrides: Vec<(String, String)> = Vec::new();
+        let mut once = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut take = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| CliError(format!("{flag} wants a value")))
+            };
+            match a.as_str() {
+                "--spool" => spool = Some(take("--spool")?),
+                "--rib" => rib = Some(take("--rib")?),
+                "--addr" | "--window" | "--threads" | "--tick-ms" | "--ingest-timeout-ms"
+                | "--retries" | "--backoff-ms" | "--backoff-cap-ms" | "--growing-grace" => {
+                    let v = take(a)?;
+                    cfg_overrides.push((a.clone(), v));
+                }
+                "--once" => {
+                    let v = take("--once")?;
+                    once = Some(v.parse().map_err(|_| {
+                        CliError(format!("--once wants a tick count, got `{v}`"))
+                    })?);
+                }
+                other => return Err(CliError(format!("unknown serve flag {other}"))),
+            }
+        }
+        let spool = spool.ok_or(CliError("--spool <dir> required".into()))?;
+        let rib = rib.ok_or(CliError("--rib <rib.txt> required".into()))?;
+        let mut cfg = ServeConfig::new(PathBuf::from(spool), PathBuf::from(rib));
+        for (flag, v) in cfg_overrides {
+            let num = || {
+                v.parse::<u64>()
+                    .map_err(|_| CliError(format!("{flag} wants a number, got `{v}`")))
+            };
+            match flag.as_str() {
+                "--addr" => cfg.addr = v.clone(),
+                "--window" => cfg.window = num()? as usize,
+                "--threads" => cfg.threads = num()? as usize,
+                "--tick-ms" => cfg.tick = Duration::from_millis(num()?),
+                "--ingest-timeout-ms" => cfg.ingest_timeout = Duration::from_millis(num()?),
+                "--retries" => cfg.retries = num()? as u32,
+                "--backoff-ms" => cfg.backoff_base = Duration::from_millis(num()?),
+                "--backoff-cap-ms" => cfg.backoff_cap = Duration::from_millis(num()?),
+                "--growing-grace" => cfg.growing_grace = num()? as u32,
+                _ => unreachable!("flag list is closed"),
+            }
+        }
+        if cfg.window == 0 {
+            return Err(CliError("--window must be at least 1".into()));
+        }
+        Ok((cfg, once))
+    }
+
+    /// Executes the subcommand: starts the daemon and blocks until
+    /// SIGTERM/SIGINT (or, with `--once N`, until N reconcile ticks
+    /// have completed). The returned code is the process exit code.
+    pub fn run(args: &[String], w: &mut dyn Write) -> Result<i32, CliError> {
+        let (cfg, once) = parse(args)?;
+        let spool = cfg.spool.display().to_string();
+        let handle = Server::start(cfg).map_err(|e| CliError(format!("serve: {e}")))?;
+        writeln!(w, "lpr serve: listening on http://{} (spool {spool})", handle.addr())?;
+        w.flush().ok();
+        match once {
+            Some(ticks) => {
+                while handle.ticks() < ticks {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                handle.stop();
+                Ok(0)
+            }
+            None => Ok(handle.run_until_signal()),
+        }
+    }
+}
+
 pub mod demo {
     //! `lpr demo` — generate a sample warts file + RIB with the
     //! simulator, so the tool is explorable without CAIDA data.

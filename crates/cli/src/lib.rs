@@ -455,6 +455,23 @@ fn run_pipeline_out_of_core(
     let cycle_span = tracer.span("cycle");
     tracer.set_default_parent(cycle_span.context());
 
+    // Startup hygiene: clear crash leftovers (orphaned `.lpridx.tmp`
+    // writes next to the inputs, stale spill files) before touching
+    // any index cache.
+    let mut sweep_dirs: Vec<std::path::PathBuf> = o
+        .inputs
+        .iter()
+        .filter_map(|p| std::path::Path::new(p).parent().map(|d| d.to_path_buf()))
+        .collect();
+    if let Some(dir) = &o.spill_dir {
+        sweep_dirs.push(std::path::PathBuf::from(dir));
+    }
+    sweep_dirs.sort();
+    sweep_dirs.dedup();
+    for dir in &sweep_dirs {
+        let _ = lpr_corpus::sweep_stale(dir, recorder);
+    }
+
     let sw = lpr_obs::Stopwatch::start();
     let load_span = tracer.span("stage:CorpusIngest");
     let corpus = Corpus::open_with(&o.inputs, true, recorder)?;
@@ -477,6 +494,15 @@ fn run_pipeline_out_of_core(
             "corpus degraded: {} records skipped, {} conversions failed (use --keep-going to accept)",
             load.skipped_total(),
             load.convert_failures,
+        )));
+    }
+    if !o.keep_going && !corpus.skipped_files.is_empty() {
+        let first = &corpus.skipped_files[0];
+        return Err(err(format!(
+            "{} input file(s) set aside ({}: {}); use --keep-going to accept",
+            corpus.skipped_files.len(),
+            first.path.display(),
+            first.reason,
         )));
     }
 
@@ -685,6 +711,7 @@ pub fn run(args: &[String], w: &mut dyn Write) -> Result<RunStatus, CliError> {
         "info" => commands::info::run(&Options::parse(rest)?, w).map(|()| RunStatus::Clean),
         "dump" => commands::dump::run(&Options::parse(rest)?, w).map(|()| RunStatus::Clean),
         "demo" => commands::demo::run(rest, w).map(|()| RunStatus::Clean),
+        "serve" => commands::serve::run(rest, w).map(|_code| RunStatus::Clean),
         "trace-check" => trace_check(rest, w).map(|()| RunStatus::Clean),
         "help" | "--help" | "-h" => {
             writeln!(w, "{}", HELP)?;
@@ -713,6 +740,10 @@ USAGE:
   lpr dump     <file.warts>...
   lpr info     <file.warts>...
   lpr demo     --out <demo.warts> --rib-out <rib.txt>
+  lpr serve    --spool <dir> --rib <rib.txt> [--addr HOST:PORT] [--window N]
+               [--threads N] [--tick-ms MS] [--ingest-timeout-ms MS]
+               [--retries N] [--backoff-ms MS] [--backoff-cap-ms MS]
+               [--growing-grace N] [--once TICKS]
   lpr trace-check <trace.json>...
   lpr help
 
@@ -742,6 +773,17 @@ the pipeline without materialising the trace list — bounded memory at
 paper scale, byte-identical output. `--spill-dir <dir>` additionally
 spills the Persistence window's key sets to sorted files under <dir>
 instead of holding them in memory.
+
+`serve` runs the continuous-measurement daemon: it watches the spool
+directory for dropped `*.warts` files, ingests each as one cycle of a
+sliding window (`--window` cycles wide), and serves `/healthz`,
+`/readyz`, `/snapshot`, `/report/per-as` and `/metrics` over HTTP at
+`--addr` (default 127.0.0.1:0; the bound address is printed on start).
+Corrupt or repeatedly-failing drops are quarantined to
+`<spool>/quarantine/` with a structured reason file; the daemon keeps
+serving with `degraded: true` and never answers 5xx. SIGTERM/SIGINT
+shut it down gracefully with exit code 0. `--once N` exits after N
+reconcile ticks (smoke tests).
 
 Degraded input (classify/stats): structurally broken traces are
 quarantined rather than fatal, `--keep-going` additionally skips corrupt

@@ -122,3 +122,48 @@ fn dump_renders_text() {
     assert!(text.contains("MPLS Label"), "{text}");
     assert!(text.contains("cycle"), "{text}");
 }
+
+#[test]
+fn serve_once_ingests_the_spool_and_exits_clean() {
+    let tmp = Tmp::new("serve");
+    let (bytes, rib) = write_demo_files();
+    let spool = tmp.0.join("spool");
+    std::fs::create_dir_all(&spool).unwrap();
+    std::fs::write(spool.join("c0.warts"), bytes).unwrap();
+    let ribf = tmp.path("rib.txt");
+    std::fs::write(&ribf, rib).unwrap();
+
+    let mut buf = Vec::new();
+    let status = run(
+        &s(&[
+            "serve",
+            "--spool",
+            &spool.to_string_lossy(),
+            "--rib",
+            &ribf,
+            "--once",
+            "2",
+            "--tick-ms",
+            "25",
+            "--threads",
+            "1",
+        ]),
+        &mut buf,
+    )
+    .unwrap();
+    assert_eq!(status, lpr_cli::RunStatus::Clean);
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.contains("lpr serve: listening on http://"), "{text}");
+}
+
+#[test]
+fn serve_flag_parsing_rejects_bad_input() {
+    let mut buf = Vec::new();
+    let e = run(&s(&["serve", "--rib", "rib.txt"]), &mut buf).unwrap_err();
+    assert!(e.to_string().contains("--spool"), "{e}");
+    let e = run(&s(&["serve", "--spool", "x", "--rib", "r", "--window", "zero"]), &mut buf)
+        .unwrap_err();
+    assert!(e.to_string().contains("--window"), "{e}");
+    let e = run(&s(&["serve", "--spool", "x", "--rib", "r", "--bogus"]), &mut buf).unwrap_err();
+    assert!(e.to_string().contains("--bogus"), "{e}");
+}

@@ -87,7 +87,7 @@ pub use filter::{FilterConfig, FilterReport, FilterStage};
 pub use fingerprint::{infer_vendors, InferredVendor, VendorEvidence};
 pub use label::{Label, LabelStack, Lse};
 pub use lsp::{Asn, Iotp, IotpKey, Lsp, LspHop, LspKey};
-pub use pipeline::{IngestState, PersistenceWindow, Pipeline, PipelineOutput};
+pub use pipeline::{CycleSegment, IngestState, PersistenceWindow, Pipeline, PipelineOutput};
 pub use spill::{KeySpiller, SpilledKeys};
 pub use stream::CycleAccumulator;
 pub use trace::{Hop, Trace};

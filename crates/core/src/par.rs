@@ -98,8 +98,15 @@ impl Pipeline {
                 }
                 Err(_poisoned_shard) => {
                     let n = run.shard_lens.get(shard).copied().unwrap_or(0) as u64;
-                    ingest.traces_in += n;
-                    ingest.degraded.note_many(QuarantineReason::PoisonedShard, n);
+                    // Merged (not field-poked) so the quarantined shard
+                    // lands in the per-cycle provenance like any other.
+                    let mut degraded = crate::quarantine::DegradedReport::default();
+                    degraded.note_many(QuarantineReason::PoisonedShard, n);
+                    ingest.merge(IngestState {
+                        traces_in: n,
+                        degraded,
+                        ..IngestState::default()
+                    });
                     poisoned += 1;
                     shard_outputs.push((shard, 0));
                 }

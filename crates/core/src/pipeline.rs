@@ -158,6 +158,54 @@ pub enum PersistenceWindow<'a> {
     Spilled(&'a [crate::spill::SpilledKeys]),
 }
 
+/// One measurement cycle's contribution to an [`IngestState`]: the
+/// provenance record that makes merged states *evictable*.
+///
+/// An `IngestState` built from several cycles keeps, per cycle, how
+/// many of its `lsps` (a contiguous run, in merge order) and how much
+/// of every aggregate count came from that cycle, so
+/// [`IngestState::evict_before`] can age a cycle out of the state by
+/// dropping its LSP run and subtracting its counts — no recompute over
+/// the surviving cycles.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CycleSegment {
+    /// The cycle this segment's traces belong to (0 for untagged
+    /// single-shot runs).
+    pub cycle: u64,
+    /// How many of the owning state's `lsps` (a contiguous run at this
+    /// segment's position) came from this cycle.
+    pub lsps: usize,
+    /// Traces ingested for this cycle.
+    pub traces_in: u64,
+    /// Tunnels entering the filter pipeline for this cycle.
+    pub input: usize,
+    /// Count after IncompleteLsp.
+    pub after_incomplete: usize,
+    /// Count after IntraAs.
+    pub after_intra_as: usize,
+    /// Tunnel-extraction time, µs.
+    pub extraction_us: u64,
+    /// Attribution/filter time, µs.
+    pub attribution_us: u64,
+    /// Kept/quarantined trace accounting for this cycle.
+    pub degraded: DegradedReport,
+}
+
+impl CycleSegment {
+    /// Folds `other` (same cycle) into this segment.
+    fn absorb(&mut self, other: &CycleSegment) {
+        debug_assert_eq!(self.cycle, other.cycle);
+        self.lsps += other.lsps;
+        self.traces_in += other.traces_in;
+        self.input += other.input;
+        self.after_incomplete += other.after_incomplete;
+        self.after_intra_as += other.after_intra_as;
+        self.extraction_us = self.extraction_us.saturating_add(other.extraction_us);
+        self.attribution_us = self.attribution_us.saturating_add(other.attribution_us);
+        self.degraded.merge(&other.degraded);
+    }
+}
+
 /// Accumulated state of the pipeline's *ingest* half: tunnel extraction
 /// plus the fused per-LSP filters (IncompleteLsp, IntraAS, TargetAS).
 ///
@@ -167,7 +215,14 @@ pub enum PersistenceWindow<'a> {
 /// [`IngestState::merge`] combines shards. Merging in shard order over
 /// contiguous shards reproduces the sequential ingest exactly (counts
 /// are sums; `lsps` concatenates in input order).
-#[derive(Debug, Default)]
+///
+/// The state is also **windowed**: [`IngestState::tag_cycle`] stamps a
+/// freshly-ingested state with its cycle id, merges accumulate the
+/// per-cycle provenance in `segments`, and
+/// [`IngestState::evict_before`] drops whole cycles again — the
+/// long-running `lpr serve` reconcile loop keeps one such state per
+/// window and never recomputes the survivors.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct IngestState {
     /// LSPs surviving the per-LSP filters, in input order.
     pub lsps: Vec<Lsp>,
@@ -186,12 +241,80 @@ pub struct IngestState {
     pub attribution_us: u64,
     /// Kept/quarantined trace accounting for this shard.
     pub degraded: DegradedReport,
+    /// Per-cycle provenance, in merge order, tiling `lsps` exactly.
+    /// Empty means "untagged": the whole state implicitly belongs to
+    /// cycle 0 (the shape every single-shot constructor produces).
+    pub segments: Vec<CycleSegment>,
 }
 
 impl IngestState {
-    /// Appends another shard's state; order of merges must follow shard
-    /// (= input) order for LSP order to match the sequential run.
+    /// The whole state expressed as one [`CycleSegment`] of the given
+    /// cycle.
+    fn as_segment(&self, cycle: u64) -> CycleSegment {
+        CycleSegment {
+            cycle,
+            lsps: self.lsps.len(),
+            traces_in: self.traces_in,
+            input: self.input,
+            after_incomplete: self.after_incomplete,
+            after_intra_as: self.after_intra_as,
+            extraction_us: self.extraction_us,
+            attribution_us: self.attribution_us,
+            degraded: self.degraded.clone(),
+        }
+    }
+
+    /// Whether nothing has been ingested into this state at all (the
+    /// `Default` shape).
+    pub fn is_untouched(&self) -> bool {
+        self.lsps.is_empty()
+            && self.traces_in == 0
+            && self.input == 0
+            && self.after_incomplete == 0
+            && self.after_intra_as == 0
+            && self.extraction_us == 0
+            && self.attribution_us == 0
+            && self.degraded == DegradedReport::default()
+            && self.segments.is_empty()
+    }
+
+    /// Materialises the implicit cycle-0 segment of an untagged state,
+    /// restoring the invariant that non-empty states carry provenance.
+    fn normalize(&mut self) {
+        if self.segments.is_empty() && !self.is_untouched() {
+            self.segments = vec![self.as_segment(0)];
+        }
+    }
+
+    /// Stamps the whole state as belonging to `cycle`, collapsing any
+    /// existing provenance into one segment. Call this on the state a
+    /// single cycle's ingest produced, before merging it into a
+    /// windowed state.
+    pub fn tag_cycle(&mut self, cycle: u64) {
+        if self.is_untouched() {
+            return;
+        }
+        self.segments = vec![self.as_segment(cycle)];
+    }
+
+    /// Cycle ids present in this state, ascending and unique.
+    pub fn cycles(&self) -> Vec<u64> {
+        if self.segments.is_empty() {
+            return if self.is_untouched() { Vec::new() } else { vec![0] };
+        }
+        let mut ids: Vec<u64> = self.segments.iter().map(|s| s.cycle).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Appends another shard's (or cycle's) state; order of merges must
+    /// follow shard (= input) order for LSP order to match the
+    /// sequential run. Provenance concatenates, coalescing adjacent
+    /// segments of the same cycle.
     pub fn merge(&mut self, mut other: IngestState) {
+        self.normalize();
+        other.normalize();
         self.lsps.append(&mut other.lsps);
         self.traces_in += other.traces_in;
         self.input += other.input;
@@ -200,6 +323,51 @@ impl IngestState {
         self.extraction_us = self.extraction_us.saturating_add(other.extraction_us);
         self.attribution_us = self.attribution_us.saturating_add(other.attribution_us);
         self.degraded.merge(&other.degraded);
+        for seg in other.segments.drain(..) {
+            match self.segments.last_mut() {
+                Some(last) if last.cycle == seg.cycle => last.absorb(&seg),
+                _ => self.segments.push(seg),
+            }
+        }
+    }
+
+    /// Ages out every cycle older than `cycle`: their LSP runs are
+    /// dropped from `lsps` and their counts subtracted from the
+    /// aggregates, leaving exactly the state a from-scratch merge of
+    /// the surviving cycles would have built. Returns the evicted
+    /// segments (empty when nothing aged out).
+    pub fn evict_before(&mut self, cycle: u64) -> Vec<CycleSegment> {
+        self.normalize();
+        if self.segments.iter().all(|s| s.cycle >= cycle) {
+            return Vec::new();
+        }
+        let segments = std::mem::take(&mut self.segments);
+        let lsps = std::mem::take(&mut self.lsps);
+        *self = IngestState::default();
+        let mut evicted = Vec::new();
+        let mut offset = 0usize;
+        for seg in segments {
+            let range = offset..offset + seg.lsps;
+            offset = range.end;
+            if seg.cycle >= cycle {
+                let mut part = IngestState {
+                    lsps: lsps[range].to_vec(),
+                    traces_in: seg.traces_in,
+                    input: seg.input,
+                    after_incomplete: seg.after_incomplete,
+                    after_intra_as: seg.after_intra_as,
+                    extraction_us: seg.extraction_us,
+                    attribution_us: seg.attribution_us,
+                    degraded: seg.degraded.clone(),
+                    segments: Vec::new(),
+                };
+                part.segments = vec![seg];
+                self.merge(part);
+            } else {
+                evicted.push(seg);
+            }
+        }
+        evicted
     }
 }
 
@@ -271,6 +439,7 @@ impl Pipeline {
             extraction_us,
             attribution_us: sw.elapsed_us(),
             degraded,
+            segments: Vec::new(),
         };
         self.finish_stages(ingest, future_keys, recorder, lpr_par::ShardOptions::new(1))
     }
@@ -312,6 +481,7 @@ impl Pipeline {
             extraction_us: 0,
             attribution_us: sw.elapsed_us(),
             degraded: DegradedReport::default(),
+            segments: Vec::new(),
         };
         self.finish_stages(ingest, future_keys, recorder, lpr_par::ShardOptions::new(1))
     }

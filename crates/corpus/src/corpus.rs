@@ -31,12 +31,60 @@ impl CorpusFile {
     }
 }
 
+/// Why [`Corpus::open`] set a file aside instead of indexing it.
+///
+/// Both shapes are what a spool directory looks like while scamper is
+/// still writing in place: skipping the *file* (and picking it up on a
+/// later scan) is the correct move, failing the whole corpus open is
+/// not.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FileSkipReason {
+    /// Zero-length file: created, nothing written yet.
+    Empty,
+    /// The file ends in a half-written record — the tail bytes parse as
+    /// the *start* of a record whose declared length runs past EOF. The
+    /// wrapped [`SkipReason`] says how the tail fell short.
+    StillGrowing(SkipReason),
+}
+
+impl FileSkipReason {
+    /// Short machine-readable name (stable, used in quarantine reason
+    /// files and skip summaries).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FileSkipReason::Empty => "empty",
+            FileSkipReason::StillGrowing(_) => "still_growing",
+        }
+    }
+}
+
+impl std::fmt::Display for FileSkipReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FileSkipReason::Empty => write!(f, "empty"),
+            FileSkipReason::StillGrowing(r) => write!(f, "still_growing({})", r.name()),
+        }
+    }
+}
+
+/// One file [`Corpus::open`] skipped, with its structured reason.
+#[derive(Clone, Debug)]
+pub struct SkippedFile {
+    /// The skipped file.
+    pub path: PathBuf,
+    /// Why it was set aside.
+    pub reason: FileSkipReason,
+}
+
 /// An open corpus: one measurement cycle spread over N files.
 pub struct Corpus {
     /// The cycle's files, in the order given to [`Corpus::open`] — the
     /// cycle's record order is file order, then stream order within
     /// each file.
     pub files: Vec<CorpusFile>,
+    /// Files set aside as empty or still-growing (spool hygiene); the
+    /// rest of the corpus opens normally.
+    pub skipped_files: Vec<SkippedFile>,
 }
 
 /// Decode accounting for a corpus pass, mirroring what the sequential
@@ -65,6 +113,32 @@ impl DecodeReport {
     }
 }
 
+/// Detects a half-written final record: the bytes after the last
+/// indexed span parse as the *start* of a warts record (correct magic)
+/// whose header or declared body runs past EOF. Mid-file garbage does
+/// not match — that is corruption, already tallied as per-record skips
+/// by the index scan — only a well-formed prefix at the very end of the
+/// file reads as "scamper has not finished writing this one yet".
+fn growing_tail(bytes: &[u8], index: &RecordIndex) -> Option<SkipReason> {
+    let end = index
+        .records
+        .last()
+        .map(|span| span.offset as usize + 8 + span.body_len as usize)
+        .unwrap_or(0);
+    let tail = &bytes[end.min(bytes.len())..];
+    if tail.len() < 2 || tail[..2] != warts::WARTS_MAGIC.to_be_bytes() {
+        return None;
+    }
+    if tail.len() < 8 {
+        return Some(SkipReason::TruncatedHeader);
+    }
+    let body_len = u32::from_be_bytes([tail[4], tail[5], tail[6], tail[7]]) as usize;
+    if 8 + body_len > tail.len() {
+        return Some(SkipReason::TruncatedBody);
+    }
+    None
+}
+
 impl Corpus {
     /// Opens and indexes `paths` (writing `.lpridx` caches next to
     /// them).
@@ -80,11 +154,21 @@ impl Corpus {
         recorder: Option<&lpr_obs::Recorder>,
     ) -> io::Result<Self> {
         let mut files = Vec::with_capacity(paths.len());
+        let mut skipped_files = Vec::new();
         let (mut bytes, mut hits, mut builds, mut records) = (0u64, 0u64, 0u64, 0u64);
         for path in paths {
             let path = path.as_ref().to_path_buf();
             let map = MappedFile::open(&path)?;
+            if map.is_empty() {
+                skipped_files.push(SkippedFile { path, reason: FileSkipReason::Empty });
+                continue;
+            }
             let (index, hit) = RecordIndex::load_or_build(&path, map.bytes(), cache);
+            if let Some(reason) = growing_tail(map.bytes(), &index) {
+                skipped_files
+                    .push(SkippedFile { path, reason: FileSkipReason::StillGrowing(reason) });
+                continue;
+            }
             bytes += map.len() as u64;
             if hit {
                 hits += 1;
@@ -100,8 +184,12 @@ impl Corpus {
             rec.counter(lpr_obs::names::CORPUS_INDEX_HITS).add(hits);
             rec.counter(lpr_obs::names::CORPUS_INDEX_BUILDS).add(builds);
             rec.counter(lpr_obs::names::CORPUS_RECORDS_INDEXED).add(records);
+            if !skipped_files.is_empty() {
+                rec.counter(lpr_obs::names::CORPUS_FILES_SKIPPED)
+                    .add(skipped_files.len() as u64);
+            }
         }
-        Ok(Corpus { files })
+        Ok(Corpus { files, skipped_files })
     }
 
     /// Total corpus size, bytes.

@@ -31,6 +31,10 @@ pub const INDEX_VERSION: u16 = 1;
 /// Cache file extension (full name: `<file name>.lpridx`).
 pub const INDEX_EXT: &str = "lpridx";
 
+/// Suffix appended to [`INDEX_EXT`] for in-flight cache writes
+/// (`<file>.lpridx.tmp`).
+pub const INDEX_TMP_SUFFIX: &str = "tmp";
+
 /// How many bytes of each end of the file the staleness fingerprint
 /// samples.
 const FINGERPRINT_SAMPLE: usize = 4096;
@@ -102,10 +106,26 @@ impl RecordIndex {
         file.with_file_name(name)
     }
 
+    /// The in-flight temp path a cache write goes through before its
+    /// atomic rename to [`RecordIndex::cache_path`]. A crash mid-write
+    /// leaves only this orphan (swept by
+    /// [`crate::hygiene::sweep_stale`]), never a truncated `.lpridx`.
+    pub fn tmp_cache_path(file: &Path) -> PathBuf {
+        let mut name = Self::cache_path(file).into_os_string();
+        name.push(".");
+        name.push(INDEX_TMP_SUFFIX);
+        PathBuf::from(name)
+    }
+
     /// Loads the cached index for `file` if present and fresh for
     /// `bytes`, otherwise rebuilds (and best-effort re-caches when
     /// `cache` is set). Returns the index and whether it was a cache
     /// hit.
+    ///
+    /// The cache is written to a `.lpridx.tmp` sibling first and
+    /// renamed into place, so a kill at any point leaves either the old
+    /// cache, the new cache, or an orphaned temp file — never a
+    /// truncated `.lpridx` that parses.
     pub fn load_or_build(file: &Path, bytes: &[u8], cache: bool) -> (Self, bool) {
         let cache_path = Self::cache_path(file);
         if let Ok(raw) = std::fs::read(&cache_path) {
@@ -117,8 +137,17 @@ impl RecordIndex {
         }
         let index = Self::build(bytes);
         if cache {
-            let _ = std::fs::File::create(&cache_path)
-                .and_then(|mut f| f.write_all(&index.to_bytes()));
+            let tmp = Self::tmp_cache_path(file);
+            let written = std::fs::File::create(&tmp)
+                .and_then(|mut f| f.write_all(&index.to_bytes()).and_then(|()| f.sync_all()));
+            match written {
+                Ok(()) => {
+                    let _ = std::fs::rename(&tmp, &cache_path);
+                }
+                Err(_) => {
+                    let _ = std::fs::remove_file(&tmp);
+                }
+            }
         }
         (index, false)
     }

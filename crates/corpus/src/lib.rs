@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod hygiene;
 pub mod index;
 pub mod ingest;
 pub mod mmap;
 pub mod writer;
 
-pub use corpus::{Corpus, CorpusFile, DecodeReport};
+pub use corpus::{Corpus, CorpusFile, DecodeReport, FileSkipReason, SkippedFile};
+pub use hygiene::{sweep_stale, STALE_SUFFIXES};
 pub use index::RecordIndex;
 pub use ingest::{ingest_cycle, snapshot_keys, spill_snapshot_keys, IngestOptions};
 pub use mmap::MappedFile;

@@ -13,7 +13,7 @@ use lpr_core::prelude::*;
 use lpr_core::trace::{Hop, Trace};
 use lpr_corpus::{ingest_cycle, snapshot_keys, spill_snapshot_keys, Corpus, IngestOptions};
 use std::net::Ipv4Addr;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn ip(a: u8, o: u8) -> Ipv4Addr {
     Ipv4Addr::new(10, a, 0, o)
@@ -63,7 +63,7 @@ fn tmp(name: &str) -> PathBuf {
     dir
 }
 
-fn open_workload_corpus(dir: &PathBuf, n_files: usize) -> (Corpus, Vec<Trace>) {
+fn open_workload_corpus(dir: &Path, n_files: usize) -> (Corpus, Vec<Trace>) {
     let traces = workload();
     let paths = lpr_corpus::write_corpus_files(dir, "cycle", &traces, n_files).unwrap();
     assert_eq!(paths.len(), n_files);

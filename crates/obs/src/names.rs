@@ -87,6 +87,10 @@ pub const CLI_INPUT_FILES: &str = "cli.input_files";
 pub const CORPUS_BYTES_MAPPED: &str = "corpus.bytes_mapped";
 /// Warts corpus files opened for out-of-core ingest.
 pub const CORPUS_FILES_MAPPED: &str = "corpus.files_mapped";
+/// Corpus files set aside at open: empty or still being written.
+pub const CORPUS_FILES_SKIPPED: &str = "corpus.files_skipped";
+/// Stale crash leftovers (`.lpridx.tmp`, spill files) swept at startup.
+pub const CORPUS_INDEX_SWEPT: &str = "corpus.index.swept";
 /// Record indexes built by a sequential scan (cache miss or stale).
 pub const CORPUS_INDEX_BUILDS: &str = "corpus.index_builds";
 /// Record indexes served from the on-disk `.lpridx` cache.
@@ -103,6 +107,19 @@ pub const INGEST_SPILLED_KEYS: &str = "ingest.spilled_keys";
 /// Traces ingested through the bounded-memory out-of-core path.
 pub const INGEST_SPILLED_TRACES: &str = "ingest.spilled_traces";
 
+/// Window cycles aged out of the serve daemon's ingest state.
+pub const SERVE_CYCLES_EVICTED: &str = "serve.cycles_evicted";
+/// Spool files ingested into the serve window.
+pub const SERVE_FILES_INGESTED: &str = "serve.files_ingested";
+/// Spool files moved to quarantine by the serve daemon.
+pub const SERVE_FILES_QUARANTINED: &str = "serve.files_quarantined";
+/// Per-file ingest attempts retried after a timeout or panic.
+pub const SERVE_FILES_RETRIED: &str = "serve.files_retried";
+/// HTTP requests answered by the serve endpoint.
+pub const SERVE_HTTP_REQUESTS: &str = "serve.http_requests";
+/// Reconcile-loop ticks completed by the serve daemon.
+pub const SERVE_RECONCILE_TICKS: &str = "serve.reconcile_ticks";
+
 /// RFC 4950 quoted label-stack depth per time-exceeded reply.
 pub const PROBE_STACK_DEPTH: &str = "probe.stack_depth";
 
@@ -113,6 +130,8 @@ pub const ALL_COUNTERS: &[&str] = &[
     CLI_INPUT_FILES,
     CORPUS_BYTES_MAPPED,
     CORPUS_FILES_MAPPED,
+    CORPUS_FILES_SKIPPED,
+    CORPUS_INDEX_SWEPT,
     CORPUS_INDEX_BUILDS,
     CORPUS_INDEX_HITS,
     CORPUS_RECORDS_INDEXED,
@@ -135,6 +154,12 @@ pub const ALL_COUNTERS: &[&str] = &[
     QUARANTINE_NON_MONOTONIC_TTL,
     QUARANTINE_POISONED_SHARD,
     QUARANTINE_TOO_MANY_HOPS,
+    SERVE_CYCLES_EVICTED,
+    SERVE_FILES_INGESTED,
+    SERVE_FILES_QUARANTINED,
+    SERVE_FILES_RETRIED,
+    SERVE_HTTP_REQUESTS,
+    SERVE_RECONCILE_TICKS,
     WARTS_BYTES,
     WARTS_MALFORMED_RECORDS,
     WARTS_RECORDS,

@@ -1,0 +1,208 @@
+//! A deliberately tiny blocking HTTP/1.1 endpoint.
+//!
+//! The workspace is offline (no hyper/tokio), and the daemon's API is
+//! five read-only GET routes — a nonblocking accept loop over
+//! `std::net::TcpListener` with short per-connection read timeouts is
+//! the whole server. One request per connection (`Connection: close`),
+//! bodies pre-rendered by the router.
+//!
+//! The router never produces a 5xx status: degradation and readiness
+//! are body-level fields, malformed requests get 4xx, and an unroutable
+//! path gets 404. That invariant is part of the serve contract and is
+//! enforced by the `lpr-bench serve` soak.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A routed response: status code plus pre-rendered body.
+pub struct Response {
+    /// HTTP status (the router only emits 2xx/4xx).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 JSON response.
+    pub fn json(body: String) -> Self {
+        Response { status: 200, content_type: "application/json", body }
+    }
+
+    /// A 200 plain-text response (Prometheus exposition format).
+    pub fn text(body: String) -> Self {
+        Response { status: 200, content_type: "text/plain; version=0.0.4", body }
+    }
+
+    /// A 404 for unroutable paths.
+    pub fn not_found() -> Self {
+        Response {
+            status: 404,
+            content_type: "application/json",
+            body: "{\"error\":\"not found\"}".to_string(),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "OK",
+    }
+}
+
+/// Runs the accept loop until `stop` is set. Each accepted connection
+/// is served inline (the routes are cheap pre-rendered reads); `route`
+/// maps a path to a [`Response`].
+pub fn serve(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    route: impl Fn(&str) -> Response,
+) {
+    listener.set_nonblocking(true).ok();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Connection handling is blocking with short timeouts;
+                // a stalled client cannot wedge the daemon for long.
+                let _ = handle(stream, &route);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle(mut stream: TcpStream, route: &impl Fn(&str) -> Response) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(2))).ok();
+
+    let request = read_head(&mut stream)?;
+    let response = match parse_request_line(&request) {
+        Some(("GET", path)) => route(path),
+        Some((_, _)) => Response {
+            status: 405,
+            content_type: "application/json",
+            body: "{\"error\":\"method not allowed\"}".to_string(),
+        },
+        None => Response {
+            status: 400,
+            content_type: "application/json",
+            body: "{\"error\":\"malformed request\"}".to_string(),
+        },
+    };
+    write_response(&mut stream, &response)
+}
+
+/// Reads until the end of the header block (or an 8 KiB cap — the API
+/// has no request bodies).
+fn read_head(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// `"GET /snapshot HTTP/1.1" -> ("GET", "/snapshot")`; query strings
+/// are stripped (no route takes parameters).
+fn parse_request_line(request: &str) -> Option<(&str, &str)> {
+    let line = request.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let path = target.split('?').next().unwrap_or(target);
+    if !path.starts_with('/') {
+        return None;
+    }
+    Some((method, path))
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// A minimal blocking GET against `addr` (test/bench helper): returns
+/// `(status, body)`.
+pub fn get(addr: std::net::SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: lpr\r\nConnection: close\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parses_and_strips_queries() {
+        assert_eq!(
+            parse_request_line("GET /snapshot?x=1 HTTP/1.1\r\nHost: a\r\n\r\n"),
+            Some(("GET", "/snapshot"))
+        );
+        assert_eq!(parse_request_line("POST / HTTP/1.1\r\n"), Some(("POST", "/")));
+        assert_eq!(parse_request_line("garbage"), None);
+        assert_eq!(parse_request_line(""), None);
+    }
+
+    #[test]
+    fn end_to_end_over_a_real_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let server = std::thread::spawn(move || {
+            serve(listener, stop2, |path| match path {
+                "/ping" => Response::json("{\"pong\":true}".to_string()),
+                _ => Response::not_found(),
+            });
+        });
+
+        let (status, body) = get(addr, "/ping").unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"pong\":true}"));
+        let (status, _) = get(addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+
+        stop.store(true, Ordering::SeqCst);
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,74 @@
+//! Graceful-shutdown signal wiring.
+//!
+//! The second (and last) `unsafe` island of the workspace, mirroring
+//! `lpr-corpus`'s mmap module: the offline shim policy rules out the
+//! `libc`/`signal-hook` crates, so SIGTERM/SIGINT are installed via a
+//! two-line `signal(2)` FFI. The handler only stores to a static
+//! `AtomicBool` (async-signal-safe); the daemon's run loop polls it
+//! and performs the actual orderly shutdown outside signal context.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Installs the SIGTERM/SIGINT handler (unix; a no-op elsewhere).
+/// Idempotent.
+pub fn install() {
+    #[cfg(unix)]
+    sys::install();
+}
+
+/// Whether a termination signal has arrived since [`install`].
+pub fn termination_requested() -> bool {
+    TERM_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Testing hook: simulate (or clear) a delivered signal.
+pub fn set_termination_requested(value: bool) {
+    TERM_REQUESTED.store(value, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use super::TERM_REQUESTED;
+    use std::ffi::c_int;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" {
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: c_int) {
+        // Async-signal-safe: a single atomic store, nothing else.
+        TERM_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal(2)` with a handler that is a plain
+        // `extern "C" fn(c_int)` doing only an atomic store; return
+        // value (the previous disposition) is intentionally ignored.
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_roundtrip() {
+        install();
+        set_termination_requested(false);
+        assert!(!termination_requested());
+        set_termination_requested(true);
+        assert!(termination_requested());
+        set_termination_requested(false);
+    }
+}
