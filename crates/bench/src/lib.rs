@@ -392,6 +392,74 @@ pub mod compare {
                 .push(SectionSkip::new("ingest", "absent from current report")),
         }
 
+        // Probe-budget accounting: campaigns are deterministic for a
+        // given strategy, so every count in the section must match
+        // exactly; only the derived probes-per-destination rate is
+        // ratio-checked (it is where a budget regression shows even if
+        // the campaign shape legitimately changed size).
+        match (
+            current.get("probing").filter(|v| v.as_object().is_some()),
+            baseline.get("probing").filter(|v| v.as_object().is_some()),
+        ) {
+            (Some(cur), Some(base)) => {
+                let strategy = |v: &JsonValue| {
+                    v.get("strategy").and_then(|s| s.as_str()).map(str::to_string)
+                };
+                if strategy(cur) != strategy(base) {
+                    outcome.sections_skipped.push(SectionSkip::new(
+                        "probing",
+                        "reports used different probing strategies",
+                    ));
+                } else {
+                    for key in [
+                        "pairs_total",
+                        "pairs_probed",
+                        "pairs_pruned",
+                        "flows_traced",
+                        "probes_sent",
+                        "confirmations",
+                    ] {
+                        match (
+                            cur.get(key).and_then(|v| v.as_u64()),
+                            base.get(key).and_then(|v| v.as_u64()),
+                        ) {
+                            (Some(c), Some(b)) if c != b => outcome.mismatches.push(format!(
+                                "probing.{key}: {c} differs from baseline {b}"
+                            )),
+                            (Some(_), Some(_)) => {}
+                            _ => outcome
+                                .skipped
+                                .push(format!("probing.{key}: absent from one report")),
+                        }
+                    }
+                    match (
+                        cur.get("probes_per_dst").and_then(|v| v.as_f64()),
+                        base.get("probes_per_dst").and_then(|v| v.as_f64()),
+                    ) {
+                        (Some(c), Some(b)) if b > 0.0 => {
+                            if c > b * limit {
+                                outcome.regressions.push(format!(
+                                    "probing.probes_per_dst: {c:.2} is over {limit:.2}x \
+                                     the baseline {b:.2}"
+                                ));
+                            }
+                        }
+                        (Some(_), Some(_)) | (None, None) => {}
+                        _ => outcome
+                            .skipped
+                            .push("probing.probes_per_dst: absent from one report".to_string()),
+                    }
+                }
+            }
+            (None, None) => {}
+            (Some(_), None) => outcome
+                .sections_skipped
+                .push(SectionSkip::new("probing", "absent from baseline report")),
+            (None, Some(_)) => outcome
+                .sections_skipped
+                .push(SectionSkip::new("probing", "absent from current report")),
+        }
+
         match (
             current.get("campaign_share").and_then(|v| v.as_f64()),
             baseline.get("campaign_share").and_then(|v| v.as_f64()),
@@ -417,9 +485,10 @@ pub mod compare {
     /// times zeroed, throughput nulled, sweep timings, allocation
     /// tallies, SPF cache stats and `campaign_share` removed, and the
     /// `"ingest"` section's rates/walls/peak-memory readings (plus the
-    /// elide check's allocation tallies) nulled. Counts, counters and
-    /// the golden fingerprint stay — they are the deterministic
-    /// contract `compare` checks strictly.
+    /// elide check's allocation tallies) nulled. Counts, counters, the
+    /// golden fingerprint and the whole `"probing"` section stay —
+    /// probe budgets are deterministic for a campaign shape — as they
+    /// are the deterministic contract `compare` checks strictly.
     pub fn strip_nondeterministic(report: &JsonValue) -> JsonValue {
         let Some(fields) = report.as_object() else {
             return report.clone();
@@ -715,6 +784,91 @@ mod tests {
         }
         // The stripped form still count-checks strictly against a drift.
         let outcome = compare::run(&sample_report_with_ingest(59, 100), &stripped, 10.0);
+        assert!(!outcome.passed());
+    }
+
+    fn sample_report_with_probing(probes_sent: u64, probes_per_dst: f64) -> json::JsonValue {
+        let base = sample_report(200).render_pretty();
+        let with_probing = base.replacen(
+            "\"bench\": \"pipeline\",",
+            &format!(
+                r#""bench": "pipeline",
+                "probing": {{
+                  "strategy": "mda-lite",
+                  "pairs_total": 648,
+                  "pairs_probed": 500,
+                  "pairs_pruned": 148,
+                  "flows_traced": 500,
+                  "probes_sent": {probes_sent},
+                  "confirmations": 0,
+                  "probes_per_dst": {probes_per_dst}
+                }},"#
+            ),
+            1,
+        );
+        json::parse(&with_probing).expect("probing sample parses")
+    }
+
+    #[test]
+    fn probing_self_compare_passes_and_absence_is_a_structured_skip() {
+        let report = sample_report_with_probing(4000, 6.17);
+        let outcome = compare::run(&report, &report, 0.5);
+        assert!(outcome.passed(), "{outcome:?}");
+        assert!(outcome.sections_skipped.is_empty(), "{outcome:?}");
+
+        // A baseline predating the section: structured skip, not a failure.
+        let outcome = compare::run(&report, &sample_report(200), 0.5);
+        assert!(outcome.passed(), "{outcome:?}");
+        assert_eq!(
+            outcome.sections_skipped,
+            vec![compare::SectionSkip {
+                section: "probing".to_string(),
+                reason: "absent from baseline report".to_string(),
+            }]
+        );
+    }
+
+    #[test]
+    fn doubled_probe_budget_is_a_regression() {
+        let baseline = sample_report_with_probing(4000, 6.17);
+        // Exact-count drift: strict mismatch even at a huge threshold.
+        let outcome = compare::run(&sample_report_with_probing(8000, 6.17), &baseline, 10.0);
+        assert!(!outcome.passed());
+        assert!(outcome.mismatches.iter().any(|m| m.starts_with("probing.probes_sent:")));
+        // The derived rate alone doubling: a threshold regression.
+        let outcome = compare::run(&sample_report_with_probing(4000, 12.34), &baseline, 0.5);
+        assert!(!outcome.passed());
+        assert!(
+            outcome.regressions.iter().any(|r| r.starts_with("probing.probes_per_dst:")),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn probing_strategy_mismatch_is_a_structured_skip() {
+        let baseline = sample_report_with_probing(4000, 6.17);
+        let text = sample_report_with_probing(9999, 99.0)
+            .render_pretty()
+            .replace("\"strategy\": \"mda-lite\"", "\"strategy\": \"exhaustive\"");
+        let outcome = compare::run(&json::parse(&text).unwrap(), &baseline, 0.5);
+        // Different strategies are not comparable: no count mismatch.
+        assert!(outcome.passed(), "{outcome:?}");
+        assert_eq!(outcome.sections_skipped[0].section, "probing");
+        assert_eq!(
+            outcome.sections_skipped[0].reason,
+            "reports used different probing strategies"
+        );
+    }
+
+    #[test]
+    fn strip_keeps_the_probing_section_wholesale() {
+        let stripped =
+            compare::strip_nondeterministic(&sample_report_with_probing(4000, 6.17));
+        let probing = stripped.get("probing").expect("probing survives the strip");
+        assert_eq!(probing.get("probes_sent").and_then(|v| v.as_u64()), Some(4000));
+        assert_eq!(probing.get("probes_per_dst").and_then(|v| v.as_f64()), Some(6.17));
+        // The stripped form still count-checks strictly.
+        let outcome = compare::run(&sample_report_with_probing(3999, 6.17), &stripped, 10.0);
         assert!(!outcome.passed());
     }
 

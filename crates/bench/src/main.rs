@@ -112,6 +112,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(|s| s.as_str()) {
         Some("pipeline") => pipeline(&args[1..]),
+        Some("mda") => mda_cmd(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
         Some("serve") => serve_soak(&args[1..]),
         Some("corrupt") => corrupt_cmd(&args[1..]),
@@ -136,8 +137,12 @@ USAGE:
   lpr-bench pipeline [--out BENCH_pipeline.json] [--snapshots N] [--cycle N]
                      [--threads N] [--threads-sweep [1,2,4,...]] [--alloc]
                      [--max-campaign-share F] [--scale N]
+                     [--probing exhaustive|mda|mda-lite]
+                     [--max-probes-per-dst F]
                      [--mem-ceiling-bytes N] [--trace-out trace.json]
                      [--trace-level debug|info|warn|error]
+  lpr-bench mda      [--out BENCH_mda.json] [--cycle N] [--hosts N]
+                     [--max-probes-per-dst F]
   lpr-bench chaos    [--out BENCH_chaos.json] [--seed N]
                      [--rates 0,0.02,0.05,0.1] [--snapshots N] [--cycle N]
                      [--drift-bound F] [--trace-out trace.json]
@@ -192,6 +197,32 @@ single-threaded out-of-core run. Either way the report gains an
 \"ingest\" section with traces/sec, bytes/sec, peak resident bytes
 (Linux VmHWM, reset before the ingest phase) and the live-heap
 high-water mark.
+
+`--probing` selects the campaign's probing strategy: `exhaustive`
+(default — every `(vp, dst)` pair, the golden campaign shape), `mda`
+or `mda-lite` (the statistical stopping rules, which prune each
+`(vp, /24)` host group once further path diversity is ruled out at 95%
+confidence). Every run writes a \"probing\" report section with the
+strategy and probe-budget tallies (pairs probed/pruned, flows traced,
+probe packets sent, probes per destination); `lpr-bench compare` holds
+those tallies to strict equality. The golden-fingerprint check only
+runs under the exhaustive default. `--max-probes-per-dst F` exits
+non-zero when the campaign spends more than F probe packets per
+requested destination — the CI tripwire that the stopping rules keep
+paying for themselves.
+
+`mda` benchmarks the stopping rules themselves: first the
+probes-vs-recall curve (MDA-Lite under a sweep of flow caps against
+the exhaustive oracle, per `(vp, dst)` pair — the `fig_mda_recall.csv`
+series), then a full-campaign comparison at `--hosts` hosts per
+destination /24: exhaustive vs MDA-Lite wall time and probe budgets,
+byte-identity of the MDA-Lite campaign across probing thread counts
+1/2/4/8, and the IOTP recall of the pruned campaign against the
+exhaustive cycle's classified IOTP set. The report lands in `--out`
+(default BENCH_mda.json) with a top-level \"passed\": IOTP recall must
+reach 0.95, every thread count must agree byte-for-byte, the stopping
+rule must actually save probes, and `--max-probes-per-dst` (when
+given) must hold.
 
 `--mem-ceiling-bytes N` exits non-zero when the ingest phase's peak
 resident bytes exceed N — the CI guard that out-of-core stays
@@ -456,6 +487,8 @@ fn pipeline(args: &[String]) -> i32 {
     let mut max_campaign_share: Option<f64> = None;
     let mut scale = 1usize;
     let mut mem_ceiling: Option<u64> = None;
+    let mut probing = netsim::ProbingStrategy::Exhaustive;
+    let mut max_probes_per_dst: Option<f64> = None;
     let mut trace_out: Option<String> = None;
     let mut trace_level = lpr_obs::Level::Info;
     let mut it = args.iter();
@@ -533,6 +566,23 @@ fn pipeline(args: &[String]) -> i32 {
                     .map_err(|e| format!("--mem-ceiling-bytes: {e}"))
                     .map(|n| mem_ceiling = Some(n))
             }),
+            "--probing" => want(&mut it, "--probing").and_then(|v| {
+                netsim::ProbingStrategy::parse(&v).map(|s| probing = s).ok_or_else(|| {
+                    format!("--probing `{v}` is not a strategy (exhaustive|mda|mda-lite)")
+                })
+            }),
+            "--max-probes-per-dst" => want(&mut it, "--max-probes-per-dst").and_then(|v| {
+                v.parse::<f64>()
+                    .map_err(|e| format!("--max-probes-per-dst: {e}"))
+                    .and_then(|f| {
+                        if f > 0.0 {
+                            max_probes_per_dst = Some(f);
+                            Ok(())
+                        } else {
+                            Err("--max-probes-per-dst wants a positive number".to_string())
+                        }
+                    })
+            }),
             "--trace-out" => want(&mut it, "--trace-out").map(|v| trace_out = Some(v)),
             "--trace-level" => want(&mut it, "--trace-level").and_then(|v| {
                 lpr_obs::Level::parse(&v)
@@ -563,6 +613,8 @@ fn pipeline(args: &[String]) -> i32 {
             scale,
             mem_ceiling,
             max_campaign_share,
+            probing,
+            max_probes_per_dst,
             trace_out,
             trace_level,
         });
@@ -586,7 +638,7 @@ fn pipeline(args: &[String]) -> i32 {
     let campaign_span = tracer.span("stage:GenerateCampaign");
     let sw = lpr_obs::Stopwatch::start();
     let world = ark_dataset::standard_world();
-    let opts = ark_dataset::CampaignOptions { snapshots, ..Default::default() };
+    let opts = ark_dataset::CampaignOptions { snapshots, probing, ..Default::default() };
     let data = ark_dataset::generate_cycle(&world, cycle, &opts);
     let traces = &data.snapshots[0];
     drop(campaign_span);
@@ -598,7 +650,10 @@ fn pipeline(args: &[String]) -> i32 {
     // bytes must match the fingerprint captured before the dense-SPF /
     // probe-ladder / parallel-probing rewrite. Any drift means the
     // optimisations changed observable output and the run fails.
-    let golden_checked = cycle == 40 && snapshots == 3 && sweep.is_some();
+    let golden_checked = cycle == 40
+        && snapshots == 3
+        && sweep.is_some()
+        && probing == netsim::ProbingStrategy::Exhaustive;
     let mut golden_matches = true;
     if golden_checked {
         let fp = campaign_fingerprint(&data.snapshots);
@@ -723,6 +778,7 @@ fn pipeline(args: &[String]) -> i32 {
             let copts = ark_dataset::CampaignOptions {
                 snapshots,
                 threads: n,
+                probing,
                 ..Default::default()
             };
             let sw = lpr_obs::Stopwatch::start();
@@ -821,6 +877,7 @@ fn pipeline(args: &[String]) -> i32 {
     }
 
     let mem_breached = ceiling_breached(&ooc_stats, mem_ceiling);
+    let probes_exceeded = probe_ceiling_breached(&data.budget, max_probes_per_dst);
 
     let extras = ReportExtras {
         sweep_rows: &sweep_rows,
@@ -831,6 +888,7 @@ fn pipeline(args: &[String]) -> i32 {
         alloc_rows: alloc.then_some(&alloc_rows[..]),
         spf_cache: netsim::Internet::spf_cache_stats(),
         ingest: Some(ooc_stats.to_json()),
+        probing: Some(probing_json(probing, &data.budget)),
         unsupported_elide: Some(elide_verdict),
     };
     let report = render_report(&telemetry, &out, &extras);
@@ -925,6 +983,7 @@ fn pipeline(args: &[String]) -> i32 {
             if golden_matches { "match" } else { "MISMATCH" }
         );
     }
+    say_budget(probing, &data.budget);
     ooc_stats.say();
     say!(
         "unsupported-body elide: {}",
@@ -947,10 +1006,269 @@ fn pipeline(args: &[String]) -> i32 {
         eprintln!("determinism self-check failed");
         return 1;
     }
-    if share_exceeded || mem_breached {
+    if share_exceeded || mem_breached || probes_exceeded {
         return 1;
     }
     0
+}
+
+/// The `mda` subcommand: benchmarks the stochastic prober against the
+/// exhaustive oracle — the per-pair probes-vs-recall curve, then a
+/// full-campaign cost/recall comparison with the thread-identity
+/// self-check (see USAGE for the pass bar).
+fn mda_cmd(args: &[String]) -> i32 {
+    use std::collections::BTreeSet;
+
+    let mut out_path = "BENCH_mda.json".to_string();
+    let mut cycle = 40usize;
+    let mut hosts = 24usize;
+    let mut max_probes_per_dst: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let want = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+            it.next().cloned().ok_or_else(|| format!("{flag} wants a value"))
+        };
+        let parsed = match a.as_str() {
+            "--out" => want(&mut it, "--out").map(|v| out_path = v),
+            "--cycle" => want(&mut it, "--cycle").and_then(|v| {
+                v.parse().map(|n| cycle = n).map_err(|e| format!("--cycle: {e}"))
+            }),
+            "--hosts" => want(&mut it, "--hosts").and_then(|v| {
+                v.parse::<usize>().map_err(|e| format!("--hosts: {e}")).and_then(|n| {
+                    if n == 0 {
+                        Err("--hosts wants at least 1".to_string())
+                    } else {
+                        hosts = n;
+                        Ok(())
+                    }
+                })
+            }),
+            "--max-probes-per-dst" => want(&mut it, "--max-probes-per-dst").and_then(|v| {
+                v.parse::<f64>()
+                    .map_err(|e| format!("--max-probes-per-dst: {e}"))
+                    .and_then(|f| {
+                        if f > 0.0 {
+                            max_probes_per_dst = Some(f);
+                            Ok(())
+                        } else {
+                            Err("--max-probes-per-dst wants a positive number".to_string())
+                        }
+                    })
+            }),
+            other => Err(format!("unknown flag {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    }
+
+    let world = ark_dataset::standard_world();
+
+    // Phase 1: the per-(vp, dst) recall curve — MDA-Lite flow caps vs
+    // the exhaustive oracle, the series behind fig_mda_recall.csv.
+    say!(
+        "recall curve: MDA-Lite caps {:?} vs the {}-flow exhaustive oracle …",
+        experiments::mda_recall::CAPS,
+        experiments::mda_recall::ORACLE_FLOWS,
+    );
+    let points = experiments::mda_recall::run(&world, cycle);
+    for p in &points {
+        say!(
+            "  {:<10} cap={:<3} {:>8.1} probes/dst  {:>6.2} flows/dst  recall {:.3}",
+            p.mode,
+            p.max_flows,
+            p.probes_per_dst,
+            p.flows_per_dst,
+            p.path_recall,
+        );
+    }
+
+    // Phase 2: whole campaigns at a host density where the /24 host
+    // groups give the stopping rule real flow variation to prune.
+    say!("campaign comparison at {hosts} hosts/prefix, cycle {cycle} …");
+    let iotp_keys = |data: &ark_dataset::campaign::CycleData| -> BTreeSet<lpr_core::lsp::IotpKey> {
+        ark_dataset::campaign::analyze_cycle(&world, data, 2)
+            .output
+            .iotps
+            .iter()
+            .map(|(iotp, _)| iotp.key)
+            .collect()
+    };
+    let generate = |probing: netsim::ProbingStrategy, threads: usize| {
+        let opts = ark_dataset::CampaignOptions {
+            hosts_per_prefix: hosts,
+            probing,
+            threads,
+            ..Default::default()
+        };
+        let sw = lpr_obs::Stopwatch::start();
+        let data = ark_dataset::generate_cycle(&world, cycle, &opts);
+        (data, sw.elapsed_us().max(1))
+    };
+
+    // The exhaustive oracle is distilled to its IOTP set, budget and
+    // trace count right away: at most one cycle's traces stay resident
+    // at a time, so no later wall pays page pressure for data a
+    // previous run only kept around to compare against.
+    let (exhaustive, ex_wall) = generate(netsim::ProbingStrategy::Exhaustive, 1);
+    let ex_traces = exhaustive.snapshots.iter().map(Vec::len).sum::<usize>();
+    let ex_budget = exhaustive.budget;
+    say!("  exhaustive: {:>10} us  {ex_traces} traces", ex_wall);
+    say_budget(netsim::ProbingStrategy::Exhaustive, &ex_budget);
+    let ex_iotps = iotp_keys(&exhaustive);
+    drop(exhaustive);
+
+    // MDA-Lite at every campaign thread count; the sequential run is
+    // the reference the others must reproduce byte-for-byte, checked
+    // through the warts-encoded campaign fingerprint plus the exact
+    // budget so each run's traces can be dropped immediately.
+    let mut lite_ref: Option<(u64, netsim::ProbeBudget)> = None;
+    let mut lite_wall = 0u64;
+    let mut lite_traces = 0usize;
+    let mut lite_iotps = BTreeSet::new();
+    let mut matches_all = true;
+    let mut sweep_rows: Vec<(usize, u64, bool)> = Vec::new();
+    for &n in &CAMPAIGN_THREADS {
+        let (d, wall) = generate(netsim::ProbingStrategy::MdaLite, n);
+        let fp = campaign_fingerprint(&d.snapshots);
+        let matches = match lite_ref {
+            None => true,
+            Some((ref_fp, ref_budget)) => fp == ref_fp && d.budget == ref_budget,
+        };
+        if !matches {
+            eprintln!(
+                "FAIL: MDA-Lite campaign at {n} probing thread(s) diverges from \
+                 the sequential campaign"
+            );
+            matches_all = false;
+        }
+        sweep_rows.push((n, wall, matches));
+        say!(
+            "  mda-lite @{n} threads: {:>10} us  {}",
+            wall,
+            if matches { "bytes identical" } else { "BYTES DIVERGED" },
+        );
+        if lite_ref.is_none() {
+            lite_wall = wall;
+            lite_traces = d.snapshots.iter().map(Vec::len).sum::<usize>();
+            lite_iotps = iotp_keys(&d);
+            lite_ref = Some((fp, d.budget));
+        }
+    }
+    let (_, lite_budget) = lite_ref.expect("CAMPAIGN_THREADS is non-empty");
+    say_budget(netsim::ProbingStrategy::MdaLite, &lite_budget);
+
+    // Transit-diversity recall: the classified IOTP set of the pruned
+    // campaign against the exhaustive cycle's.
+    let recovered = ex_iotps.intersection(&lite_iotps).count();
+    let iotp_recall = recovered as f64 / ex_iotps.len().max(1) as f64;
+    let probe_reduction =
+        1.0 - lite_budget.probes_sent as f64 / ex_budget.probes_sent.max(1) as f64;
+    let tripwire_ok = !probe_ceiling_breached(&lite_budget, max_probes_per_dst);
+    say!(
+        "  IOTP recall {recovered}/{} = {iotp_recall:.3}; probes {} -> {} \
+         ({:.1}% saved); campaign speedup {:.2}x",
+        ex_iotps.len(),
+        ex_budget.probes_sent,
+        lite_budget.probes_sent,
+        probe_reduction * 100.0,
+        lpr_bench::speedup(ex_wall, lite_wall),
+    );
+
+    let passed =
+        iotp_recall >= 0.95 && matches_all && probe_reduction > 0.0 && tripwire_ok;
+    let curve = JsonValue::Array(
+        points
+            .iter()
+            .map(|p| {
+                JsonValue::Object(vec![
+                    ("mode".to_string(), JsonValue::Str(p.mode.to_string())),
+                    ("max_flows".to_string(), JsonValue::Int(p.max_flows as i128)),
+                    ("probes_per_dst".to_string(), JsonValue::Float(p.probes_per_dst)),
+                    ("flows_per_dst".to_string(), JsonValue::Float(p.flows_per_dst)),
+                    ("path_recall".to_string(), JsonValue::Float(p.path_recall)),
+                ])
+            })
+            .collect(),
+    );
+    let campaign_side = |wall: u64,
+                         strategy: netsim::ProbingStrategy,
+                         budget: &netsim::ProbeBudget,
+                         iotps: usize| {
+        JsonValue::Object(vec![
+            ("wall_us".to_string(), JsonValue::Int(wall as i128)),
+            ("iotps".to_string(), JsonValue::Int(iotps as i128)),
+            ("budget".to_string(), probing_json(strategy, budget)),
+        ])
+    };
+    let report = JsonValue::Object(vec![
+        ("bench".to_string(), JsonValue::Str("mda".to_string())),
+        ("cycle".to_string(), JsonValue::Int(cycle as i128)),
+        ("hosts_per_prefix".to_string(), JsonValue::Int(hosts as i128)),
+        ("recall_curve".to_string(), curve),
+        (
+            "campaign".to_string(),
+            JsonValue::Object(vec![
+                (
+                    "exhaustive".to_string(),
+                    campaign_side(
+                        ex_wall,
+                        netsim::ProbingStrategy::Exhaustive,
+                        &ex_budget,
+                        ex_iotps.len(),
+                    ),
+                ),
+                (
+                    "mda_lite".to_string(),
+                    campaign_side(
+                        lite_wall,
+                        netsim::ProbingStrategy::MdaLite,
+                        &lite_budget,
+                        lite_iotps.len(),
+                    ),
+                ),
+                ("thread_sweep".to_string(), sweep_json(&sweep_rows, lite_traces as u64)),
+                ("iotp_recall".to_string(), JsonValue::Float(iotp_recall)),
+                ("probe_reduction".to_string(), JsonValue::Float(probe_reduction)),
+                (
+                    "speedup".to_string(),
+                    JsonValue::Float(lpr_bench::speedup(ex_wall, lite_wall)),
+                ),
+                ("matches_across_threads".to_string(), JsonValue::Bool(matches_all)),
+            ]),
+        ),
+        (
+            "tripwire".to_string(),
+            JsonValue::Object(vec![
+                (
+                    "max_probes_per_dst".to_string(),
+                    match max_probes_per_dst {
+                        Some(f) => JsonValue::Float(f),
+                        None => JsonValue::Null,
+                    },
+                ),
+                (
+                    "probes_per_dst".to_string(),
+                    JsonValue::Float(lite_budget.probes_per_pair()),
+                ),
+                ("ok".to_string(), JsonValue::Bool(tripwire_ok)),
+            ]),
+        ),
+        ("passed".to_string(), JsonValue::Bool(passed)),
+    ])
+    .render_pretty();
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("{out_path}: {e}");
+        return 1;
+    }
+    say!("wrote {out_path}");
+    if passed {
+        0
+    } else {
+        eprintln!("FAIL: the MDA acceptance bar was not met (see {out_path})");
+        1
+    }
 }
 
 /// The demo-scale out-of-core leg of `lpr-bench pipeline`: writes the
@@ -1116,6 +1434,8 @@ struct ScaledParams {
     threads: usize,
     scale: usize,
     mem_ceiling: Option<u64>,
+    probing: netsim::ProbingStrategy,
+    max_probes_per_dst: Option<f64>,
     max_campaign_share: Option<f64>,
     trace_out: Option<String>,
     trace_level: lpr_obs::Level,
@@ -1150,6 +1470,7 @@ fn pipeline_scaled(p: ScaledParams) -> i32 {
         snapshots: p.snapshots,
         hosts_per_prefix: ark_dataset::scale_hosts_per_prefix(p.scale),
         threads: p.threads,
+        probing: p.probing,
         ..Default::default()
     };
     say!(
@@ -1169,10 +1490,13 @@ fn pipeline_scaled(p: ScaledParams) -> i32 {
     let mut paths = Vec::new();
     let mut spilled = Vec::new();
     let mut spilled_keys_total = 0u64;
+    let mut budget = netsim::ProbeBudget::default();
     for snap in 0..p.snapshots {
         let span = tracer.span(format!("snapshot:{snap}"));
         let sw = lpr_obs::Stopwatch::start();
-        let traces = ark_dataset::generate_snapshot(&world, p.cycle, snap, &copts);
+        let (traces, snap_budget) =
+            ark_dataset::generate_snapshot_with_budget(&world, p.cycle, snap, &copts);
+        budget.merge(&snap_budget);
         campaign_wall += sw.elapsed_us();
         total_traces += traces.len() as u64;
         if snap == 0 {
@@ -1347,6 +1671,7 @@ fn pipeline_scaled(p: ScaledParams) -> i32 {
         }
     }
 
+    let probes_exceeded = probe_ceiling_breached(&budget, p.max_probes_per_dst);
     let extras = ReportExtras {
         sweep_rows: &[],
         campaign_rows: &[],
@@ -1356,6 +1681,7 @@ fn pipeline_scaled(p: ScaledParams) -> i32 {
         alloc_rows: None,
         spf_cache: netsim::Internet::spf_cache_stats(),
         ingest: Some(stats.to_json()),
+        probing: Some(probing_json(p.probing, &budget)),
         unsupported_elide: Some(elide_verdict),
     };
     let report = render_report(&telemetry, &out, &extras);
@@ -1383,6 +1709,7 @@ fn pipeline_scaled(p: ScaledParams) -> i32 {
             rate,
         );
     }
+    say_budget(p.probing, &budget);
     stats.say();
     say!(
         "unsupported-body elide: {}",
@@ -1401,7 +1728,7 @@ fn pipeline_scaled(p: ScaledParams) -> i32 {
         eprintln!("determinism self-check failed");
         return 1;
     }
-    if share_exceeded || mem_breached {
+    if share_exceeded || mem_breached || probes_exceeded {
         return 1;
     }
     0
@@ -2040,8 +2367,55 @@ struct ReportExtras<'a> {
     /// The out-of-core ingest phase's measurements (see
     /// [`IngestStats::to_json`]); `None` when the phase did not run.
     ingest: Option<JsonValue>,
+    /// Probing strategy and probe-budget tallies (see [`probing_json`]).
+    probing: Option<JsonValue>,
     /// The zero-copy Unsupported-body decode verdict.
     unsupported_elide: Option<JsonValue>,
+}
+
+/// The "probing" report section: the campaign's strategy plus its
+/// probe-budget tallies. `lpr-bench compare` holds every count to
+/// strict equality and `probes_per_dst` to the ratio threshold, so the
+/// field names here are load-bearing.
+fn probing_json(strategy: netsim::ProbingStrategy, b: &netsim::ProbeBudget) -> JsonValue {
+    JsonValue::Object(vec![
+        ("strategy".to_string(), JsonValue::Str(strategy.name().to_string())),
+        ("pairs_total".to_string(), JsonValue::Int(b.pairs_total as i128)),
+        ("pairs_probed".to_string(), JsonValue::Int(b.pairs_probed as i128)),
+        ("pairs_pruned".to_string(), JsonValue::Int(b.pairs_pruned as i128)),
+        ("flows_traced".to_string(), JsonValue::Int(b.flows_traced as i128)),
+        ("probes_sent".to_string(), JsonValue::Int(b.probes_sent as i128)),
+        ("confirmations".to_string(), JsonValue::Int(b.confirmations as i128)),
+        ("probes_per_dst".to_string(), JsonValue::Float(b.probes_per_pair())),
+    ])
+}
+
+/// The stdout line matching the "probing" report section.
+fn say_budget(strategy: netsim::ProbingStrategy, b: &netsim::ProbeBudget) {
+    say!(
+        "probing [{}]: {} probes over {}/{} pairs ({} pruned), {:.2} probes/dst",
+        strategy.name(),
+        b.probes_sent,
+        b.pairs_probed,
+        b.pairs_total,
+        b.pairs_pruned,
+        b.probes_per_pair(),
+    );
+}
+
+/// The `--max-probes-per-dst` CI tripwire: true (and a FAIL line) when
+/// the campaign overspent its per-destination probe ceiling.
+fn probe_ceiling_breached(b: &netsim::ProbeBudget, ceiling: Option<f64>) -> bool {
+    match ceiling {
+        Some(limit) if b.probes_per_pair() > limit => {
+            eprintln!(
+                "FAIL: campaign spent {:.2} probes per destination (ceiling {limit:.2})",
+                b.probes_per_pair(),
+            );
+            true
+        }
+        _ => false,
+    }
 }
 
 /// A sweep table as JSON rows. `speedup` stays relative to the
@@ -2150,6 +2524,9 @@ fn render_report(
     }
     if let Some(ingest) = &extras.ingest {
         fields.push(("ingest".to_string(), ingest.clone()));
+    }
+    if let Some(probing) = &extras.probing {
+        fields.push(("probing".to_string(), probing.clone()));
     }
     if let Some(elide) = &extras.unsupported_elide {
         fields.push(("unsupported_elide".to_string(), elide.clone()));

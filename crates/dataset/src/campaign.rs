@@ -14,7 +14,7 @@ use lpr_core::pipeline::{Pipeline, PipelineOutput};
 use lpr_core::report::CycleReport;
 use lpr_core::trace::Trace;
 use netsim::internet::splitmix64;
-use netsim::{Internet, ProbeOptions, Prober};
+use netsim::{Internet, ProbeBudget, ProbeOptions, Prober, ProbingStrategy};
 use std::net::Ipv4Addr;
 
 /// Campaign-wide options.
@@ -39,6 +39,11 @@ pub struct CampaignOptions {
     /// are usually already sharded across threads by
     /// [`run_cycles`](crate::run_cycles), and nesting pools oversubscribes.
     pub threads: usize,
+    /// Probing strategy: exhaustive every-pair walks (the default, the
+    /// golden campaign shape) or the MDA/MDA-Lite stopping rules that
+    /// prune each `(vp, /24)` host group once its path diversity is
+    /// statistically settled.
+    pub probing: ProbingStrategy,
 }
 
 impl Default for CampaignOptions {
@@ -50,6 +55,7 @@ impl Default for CampaignOptions {
             igp_perturbation: 0.03,
             hosts_per_prefix: 1,
             threads: 1,
+            probing: ProbingStrategy::Exhaustive,
         }
     }
 }
@@ -60,6 +66,8 @@ pub struct CycleData {
     pub cycle: usize,
     /// The snapshots, primary first.
     pub snapshots: Vec<Vec<Trace>>,
+    /// Probe-budget tallies summed over the snapshots.
+    pub budget: ProbeBudget,
 }
 
 /// The probing list for a cycle: destinations filtered by the growth
@@ -96,10 +104,15 @@ pub fn probing_list(world: &World, cycle: usize, opts: &CampaignOptions) -> (Vec
 /// Persistence filter removes. Dynamic ASes additionally re-signal
 /// their TE LSPs (fresh labels) between snapshots (§4.5).
 pub fn generate_cycle(world: &World, cycle: usize, opts: &CampaignOptions) -> CycleData {
+    let mut budget = ProbeBudget::default();
     let snapshots = (0..opts.snapshots)
-        .map(|snap| generate_snapshot(world, cycle, snap, opts))
+        .map(|snap| {
+            let (traces, b) = generate_snapshot_with_budget(world, cycle, snap, opts);
+            budget.merge(&b);
+            traces
+        })
         .collect();
-    CycleData { cycle, snapshots }
+    CycleData { cycle, snapshots, budget }
 }
 
 /// Renders **one** snapshot of a cycle — the bounded-memory unit. At
@@ -113,6 +126,17 @@ pub fn generate_snapshot(
     snap: usize,
     opts: &CampaignOptions,
 ) -> Vec<Trace> {
+    generate_snapshot_with_budget(world, cycle, snap, opts).0
+}
+
+/// [`generate_snapshot`] plus the snapshot's probe-budget tally — what
+/// the campaign spent and what the stopping rule pruned.
+pub fn generate_snapshot_with_budget(
+    world: &World,
+    cycle: usize,
+    snap: usize,
+    opts: &CampaignOptions,
+) -> (Vec<Trace>, ProbeBudget) {
     let configs = configs_for_cycle(cycle);
     let (vps, dsts) = probing_list(world, cycle, opts);
     let topo = if snap == 0 || opts.igp_perturbation <= 0.0 {
@@ -137,10 +161,11 @@ pub fn generate_snapshot(
             seed: opts.seed,
             snapshot_salt: (cycle as u64) << 8 | snap as u64,
             flow_churn_rate: if snap == 0 { 0.0 } else { opts.flow_churn_rate },
+            probing: opts.probing,
             ..ProbeOptions::default()
         },
     );
-    prober.campaign_par(&vps, &dsts, opts.threads)
+    prober.campaign_with_budget(&vps, &dsts, opts.threads)
 }
 
 /// A cycle's LPR results.

@@ -14,6 +14,7 @@
 //! | [`fig17::run`] | Fig. 17 (label re-optimisation sawtooth) |
 //! | [`ablations::run`] | design-choice ablations (filters, §5 rescue) |
 //! | [`validation::run`] | §5 Paris-MDA ground-truth validation |
+//! | [`mda_recall::run`] | MDA-Lite probes-per-destination vs recall curve |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +25,7 @@ pub mod fig17;
 pub mod fig6;
 pub mod fig789;
 pub mod longitudinal;
+pub mod mda_recall;
 pub mod output;
 pub mod summary;
 pub mod validation;

@@ -16,6 +16,7 @@
 //!   fig17     label re-optimisation sawtooth (Fig. 17)
 //!   ablations design-choice ablations (filters, §5 rescue)
 //!   validation §5 Paris-MDA ground-truth check of the classes
+//!   mda       MDA-Lite probes-per-destination vs diversity recall
 //!   summary   the abstract's three headline outcomes, recomputed
 //!   all       everything above
 //! ```
@@ -29,7 +30,9 @@
 //! as Chrome trace JSON — loadable in `chrome://tracing` or Perfetto,
 //! or foldable into a flamegraph via `lpr_obs::export::folded_stacks`.
 
-use experiments::{ablations, fig16, fig17, fig6, fig789, longitudinal, summary, validation};
+use experiments::{
+    ablations, fig16, fig17, fig6, fig789, longitudinal, mda_recall, summary, validation,
+};
 
 /// Runs one regenerator under an `exp:<name>` span so the trace shows
 /// where the wall time of an `all` run actually goes.
@@ -126,6 +129,7 @@ fn main() {
         "validation" => {
             with_span(&tracer, "validation", || validation::emit(&validation::run(&world, 45, 24)))
         }
+        "mda" => with_span(&tracer, "mda", || mda_recall::emit(&mda_recall::run(&world, 40))),
         "summary" => {
             with_span(&tracer, "summary", || summary::emit(&summary::run(rows.as_ref().unwrap())))
         }
@@ -141,6 +145,7 @@ fn main() {
             with_span(&tracer, "fig17", || fig17::emit(&fig17::run(&world)));
             with_span(&tracer, "ablations", || ablations::emit(&ablations::run(&world, 45)));
             with_span(&tracer, "validation", || validation::emit(&validation::run(&world, 45, 24)));
+            with_span(&tracer, "mda", || mda_recall::emit(&mda_recall::run(&world, 40)));
             with_span(&tracer, "summary", || summary::emit(&summary::run(rows)));
         }
         other => {

@@ -19,7 +19,7 @@ use crate::output::{announce, f3, print_table, write_csv};
 use ark_dataset::campaign::{analyze_cycle, generate_cycle, CampaignOptions};
 use ark_dataset::World;
 use lpr_core::classify::Class;
-use netsim::{Internet, ProbeOptions, Prober};
+use netsim::{Internet, MdaOptions, ProbeOptions, Prober, ProbingStrategy};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -45,6 +45,11 @@ impl Agreement {
 
 /// Runs the validation on one cycle: LPR first, then an MDA campaign
 /// over each classified IOTP's `(vp, dst)` pairs.
+///
+/// `flows` is the per-destination flow *budget*, not a fixed count:
+/// the prober's `n_k` stopping rule quits as soon as further diversity
+/// is statistically ruled out, and `flows` only caps how far it may
+/// run (the old exhaustive behaviour is the cap being hit every time).
 pub fn run(world: &World, cycle: usize, flows: usize) -> BTreeMap<&'static str, Agreement> {
     let opts = CampaignOptions::default();
     let data = generate_cycle(world, cycle, &opts);
@@ -64,9 +69,19 @@ pub fn run(world: &World, cycle: usize, flows: usize) -> BTreeMap<&'static str, 
         let Some((vp, dst)) = find_flow_through(world, &prober, &vps, iotp) else {
             continue;
         };
-        // IP-level multipath view between the IOTP's LERs.
-        let paths = prober.mda_paths(vp, dst, flows);
-        let distinct_between = distinct_subpaths(&paths, iotp.key.ingress, iotp.key.egress);
+        // IP-level multipath view between the IOTP's LERs, discovered
+        // under the MDA-Lite stopping rule with `flows` as the budget.
+        let discovery = prober.mda_discover(
+            vp,
+            dst,
+            &MdaOptions {
+                strategy: ProbingStrategy::MdaLite,
+                max_flows: flows,
+                ..MdaOptions::default()
+            },
+        );
+        let distinct_between =
+            distinct_subpaths(&discovery.paths, iotp.key.ingress, iotp.key.egress);
 
         let (bucket, expect_multi) = match cls.class {
             Class::MonoLsp => ("Mono-LSP -> single IP path", false),

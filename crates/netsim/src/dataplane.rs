@@ -120,6 +120,59 @@ fn pick(flow: u64, router: RouterId, n: usize, salt: u64) -> usize {
     (splitmix64(flow ^ ((router.0 as u64) << 32) ^ (salt << 56)) % n as u64) as usize
 }
 
+/// Hash-domain salt for equal-cost **next-hop** choice.
+pub const ECMP_SALT: u64 = 0x22;
+
+/// Hash-domain salt for **parallel-link** (bundle member) choice; a
+/// distinct domain from [`ECMP_SALT`] so the two levels of balancing
+/// decorrelate even at the same router.
+pub const LINK_SALT: u64 = 0x11;
+
+/// The explicit Paris flow-id → ECMP-hash mapping: the equal-cost
+/// next-hop index a flow identifier selects at `router` when `n` next
+/// hops are on offer. This *is* the function the forwarding walk
+/// applies (per-flow load balancing: constant within a trace), exposed
+/// so an MDA prober can steer flows deterministically towards a chosen
+/// branch instead of sampling the flow space blind.
+pub fn ecmp_index(flow: u64, router: RouterId, n: usize) -> usize {
+    pick(flow, router, n, ECMP_SALT)
+}
+
+/// The parallel-link member index a flow identifier selects at
+/// `router` across an `n`-wide bundle — the [`ecmp_index`] companion
+/// for the second balancing level.
+pub fn link_index(flow: u64, router: RouterId, n: usize) -> usize {
+    pick(flow, router, n, LINK_SALT)
+}
+
+/// Searches the flow space around `base` for identifiers covering every
+/// ECMP index at `router`: slot `i` of the result satisfies
+/// `ecmp_index(flow, router, n) == i`. The search is deterministic
+/// (seeded walks of `splitmix64`), and with a uniform hash the expected
+/// cost is `O(n log n)` trials; a slot that stays uncovered after the
+/// bounded search falls back to `base` (vanishingly unlikely for the
+/// fan-outs real routers have).
+pub fn steering_flows(base: u64, router: RouterId, n: usize) -> Vec<u64> {
+    let mut out: Vec<Option<u64>> = vec![None; n];
+    let mut found = 0usize;
+    for attempt in 0..(64 * n.max(1) as u64) {
+        let flow = if attempt == 0 {
+            base
+        } else {
+            splitmix64(base ^ (attempt << 7) ^ ((router.0 as u64) << 40))
+        };
+        let i = ecmp_index(flow, router, n);
+        if out[i].is_none() {
+            out[i] = Some(flow);
+            found += 1;
+            if found == n {
+                break;
+            }
+        }
+    }
+    out.into_iter().map(|slot| slot.unwrap_or(base)).collect()
+}
+
 /// The per-/24 selection key used for BGP tie-breaking and TE LSP
 /// binding (the FEC is destination-prefix based).
 pub fn prefix_key(dst: Ipv4Addr) -> u64 {
@@ -139,7 +192,7 @@ fn pick_link(topo: &Topology, cur: RouterId, next: RouterId, flow: u64) -> Optio
     if ifaces.is_empty() {
         return None;
     }
-    let chosen = ifaces[pick(flow, cur, ifaces.len(), 0x11)];
+    let chosen = ifaces[pick(flow, cur, ifaces.len(), LINK_SALT)];
     Some(topo.iface(topo.iface(chosen).peer).addr)
 }
 
@@ -264,7 +317,7 @@ pub(crate) fn probe_ladder(
                 if nhs.is_empty() {
                     return LadderEnd::Unreachable;
                 }
-                let iface_id = nhs[pick(flow, cur, nhs.len(), 0x22)];
+                let iface_id = nhs[pick(flow, cur, nhs.len(), ECMP_SALT)];
                 let peer_iface = topo.iface(topo.iface(iface_id).peer);
                 let next = peer_iface.router;
                 let ldp = net.ldp(as_id).expect("LDP tunnel implies LDP state");
@@ -384,7 +437,7 @@ pub(crate) fn probe_ladder(
                 if nhs.is_empty() {
                     return LadderEnd::Unreachable;
                 }
-                let iface_id = nhs[pick(flow, cur, nhs.len(), 0x22)];
+                let iface_id = nhs[pick(flow, cur, nhs.len(), ECMP_SALT)];
                 let peer_iface = topo.iface(topo.iface(iface_id).peer);
                 let next = peer_iface.router;
 

@@ -19,6 +19,7 @@
 
 use crate::dataplane::{probe_ladder, LadderEnd, ProbeReply};
 use crate::internet::{splitmix64, Internet};
+use crate::mda::{self, ProbingStrategy};
 use lpr_chaos::{FaultCounts, FaultPlan};
 use lpr_core::trace::{Hop, Trace};
 use std::net::Ipv4Addr;
@@ -38,6 +39,11 @@ pub struct ProbeOptions {
     pub snapshot_salt: u64,
     /// Fraction of `(vp, dst)` flows remapped this snapshot.
     pub flow_churn_rate: f64,
+    /// How campaigns spend probes: exhaustive every-pair walks (the
+    /// default — today's behaviour, the golden shape) or the
+    /// [`crate::mda`] stopping rules pruning each `(vp, /24)` host
+    /// group once its ECMP width is statistically settled.
+    pub probing: ProbingStrategy,
 }
 
 impl Default for ProbeOptions {
@@ -48,7 +54,54 @@ impl Default for ProbeOptions {
             seed: 0,
             snapshot_salt: 0,
             flow_churn_rate: 0.0,
+            probing: ProbingStrategy::Exhaustive,
         }
+    }
+}
+
+/// Per-campaign probe-budget accounting: what a campaign spent and what
+/// the stopping rule saved. Under [`ProbingStrategy::Exhaustive`] every
+/// pair is probed and nothing is pruned; the stochastic strategies
+/// prune whole pairs once a host group's widest hop meets its `n_k`
+/// threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeBudget {
+    /// `(vp, dst)` pairs the campaign was asked to cover.
+    pub pairs_total: u64,
+    /// Pairs actually traced (emitted a trace).
+    pub pairs_probed: u64,
+    /// Pairs skipped by the stopping rule.
+    pub pairs_pruned: u64,
+    /// Flow-varied ladder walks that produced emitted traces.
+    pub flows_traced: u64,
+    /// Probe packets sent, re-confirmation walks included.
+    pub probes_sent: u64,
+    /// Steered per-hop re-confirmation walks ([`ProbingStrategy::Mda`]
+    /// only).
+    pub confirmations: u64,
+    /// Host groups whose stopping rule settled within the group.
+    pub groups_stopped: u64,
+    /// Host groups that ran out of hosts before the rule settled.
+    pub groups_exhausted: u64,
+}
+
+impl ProbeBudget {
+    /// Folds another tally into this one, field-wise.
+    pub fn merge(&mut self, other: &ProbeBudget) {
+        self.pairs_total += other.pairs_total;
+        self.pairs_probed += other.pairs_probed;
+        self.pairs_pruned += other.pairs_pruned;
+        self.flows_traced += other.flows_traced;
+        self.probes_sent += other.probes_sent;
+        self.confirmations += other.confirmations;
+        self.groups_stopped += other.groups_stopped;
+        self.groups_exhausted += other.groups_exhausted;
+    }
+
+    /// Probe packets per requested destination pair — the headline
+    /// MDA-Lite economy number.
+    pub fn probes_per_pair(&self) -> f64 {
+        self.probes_sent as f64 / self.pairs_total.max(1) as f64
     }
 }
 
@@ -64,6 +117,14 @@ struct ProbeMetrics {
     /// RFC 4950 quoted label-stack depth per time-exceeded reply
     /// (`probe.stack_depth`); depth 0 means no labels quoted.
     stack_depth: std::sync::Arc<lpr_obs::Histogram>,
+    /// Flow walks that produced emitted traces (`probe.budget.flows`).
+    budget_flows: std::sync::Arc<lpr_obs::Counter>,
+    /// Pairs pruned by the stopping rule (`probe.budget.pruned`).
+    budget_pruned: std::sync::Arc<lpr_obs::Counter>,
+    /// Host groups settled by the rule (`probe.budget.stopped`).
+    budget_stopped: std::sync::Arc<lpr_obs::Counter>,
+    /// Host groups that ran dry first (`probe.budget.exhausted`).
+    budget_exhausted: std::sync::Arc<lpr_obs::Counter>,
     /// The recorder's span/event journal: campaigns run inside a
     /// `campaign` span with per-shard child spans (inert by default).
     tracer: lpr_obs::Tracer,
@@ -116,6 +177,10 @@ impl<'a> Prober<'a> {
             replies: recorder.counter(lpr_obs::names::PROBE_REPLIES),
             anonymous: recorder.counter(lpr_obs::names::PROBE_ANONYMOUS),
             stack_depth: recorder.histogram(lpr_obs::names::PROBE_STACK_DEPTH),
+            budget_flows: recorder.counter(lpr_obs::names::PROBE_BUDGET_FLOWS),
+            budget_pruned: recorder.counter(lpr_obs::names::PROBE_BUDGET_PRUNED),
+            budget_stopped: recorder.counter(lpr_obs::names::PROBE_BUDGET_STOPPED),
+            budget_exhausted: recorder.counter(lpr_obs::names::PROBE_BUDGET_EXHAUSTED),
             tracer: recorder.tracer().clone(),
         });
         self
@@ -130,7 +195,7 @@ impl<'a> Prober<'a> {
     /// The [`Sync`] view of this prober that shard workers share; the
     /// fault tally (a `Cell`) stays behind, accumulated per worker and
     /// merged back in shard order.
-    fn core(&self) -> ProbeCore<'_> {
+    pub(crate) fn core(&self) -> ProbeCore<'_> {
         ProbeCore {
             net: self.net,
             opts: &self.opts,
@@ -140,7 +205,7 @@ impl<'a> Prober<'a> {
     }
 
     /// Folds a worker-local fault tally into the prober's running total.
-    fn merge_injected(&self, injected: FaultCounts) {
+    pub(crate) fn merge_injected(&self, injected: FaultCounts) {
         if injected.total() > 0 {
             let mut total = self.injected.get();
             total.merge(&injected);
@@ -170,6 +235,12 @@ impl<'a> Prober<'a> {
     /// paths observed (responsive-hop address sequences). The §5
     /// validation campaign compares this IP-level view against the
     /// label-level LPR classes.
+    #[deprecated(
+        since = "0.9.0",
+        note = "a fixed flow count samples blind; use `mda_discover`, whose \
+                stopping rule spends probes only while undiscovered branches \
+                remain plausible (pass the old count as `max_flows`)"
+    )]
     pub fn mda_paths(&self, vp: Ipv4Addr, dst: Ipv4Addr, flows: usize) -> Vec<Vec<Ipv4Addr>> {
         let mut paths = std::collections::BTreeSet::new();
         for k in 0..flows {
@@ -204,18 +275,127 @@ impl<'a> Prober<'a> {
         dsts: &[Ipv4Addr],
         threads: usize,
     ) -> Vec<Trace> {
+        self.campaign_with_budget(vps, dsts, threads).0
+    }
+
+    /// [`Prober::campaign_par`] plus the campaign's [`ProbeBudget`].
+    /// Under [`ProbingStrategy::Exhaustive`] the work unit is the
+    /// `(vp, dst)` pair, exactly as before. The stochastic strategies
+    /// shard over `(vp, /24 host group)` units instead: each group is
+    /// self-contained (its stopping rule sees only its own traces), so
+    /// contiguous group shards concatenated in shard order stay
+    /// byte-identical at any thread count — same discipline, coarser
+    /// unit. Emitted traces are the exhaustive campaign's traces for
+    /// the probed pairs; pruned pairs emit nothing.
+    pub fn campaign_with_budget(
+        &self,
+        vps: &[Ipv4Addr],
+        dsts: &[Ipv4Addr],
+        threads: usize,
+    ) -> (Vec<Trace>, ProbeBudget) {
         let core = self.core();
         let tracer = self.tracer();
         let span = tracer.span("campaign");
+        let strategy = self.opts.probing;
+        let mut budget = ProbeBudget {
+            pairs_total: (vps.len() * dsts.len()) as u64,
+            ..ProbeBudget::default()
+        };
+        let out = match strategy {
+            ProbingStrategy::Exhaustive => {
+                self.exhaustive_campaign(vps, dsts, threads, &tracer, &span, &mut budget)
+            }
+            _ => {
+                let groups = mda::prefix_groups(dsts);
+                let work: Vec<(Ipv4Addr, usize, usize)> = vps
+                    .iter()
+                    .flat_map(|&vp| groups.iter().map(move |&(s, e)| (vp, s, e)))
+                    .collect();
+                if threads == 1 {
+                    let mut injected = FaultCounts::default();
+                    let mut out = Vec::with_capacity(vps.len() * dsts.len());
+                    for &(vp, s, e) in &work {
+                        let (traces, group) =
+                            mda::probe_group(core, vp, &dsts[s..e], strategy, &mut injected);
+                        budget.merge(&group);
+                        out.extend(traces);
+                    }
+                    self.merge_injected(injected);
+                    out
+                } else {
+                    let run = lpr_par::map_shards_traced(
+                        &work,
+                        lpr_par::ShardOptions::new(threads),
+                        lpr_par::ShardTrace::new(&tracer, span.context()),
+                        |_, shard| {
+                            let mut injected = FaultCounts::default();
+                            let mut tally = ProbeBudget::default();
+                            let traces: Vec<Trace> = shard
+                                .iter()
+                                .flat_map(|&(vp, s, e)| {
+                                    let (traces, group) = mda::probe_group(
+                                        core,
+                                        vp,
+                                        &dsts[s..e],
+                                        strategy,
+                                        &mut injected,
+                                    );
+                                    tally.merge(&group);
+                                    traces
+                                })
+                                .collect();
+                            (traces, injected, tally)
+                        },
+                    )
+                    .expect_ok();
+                    let mut out = Vec::with_capacity(vps.len() * dsts.len());
+                    let mut merged = FaultCounts::default();
+                    for (traces, injected, tally) in run.outputs {
+                        out.extend(traces);
+                        merged.merge(&injected);
+                        budget.merge(&tally);
+                    }
+                    self.merge_injected(merged);
+                    out
+                }
+            }
+        };
+        budget.pairs_probed = out.len() as u64;
+        budget.pairs_pruned = budget.pairs_total - budget.pairs_probed;
+        if let Some(m) = &self.metrics {
+            m.budget_flows.add(budget.flows_traced);
+            m.budget_pruned.add(budget.pairs_pruned);
+            m.budget_stopped.add(budget.groups_stopped);
+            m.budget_exhausted.add(budget.groups_exhausted);
+        }
+        (out, budget)
+    }
+
+    /// The original every-pair campaign (pair-sharded, golden shape),
+    /// with probe counting folded into `budget`.
+    fn exhaustive_campaign(
+        &self,
+        vps: &[Ipv4Addr],
+        dsts: &[Ipv4Addr],
+        threads: usize,
+        tracer: &lpr_obs::Tracer,
+        span: &lpr_obs::Span,
+        budget: &mut ProbeBudget,
+    ) -> Vec<Trace> {
+        let core = self.core();
         if threads == 1 {
             let mut injected = FaultCounts::default();
             let mut out = Vec::with_capacity(vps.len() * dsts.len());
             for &vp in vps {
                 for &dst in dsts {
                     let flow = core.flow(vp, dst);
-                    out.push(core.trace_with_flow(vp, dst, flow, &mut injected));
+                    let (trace, probes) =
+                        core.trace_with_flow_counted(vp, dst, flow, &mut injected);
+                    budget.probes_sent += probes;
+                    out.push(trace);
                 }
             }
+            budget.flows_traced = out.len() as u64;
             self.merge_injected(injected);
             return out;
         }
@@ -226,26 +406,32 @@ impl<'a> Prober<'a> {
         let run = lpr_par::map_shards_traced(
             &pairs,
             lpr_par::ShardOptions::new(threads),
-            lpr_par::ShardTrace::new(&tracer, span.context()),
+            lpr_par::ShardTrace::new(tracer, span.context()),
             |_, shard| {
                 let mut injected = FaultCounts::default();
+                let mut probes = 0u64;
                 let traces: Vec<Trace> = shard
                     .iter()
                     .map(|&(vp, dst)| {
                         let flow = core.flow(vp, dst);
-                        core.trace_with_flow(vp, dst, flow, &mut injected)
+                        let (trace, p) =
+                            core.trace_with_flow_counted(vp, dst, flow, &mut injected);
+                        probes += p;
+                        trace
                     })
                     .collect();
-                (traces, injected)
+                (traces, injected, probes)
             },
         )
         .expect_ok();
         let mut out = Vec::with_capacity(pairs.len());
         let mut merged = FaultCounts::default();
-        for (traces, injected) in run.outputs {
+        for (traces, injected, probes) in run.outputs {
             out.extend(traces);
             merged.merge(&injected);
+            budget.probes_sent += probes;
         }
+        budget.flows_traced = out.len() as u64;
         self.merge_injected(merged);
         out
     }
@@ -256,16 +442,16 @@ impl<'a> Prober<'a> {
 /// concurrently while each accumulates faults into its own
 /// [`FaultCounts`].
 #[derive(Clone, Copy)]
-struct ProbeCore<'a> {
-    net: &'a Internet,
-    opts: &'a ProbeOptions,
+pub(crate) struct ProbeCore<'a> {
+    pub(crate) net: &'a Internet,
+    pub(crate) opts: &'a ProbeOptions,
     metrics: Option<&'a ProbeMetrics>,
     faults: Option<&'a FaultPlan>,
 }
 
 impl ProbeCore<'_> {
     /// The Paris flow identifier for a `(vp, dst)` pair this snapshot.
-    fn flow(&self, vp: Ipv4Addr, dst: Ipv4Addr) -> u64 {
+    pub(crate) fn flow(&self, vp: Ipv4Addr, dst: Ipv4Addr) -> u64 {
         let base = splitmix64(
             (u32::from(vp) as u64) ^ ((u32::from(dst) as u64) << 32) ^ self.opts.seed,
         );
@@ -299,16 +485,44 @@ impl ProbeCore<'_> {
         ttl as u32 * 1500 + (h % 900) as u32
     }
 
-    /// One traceroute over a single forwarding walk: the TTL ladder
-    /// consumes the walk's per-TTL expiry events in order, then its
-    /// terminal (Echo/Unreachable) — O(hops) where probing each TTL
-    /// separately was O(hops²).
-    fn trace_with_flow(
+    /// [`ProbeCore::trace_with_flow`] plus the exact number of probe
+    /// packets the ladder spent — the currency budget accounting is
+    /// denominated in.
+    pub(crate) fn trace_with_flow_counted(
         &self,
         vp: Ipv4Addr,
         dst: Ipv4Addr,
         flow: u64,
         injected: &mut FaultCounts,
+    ) -> (Trace, u64) {
+        let mut probes = 0u64;
+        let trace = self.run_ladder(vp, dst, flow, injected, &mut probes);
+        (trace, probes)
+    }
+
+    /// One traceroute over a single forwarding walk.
+    pub(crate) fn trace_with_flow(
+        &self,
+        vp: Ipv4Addr,
+        dst: Ipv4Addr,
+        flow: u64,
+        injected: &mut FaultCounts,
+    ) -> Trace {
+        let mut probes = 0u64;
+        self.run_ladder(vp, dst, flow, injected, &mut probes)
+    }
+
+    /// The TTL ladder over a single forwarding walk: consumes the
+    /// walk's per-TTL expiry events in order, then its terminal
+    /// (Echo/Unreachable) — O(hops) where probing each TTL separately
+    /// was O(hops²).
+    fn run_ladder(
+        &self,
+        vp: Ipv4Addr,
+        dst: Ipv4Addr,
+        flow: u64,
+        injected: &mut FaultCounts,
+        probes: &mut u64,
     ) -> Trace {
         let mut trace = Trace::new(vp, dst);
         let mut gap = 0u8;
@@ -316,6 +530,7 @@ impl ProbeCore<'_> {
         let end = probe_ladder(self.net, vp, dst, flow, self.opts.max_ttl as usize, &mut events);
         let mut events = events.into_iter();
         for ttl in 1..=self.opts.max_ttl {
+            *probes += 1;
             if let Some(m) = self.metrics {
                 m.sent.inc();
             }

@@ -75,6 +75,15 @@ pub const PROBE_SENT: &str = "probe.sent";
 pub const PROBE_REPLIES: &str = "probe.replies";
 /// Probes lost to anonymous routers.
 pub const PROBE_ANONYMOUS: &str = "probe.anonymous";
+/// Host groups where the MDA stopping rule ran out of hosts before
+/// settling.
+pub const PROBE_BUDGET_EXHAUSTED: &str = "probe.budget.exhausted";
+/// Flow-varied ladder walks that emitted campaign traces.
+pub const PROBE_BUDGET_FLOWS: &str = "probe.budget.flows";
+/// `(vp, dst)` pairs pruned by the MDA stopping rule.
+pub const PROBE_BUDGET_PRUNED: &str = "probe.budget.pruned";
+/// Host groups whose MDA stopping rule settled within the group.
+pub const PROBE_BUDGET_STOPPED: &str = "probe.budget.stopped";
 
 /// Input files that failed wholesale conversion.
 pub const CLI_CONVERT_FAILURES: &str = "cli.convert_failures";
@@ -147,6 +156,10 @@ pub const ALL_COUNTERS: &[&str] = &[
     PIPELINE_TRACES_QUARANTINED,
     PIPELINE_TUNNELS,
     PROBE_ANONYMOUS,
+    PROBE_BUDGET_EXHAUSTED,
+    PROBE_BUDGET_FLOWS,
+    PROBE_BUDGET_PRUNED,
+    PROBE_BUDGET_STOPPED,
     PROBE_REPLIES,
     PROBE_SENT,
     QUARANTINE_DUPLICATE_TTL,
@@ -223,5 +236,8 @@ mod tests {
         let quarantines: Vec<&&str> =
             ALL_COUNTERS.iter().filter(|n| n.starts_with("quarantine.")).collect();
         assert_eq!(quarantines.len(), 5, "one counter per QuarantineReason variant");
+        let budgets: Vec<&&str> =
+            ALL_COUNTERS.iter().filter(|n| n.starts_with("probe.budget.")).collect();
+        assert_eq!(budgets.len(), 4, "one counter per campaign budget tally");
     }
 }
