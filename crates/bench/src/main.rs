@@ -113,6 +113,7 @@ fn main() {
     let code = match args.first().map(|s| s.as_str()) {
         Some("pipeline") => pipeline(&args[1..]),
         Some("mda") => mda_cmd(&args[1..]),
+        Some("revelation") => revelation_cmd(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
         Some("serve") => serve_soak(&args[1..]),
         Some("corrupt") => corrupt_cmd(&args[1..]),
@@ -143,6 +144,8 @@ USAGE:
                      [--trace-level debug|info|warn|error]
   lpr-bench mda      [--out BENCH_mda.json] [--cycle N] [--hosts N]
                      [--max-probes-per-dst F]
+  lpr-bench revelation [--out BENCH_revelation.json] [--cycle N]
+                     [--mix explicit:F,implicit:F,invisible:F,opaque:F]
   lpr-bench chaos    [--out BENCH_chaos.json] [--seed N]
                      [--rates 0,0.02,0.05,0.1] [--snapshots N] [--cycle N]
                      [--drift-bound F] [--trace-out trace.json]
@@ -223,6 +226,18 @@ exhaustive cycle's classified IOTP set. The report lands in `--out`
 reach 0.95, every thread count must agree byte-for-byte, the stopping
 rule must actually save probes, and `--max-probes-per-dst` (when
 given) must hold.
+
+`revelation` gates the TNT-style tunnel-revelation phase: one cycle is
+rendered under `--mix` (a tunnel-visibility mix hiding part of the
+MPLS deployment; default explicit:0.4,implicit:0.2,invisible:0.2,\
+opaque:0.2), the campaign runs with revelation at probing thread
+counts 1/2/4/8 — traces, probe budget and revealed evidence must all
+be byte-identical to the sequential run — and the cycle is analysed
+twice, plain LPR vs LPR with the revealed evidence applied. The report
+lands in `--out` (default BENCH_revelation.json) with a top-level
+\"passed\": the IOTP count must rise, the Unclassified share must not
+grow, at least one tunnel must actually be revealed, the DPR probe
+overhead must be accounted, and every thread count must agree.
 
 `--mem-ceiling-bytes N` exits non-zero when the ingest phase's peak
 resident bytes exceed N — the CI guard that out-of-core stays
@@ -1271,6 +1286,175 @@ fn mda_cmd(args: &[String]) -> i32 {
     }
 }
 
+/// `lpr-bench revelation`: the A/B gate for the TNT-style revelation
+/// phase. Renders one cycle under a tunnel-visibility mix that hides
+/// part of the MPLS deployment, runs the campaign with revelation at
+/// probing thread counts 1/2/4/8 (byte-identity required), and
+/// analyses the cycle twice — plain LPR vs LPR plus revealed evidence.
+/// Passes when revelation recovers diversity (IOTP count rises, the
+/// Unclassified share does not grow), at least one tunnel was actually
+/// revealed, the probe overhead is accounted, and every thread count
+/// reproduced the sequential run byte-for-byte.
+fn revelation_cmd(args: &[String]) -> i32 {
+    let mut out_path = "BENCH_revelation.json".to_string();
+    let mut cycle = 40usize;
+    let mut mix = netsim::VisibilityMix {
+        explicit: 0.4,
+        implicit: 0.2,
+        invisible: 0.2,
+        opaque: 0.2,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let want = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+            it.next().cloned().ok_or_else(|| format!("{flag} wants a value"))
+        };
+        let parsed = match a.as_str() {
+            "--out" => want(&mut it, "--out").map(|v| out_path = v),
+            "--cycle" => want(&mut it, "--cycle").and_then(|v| {
+                v.parse().map(|n| cycle = n).map_err(|e| format!("--cycle: {e}"))
+            }),
+            "--mix" => want(&mut it, "--mix").and_then(|v| {
+                netsim::VisibilityMix::parse(&v)
+                    .map(|m| mix = m)
+                    .ok_or_else(|| format!("--mix: cannot parse `{v}`"))
+            }),
+            other => Err(format!("unknown flag {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    }
+
+    let world = ark_dataset::standard_world();
+    let reveal_opts = netsim::RevelationOptions::default();
+    let generate = |threads: usize| {
+        let opts = ark_dataset::CampaignOptions {
+            visibility: Some(mix),
+            threads,
+            ..Default::default()
+        };
+        let sw = lpr_obs::Stopwatch::start();
+        let out =
+            ark_dataset::generate_cycle_with_revelation(&world, cycle, &opts, &reveal_opts);
+        (out, sw.elapsed_us().max(1))
+    };
+
+    say!("revelation campaign: cycle {cycle}, mix {} …", mix.render());
+    let ((data, evidence), seq_wall) = generate(1);
+    let ref_fp = campaign_fingerprint(&data.snapshots);
+    let traces = data.snapshots.iter().map(Vec::len).sum::<usize>();
+    say!("  sequential: {seq_wall:>10} us  {traces} traces  {} candidates", evidence.len());
+
+    // Thread sweep: traces, budget and evidence must all reproduce the
+    // sequential run exactly at every probing thread count.
+    let mut matches_all = true;
+    let mut sweep_rows: Vec<(usize, u64, bool)> = vec![(1, seq_wall, true)];
+    for &n in &CAMPAIGN_THREADS[1..] {
+        let ((d, ev), wall) = generate(n);
+        let matches = campaign_fingerprint(&d.snapshots) == ref_fp
+            && d.budget == data.budget
+            && ev == evidence;
+        if !matches {
+            eprintln!(
+                "FAIL: revelation campaign at {n} probing thread(s) diverges from \
+                 the sequential campaign"
+            );
+            matches_all = false;
+        }
+        sweep_rows.push((n, wall, matches));
+        say!(
+            "  revelation @{n} threads: {:>10} us  {}",
+            wall,
+            if matches { "bytes identical" } else { "BYTES DIVERGED" },
+        );
+    }
+
+    // A/B: the same traces analysed without and with the evidence.
+    let base = ark_dataset::analyze_cycle(&world, &data, 2);
+    let revealed = ark_dataset::analyze_cycle_revealed(&world, &data, 2, &evidence);
+    let base_counts = base.output.class_counts();
+    let rev_counts = revealed.output.class_counts();
+    let base_share =
+        base_counts.unclassified as f64 / base_counts.total().max(1) as f64;
+    let rev_share = rev_counts.unclassified as f64 / rev_counts.total().max(1) as f64;
+    let revealed_tunnels = evidence
+        .iter()
+        .filter(|e| e.status == lpr_core::reveal::RevelationStatus::Revealed)
+        .count() as u64;
+    let base_probes = (data.budget.probes_sent - data.budget.revelation_probes).max(1);
+    let overhead = data.budget.revelation_probes as f64 / base_probes as f64;
+    say!(
+        "  A/B: IOTPs {} -> {}; unclassified share {:.3} -> {:.3}; \
+         {} of {} candidates revealed; {} DPR probes ({:.1}% overhead)",
+        base_counts.total(),
+        rev_counts.total(),
+        base_share,
+        rev_share,
+        revealed_tunnels,
+        data.budget.revelation_triggers,
+        data.budget.revelation_probes,
+        overhead * 100.0,
+    );
+
+    let diversity_recovered =
+        rev_counts.total() > base_counts.total() && rev_share <= base_share;
+    let passed = diversity_recovered
+        && revealed_tunnels > 0
+        && data.budget.revelation_probes > 0
+        && matches_all;
+
+    let side = |counts: &lpr_core::pipeline::ClassCounts| {
+        JsonValue::Object(vec![
+            ("iotps".to_string(), JsonValue::Int(counts.total() as i128)),
+            ("mono_lsp".to_string(), JsonValue::Int(counts.mono_lsp as i128)),
+            ("multi_fec".to_string(), JsonValue::Int(counts.multi_fec as i128)),
+            ("mono_fec".to_string(), JsonValue::Int(counts.mono_fec() as i128)),
+            ("unclassified".to_string(), JsonValue::Int(counts.unclassified as i128)),
+        ])
+    };
+    let report = JsonValue::Object(vec![
+        ("bench".to_string(), JsonValue::Str("revelation".to_string())),
+        ("cycle".to_string(), JsonValue::Int(cycle as i128)),
+        ("mix".to_string(), JsonValue::Str(mix.render())),
+        ("traces".to_string(), JsonValue::Int(traces as i128)),
+        ("base".to_string(), side(&base_counts)),
+        ("revealed".to_string(), side(&rev_counts)),
+        (
+            "revelation".to_string(),
+            JsonValue::Object(vec![
+                (
+                    "triggers".to_string(),
+                    JsonValue::Int(data.budget.revelation_triggers as i128),
+                ),
+                ("revealed".to_string(), JsonValue::Int(revealed_tunnels as i128)),
+                (
+                    "probes".to_string(),
+                    JsonValue::Int(data.budget.revelation_probes as i128),
+                ),
+                ("probe_overhead".to_string(), JsonValue::Float(overhead)),
+            ]),
+        ),
+        ("thread_sweep".to_string(), sweep_json(&sweep_rows, traces as u64)),
+        ("matches_across_threads".to_string(), JsonValue::Bool(matches_all)),
+        ("diversity_recovered".to_string(), JsonValue::Bool(diversity_recovered)),
+        ("passed".to_string(), JsonValue::Bool(passed)),
+    ])
+    .render_pretty();
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("{out_path}: {e}");
+        return 1;
+    }
+    say!("wrote {out_path}");
+    if passed {
+        0
+    } else {
+        eprintln!("FAIL: the revelation acceptance bar was not met (see {out_path})");
+        1
+    }
+}
+
 /// The demo-scale out-of-core leg of `lpr-bench pipeline`: writes the
 /// decoded cycle as a multi-file corpus, indexes it (cold, then cached),
 /// spills the persistence window, and verifies that the out-of-core
@@ -1790,6 +1974,55 @@ fn parse_rates(spec: &str) -> Result<Vec<f64>, String> {
 /// byte-identical `PipelineOutput` from 1 through 8 workers.
 const CHAOS_THREADS: [usize; 4] = [1, 2, 4, 8];
 
+/// The fixed fixture for the chaos sweep's revelation leg: one Juniper
+/// transit AS whose tunnel-visibility mix hides most of the deployment
+/// from plain traceroute, so the revelation phase has real work that
+/// the injected trigger/DPR faults can take away.
+fn chaos_revelation_net() -> netsim::Internet {
+    let mut cfg = netsim::MplsConfig::ldp_default();
+    // Half the LER pairs stay explicit so the pipeline keeps a stable
+    // base of label-visible IOTPs: class shares then move by a bounded
+    // amount when a fault knocks out a revealed candidate, instead of
+    // swinging the whole (tiny) denominator.
+    cfg.visibility = netsim::VisibilityMix {
+        explicit: 0.25,
+        implicit: 0.25,
+        invisible: 0.3,
+        opaque: 0.2,
+    };
+    let specs = vec![
+        netsim::AsSpec::transit(
+            65000,
+            "transit",
+            netsim::Vendor::Juniper,
+            netsim::TopologyParams {
+                core_routers: 12,
+                border_routers: 6,
+                ecmp_diamonds: 2,
+                ..Default::default()
+            },
+        ),
+        netsim::AsSpec::stub(100, "src-a", 0, 2),
+        netsim::AsSpec::stub(101, "src-b", 0, 2),
+        netsim::AsSpec::stub(200, "dst-a", 4, 0),
+        netsim::AsSpec::stub(201, "dst-b", 4, 0),
+        netsim::AsSpec::stub(202, "dst-c", 4, 0),
+        netsim::AsSpec::stub(203, "dst-d", 4, 0),
+    ];
+    let peerings = vec![
+        netsim::Peering::new(Asn(100), Asn(65000)).at_b(0),
+        netsim::Peering::new(Asn(101), Asn(65000)).at_b(3),
+        netsim::Peering::new(Asn(65000), Asn(200)).at_a(1),
+        netsim::Peering::new(Asn(65000), Asn(201)).at_a(2),
+        netsim::Peering::new(Asn(65000), Asn(202)).at_a(4),
+        netsim::Peering::new(Asn(65000), Asn(203)).at_a(5),
+    ];
+    let topo = netsim::Topology::build_with_peerings(&specs, &peerings);
+    let mut configs = std::collections::BTreeMap::new();
+    configs.insert(Asn(65000), cfg);
+    netsim::Internet::new(topo, &configs)
+}
+
 /// Per-reason quarantine tallies as JSON fields, in `QuarantineReason`
 /// declaration order (only reasons that fired appear).
 fn quarantine_fields(report: &lpr_core::quarantine::DegradedReport) -> Vec<(String, JsonValue)> {
@@ -2140,6 +2373,129 @@ fn chaos(args: &[String]) -> i32 {
         ]));
     }
 
+    // Revelation leg: the prober-level faults (lost trigger replies,
+    // rate-limited DPR walks) swept at the same rates over a fixed
+    // netsim fixture whose tunnel-visibility mix hides part of the
+    // deployment. The plan touches only revelation probes, so the base
+    // traces are identical to the clean run and faults can only remove
+    // evidence: the revealed count must fall monotonically towards the
+    // clean baseline, the Unclassified share must not shrink, every
+    // thread count must agree byte-for-byte, and the class shares stay
+    // inside the same drift bound as the main sweep.
+    let reveal_net = chaos_revelation_net();
+    let reveal_vps: Vec<std::net::Ipv4Addr> =
+        reveal_net.topo.vantage_points().iter().map(|(a, _)| *a).collect();
+    let reveal_dsts = reveal_net.topo.destinations(2);
+    let reveal_opts = netsim::RevelationOptions::default();
+    let mut reveal_rows: Vec<JsonValue> = Vec::new();
+    let mut reveal_baseline: Option<([f64; 4], u64)> = None;
+    for &rate in &rates {
+        // Trigger loss and DPR rate limiting hash per LER pair / per
+        // flow, and the fixture only has a handful of pairs — the
+        // sweep's byte-level rates are amplified so its low end still
+        // knocks out real candidates.
+        let plan = {
+            let mut p = lpr_chaos::FaultPlan::none(seed.wrapping_mul(0x9e37_79b9));
+            p.trigger_loss = (rate * 5.0).min(1.0);
+            p.dpr_rate_limit = (rate * 5.0).min(1.0);
+            p
+        };
+        let run_at = |threads: usize| {
+            let prober = netsim::Prober::new(&reveal_net, netsim::ProbeOptions::default())
+                .with_faults(plan);
+            let out = prober.campaign_with_revelation(
+                &reveal_vps,
+                &reveal_dsts,
+                threads,
+                &reveal_opts,
+            );
+            (out, prober.injected_faults())
+        };
+        let ((traces, budget, evidence), injected) = run_at(1);
+        let mut reveal_matches = true;
+        for &threads in &CHAOS_THREADS[1..] {
+            let ((t, b, e), _) = run_at(threads);
+            if t != traces || b != budget || e != evidence {
+                reveal_matches = false;
+            }
+        }
+        let keys = Pipeline::snapshot_keys(&traces);
+        let reveal_rib = reveal_net.topo.rib();
+        let mut out =
+            Pipeline::default().run(&traces, &reveal_rib, &[keys.clone(), keys]);
+        lpr_core::reveal::apply_revelations(&mut out, &evidence, None);
+        let counts = out.class_counts();
+        let shares = counts.fractions();
+        let (base_shares, base_revealed) =
+            *reveal_baseline.get_or_insert((shares, budget.revelation_revealed));
+        let drift = shares
+            .iter()
+            .zip(base_shares.iter())
+            .map(|(s, b)| (s - b).abs())
+            .fold(0.0f64, f64::max);
+        let drift_ok = drift <= drift_bound;
+        let monotone = budget.revelation_revealed <= base_revealed
+            && shares[3] >= base_shares[3];
+        if !reveal_matches {
+            eprintln!("FAIL: revelation rate {rate}: output diverges across thread counts");
+        }
+        if !drift_ok {
+            eprintln!(
+                "FAIL: revelation rate {rate}: class-share drift {drift:.3} exceeds \
+                 bound {drift_bound}"
+            );
+        }
+        if !monotone {
+            eprintln!(
+                "FAIL: revelation rate {rate}: faults fabricated evidence \
+                 (revealed {} > clean {base_revealed}, or Unclassified share shrank)",
+                budget.revelation_revealed,
+            );
+        }
+        let row_ok = reveal_matches && drift_ok && monotone;
+        if !row_ok {
+            failed = true;
+        }
+        say!(
+            "  revelation rate {rate:<5} triggers-lost {:>3} dpr-limited {:>3}  \
+             candidates {:>3} revealed {:>3} probes {:>5}  unclass {:.2} drift {:.3}  {}",
+            injected.trigger_replies_lost,
+            injected.dpr_rate_limited,
+            budget.revelation_triggers,
+            budget.revelation_revealed,
+            budget.revelation_probes,
+            shares[3],
+            drift,
+            if row_ok { "ok" } else { "FAIL" },
+        );
+        reveal_rows.push(JsonValue::Object(vec![
+            ("rate".to_string(), JsonValue::Float(rate)),
+            (
+                "trigger_replies_lost".to_string(),
+                JsonValue::Int(injected.trigger_replies_lost as i128),
+            ),
+            (
+                "dpr_rate_limited".to_string(),
+                JsonValue::Int(injected.dpr_rate_limited as i128),
+            ),
+            ("candidates".to_string(), JsonValue::Int(budget.revelation_triggers as i128)),
+            ("revealed".to_string(), JsonValue::Int(budget.revelation_revealed as i128)),
+            ("probes".to_string(), JsonValue::Int(budget.revelation_probes as i128)),
+            (
+                "class_shares".to_string(),
+                JsonValue::Object(vec![
+                    ("mono_lsp".to_string(), JsonValue::Float(shares[0])),
+                    ("multi_fec".to_string(), JsonValue::Float(shares[1])),
+                    ("mono_fec".to_string(), JsonValue::Float(shares[2])),
+                    ("unclassified".to_string(), JsonValue::Float(shares[3])),
+                ]),
+            ),
+            ("drift".to_string(), JsonValue::Float(drift)),
+            ("matches_across_threads".to_string(), JsonValue::Bool(reveal_matches)),
+            ("monotone".to_string(), JsonValue::Bool(monotone)),
+        ]));
+    }
+
     // Deliberately no wall times anywhere in this report: identical
     // seed + rates must yield a byte-identical BENCH_chaos.json.
     let report = JsonValue::Object(vec![
@@ -2156,6 +2512,7 @@ fn chaos(args: &[String]) -> i32 {
         ),
         ("rates".to_string(), JsonValue::Array(rates.iter().map(|&r| JsonValue::Float(r)).collect())),
         ("rows".to_string(), JsonValue::Array(rows)),
+        ("revelation".to_string(), JsonValue::Array(reveal_rows)),
         ("passed".to_string(), JsonValue::Bool(!failed)),
     ])
     .render_pretty();

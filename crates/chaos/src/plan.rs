@@ -14,6 +14,8 @@ const PHP_SILENT_SALT: u64 = 0x5048_5053_0000_0003;
 const TRUNCATE_SALT: u64 = 0x5452_554E_0000_0004;
 const DUPLICATE_SALT: u64 = 0x4455_504C_0000_0005;
 const REORDER_SALT: u64 = 0x5245_4F52_0000_0006;
+const TRIGGER_LOSS_SALT: u64 = 0x5452_4947_0000_0007;
+const DPR_RATE_SALT: u64 = 0x4450_5252_0000_0008;
 
 /// A deterministic, seeded fault plan for a measurement campaign.
 ///
@@ -41,6 +43,15 @@ pub struct FaultPlan {
     pub duplicate_reply: f64,
     /// Per-hop reply reordering (swapped with its successor).
     pub reorder_reply: f64,
+    /// Per-candidate loss of a revelation trigger: the artifact reply
+    /// that would have fired the tunnel-revelation phase never arrives,
+    /// so the candidate is silently not re-probed. Only the revelation
+    /// phase consults this — legacy campaigns are unaffected.
+    pub trigger_loss: f64,
+    /// Per-flow ICMP rate limiting of DPR (revelation) re-probe walks:
+    /// the targeted walk elicits nothing and contributes no revealed
+    /// path. Only the revelation phase consults this.
+    pub dpr_rate_limit: f64,
     /// Byte-level corruption rate for encoded warts streams (consumed
     /// by [`crate::corrupt_warts_bytes`], carried here so one plan
     /// describes a whole chaos run).
@@ -58,6 +69,8 @@ impl FaultPlan {
             truncate_ext: 0.0,
             duplicate_reply: 0.0,
             reorder_reply: 0.0,
+            trigger_loss: 0.0,
+            dpr_rate_limit: 0.0,
             corruption: 0.0,
         }
     }
@@ -74,6 +87,8 @@ impl FaultPlan {
             truncate_ext: rate,
             duplicate_reply: rate / 2.0,
             reorder_reply: rate / 2.0,
+            trigger_loss: rate,
+            dpr_rate_limit: rate,
             corruption: rate,
         }
     }
@@ -86,6 +101,8 @@ impl FaultPlan {
             && self.truncate_ext <= 0.0
             && self.duplicate_reply <= 0.0
             && self.reorder_reply <= 0.0
+            && self.trigger_loss <= 0.0
+            && self.dpr_rate_limit <= 0.0
             && self.corruption <= 0.0
     }
 
@@ -133,6 +150,27 @@ impl FaultPlan {
     /// Whether this reply overtakes its successor (arrives reordered).
     pub fn reorder_reply(&self, vp: Ipv4Addr, dst: Ipv4Addr, ttl: u8) -> bool {
         self.roll(REORDER_SALT, Self::probe_key(vp, dst, ttl), self.reorder_reply)
+    }
+
+    /// Whether the revelation trigger for the `(ingress, egress)`
+    /// candidate pair is lost before detection fires.
+    pub fn trigger_lost(&self, ingress: Ipv4Addr, egress: Ipv4Addr) -> bool {
+        self.roll(
+            TRIGGER_LOSS_SALT,
+            (u32::from(ingress) as u64) << 32 | u32::from(egress) as u64,
+            self.trigger_loss,
+        )
+    }
+
+    /// Whether the `k`-th DPR re-probe walk towards `egress` is
+    /// rate-limited away (keyed by target, so a limited egress drops a
+    /// correlated share of its revelation walks).
+    pub fn dpr_rate_limited(&self, egress: Ipv4Addr, k: usize) -> bool {
+        self.roll(
+            DPR_RATE_SALT,
+            (u32::from(egress) as u64) << 16 | (k as u64 & 0xFFFF),
+            self.dpr_rate_limit,
+        )
     }
 
     /// Applies the reply-content faults (loss, rate limiting, PHP
@@ -228,6 +266,10 @@ pub struct FaultCounts {
     pub duplicated: u64,
     /// Adjacent reply pairs swapped.
     pub reordered: u64,
+    /// Revelation triggers whose artifact reply was lost.
+    pub trigger_replies_lost: u64,
+    /// DPR revelation walks suppressed by ICMP rate limiting.
+    pub dpr_rate_limited: u64,
 }
 
 impl FaultCounts {
@@ -239,6 +281,8 @@ impl FaultCounts {
             + self.truncated_exts
             + self.duplicated
             + self.reordered
+            + self.trigger_replies_lost
+            + self.dpr_rate_limited
     }
 
     /// Accumulates another tally.
@@ -249,6 +293,8 @@ impl FaultCounts {
         self.truncated_exts += other.truncated_exts;
         self.duplicated += other.duplicated;
         self.reordered += other.reordered;
+        self.trigger_replies_lost += other.trigger_replies_lost;
+        self.dpr_rate_limited += other.dpr_rate_limited;
     }
 }
 

@@ -397,13 +397,21 @@ pub mod demo {
     use lpr_core::lsp::Asn;
     use netsim::{
         AsSpec, Internet, MplsConfig, Peering, ProbeOptions, Prober, TePathMode, Topology,
-        TopologyParams, Vendor,
+        TopologyParams, Vendor, VisibilityMix,
     };
     use std::collections::BTreeMap;
     use std::net::Ipv4Addr;
 
-    /// Builds the demo campaign and writes `(warts bytes, rib text)`.
+    /// Builds the demo campaign with all tunnels explicit and writes
+    /// `(warts bytes, rib text)`.
     pub fn write_demo_files() -> (Vec<u8>, String) {
+        write_demo_files_with(None)
+    }
+
+    /// Builds the demo campaign and writes `(warts bytes, rib text)`,
+    /// hiding part of the MPLS deployment when a tunnel-visibility mix
+    /// is given (`lpr demo --tunnel-visibility …`).
+    pub fn write_demo_files_with(visibility: Option<VisibilityMix>) -> (Vec<u8>, String) {
         let specs = vec![
             AsSpec::transit(
                 65000,
@@ -429,7 +437,11 @@ pub mod demo {
         let topo = Topology::build_with_peerings(&specs, &peerings);
         let rib_text = ip2as::to_rib_string(&topo.rib());
         let mut configs = BTreeMap::new();
-        configs.insert(Asn(65000), MplsConfig::with_te(0.5, 2, TePathMode::SamePath));
+        let mut cfg = MplsConfig::with_te(0.5, 2, TePathMode::SamePath);
+        if let Some(mix) = visibility {
+            cfg.visibility = mix;
+        }
+        configs.insert(Asn(65000), cfg);
         let net = Internet::new(topo, &configs);
         let prober = Prober::new(&net, ProbeOptions::default());
         let vps: Vec<Ipv4Addr> =
@@ -451,17 +463,28 @@ pub mod demo {
     pub fn run(args: &[String], w: &mut dyn Write) -> Result<(), CliError> {
         let mut out_path = None;
         let mut rib_path = None;
+        let mut visibility = None;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--out" => out_path = it.next().cloned(),
                 "--rib-out" => rib_path = it.next().cloned(),
+                "--tunnel-visibility" => {
+                    let spec = it.next().ok_or(CliError(
+                        "--tunnel-visibility wants \
+                         explicit:F,implicit:F,invisible:F,opaque:F"
+                            .into(),
+                    ))?;
+                    visibility = Some(VisibilityMix::parse(spec).ok_or_else(|| {
+                        CliError(format!("--tunnel-visibility: cannot parse `{spec}`"))
+                    })?);
+                }
                 other => return Err(CliError(format!("unknown demo flag {other}"))),
             }
         }
         let out_path = out_path.ok_or(CliError("--out <file> required".into()))?;
         let rib_path = rib_path.ok_or(CliError("--rib-out <file> required".into()))?;
-        let (bytes, rib) = write_demo_files();
+        let (bytes, rib) = write_demo_files_with(visibility);
         std::fs::write(&out_path, &bytes)?;
         std::fs::write(&rib_path, rib)?;
         writeln!(w, "wrote {out_path} ({} bytes) and {rib_path}", bytes.len())?;

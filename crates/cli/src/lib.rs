@@ -31,7 +31,7 @@ use std::io::Write;
 
 mod commands;
 
-pub use commands::demo::write_demo_files;
+pub use commands::demo::{write_demo_files, write_demo_files_with};
 
 /// A CLI failure, printable to the user.
 #[derive(Debug)]
@@ -740,6 +740,7 @@ USAGE:
   lpr dump     <file.warts>...
   lpr info     <file.warts>...
   lpr demo     --out <demo.warts> --rib-out <rib.txt>
+               [--tunnel-visibility explicit:F,implicit:F,invisible:F,opaque:F]
   lpr serve    --spool <dir> --rib <rib.txt> [--addr HOST:PORT] [--window N]
                [--threads N] [--tick-ms MS] [--ingest-timeout-ms MS]
                [--retries N] [--backoff-ms MS] [--backoff-cap-ms MS]
@@ -914,6 +915,40 @@ mod tests {
         // The second pass onward reused the .lpridx caches; a cached
         // open still matches.
         assert!(dir.join("demo.warts.lpridx").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn demo_tunnel_visibility_flag() {
+        let dir = std::env::temp_dir().join(format!("lpr-demo-vis-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let warts_path = dir.join("demo.warts").to_string_lossy().into_owned();
+        let rib_path = dir.join("rib.txt").to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        run(
+            &s(&[
+                "demo",
+                "--out",
+                &warts_path,
+                "--rib-out",
+                &rib_path,
+                "--tunnel-visibility",
+                "explicit:0.0,implicit:0.0,invisible:1.0,opaque:0.0",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        // An all-invisible deployment hides every label from the demo
+        // campaign, so its bytes cannot match the explicit demo's.
+        let hidden = std::fs::read(&warts_path).unwrap();
+        let (explicit, _) = write_demo_files();
+        assert_ne!(hidden, explicit, "--tunnel-visibility had no effect on the campaign");
+        // A malformed mix is rejected at the flag, not deep in netsim.
+        assert!(run(
+            &s(&["demo", "--out", &warts_path, "--rib-out", &rib_path, "--tunnel-visibility", "bogus"]),
+            &mut Vec::new(),
+        )
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

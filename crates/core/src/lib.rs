@@ -75,6 +75,7 @@ pub mod par;
 pub mod pipeline;
 pub mod quarantine;
 pub mod report;
+pub mod reveal;
 pub mod spill;
 pub mod stream;
 pub mod trace;
@@ -88,6 +89,10 @@ pub use fingerprint::{infer_vendors, InferredVendor, VendorEvidence};
 pub use label::{Label, LabelStack, Lse};
 pub use lsp::{Asn, Iotp, IotpKey, Lsp, LspHop, LspKey};
 pub use pipeline::{CycleSegment, IngestState, PersistenceWindow, Pipeline, PipelineOutput};
+pub use reveal::{
+    apply_revelations, detect_triggers, RevealedTunnel, RevelationStatus, RevelationSummary,
+    Trigger, TriggerKind,
+};
 pub use spill::{KeySpiller, SpilledKeys};
 pub use stream::CycleAccumulator;
 pub use trace::{Hop, Trace};

@@ -13,8 +13,12 @@ use lpr_core::filter::FilterConfig;
 use lpr_core::pipeline::{Pipeline, PipelineOutput};
 use lpr_core::report::CycleReport;
 use lpr_core::trace::Trace;
+use lpr_core::reveal::{apply_revelations, RevealedTunnel};
 use netsim::internet::splitmix64;
-use netsim::{Internet, ProbeBudget, ProbeOptions, Prober, ProbingStrategy};
+use netsim::{
+    Internet, ProbeBudget, ProbeOptions, Prober, ProbingStrategy, RevelationOptions,
+    VisibilityMix,
+};
 use std::net::Ipv4Addr;
 
 /// Campaign-wide options.
@@ -44,6 +48,10 @@ pub struct CampaignOptions {
     /// prune each `(vp, /24)` host group once its path diversity is
     /// statistically settled.
     pub probing: ProbingStrategy,
+    /// Tunnel-visibility override applied to every MPLS-enabled AS of
+    /// the cycle's configuration. `None` (the default) keeps each AS's
+    /// own visibility — the golden campaign shape.
+    pub visibility: Option<VisibilityMix>,
 }
 
 impl Default for CampaignOptions {
@@ -56,6 +64,7 @@ impl Default for CampaignOptions {
             hosts_per_prefix: 1,
             threads: 1,
             probing: ProbingStrategy::Exhaustive,
+            visibility: None,
         }
     }
 }
@@ -137,8 +146,24 @@ pub fn generate_snapshot_with_budget(
     snap: usize,
     opts: &CampaignOptions,
 ) -> (Vec<Trace>, ProbeBudget) {
-    let configs = configs_for_cycle(cycle);
+    let net = snapshot_net(world, cycle, snap, opts);
     let (vps, dsts) = probing_list(world, cycle, opts);
+    let prober = Prober::new(&net, snapshot_probe_opts(cycle, snap, opts));
+    prober.campaign_with_budget(&vps, &dsts, opts.threads)
+}
+
+/// The simulated Internet a snapshot is probed against, with the
+/// cycle's configs, the snapshot's IGP perturbation and TE
+/// re-optimisations, and the campaign's visibility override applied.
+fn snapshot_net(world: &World, cycle: usize, snap: usize, opts: &CampaignOptions) -> Internet {
+    let mut configs = configs_for_cycle(cycle);
+    if let Some(mix) = opts.visibility {
+        for cfg in configs.values_mut() {
+            if cfg.enabled {
+                cfg.visibility = mix;
+            }
+        }
+    }
     let topo = if snap == 0 || opts.igp_perturbation <= 0.0 {
         world.topo.clone()
     } else {
@@ -155,17 +180,51 @@ pub fn generate_snapshot_with_budget(
             net.reoptimize_te(asn);
         }
     }
-    let prober = Prober::new(
-        &net,
-        ProbeOptions {
-            seed: opts.seed,
-            snapshot_salt: (cycle as u64) << 8 | snap as u64,
-            flow_churn_rate: if snap == 0 { 0.0 } else { opts.flow_churn_rate },
-            probing: opts.probing,
-            ..ProbeOptions::default()
-        },
-    );
-    prober.campaign_with_budget(&vps, &dsts, opts.threads)
+    net
+}
+
+fn snapshot_probe_opts(cycle: usize, snap: usize, opts: &CampaignOptions) -> ProbeOptions {
+    ProbeOptions {
+        seed: opts.seed,
+        snapshot_salt: (cycle as u64) << 8 | snap as u64,
+        flow_churn_rate: if snap == 0 { 0.0 } else { opts.flow_churn_rate },
+        probing: opts.probing,
+        ..ProbeOptions::default()
+    }
+}
+
+/// [`generate_cycle`] with the revelation phase run over the primary
+/// snapshot: hidden-tunnel triggers detected in its traces are
+/// re-probed with DPR walks against the primary snapshot's network.
+/// Follow-up snapshots render exactly as in [`generate_cycle`], and the
+/// revelation probes are folded into the cycle's budget.
+pub fn generate_cycle_with_revelation(
+    world: &World,
+    cycle: usize,
+    opts: &CampaignOptions,
+    reveal_opts: &RevelationOptions,
+) -> (CycleData, Vec<RevealedTunnel>) {
+    let mut budget = ProbeBudget::default();
+    let mut evidence = Vec::new();
+    let snapshots = (0..opts.snapshots)
+        .map(|snap| {
+            if snap == 0 {
+                let net = snapshot_net(world, cycle, snap, opts);
+                let (vps, dsts) = probing_list(world, cycle, opts);
+                let prober = Prober::new(&net, snapshot_probe_opts(cycle, snap, opts));
+                let (traces, b, ev) =
+                    prober.campaign_with_revelation(&vps, &dsts, opts.threads, reveal_opts);
+                budget.merge(&b);
+                evidence = ev;
+                traces
+            } else {
+                let (traces, b) = generate_snapshot_with_budget(world, cycle, snap, opts);
+                budget.merge(&b);
+                traces
+            }
+        })
+        .collect();
+    (CycleData { cycle, snapshots, budget }, evidence)
 }
 
 /// A cycle's LPR results.
@@ -186,6 +245,28 @@ pub fn analyze_cycle(world: &World, data: &CycleData, j: usize) -> CycleAnalysis
         .collect();
     let pipeline = Pipeline::new(FilterConfig { persistence_window: j, ..Default::default() });
     let output = pipeline.run(&data.snapshots[0], world.rib(), &future);
+    let report = CycleReport::build(&data.snapshots[0], &output, world.rib());
+    CycleAnalysis { output, report }
+}
+
+/// [`analyze_cycle`] with the revelation classifier stage applied: the
+/// revealed evidence upgrades Unclassified (and diversity-hiding
+/// Mono-LSP) IOTPs before the per-AS report is built, so the report
+/// reflects the revealed diversity.
+pub fn analyze_cycle_revealed(
+    world: &World,
+    data: &CycleData,
+    j: usize,
+    evidence: &[RevealedTunnel],
+) -> CycleAnalysis {
+    let future: Vec<_> = data.snapshots[1..]
+        .iter()
+        .take(j)
+        .map(|traces| Pipeline::snapshot_keys(traces))
+        .collect();
+    let pipeline = Pipeline::new(FilterConfig { persistence_window: j, ..Default::default() });
+    let mut output = pipeline.run(&data.snapshots[0], world.rib(), &future);
+    apply_revelations(&mut output, evidence, None);
     let report = CycleReport::build(&data.snapshots[0], &output, world.rib());
     CycleAnalysis { output, report }
 }

@@ -30,8 +30,8 @@ pub mod export;
 pub mod world;
 
 pub use campaign::{
-    analyze_cycle, generate_cycle, generate_snapshot, generate_snapshot_with_budget,
-    CampaignOptions, CycleAnalysis, CycleData,
+    analyze_cycle, analyze_cycle_revealed, generate_cycle, generate_cycle_with_revelation,
+    generate_snapshot, generate_snapshot_with_budget, CampaignOptions, CycleAnalysis, CycleData,
 };
 pub use export::{export_cycle, ExportedCycle};
 pub use evolution::{configs_for_cycle, dest_growth, vp_availability, CYCLES};

@@ -15,6 +15,7 @@
 //! | [`ablations::run`] | design-choice ablations (filters, §5 rescue) |
 //! | [`validation::run`] | §5 Paris-MDA ground-truth validation |
 //! | [`mda_recall::run`] | MDA-Lite probes-per-destination vs recall curve |
+//! | [`revelation::run`] | TNT-style revelation A/B across visibility mixes |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,5 +28,6 @@ pub mod fig789;
 pub mod longitudinal;
 pub mod mda_recall;
 pub mod output;
+pub mod revelation;
 pub mod summary;
 pub mod validation;

@@ -17,6 +17,7 @@
 //!   ablations design-choice ablations (filters, §5 rescue)
 //!   validation §5 Paris-MDA ground-truth check of the classes
 //!   mda       MDA-Lite probes-per-destination vs diversity recall
+//!   revelation TNT-style revelation A/B across visibility mixes
 //!   summary   the abstract's three headline outcomes, recomputed
 //!   all       everything above
 //! ```
@@ -31,7 +32,8 @@
 //! or foldable into a flamegraph via `lpr_obs::export::folded_stacks`.
 
 use experiments::{
-    ablations, fig16, fig17, fig6, fig789, longitudinal, mda_recall, summary, validation,
+    ablations, fig16, fig17, fig6, fig789, longitudinal, mda_recall, revelation, summary,
+    validation,
 };
 
 /// Runs one regenerator under an `exp:<name>` span so the trace shows
@@ -130,6 +132,9 @@ fn main() {
             with_span(&tracer, "validation", || validation::emit(&validation::run(&world, 45, 24)))
         }
         "mda" => with_span(&tracer, "mda", || mda_recall::emit(&mda_recall::run(&world, 40))),
+        "revelation" => {
+            with_span(&tracer, "revelation", || revelation::emit(&revelation::run(&world, 40)))
+        }
         "summary" => {
             with_span(&tracer, "summary", || summary::emit(&summary::run(rows.as_ref().unwrap())))
         }
@@ -146,6 +151,7 @@ fn main() {
             with_span(&tracer, "ablations", || ablations::emit(&ablations::run(&world, 45)));
             with_span(&tracer, "validation", || validation::emit(&validation::run(&world, 45, 24)));
             with_span(&tracer, "mda", || mda_recall::emit(&mda_recall::run(&world, 40)));
+            with_span(&tracer, "revelation", || revelation::emit(&revelation::run(&world, 40)));
             with_span(&tracer, "summary", || summary::emit(&summary::run(rows)));
         }
         other => {

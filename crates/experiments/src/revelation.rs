@@ -1,0 +1,120 @@
+//! Revelation A/B: how much transit path diversity hidden and
+//! invisible tunnels conceal from LPR, and how much of it the
+//! TNT-style revelation phase buys back.
+//!
+//! For a sweep of tunnel-visibility mixes we render one cycle, analyse
+//! it twice — once plain, once with the revealed evidence applied —
+//! and report the IOTP count, the Unclassified share, and what the
+//! DPR re-probing cost on top of the campaign.
+
+use crate::output::{announce, f3, print_table, write_csv};
+use ark_dataset::{
+    analyze_cycle, analyze_cycle_revealed, generate_cycle_with_revelation, CampaignOptions, World,
+};
+use lpr_core::reveal::RevelationStatus;
+use netsim::{RevelationOptions, VisibilityMix};
+
+/// One visibility-mix point of the A/B comparison.
+#[derive(Clone, Debug)]
+pub struct RevelationPoint {
+    /// Mix label.
+    pub mix: &'static str,
+    /// Classified IOTPs without / with revelation.
+    pub iotps_base: usize,
+    /// Classified IOTPs after the revelation stage.
+    pub iotps_revealed: usize,
+    /// Unclassified share without revelation.
+    pub unclassified_base: f64,
+    /// Unclassified share with revelation.
+    pub unclassified_revealed: f64,
+    /// Candidates the revelation phase considered.
+    pub triggers: u64,
+    /// Candidates it revealed at least one interior path for.
+    pub revealed: u64,
+    /// Probe packets the DPR walks spent.
+    pub revelation_probes: u64,
+    /// Revelation probes as a fraction of the base campaign's probes.
+    pub probe_overhead: f64,
+}
+
+/// The visibility mixes swept, worst-case hidden shares bracketed by
+/// the all-explicit control.
+pub const MIXES: &[(&str, VisibilityMix)] = &[
+    ("explicit", VisibilityMix { explicit: 1.0, implicit: 0.0, invisible: 0.0, opaque: 0.0 }),
+    ("implicit", VisibilityMix { explicit: 0.5, implicit: 0.5, invisible: 0.0, opaque: 0.0 }),
+    ("invisible", VisibilityMix { explicit: 0.5, implicit: 0.0, invisible: 0.5, opaque: 0.0 }),
+    ("opaque", VisibilityMix { explicit: 0.5, implicit: 0.0, invisible: 0.0, opaque: 0.5 }),
+    ("mixed", VisibilityMix { explicit: 0.4, implicit: 0.2, invisible: 0.2, opaque: 0.2 }),
+];
+
+/// Runs the A/B sweep on one cycle's network.
+pub fn run(world: &World, cycle: usize) -> Vec<RevelationPoint> {
+    MIXES
+        .iter()
+        .map(|&(name, mix)| {
+            let opts = CampaignOptions { visibility: Some(mix), ..Default::default() };
+            let (data, evidence) = generate_cycle_with_revelation(
+                world,
+                cycle,
+                &opts,
+                &RevelationOptions::default(),
+            );
+            let base = analyze_cycle(world, &data, 2);
+            let revealed = analyze_cycle_revealed(world, &data, 2, &evidence);
+            let base_counts = base.output.class_counts();
+            let rev_counts = revealed.output.class_counts();
+            let base_probes =
+                (data.budget.probes_sent - data.budget.revelation_probes).max(1);
+            RevelationPoint {
+                mix: name,
+                iotps_base: base_counts.total(),
+                iotps_revealed: rev_counts.total(),
+                unclassified_base: base_counts.unclassified as f64
+                    / base_counts.total().max(1) as f64,
+                unclassified_revealed: rev_counts.unclassified as f64
+                    / rev_counts.total().max(1) as f64,
+                triggers: data.budget.revelation_triggers,
+                revealed: evidence
+                    .iter()
+                    .filter(|e| e.status == RevelationStatus::Revealed)
+                    .count() as u64,
+                revelation_probes: data.budget.revelation_probes,
+                probe_overhead: data.budget.revelation_probes as f64 / base_probes as f64,
+            }
+        })
+        .collect()
+}
+
+/// Prints and writes `fig_revelation.csv`.
+pub fn emit(points: &[RevelationPoint]) {
+    let headers = [
+        "mix",
+        "iotps_base",
+        "iotps_revealed",
+        "unclassified_base",
+        "unclassified_revealed",
+        "triggers",
+        "revealed",
+        "revelation_probes",
+        "probe_overhead",
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.mix.to_string(),
+                p.iotps_base.to_string(),
+                p.iotps_revealed.to_string(),
+                f3(p.unclassified_base),
+                f3(p.unclassified_revealed),
+                p.triggers.to_string(),
+                p.revealed.to_string(),
+                p.revelation_probes.to_string(),
+                f3(p.probe_overhead),
+            ]
+        })
+        .collect();
+    print_table("Revelation A/B: diversity recovered vs probe overhead", &headers, &rows);
+    let path = write_csv("fig_revelation.csv", &headers, &rows);
+    announce("revelation A/B", &path);
+}

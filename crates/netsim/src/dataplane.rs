@@ -21,9 +21,9 @@
 //! Invisible tunnels (`ttl-propagate` off) are modelled as a teleport:
 //! interior LSRs neither decrement the IP TTL nor appear in traces.
 
-use crate::internet::{splitmix64, Internet};
+use crate::internet::{splitmix64, Internet, TunnelVisibility};
 use crate::rsvp::TeLsp;
-use crate::topology::{RouterId, Topology};
+use crate::topology::{AsId, RouterId, Topology};
 use lpr_core::label::{Label, Lse};
 use std::net::Ipv4Addr;
 
@@ -39,6 +39,11 @@ pub enum ProbeReply {
         /// RFC 4950 quoted label stack (empty when the packet carried
         /// no labels or the router does not implement the extension).
         stack: Vec<Lse>,
+        /// The reply detoured via the tunnel tail before returning
+        /// (an interior LSR of an implicit tunnel cannot route the
+        /// ICMP itself) — the probe layer inflates the hop's RTT by
+        /// [`crate::probe::UTURN_DETOUR_US`], TNT's RTLA signature.
+        uturn: bool,
     },
     /// The destination replied.
     Echo {
@@ -84,6 +89,12 @@ struct Tunnel<'a> {
     /// The bottom-of-stack VPN service label, when the pair carries
     /// RFC 4364 traffic.
     service: Option<Label>,
+    /// How this tunnel presents itself to traceroute. Anything but
+    /// [`TunnelVisibility::Explicit`] comes from the pair's
+    /// [`crate::internet::VisibilityMix`] assignment and alters what
+    /// the expiry events show (stack suppression, u-turn RTTs, the
+    /// opaque one-hop stack).
+    vis: TunnelVisibility,
 }
 
 impl Tunnel<'_> {
@@ -112,6 +123,46 @@ impl Tunnel<'_> {
         }
         stack
     }
+
+    /// The quirky stack an opaque tunnel's tail LSR quotes: a single
+    /// entry whose LSE TTL is 255 — a *fresh*, non-propagated entry
+    /// (the whole LSP collapsed into this one hop), where propagated
+    /// entries always expire at exactly TTL 1. Quoted regardless of
+    /// the AS's RFC 4950 knob: the implausible TTL *is* the artifact
+    /// TNT keys its opaque trigger on.
+    fn opaque_stack(&self) -> Vec<Lse> {
+        match self.arriving {
+            Some(top) => vec![Lse::new(top, 0, true, 255)],
+            None => Vec::new(),
+        }
+    }
+}
+
+/// One hidden- or invisible-tunnel traversal a forwarding walk made —
+/// ground truth the revelation property tests check against. Recorded
+/// only when [`probe_ladder`] is handed an oracle sink, and only for
+/// LDP tunnels whose visibility is not explicit (explicit tunnels need
+/// no revelation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OracleTraversal {
+    /// The AS the tunnel runs through.
+    pub as_id: AsId,
+    /// Ingress LER.
+    pub ingress: RouterId,
+    /// Egress LER.
+    pub egress: RouterId,
+    /// The address the trace shows for the ingress LER (its arrival
+    /// interface) — what a revelation trigger reports as the tunnel's
+    /// near end.
+    pub ingress_addr: Ipv4Addr,
+    /// The address the trace shows for the egress LER, once the walk
+    /// arrives there (`None` when the walk ended inside the tunnel).
+    pub egress_addr: Option<Ipv4Addr>,
+    /// How the tunnel presented itself.
+    pub visibility: TunnelVisibility,
+    /// Arrival addresses of the interior LSRs this flow's LSP pins,
+    /// in order (empty for an ingress adjacent to its egress).
+    pub interior: Vec<Ipv4Addr>,
 }
 
 /// Flow-hash selection of one index among `n`.
@@ -196,6 +247,41 @@ fn pick_link(topo: &Topology, cur: RouterId, next: RouterId, flow: u64) -> Optio
     Some(topo.iface(topo.iface(chosen).peer).addr)
 }
 
+/// Walks the flow's ECMP choice chain from `from` towards `to` — the
+/// router sequence an LDP tunnel for this flow pins (`gate` is the
+/// tunnel ingress, the ECMP gate key the data plane uses along an
+/// LSP). Returns the interior routers strictly between the endpoints,
+/// each with the arrival address a trace would show, or `None` when no
+/// route exists.
+fn flow_path_interior(
+    net: &Internet,
+    as_id: AsId,
+    from: RouterId,
+    to: RouterId,
+    gate: RouterId,
+    flow: u64,
+) -> Option<Vec<(RouterId, Ipv4Addr)>> {
+    let topo = &net.topo;
+    let mut out = Vec::new();
+    let mut w = from;
+    loop {
+        let nhs = net.ecmp_nexthops(as_id, w, to, gate);
+        if nhs.is_empty() {
+            return None;
+        }
+        let iface_id = nhs[pick(flow, w, nhs.len(), ECMP_SALT)];
+        let peer_iface = topo.iface(topo.iface(iface_id).peer);
+        if peer_iface.router == to {
+            return Some(out);
+        }
+        out.push((peer_iface.router, peer_iface.addr));
+        if out.len() > 4096 {
+            return None; // unreachable on sane topologies
+        }
+        w = peer_iface.router;
+    }
+}
+
 /// Sends one probe with the given TTL from a vantage point towards a
 /// destination; `flow` is the Paris flow identifier (constant per
 /// trace).
@@ -207,7 +293,7 @@ pub fn probe(net: &Internet, vp: Ipv4Addr, dst: Ipv4Addr, probe_ttl: u8, flow: u
     // TTL 0 expires on first arrival exactly like TTL 1.
     let want = (probe_ttl as usize).max(1);
     let mut events = Vec::new();
-    match probe_ladder(net, vp, dst, flow, want, &mut events) {
+    match probe_ladder(net, vp, dst, flow, want, &mut events, None) {
         LadderEnd::Truncated => events.pop().expect("truncated ladder recorded events"),
         LadderEnd::Echo { addr } => ProbeReply::Echo { addr },
         LadderEnd::Unreachable => ProbeReply::Unreachable,
@@ -229,29 +315,58 @@ pub(crate) fn probe_ladder(
     flow: u64,
     max_events: usize,
     out: &mut Vec<ProbeReply>,
+    mut oracle: Option<&mut Vec<OracleTraversal>>,
 ) -> LadderEnd {
     let topo = &net.topo;
     let Some(vp_at) = net.vp_attachment(vp) else {
         return LadderEnd::Unreachable;
     };
-    let dest_at = net.dest_attachment(dst);
+    // Infrastructure destinations (revelation probes aimed at a router
+    // address a trace exposed) are reached via the IGP and — unless the
+    // AS binds infrastructure FECs — never label-switched: TNT's DPR
+    // hinges on exactly this.
+    let (dest_at, infra_dest) = match net.dest_attachment(dst) {
+        Some(at) => (Some(at), false),
+        None => match net.infra_attachment(dst) {
+            Some(at) => (Some(at), true),
+            None => (None, false),
+        },
+    };
 
     let mut cur = vp_at.router;
     let mut arrival = topo.router(cur).loopback;
     let mut tunnel: Option<Tunnel<'_>> = None;
     let mut entered_as = true;
+    // Index into the oracle sink of the traversal whose egress the
+    // walk has not reached yet (tunnels are sequential, so one slot).
+    let mut pending_oracle: Option<usize> = None;
 
     loop {
         let as_id = topo.router(cur).as_id;
         let cfg = net.config(as_id);
 
+        // Oracle bookkeeping: a pending traversal completes when the
+        // walk arrives at its egress; record the address a trace shows.
+        if let (Some(orc), Some(idx)) = (oracle.as_deref_mut(), pending_oracle) {
+            if orc[idx].egress == cur {
+                orc[idx].egress_addr = Some(arrival);
+                pending_oracle = None;
+            }
+        }
+
         // --- TTL expiry on arrival: the probe whose last TTL unit was
         // consumed reaching this router dies here. ---------------------
         let stack = match &tunnel {
-            Some(t) if cfg.rfc4950 => t.quoted_stack(),
+            Some(t) if t.vis == TunnelVisibility::Opaque => t.opaque_stack(),
+            Some(t) if cfg.rfc4950 && t.vis != TunnelVisibility::Implicit => t.quoted_stack(),
             _ => Vec::new(),
         };
-        out.push(ProbeReply::TimeExceeded { router: cur, addr: arrival, stack });
+        let uturn = matches!(
+            &tunnel,
+            Some(t) if t.vis == TunnelVisibility::Implicit
+                && matches!(t.kind, TunnelKind::Ldp { egress, .. } if egress != cur)
+        );
+        out.push(ProbeReply::TimeExceeded { router: cur, addr: arrival, stack, uturn });
         if out.len() >= max_events {
             return LadderEnd::Truncated;
         }
@@ -293,6 +408,7 @@ pub(crate) fn probe_ladder(
                             kind: TunnelKind::Service,
                             arriving: None,
                             service,
+                            vis: TunnelVisibility::Explicit,
                         });
                     }
                 } else {
@@ -300,6 +416,7 @@ pub(crate) fn probe_ladder(
                         kind: TunnelKind::Te { lsp, pos: pos + 1 },
                         arriving: arr,
                         service,
+                        vis: TunnelVisibility::Explicit,
                     });
                 }
                 cur = next;
@@ -312,11 +429,18 @@ pub(crate) fn probe_ladder(
             Some(Tunnel { kind: TunnelKind::Service, .. }) => {
                 return LadderEnd::Unreachable;
             }
-            Some(Tunnel { kind: TunnelKind::Ldp { ingress, egress }, service, .. }) => {
+            Some(Tunnel { kind: TunnelKind::Ldp { ingress, egress }, service, vis, .. }) => {
                 let nhs = net.ecmp_nexthops(as_id, cur, egress, ingress);
                 if nhs.is_empty() {
                     return LadderEnd::Unreachable;
                 }
+                // An opaque tunnel's artifact is its tail LSR's single
+                // quirky hop; past the tail the walk is ordinary.
+                let vis = if vis == TunnelVisibility::Opaque {
+                    TunnelVisibility::Explicit
+                } else {
+                    vis
+                };
                 let iface_id = nhs[pick(flow, cur, nhs.len(), ECMP_SALT)];
                 let peer_iface = topo.iface(topo.iface(iface_id).peer);
                 let next = peer_iface.router;
@@ -326,6 +450,7 @@ pub(crate) fn probe_ladder(
                         kind: TunnelKind::Ldp { ingress, egress },
                         arriving: Some(l),
                         service,
+                        vis,
                     }),
                     crate::ldp::LdpLabel::ImplicitNull => {
                         if service.is_some() {
@@ -333,6 +458,7 @@ pub(crate) fn probe_ladder(
                                 kind: TunnelKind::Service,
                                 arriving: None,
                                 service,
+                                vis: TunnelVisibility::Explicit,
                             })
                         } else {
                             None
@@ -342,6 +468,7 @@ pub(crate) fn probe_ladder(
                         kind: TunnelKind::Ldp { ingress, egress },
                         arriving: Some(Label::IPV4_EXPLICIT_NULL),
                         service,
+                        vis,
                     }),
                 };
                 cur = next;
@@ -376,16 +503,102 @@ pub(crate) fn probe_ladder(
                     && cfg.enabled
                     && cur != target
                     && (internal.is_none() || cfg.tunnel_internal_dests)
+                    && (!infra_dest || cfg.infra_in_fec)
                     && net.pair_deployed(as_id, cur, target);
 
-                if may_tunnel && !cfg.ttl_propagate {
+                // Per-pair visibility of the would-be LDP tunnel. TE
+                // pairs stay explicit, and a legacy `ttl-propagate off`
+                // AS hides every deployed pair without consulting the
+                // mix.
+                let legacy_invisible = !cfg.ttl_propagate;
+                let vis = if may_tunnel
+                    && !legacy_invisible
+                    && !net.pair_te(as_id, cur, target)
+                {
+                    net.pair_visibility(as_id, cur, target)
+                } else {
+                    TunnelVisibility::Explicit
+                };
+
+                if may_tunnel && (legacy_invisible || vis != TunnelVisibility::Explicit) {
+                    if let Some(orc) = oracle.as_deref_mut() {
+                        let interior = flow_path_interior(net, as_id, cur, target, cur, flow)
+                            .unwrap_or_default();
+                        orc.push(OracleTraversal {
+                            as_id,
+                            ingress: cur,
+                            egress: target,
+                            ingress_addr: arrival,
+                            egress_addr: None,
+                            visibility: if legacy_invisible {
+                                TunnelVisibility::Invisible
+                            } else {
+                                vis
+                            },
+                            interior: interior.into_iter().map(|(_, a)| a).collect(),
+                        });
+                        pending_oracle = Some(orc.len() - 1);
+                    }
+                }
+
+                if may_tunnel && (legacy_invisible || vis == TunnelVisibility::Invisible) {
                     // Invisible tunnel: interior hops neither decrement
                     // the IP TTL nor reply; the packet reappears at the
                     // tunnel tail.
+                    let loopback = topo.router(target).loopback;
+                    if !legacy_invisible {
+                        // Mix-driven invisible pair: the ingress
+                        // pipelines the pop, so the egress also answers
+                        // the TTL that died inside the tunnel — the
+                        // duplicate-IP artifact TNT's DPR triggers on.
+                        out.push(ProbeReply::TimeExceeded {
+                            router: target,
+                            addr: loopback,
+                            stack: Vec::new(),
+                            uturn: false,
+                        });
+                        if out.len() >= max_events {
+                            return LadderEnd::Truncated;
+                        }
+                    }
                     cur = target;
-                    arrival = topo.router(target).loopback;
+                    arrival = loopback;
                     entered_as = false;
                     continue;
+                }
+
+                if may_tunnel && vis == TunnelVisibility::Opaque {
+                    let Some(interior) =
+                        flow_path_interior(net, as_id, cur, target, cur, flow)
+                    else {
+                        return LadderEnd::Unreachable;
+                    };
+                    if let Some(&(tail, tail_addr)) = interior.last() {
+                        // The LSP collapses into its tail LSR: one
+                        // labelled hop quoting a fresh (TTL 255) LSE,
+                        // then the ordinary step to the egress.
+                        let ldp = net.ldp(as_id).expect("MPLS enabled implies LDP state");
+                        let label = match ldp.advertised(tail, target) {
+                            crate::ldp::LdpLabel::Label(l) => Some(l),
+                            crate::ldp::LdpLabel::ExplicitNull => {
+                                Some(Label::IPV4_EXPLICIT_NULL)
+                            }
+                            crate::ldp::LdpLabel::ImplicitNull => None,
+                        };
+                        tunnel = Some(Tunnel {
+                            kind: TunnelKind::Ldp { ingress: cur, egress: target },
+                            arriving: label,
+                            service: None,
+                            vis: TunnelVisibility::Opaque,
+                        });
+                        cur = tail;
+                        arrival = tail_addr;
+                        entered_as = false;
+                        continue;
+                    }
+                    // Ingress adjacent to its egress: nothing to
+                    // collapse; fall through to the ordinary hop (the
+                    // LDP push below sees implicit-null).
                 }
 
                 // VPN pairs stack a per-VRF service label under the
@@ -419,12 +632,14 @@ pub(crate) fn probe_ladder(
                             kind: TunnelKind::Service,
                             arriving: None,
                             service,
+                            vis: TunnelVisibility::Explicit,
                         });
                     } else {
                         tunnel = Some(Tunnel {
                             kind: TunnelKind::Te { lsp, pos: 1 },
                             arriving: arr,
                             service,
+                            vis: TunnelVisibility::Explicit,
                         });
                     }
                     cur = next;
@@ -450,6 +665,7 @@ pub(crate) fn probe_ladder(
                             kind: TunnelKind::Ldp { ingress: cur, egress: target },
                             arriving: Some(l),
                             service,
+                            vis,
                         }),
                         // Adjacent egress with PHP: the transport
                         // entry is never visible, but a service label
@@ -458,11 +674,13 @@ pub(crate) fn probe_ladder(
                             kind: TunnelKind::Service,
                             arriving: None,
                             service,
+                            vis: TunnelVisibility::Explicit,
                         }),
                         crate::ldp::LdpLabel::ExplicitNull => Some(Tunnel {
                             kind: TunnelKind::Ldp { ingress: cur, egress: target },
                             arriving: Some(Label::IPV4_EXPLICIT_NULL),
                             service,
+                            vis,
                         }),
                     };
                 }

@@ -22,6 +22,129 @@ use std::net::Ipv4Addr;
 pub use crate::rsvp::TePathMode as TePathModeReexport;
 pub use crate::rsvp::TePathMode;
 
+/// How a tunnel presents itself to plain traceroute (the TNT taxonomy:
+/// *explicit* tunnels show labelled hops, *implicit* ones show hops
+/// without labels, *invisible* ones hide hops entirely, *opaque* ones
+/// show a single quirky labelled hop for the whole LSP).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TunnelVisibility {
+    /// `ttl-propagate` and RFC 4950 both on: interior LSRs appear with
+    /// quoted label stacks — what LPR's extraction consumes directly.
+    Explicit,
+    /// `ttl-propagate` on but no RFC 4950 quoting: interior LSRs appear
+    /// as plain IP hops. The only trace artifact is the return-path
+    /// asymmetry (interior replies detour via the tunnel tail, so their
+    /// RTTs exceed the egress's — TNT's RTLA/u-turn signature).
+    Implicit,
+    /// `ttl-propagate` off: interior LSRs consume no IP TTL and never
+    /// reply. The ingress pipelines the pop, so the egress answers two
+    /// consecutive TTLs — TNT's duplicate-IP trigger.
+    Invisible,
+    /// The whole LSP collapses into one labelled hop at the tunnel
+    /// tail whose quoted LSE TTL is the implausible 255 (a fresh,
+    /// non-propagated entry) — TNT's opaque one-hop-stack trigger.
+    Opaque,
+}
+
+impl TunnelVisibility {
+    /// The CLI/report spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            TunnelVisibility::Explicit => "explicit",
+            TunnelVisibility::Implicit => "implicit",
+            TunnelVisibility::Invisible => "invisible",
+            TunnelVisibility::Opaque => "opaque",
+        }
+    }
+}
+
+/// A per-AS mix of tunnel visibilities, assigned deterministically per
+/// ordered LER pair (same discipline as every other pair knob: raising
+/// a weight only moves pairs between buckets, never reshuffles them).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VisibilityMix {
+    /// Weight of [`TunnelVisibility::Explicit`] pairs.
+    pub explicit: f64,
+    /// Weight of [`TunnelVisibility::Implicit`] pairs.
+    pub implicit: f64,
+    /// Weight of [`TunnelVisibility::Invisible`] pairs.
+    pub invisible: f64,
+    /// Weight of [`TunnelVisibility::Opaque`] pairs.
+    pub opaque: f64,
+}
+
+impl VisibilityMix {
+    /// Every pair explicit — the legacy behaviour, and the default:
+    /// campaigns built without a mix stay byte-identical to before the
+    /// revelation subsystem existed.
+    pub fn explicit_only() -> Self {
+        VisibilityMix { explicit: 1.0, implicit: 0.0, invisible: 0.0, opaque: 0.0 }
+    }
+
+    /// Whether this mix can produce anything but explicit tunnels.
+    pub fn is_explicit_only(&self) -> bool {
+        self.implicit <= 0.0 && self.invisible <= 0.0 && self.opaque <= 0.0
+    }
+
+    /// Parses the CLI spelling: comma-separated `kind:weight` entries,
+    /// e.g. `explicit:0.4,implicit:0.2,invisible:0.3,opaque:0.1`.
+    /// Unmentioned kinds get weight 0. Weights need not sum to 1 (they
+    /// are normalised); at least one must be positive.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut mix = VisibilityMix { explicit: 0.0, implicit: 0.0, invisible: 0.0, opaque: 0.0 };
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (kind, weight) = part.split_once(':')?;
+            let w: f64 = weight.trim().parse().ok()?;
+            if !(0.0..=f64::MAX).contains(&w) {
+                return None;
+            }
+            match kind.trim() {
+                "explicit" => mix.explicit = w,
+                "implicit" => mix.implicit = w,
+                "invisible" => mix.invisible = w,
+                "opaque" => mix.opaque = w,
+                _ => return None,
+            }
+        }
+        let total = mix.explicit + mix.implicit + mix.invisible + mix.opaque;
+        if total <= 0.0 {
+            return None;
+        }
+        Some(mix)
+    }
+
+    /// The CLI spelling of this mix (inverse of [`VisibilityMix::parse`]).
+    pub fn render(&self) -> String {
+        format!(
+            "explicit:{},implicit:{},invisible:{},opaque:{}",
+            self.explicit, self.implicit, self.invisible, self.opaque
+        )
+    }
+
+    /// The visibility bucket a point in `[0, 1)` lands in, by cumulative
+    /// weight in declaration order.
+    fn bucket(&self, point: f64) -> TunnelVisibility {
+        let total = self.explicit + self.implicit + self.invisible + self.opaque;
+        if total <= 0.0 {
+            return TunnelVisibility::Explicit;
+        }
+        let p = point * total;
+        if p < self.explicit {
+            TunnelVisibility::Explicit
+        } else if p < self.explicit + self.implicit {
+            TunnelVisibility::Implicit
+        } else if p < self.explicit + self.implicit + self.invisible {
+            TunnelVisibility::Invisible
+        } else {
+            TunnelVisibility::Opaque
+        }
+    }
+}
+
 /// Per-AS MPLS behaviour for one build of the control plane.
 ///
 /// The longitudinal dataset varies these knobs cycle by cycle to replay
@@ -76,6 +199,18 @@ pub struct MplsConfig {
     /// exactly why the paper excludes VPN tunnels from its transit
     /// study (§1).
     pub vpn_pair_fraction: f64,
+    /// Per-LER-pair visibility mix for LDP tunnels (TE pairs stay
+    /// explicit). The default, [`VisibilityMix::explicit_only`], keeps
+    /// the data plane byte-identical to the pre-revelation simulator;
+    /// anything else makes the mixed pairs emit the trace artifacts TNT
+    /// keys its revelation triggers on.
+    pub visibility: VisibilityMix,
+    /// Whether LDP also binds FECs for this AS's *infrastructure*
+    /// addresses (router loopbacks and link interfaces). Real networks
+    /// overwhelmingly reach infrastructure via the IGP — which is what
+    /// makes TNT's DPR work: a probe aimed at the tunnel egress rides
+    /// no tunnel. Setting this models the deployments where it fails.
+    pub infra_in_fec: bool,
 }
 
 impl MplsConfig {
@@ -96,6 +231,8 @@ impl MplsConfig {
             ecmp_fec_fraction: 1.0,
             anonymous_rate: 0.0,
             vpn_pair_fraction: 0.0,
+            visibility: VisibilityMix::explicit_only(),
+            infra_in_fec: false,
         }
     }
 
@@ -144,6 +281,9 @@ pub struct Internet {
     dest_attach: HashMap<u32, Attachment>,
     /// vantage point address → attachment.
     vp_attach: HashMap<Ipv4Addr, Attachment>,
+    /// Infrastructure address (router loopback or link interface) →
+    /// owning router: what revelation probes aim at.
+    infra_attach: HashMap<Ipv4Addr, Attachment>,
 }
 
 impl Internet {
@@ -243,7 +383,29 @@ impl Internet {
             }
         }
 
-        Internet { topo, configs: per_as, igp, ldp, te, allocators, bgp, dest_attach, vp_attach }
+        // Infrastructure addresses resolve to their owning router, so
+        // revelation probes can target what a trace exposed.
+        let mut infra_attach = HashMap::new();
+        for r in &topo.routers {
+            infra_attach.insert(r.loopback, Attachment { as_id: r.as_id, router: r.id });
+        }
+        for iface in &topo.ifaces {
+            let r = &topo.routers[iface.router.0 as usize];
+            infra_attach.insert(iface.addr, Attachment { as_id: r.as_id, router: r.id });
+        }
+
+        Internet {
+            topo,
+            configs: per_as,
+            igp,
+            ldp,
+            te,
+            allocators,
+            bgp,
+            dest_attach,
+            vp_attach,
+            infra_attach,
+        }
     }
 
     /// The MPLS configuration of an AS.
@@ -290,6 +452,34 @@ impl Internet {
     /// Where a vantage point attaches.
     pub fn vp_attachment(&self, vp: Ipv4Addr) -> Option<Attachment> {
         self.vp_attach.get(&vp).copied()
+    }
+
+    /// The router owning an infrastructure address (loopback or link
+    /// interface), if any — what a DPR revelation probe targets.
+    pub fn infra_attachment(&self, addr: Ipv4Addr) -> Option<Attachment> {
+        self.infra_attach.get(&addr).copied()
+    }
+
+    /// The visibility of the ordered LER pair's LDP tunnel, drawn
+    /// deterministically from the AS's [`VisibilityMix`] (salt `0x7e06`;
+    /// TE pairs are always explicit and never consult this).
+    pub fn pair_visibility(
+        &self,
+        as_id: AsId,
+        ingress: RouterId,
+        egress: RouterId,
+    ) -> TunnelVisibility {
+        let cfg = self.config(as_id);
+        if cfg.visibility.is_explicit_only() {
+            return TunnelVisibility::Explicit;
+        }
+        let h = splitmix64(
+            (self.topo.as_of(as_id).asn.0 as u64) << 40
+                ^ (ingress.0 as u64) << 20
+                ^ (egress.0 as u64)
+                ^ (0x7e06u64 << 48),
+        );
+        cfg.visibility.bucket(h as f64 / u64::MAX as f64)
     }
 
     /// Whether MPLS is deployed for the ordered LER pair

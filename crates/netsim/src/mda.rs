@@ -310,7 +310,7 @@ fn confirm_hops(
     let (dst, base_flow) = base;
     let max = core.opts.max_ttl as usize;
     let mut events = Vec::new();
-    let _ = probe_ladder(core.net, vp, dst, base_flow, max, &mut events);
+    let _ = probe_ladder(core.net, vp, dst, base_flow, max, &mut events, None);
     let mut grew = false;
     for (i, ev) in events.iter().enumerate() {
         let ProbeReply::TimeExceeded { router, .. } = ev else { continue };
@@ -322,7 +322,7 @@ fn confirm_hops(
         sw.confirmed.insert(next_ttl, width);
         for flow in steering_flows(base_flow, *router, width) {
             let mut walk = Vec::new();
-            let _ = probe_ladder(core.net, vp, dst, flow, max, &mut walk);
+            let _ = probe_ladder(core.net, vp, dst, flow, max, &mut walk, None);
             sw.probes += walk.len() as u64;
             sw.confirmations += 1;
             for (j, step) in walk.iter().enumerate() {
@@ -494,6 +494,35 @@ mod tests {
                 assert_eq!(flows.len(), n);
                 for (i, flow) in flows.iter().enumerate() {
                     assert_eq!(ecmp_index(*flow, router, n), i, "router {router:?} n {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mda_paths_shim_matches_exhaustive_mda_discover() {
+        // The deprecation contract: `mda_paths(vp, dst, n)` is exactly
+        // `mda_discover` under the exhaustive strategy with the old
+        // count as `max_flows` — same flow derivation, same path set.
+        let net = ecmp_world();
+        let prober = Prober::new(&net, ProbeOptions::default());
+        let vps: Vec<_> = net.topo.vantage_points().iter().map(|(a, _)| *a).collect();
+        let dsts = net.topo.destinations(1);
+        for &vp in &vps {
+            for &dst in &dsts {
+                for flows in [1usize, 4, 16] {
+                    #[allow(deprecated)]
+                    let old = prober.mda_paths(vp, dst, flows);
+                    let new = prober.mda_discover(
+                        vp,
+                        dst,
+                        &MdaOptions {
+                            strategy: ProbingStrategy::Exhaustive,
+                            max_flows: flows,
+                            ..MdaOptions::default()
+                        },
+                    );
+                    assert_eq!(old, new.paths, "shim diverged at {vp} → {dst}, {flows} flows");
                 }
             }
         }

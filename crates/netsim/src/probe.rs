@@ -24,6 +24,14 @@ use lpr_chaos::{FaultCounts, FaultPlan};
 use lpr_core::trace::{Hop, Trace};
 use std::net::Ipv4Addr;
 
+/// Extra round-trip time (µs) on replies that detoured via a tunnel
+/// tail before returning — the implicit-tunnel u-turn artifact (the
+/// interior LSR forwards the ICMP reply down the LSP to the egress,
+/// which routes it back). Sized well above the synthetic RTT jitter
+/// (±900 µs) so the [`lpr_core::reveal`] RTLA detector separates the
+/// two cleanly.
+pub const UTURN_DETOUR_US: u32 = 3000;
+
 /// Probing parameters.
 #[derive(Clone, Debug)]
 pub struct ProbeOptions {
@@ -83,6 +91,15 @@ pub struct ProbeBudget {
     pub groups_stopped: u64,
     /// Host groups that ran out of hosts before the rule settled.
     pub groups_exhausted: u64,
+    /// Hidden-tunnel candidates the revelation phase considered
+    /// (deduplicated triggers).
+    pub revelation_triggers: u64,
+    /// Probe packets the revelation phase's DPR walks spent (also
+    /// folded into `probes_sent`).
+    pub revelation_probes: u64,
+    /// Candidates the revelation phase revealed at least one interior
+    /// path for.
+    pub revelation_revealed: u64,
 }
 
 impl ProbeBudget {
@@ -96,6 +113,9 @@ impl ProbeBudget {
         self.confirmations += other.confirmations;
         self.groups_stopped += other.groups_stopped;
         self.groups_exhausted += other.groups_exhausted;
+        self.revelation_triggers += other.revelation_triggers;
+        self.revelation_probes += other.revelation_probes;
+        self.revelation_revealed += other.revelation_revealed;
     }
 
     /// Probe packets per requested destination pair — the headline
@@ -188,7 +208,7 @@ impl<'a> Prober<'a> {
 
     /// The span/event journal this prober records into (the inert
     /// tracer without a recorder).
-    fn tracer(&self) -> lpr_obs::Tracer {
+    pub(crate) fn tracer(&self) -> lpr_obs::Tracer {
         self.metrics.as_ref().map_or_else(lpr_obs::Tracer::disabled, |m| m.tracer.clone())
     }
 
@@ -371,6 +391,34 @@ impl<'a> Prober<'a> {
         (out, budget)
     }
 
+    /// [`Prober::campaign_with_budget`] followed by the revelation
+    /// phase: triggers detected in the campaign's traces are re-probed
+    /// with targeted DPR walks (see [`crate::revelation`]), and the
+    /// evidence is returned alongside the traces. Revelation costs are
+    /// folded into the budget (`revelation_*` fields, and
+    /// `probes_sent` includes the DPR walks). Both the traces and the
+    /// evidence are byte-identical at any thread count.
+    pub fn campaign_with_revelation(
+        &self,
+        vps: &[Ipv4Addr],
+        dsts: &[Ipv4Addr],
+        threads: usize,
+        reveal_opts: &crate::revelation::RevelationOptions,
+    ) -> (Vec<Trace>, ProbeBudget, Vec<lpr_core::reveal::RevealedTunnel>) {
+        let (traces, mut budget) = self.campaign_with_budget(vps, dsts, threads);
+        let evidence =
+            crate::revelation::reveal_from_traces(self, &traces, reveal_opts, threads);
+        budget.revelation_triggers = evidence.len() as u64;
+        for ev in &evidence {
+            budget.revelation_probes += ev.probes;
+            if ev.status == lpr_core::reveal::RevelationStatus::Revealed {
+                budget.revelation_revealed += 1;
+            }
+        }
+        budget.probes_sent += budget.revelation_probes;
+        (traces, budget, evidence)
+    }
+
     /// The original every-pair campaign (pair-sharded, golden shape),
     /// with probe counting folded into `budget`.
     fn exhaustive_campaign(
@@ -450,6 +498,13 @@ pub(crate) struct ProbeCore<'a> {
 }
 
 impl ProbeCore<'_> {
+    /// The fault plan the prober was armed with, if any — the
+    /// revelation phase consults its trigger-loss and DPR
+    /// rate-limiting predicates.
+    pub(crate) fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults
+    }
+
     /// The Paris flow identifier for a `(vp, dst)` pair this snapshot.
     pub(crate) fn flow(&self, vp: Ipv4Addr, dst: Ipv4Addr) -> u64 {
         let base = splitmix64(
@@ -527,7 +582,8 @@ impl ProbeCore<'_> {
         let mut trace = Trace::new(vp, dst);
         let mut gap = 0u8;
         let mut events = Vec::new();
-        let end = probe_ladder(self.net, vp, dst, flow, self.opts.max_ttl as usize, &mut events);
+        let end =
+            probe_ladder(self.net, vp, dst, flow, self.opts.max_ttl as usize, &mut events, None);
         let mut events = events.into_iter();
         for ttl in 1..=self.opts.max_ttl {
             *probes += 1;
@@ -535,7 +591,7 @@ impl ProbeCore<'_> {
                 m.sent.inc();
             }
             match events.next() {
-                Some(ProbeReply::TimeExceeded { router, addr, stack }) => {
+                Some(ProbeReply::TimeExceeded { router, addr, stack, uturn }) => {
                     let rate = self
                         .net
                         .config(self.net.topo.router(router).as_id)
@@ -580,7 +636,8 @@ impl ProbeCore<'_> {
                         trace.push_hop(Hop {
                             probe_ttl: ttl,
                             addr: Some(addr),
-                            rtt_us: self.rtt(vp, dst, ttl),
+                            rtt_us: self.rtt(vp, dst, ttl)
+                                + if uturn { UTURN_DETOUR_US } else { 0 },
                             stack,
                         });
                         gap = 0;

@@ -55,6 +55,20 @@ pub const PIPELINE_IOTPS_CLASSIFIED: &str = "pipeline.iotps_classified";
 /// ASes exhibiting dynamic (multi-class) behaviour.
 pub const PIPELINE_DYNAMIC_ASES: &str = "pipeline.dynamic_ases";
 
+/// Targeted DPR re-probe walks spent by the revelation phase.
+pub const REVELATION_PROBES: &str = "revelation.probes";
+/// Revelation triggers of the duplicate-IP kind (invisible tunnels).
+pub const REVELATION_TRIGGER_DUP_IP: &str = "revelation.trigger.dup_ip";
+/// Revelation triggers of the opaque one-hop-stack kind.
+pub const REVELATION_TRIGGER_OPAQUE: &str = "revelation.trigger.opaque";
+/// Revelation triggers of the u-turn RTT-quirk kind (implicit tunnels).
+pub const REVELATION_TRIGGER_UTURN: &str = "revelation.trigger.uturn";
+/// Revelation candidates triggered (sum of the `revelation.trigger.*`
+/// family after per-pair deduplication).
+pub const REVELATION_TRIGGERS: &str = "revelation.triggers";
+/// IOTPs upgraded or newly created from revealed evidence.
+pub const REVELATION_UPGRADED: &str = "revelation.upgraded";
+
 /// Quarantine reason: TTL ladder longer than the cap.
 pub const QUARANTINE_TOO_MANY_HOPS: &str = "quarantine.too_many_hops";
 /// Quarantine reason: duplicate TTL in one trace.
@@ -167,6 +181,12 @@ pub const ALL_COUNTERS: &[&str] = &[
     QUARANTINE_NON_MONOTONIC_TTL,
     QUARANTINE_POISONED_SHARD,
     QUARANTINE_TOO_MANY_HOPS,
+    REVELATION_PROBES,
+    REVELATION_TRIGGER_DUP_IP,
+    REVELATION_TRIGGER_OPAQUE,
+    REVELATION_TRIGGER_UTURN,
+    REVELATION_TRIGGERS,
+    REVELATION_UPGRADED,
     SERVE_CYCLES_EVICTED,
     SERVE_FILES_INGESTED,
     SERVE_FILES_QUARANTINED,
@@ -239,5 +259,8 @@ mod tests {
         let budgets: Vec<&&str> =
             ALL_COUNTERS.iter().filter(|n| n.starts_with("probe.budget.")).collect();
         assert_eq!(budgets.len(), 4, "one counter per campaign budget tally");
+        let triggers: Vec<&&str> =
+            ALL_COUNTERS.iter().filter(|n| n.starts_with("revelation.trigger.")).collect();
+        assert_eq!(triggers.len(), 3, "one counter per revelation TriggerKind");
     }
 }
